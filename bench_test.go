@@ -1,0 +1,256 @@
+// Benchmarks, one per table and figure of the paper's evaluation plus the
+// DESIGN.md ablations. Each benchmark regenerates its artifact end to end
+// (schedule + lowering + simulated execution) and reports the headline
+// number via b.ReportMetric, so `go test -bench=. -benchmem` doubles as the
+// reproduction harness. cmd/paperbench prints the same artifacts in
+// human-readable form.
+package mimdloop_test
+
+import (
+	"testing"
+
+	"mimdloop/internal/classify"
+	"mimdloop/internal/core"
+	"mimdloop/internal/experiments"
+	"mimdloop/internal/workload"
+)
+
+// BenchmarkFig1Classification regenerates the Figure 1 example: the O(m)
+// Flow-in/Cyclic/Flow-out partition.
+func BenchmarkFig1Classification(b *testing.B) {
+	g := workload.Figure1()
+	for i := 0; i < b.N; i++ {
+		r := classify.Partition(g)
+		if len(r.Cyclic) != 4 {
+			b.Fatalf("cyclic = %d, want 4", len(r.Cyclic))
+		}
+	}
+}
+
+// BenchmarkFig3Pattern regenerates Figure 3: pattern emergence on the
+// all-Cyclic seven-node loop at k=1.
+func BenchmarkFig3Pattern(b *testing.B) {
+	g := workload.Figure3()
+	var rate float64
+	for i := 0; i < b.N; i++ {
+		res, err := core.CyclicSchedAll(g, core.Options{Processors: 4, CommCost: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rate = res.RatePerIteration()
+	}
+	b.ReportMetric(rate, "cycles/iter")
+}
+
+// BenchmarkFig7Schedule regenerates Figure 7(d,e): the full pipeline on the
+// paper's headline loop (expect Sp = 40% vs paper 40%).
+func BenchmarkFig7Schedule(b *testing.B) {
+	var sp float64
+	for i := 0; i < b.N; i++ {
+		c, err := experiments.Figure7(100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sp = c.OursSp
+	}
+	b.ReportMetric(sp, "Sp%")
+	b.ReportMetric(40, "paperSp%")
+}
+
+// BenchmarkFig8Doacross regenerates Figure 8: DOACROSS (natural and
+// optimally reordered) gains nothing on the Figure 7 loop.
+func BenchmarkFig8Doacross(b *testing.B) {
+	var sp float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure8(100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sp = r.ReorderedSp
+	}
+	b.ReportMetric(sp, "Sp%")
+	b.ReportMetric(0, "paperSp%")
+}
+
+// BenchmarkFig9Cytron regenerates the Figure 9/10 [Cytron86] example
+// (paper: ours 72.7% vs DOACROSS 31.8%).
+func BenchmarkFig9Cytron(b *testing.B) {
+	var ours, da float64
+	for i := 0; i < b.N; i++ {
+		c, err := experiments.Figure9(100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ours, da = c.OursSp, c.DoacrossSp
+	}
+	b.ReportMetric(ours, "Sp%")
+	b.ReportMetric(da, "doacrossSp%")
+}
+
+// BenchmarkFig11Livermore regenerates Figure 11 (paper: 49.4% vs 12.6%).
+func BenchmarkFig11Livermore(b *testing.B) {
+	var ours, da float64
+	for i := 0; i < b.N; i++ {
+		c, err := experiments.Figure11(100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ours, da = c.OursSp, c.DoacrossSp
+	}
+	b.ReportMetric(ours, "Sp%")
+	b.ReportMetric(da, "doacrossSp%")
+}
+
+// BenchmarkFig12Elliptic regenerates Figure 12 (paper: 30.9% vs 0%).
+func BenchmarkFig12Elliptic(b *testing.B) {
+	var ours, da float64
+	for i := 0; i < b.N; i++ {
+		c, err := experiments.Figure12(100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ours, da = c.OursSp, c.DoacrossSp
+	}
+	b.ReportMetric(ours, "Sp%")
+	b.ReportMetric(da, "doacrossSp%")
+}
+
+// BenchmarkTable1a regenerates Table 1(a): the 25 random loops under
+// mm = 1, 3, 5 with k = 3 (paper means: ours 47.4/39.1/30.3, DOACROSS
+// 16.3/13.1/9.5).
+func BenchmarkTable1a(b *testing.B) {
+	var res *experiments.Table1Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Table1(25, 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.OursMean[0], "oursSp%mm1")
+	b.ReportMetric(res.OursMean[2], "oursSp%mm5")
+	b.ReportMetric(res.DoacrossMean[0], "doacrossSp%mm1")
+}
+
+// BenchmarkTable1b regenerates Table 1(b): the speedup factors over
+// DOACROSS, whose growth under fluctuation is the paper's robustness
+// headline (paper: 2.9 -> 3.0 -> 3.3).
+func BenchmarkTable1b(b *testing.B) {
+	var res *experiments.Table1Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Table1(25, 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Factor[0], "factor-mm1")
+	b.ReportMetric(res.Factor[1], "factor-mm3")
+	b.ReportMetric(res.Factor[2], "factor-mm5")
+}
+
+// BenchmarkAblationKEstimate (A1): schedule quality as the compile-time
+// communication estimate diverges from the machine's true cost.
+func BenchmarkAblationKEstimate(b *testing.B) {
+	g := workload.Figure7().Graph
+	var worst, best float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationKEstimate(g, []int{0, 1, 2, 3, 5, 7}, 3, 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst, best = rows[0].Sp, rows[0].Sp
+		for _, r := range rows {
+			if r.Sp < worst {
+				worst = r.Sp
+			}
+			if r.Sp > best {
+				best = r.Sp
+			}
+		}
+	}
+	b.ReportMetric(best, "bestSp%")
+	b.ReportMetric(worst, "worstSp%")
+}
+
+// BenchmarkAblationGapFill (A2): gap-filling vs append-only placement.
+func BenchmarkAblationGapFill(b *testing.B) {
+	g, err := workload.Random(workload.PaperSpec, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var rows []experiments.RateRow
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.AblationPlacement(g, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].Rate, "gapfill-cyc/iter")
+	b.ReportMetric(rows[1].Rate, "append-cyc/iter")
+}
+
+// BenchmarkAblationQueueOrder (A3): ready-queue ordering policies.
+func BenchmarkAblationQueueOrder(b *testing.B) {
+	g, err := workload.Random(workload.PaperSpec, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var rows []experiments.RateRow
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.AblationQueueOrder(g, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].Rate, "iterrank-cyc/iter")
+	b.ReportMetric(rows[1].Rate, "fifo-cyc/iter")
+}
+
+// BenchmarkAblationProcs (A4): processor-count sweep.
+func BenchmarkAblationProcs(b *testing.B) {
+	g, err := workload.Random(workload.PaperSpec, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var rows []experiments.RateRow
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.AblationProcessors(g, 3, []int{2, 4, 8, 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].Rate, "p2-cyc/iter")
+	b.ReportMetric(rows[len(rows)-1].Rate, "p16-cyc/iter")
+}
+
+// BenchmarkAblationPerfectPipelining (A5): the k=0 idealized pattern
+// against communication-aware schedules.
+func BenchmarkAblationPerfectPipelining(b *testing.B) {
+	var rows []experiments.RateRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.AblationPerfectPipelining([]int{0, 1, 2, 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].Rate, "k0-cyc/iter")
+	b.ReportMetric(rows[len(rows)-1].Rate, "k4-cyc/iter")
+}
+
+// BenchmarkAblationCommModel (A6): finish+k vs the overlapped start+k
+// availability reading.
+func BenchmarkAblationCommModel(b *testing.B) {
+	g := workload.Figure7().Graph
+	var rows []experiments.RateRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.AblationCommModel(g, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].Rate, "finishk-cyc/iter")
+	b.ReportMetric(rows[1].Rate, "startk-cyc/iter")
+}

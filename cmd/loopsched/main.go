@@ -1,0 +1,155 @@
+// Command loopsched parallelizes a loop written in the mini loop language:
+// it prints the dependence graph, the Flow-in/Cyclic/Flow-out
+// classification, the steady-state pattern, a Gantt view of the schedule,
+// the generated communicating subloops, and a comparison against the
+// DOACROSS baseline.
+//
+// Usage:
+//
+//	loopsched [-k cost] [-p procs] [-n iters] [-fold] [-gantt cycles] file.loop
+//	loopsched -example fig7|lfk18|ewf
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"mimdloop"
+)
+
+func main() {
+	var (
+		k        = flag.Int("k", 2, "communication cost estimate in cycles")
+		procs    = flag.Int("p", 0, "processors for the Cyclic subset (0 = sufficient)")
+		iters    = flag.Int("n", 100, "iterations to schedule and simulate")
+		fold     = flag.Bool("fold", false, "fold non-Cyclic nodes into idle Cyclic slots (Section 3 heuristic)")
+		gantt    = flag.Int("gantt", 24, "cycles of schedule to display (0 = none)")
+		example  = flag.String("example", "", "run a built-in workload: fig7, lfk18, ewf")
+		jsonPath = flag.String("json", "", "write the composed schedule (with its graph) to this file as JSON")
+	)
+	flag.Parse()
+	if err := run(*k, *procs, *iters, *fold, *gantt, *example, *jsonPath, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "loopsched:", err)
+		os.Exit(1)
+	}
+}
+
+func run(k, procs, iters int, fold bool, gantt int, example, jsonPath string, args []string) error {
+	var compiled *mimdloop.CompiledLoop
+	switch {
+	case example == "fig7":
+		compiled = mimdloop.Figure7Loop()
+	case example == "lfk18":
+		compiled = mimdloop.Livermore18Loop()
+	case example == "ewf":
+		compiled = mimdloop.EllipticLoop()
+	case example != "":
+		return fmt.Errorf("unknown example %q (want fig7, lfk18 or ewf)", example)
+	case len(args) != 1:
+		return fmt.Errorf("usage: loopsched [flags] file.loop (or -example fig7)")
+	default:
+		src, err := os.ReadFile(args[0])
+		if err != nil {
+			return err
+		}
+		compiled, err = mimdloop.CompileLoop(string(src))
+		if err != nil {
+			return err
+		}
+	}
+
+	g := compiled.Graph
+	fmt.Printf("loop %s: %d nodes, %d dependences, %d cycles/iteration sequential\n\n",
+		compiled.Loop.Name, g.N(), len(g.Edges), g.TotalLatency())
+
+	cls := mimdloop.Classify(g)
+	fmt.Printf("classification: %d Flow-in, %d Cyclic, %d Flow-out\n",
+		len(cls.FlowIn), len(cls.Cyclic), len(cls.FlowOut))
+	if cls.IsDOALL() {
+		fmt.Println("no Cyclic nodes: this is a DOALL loop")
+	}
+	fmt.Println()
+
+	ls, err := mimdloop.ScheduleLoop(g, mimdloop.Options{
+		Processors:    procs,
+		CommCost:      k,
+		FoldNonCyclic: fold,
+	}, iters)
+	if err != nil {
+		return err
+	}
+	if p := ls.Pattern(); p != nil {
+		forced := ""
+		if p.Forced {
+			forced = " (modulo-scheduling fallback)"
+		}
+		fmt.Printf("pattern%s: %d cycles advancing %d iteration(s) = %.3g cycles/iteration\n",
+			forced, p.Cycles(), p.IterShift, p.RatePerIteration())
+	} else if ls.GreedyFallback {
+		fmt.Println("no pattern: bounded greedy schedule")
+	}
+	fmt.Printf("processors: %d Cyclic + %d Flow-in + %d Flow-out (folded: %v)\n",
+		ls.CyclicProcs, ls.FlowInProcs, ls.FlowOutProcs, ls.Folded)
+
+	progs, err := mimdloop.BuildPrograms(ls.Full)
+	if err != nil {
+		return err
+	}
+	stats, err := mimdloop.Simulate(g, progs, mimdloop.MachineConfig{})
+	if err != nil {
+		return err
+	}
+	seq := iters * g.TotalLatency()
+	fmt.Printf("simulated: %d cycles for %d iterations (sequential %d) -> percentage parallelism %.1f%%\n",
+		stats.Makespan, iters, seq, pct(seq, stats.Makespan))
+
+	da, err := mimdloop.Doacross(g, mimdloop.DoacrossOptions{MaxProcessors: 8, CommCost: k}, iters)
+	if err != nil {
+		return err
+	}
+	daProgs, err := mimdloop.BuildPrograms(da.Schedule)
+	if err != nil {
+		return err
+	}
+	daStats, err := mimdloop.Simulate(g, daProgs, mimdloop.MachineConfig{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("DOACROSS:  %d cycles on %d processor(s) -> percentage parallelism %.1f%%\n\n",
+		daStats.Makespan, da.Processors, pct(seq, daStats.Makespan))
+
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(ls.Full, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("schedule written to %s\n\n", jsonPath)
+	}
+
+	if gantt > 0 {
+		fmt.Println("schedule (prefix):")
+		fmt.Println(mimdloop.Gantt(ls.Full, gantt))
+	}
+
+	if code, err := mimdloop.Pseudocode(ls); err == nil {
+		fmt.Println("generated subloops (steady state):")
+		fmt.Print(code)
+	}
+	return nil
+}
+
+func pct(seq, par int) float64 {
+	if seq == 0 {
+		return 0
+	}
+	p := float64(seq-par) / float64(seq) * 100
+	if p < 0 {
+		p = 0
+	}
+	return p
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunBuiltinExamples(t *testing.T) {
+	for _, ex := range []string{"fig7", "lfk18", "ewf"} {
+		if err := run(2, 2, 20, false, 4, ex, "", nil); err != nil {
+			t.Fatalf("example %s: %v", ex, err)
+		}
+	}
+}
+
+func TestRunLoopFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.loop")
+	src := `loop t(N = 10) {
+        A[i] = A[i-1] + U[i]
+        B[i] = A[i] * 2.0
+    }`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	jsonPath := filepath.Join(dir, "sched.json")
+	if err := run(1, 2, 10, true, 0, "", jsonPath, []string{path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty JSON schedule")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(2, 0, 10, false, 0, "nope", "", nil); err == nil {
+		t.Fatal("unknown example accepted")
+	}
+	if err := run(2, 0, 10, false, 0, "", "", nil); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if err := run(2, 0, 10, false, 0, "", "", []string{"/does/not/exist.loop"}); err == nil {
+		t.Fatal("nonexistent file accepted")
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := pct(100, 60); got != 40 {
+		t.Fatalf("pct = %v", got)
+	}
+	if got := pct(100, 120); got != 0 {
+		t.Fatalf("pct clamps = %v", got)
+	}
+	if got := pct(0, 5); got != 0 {
+		t.Fatalf("pct zero seq = %v", got)
+	}
+}

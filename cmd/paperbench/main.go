@@ -1,0 +1,233 @@
+// Command paperbench regenerates every table and figure of the paper's
+// evaluation and prints paper-reported numbers next to measured ones.
+//
+// Usage:
+//
+//	paperbench            # everything
+//	paperbench -fig 7     # one figure (1, 3, 7, 8, 9, 11, 12)
+//	paperbench -table 1a  # Table 1(a) or 1b
+//	paperbench -ablations # design-choice ablations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mimdloop"
+	"mimdloop/internal/classify"
+	"mimdloop/internal/core"
+	"mimdloop/internal/experiments"
+	"mimdloop/internal/textfmt"
+	"mimdloop/internal/workload"
+)
+
+func main() {
+	var (
+		fig       = flag.Int("fig", 0, "regenerate one figure (1, 3, 7, 8, 9, 11, 12)")
+		table     = flag.String("table", "", "regenerate a table: 1a or 1b")
+		ablations = flag.Bool("ablations", false, "run the design-choice ablations")
+		iters     = flag.Int("n", 100, "iterations per measurement")
+		loops     = flag.Int("loops", 25, "random loops for Table 1")
+	)
+	flag.Parse()
+
+	all := *fig == 0 && *table == "" && !*ablations
+	var err error
+	switch {
+	case all:
+		err = runAll(*iters, *loops)
+	case *fig != 0:
+		err = runFigure(*fig, *iters)
+	case *table != "":
+		err = runTable(*table, *iters, *loops)
+	case *ablations:
+		err = runAblations(*iters)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench:", err)
+		os.Exit(1)
+	}
+}
+
+func runAll(iters, loops int) error {
+	for _, f := range []int{1, 3, 7, 8, 9, 11, 12} {
+		if err := runFigure(f, iters); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	if err := runTable("1a", iters, loops); err != nil {
+		return err
+	}
+	fmt.Println()
+	if err := runTable("1b", iters, loops); err != nil {
+		return err
+	}
+	fmt.Println()
+	return runAblations(iters)
+}
+
+func runFigure(fig, iters int) error {
+	switch fig {
+	case 1:
+		g := workload.Figure1()
+		cls := classify.Partition(g)
+		fmt.Println("== Figure 1: classification example ==")
+		names := func(ids []int) []string {
+			out := make([]string, len(ids))
+			for i, v := range ids {
+				out[i] = g.Nodes[v].Name
+			}
+			return out
+		}
+		fmt.Printf("Flow-in : %v (paper: [A B C D F])\n", names(cls.FlowIn))
+		fmt.Printf("Cyclic  : %v (paper: [E I K L])\n", names(cls.Cyclic))
+		fmt.Printf("Flow-out: %v (paper: [G H J])\n", names(cls.FlowOut))
+		return nil
+	case 3:
+		fmt.Println("== Figure 3: pattern emergence (k=1, unit latencies) ==")
+		g := workload.Figure3()
+		res, err := core.CyclicSchedAll(g, core.Options{Processors: 4, CommCost: 1})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("pattern: %.3g cycles/iteration over %d processors\n",
+			res.RatePerIteration(), res.Processors)
+		full, err := res.Expand(8)
+		if err != nil {
+			return err
+		}
+		fmt.Println(textfmt.Gantt(full, 16))
+		return nil
+	case 7:
+		fmt.Println("== Figure 7: non-trivial scheduling example ==")
+		c, err := experiments.Figure7(iters)
+		if err != nil {
+			return err
+		}
+		fmt.Println(c)
+		return printFig7Details()
+	case 8:
+		fmt.Println("== Figure 8: DOACROSS on the Figure 7 loop ==")
+		r, err := experiments.Figure8(iters)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("natural order:   makespan %d vs sequential %d -> Sp %.1f%% (paper: 0)\n",
+			r.NaturalMakespan, r.SequentialTime, r.NaturalSp)
+		fmt.Printf("optimal reorder: makespan %d -> Sp %.1f%% (paper: 0)\n",
+			r.ReorderedMakespan, r.ReorderedSp)
+		return nil
+	case 9:
+		fmt.Println("== Figure 9/10: [Cytron86] example ==")
+		c, err := experiments.Figure9(iters)
+		if err != nil {
+			return err
+		}
+		fmt.Println(c)
+		return nil
+	case 11:
+		fmt.Println("== Figure 11: 18th Livermore Loop ==")
+		c, err := experiments.Figure11(iters)
+		if err != nil {
+			return err
+		}
+		fmt.Println(c)
+		return nil
+	case 12:
+		fmt.Println("== Figure 12: fifth-order elliptic wave filter ==")
+		c, err := experiments.Figure12(iters)
+		if err != nil {
+			return err
+		}
+		fmt.Println(c)
+		return nil
+	default:
+		return fmt.Errorf("unknown figure %d (have 1, 3, 7, 8, 9, 11, 12)", fig)
+	}
+}
+
+func printFig7Details() error {
+	ls, err := mimdloop.ScheduleLoop(mimdloop.Figure7Loop().Graph,
+		mimdloop.Options{Processors: 2, CommCost: 2}, 12)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nschedule (compare paper Figure 7(d)):")
+	fmt.Println(mimdloop.Gantt(ls.Full, 18))
+	code, err := mimdloop.Pseudocode(ls)
+	if err != nil {
+		return err
+	}
+	fmt.Println("transformed loop (compare paper Figure 7(e)):")
+	fmt.Print(code)
+	return nil
+}
+
+func runTable(name string, iters, loops int) error {
+	res, err := experiments.Table1(loops, iters)
+	if err != nil {
+		return err
+	}
+	switch name {
+	case "1a":
+		fmt.Println("== Table 1(a): percentage parallelism, 25 random loops ==")
+		fmt.Print(res.FormatA())
+	case "1b":
+		fmt.Println("== Table 1(b): averages and speedup factors ==")
+		fmt.Print(res.FormatB())
+	default:
+		return fmt.Errorf("unknown table %q (have 1a, 1b)", name)
+	}
+	return nil
+}
+
+func runAblations(iters int) error {
+	fmt.Println("== Ablations ==")
+	fig7 := mimdloop.Figure7Loop().Graph
+
+	rows, err := experiments.AblationKEstimate(fig7, []int{0, 1, 2, 3, 5, 7}, 3, iters)
+	if err != nil {
+		return err
+	}
+	fmt.Println("A1: communication-estimate robustness on Figure 7 (true cost 3):")
+	for _, r := range rows {
+		fmt.Printf("    estimate k=%d -> Sp %.1f%%\n", r.EstimatedK, r.Sp)
+	}
+
+	suite0, err := workload.Random(workload.PaperSpec, 1)
+	if err != nil {
+		return err
+	}
+	for _, ab := range []struct {
+		name string
+		f    func() ([]experiments.RateRow, error)
+	}{
+		{"A2: placement rule (random loop 0, k=3)", func() ([]experiments.RateRow, error) {
+			return experiments.AblationPlacement(suite0, 3)
+		}},
+		{"A3: ready-queue order (random loop 0, k=3)", func() ([]experiments.RateRow, error) {
+			return experiments.AblationQueueOrder(suite0, 3)
+		}},
+		{"A4: processors per component (random loop 0, k=3)", func() ([]experiments.RateRow, error) {
+			return experiments.AblationProcessors(suite0, 3, []int{2, 4, 8, 16})
+		}},
+		{"A5: Perfect Pipelining limit (Figure 3)", func() ([]experiments.RateRow, error) {
+			return experiments.AblationPerfectPipelining([]int{0, 1, 2, 4})
+		}},
+		{"A6: communication timing model (Figure 7, k=2)", func() ([]experiments.RateRow, error) {
+			return experiments.AblationCommModel(fig7, 2)
+		}},
+	} {
+		rows, err := ab.f()
+		if err != nil {
+			return err
+		}
+		fmt.Println(ab.name + ":")
+		for _, r := range rows {
+			fmt.Printf("    %-12s %.3g cycles/iteration\n", r.Name, r.Rate)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+// Goroutines: run a partitioned loop for real — one goroutine per
+// simulated processor, values flowing through channels — and verify the
+// parallel execution computes exactly what sequential execution computes.
+// This is the paper's premise made concrete: the generated subloops
+// synchronize purely through messages, so they are correct on an
+// asynchronous MIMD machine no matter how communication timing fluctuates.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"mimdloop"
+)
+
+func main() {
+	compiled, err := mimdloop.CompileLoop(`
+		// An if-converted guarded recurrence: the control dependence on
+		// the comparison becomes a data dependence.
+		loop guarded(N = 1000) {
+		    A[i] = A[i-1] * 0.99 + U[i]
+		    B[i] = A[i] + A[i-1]
+		    if (B[i] > 1.0) S[i] = S[i-1] + B[i]
+		    T[i] = S[i] - B[i]
+		}`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := compiled.Graph
+	const iters = 1000
+
+	ls, err := mimdloop.ScheduleLoop(g, mimdloop.Options{Processors: 2, CommCost: 2}, iters)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scheduled %d iterations at %.3g cycles/iteration on %d processors\n",
+		iters, ls.RatePerIteration(), ls.TotalProcs())
+
+	progs, err := mimdloop.BuildPrograms(ls.Full)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sends := 0
+	for _, p := range progs {
+		for _, in := range p.Instrs {
+			if in.Kind == 1 { // OpSend
+				sends++
+			}
+		}
+	}
+	fmt.Printf("lowered to %d programs exchanging %d messages\n", len(progs), sends)
+
+	// Parallel execution with real goroutines and channels. The compiled
+	// loop itself supplies the semantics (expression evaluation).
+	parallel, err := mimdloop.Execute(g, progs, compiled)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Ground truth: sequential interpretation.
+	sequential := compiled.Interpret(iters)
+
+	worst := 0.0
+	for k, want := range sequential {
+		if d := math.Abs(parallel[k] - want); d > worst {
+			worst = d
+		}
+	}
+	fmt.Printf("verified %d values against sequential execution; max |Δ| = %g\n",
+		len(sequential), worst)
+
+	final := compiled.FinalValues(parallel, iters)
+	fmt.Printf("final values: A=%.6g B=%.6g S=%.6g T=%.6g\n",
+		final["A"], final["B"], final["S"], final["T"])
+}

@@ -1,0 +1,87 @@
+// Robustness: the paper's Section 4 experiment in miniature — schedule a
+// random non-vectorizable loop with an estimated communication cost, then
+// watch what happens when the machine's real communication fluctuates far
+// above the estimate (mm = 1, 3, 5) or is simply a different constant.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mimdloop"
+)
+
+func main() {
+	const seed, k, iters = 7, 3, 100
+	g, err := mimdloop.RandomCyclicLoop(seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("random loop (seed %d): %d cyclic nodes, %d cycles/iteration sequential\n",
+		seed, g.N(), g.TotalLatency())
+
+	multi, err := mimdloop.CyclicSchedAll(g, mimdloop.Options{CommCost: k})
+	if err != nil {
+		log.Fatal(err)
+	}
+	full, err := multi.Expand(iters)
+	if err != nil {
+		log.Fatal(err)
+	}
+	progs, err := mimdloop.BuildPrograms(full)
+	if err != nil {
+		log.Fatal(err)
+	}
+	da, err := mimdloop.Doacross(g, mimdloop.DoacrossOptions{MaxProcessors: 8, CommCost: k}, iters)
+	if err != nil {
+		log.Fatal(err)
+	}
+	daProgs, err := mimdloop.BuildPrograms(da.Schedule)
+	if err != nil {
+		log.Fatal(err)
+	}
+	seq := iters * g.TotalLatency()
+	sp := func(par int) float64 {
+		v := float64(seq-par) / float64(seq) * 100
+		if v < 0 {
+			v = 0
+		}
+		return v
+	}
+
+	fmt.Printf("\nschedule built with k=%d; run-time cost varies in [k, k+mm-1]:\n", k)
+	for _, mm := range []int{1, 3, 5} {
+		cfg := mimdloop.MachineConfig{Fluct: mm, Seed: seed}
+		ours, err := mimdloop.Simulate(g, progs, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		base, err := mimdloop.Simulate(g, daProgs, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  mm=%d: ours Sp %.1f%%  DOACROSS Sp %.1f%%\n",
+			mm, sp(ours.Makespan), sp(base.Makespan))
+	}
+
+	fmt.Println("\nestimate-vs-reality sweep (true cost forced to 3):")
+	for _, est := range []int{0, 1, 3, 5, 7} {
+		m, err := mimdloop.CyclicSchedAll(g, mimdloop.Options{CommCost: est})
+		if err != nil {
+			log.Fatal(err)
+		}
+		f, err := m.Expand(iters)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p, err := mimdloop.BuildPrograms(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		stats, err := mimdloop.Simulate(g, p, mimdloop.MachineConfig{Override: true, OverrideCost: 3})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  scheduled with k=%d -> Sp %.1f%%\n", est, sp(stats.Makespan))
+	}
+}

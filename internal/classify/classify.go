@@ -1,0 +1,212 @@
+// Package classify implements the paper's Flow-in / Cyclic / Flow-out node
+// classification (Figure 2).
+//
+// A node is Flow-in if it has no predecessors or all of its predecessors
+// are Flow-in; a node is Flow-out if it is not Flow-in and has no successors
+// or all of its successors are Flow-out; the remaining nodes are Cyclic.
+// Predecessors and successors are taken over ALL dependence edges,
+// regardless of distance: a loop-carried self-dependence keeps a node out of
+// Flow-in.
+//
+// The Cyclic nodes are the ones that determine the loop's steady-state
+// execution rate (given enough processors); if the Cyclic subset is empty
+// the loop is a DOALL loop.
+package classify
+
+import (
+	"fmt"
+	"strings"
+
+	"mimdloop/internal/graph"
+)
+
+// Class labels one node.
+type Class int8
+
+const (
+	// FlowIn nodes feed the cyclic core but receive nothing from it; their
+	// scheduling is constrained only by the latest time they can run.
+	FlowIn Class = iota
+	// Cyclic nodes participate in (or are sandwiched between parts of) the
+	// loop-carried dependence structure and bound the achievable rate.
+	Cyclic
+	// FlowOut nodes consume from the cyclic core but feed nothing back;
+	// their scheduling is constrained only by the earliest time they can
+	// run.
+	FlowOut
+)
+
+func (c Class) String() string {
+	switch c {
+	case FlowIn:
+		return "Flow-in"
+	case Cyclic:
+		return "Cyclic"
+	case FlowOut:
+		return "Flow-out"
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// Result is the partition of a graph's nodes into the three subsets.
+type Result struct {
+	// Of maps node ID -> class.
+	Of []Class
+	// FlowIn, Cyclic, FlowOut list node IDs in ascending order.
+	FlowIn  []int
+	Cyclic  []int
+	FlowOut []int
+}
+
+// IsDOALL reports whether the loop has no Cyclic nodes, i.e. every
+// iteration is independent once Flow-in/Flow-out ordering is respected.
+func (r *Result) IsDOALL() bool { return len(r.Cyclic) == 0 }
+
+// Counts returns the subset sizes (flow-in, cyclic, flow-out).
+func (r *Result) Counts() (int, int, int) {
+	return len(r.FlowIn), len(r.Cyclic), len(r.FlowOut)
+}
+
+// String renders the partition compactly using node IDs.
+func (r *Result) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Flow-in=%v Cyclic=%v Flow-out=%v", r.FlowIn, r.Cyclic, r.FlowOut)
+	return sb.String()
+}
+
+// Partition runs algorithm "classification" (paper Figure 2). Its running
+// time is O(m) in the number of dependence links: every edge is examined a
+// constant number of times per endpoint settlement.
+func Partition(g *graph.Graph) *Result {
+	n := g.N()
+	of := make([]Class, n)
+	settled := make([]bool, n)
+
+	// Step 1-4: grow Flow-in from the roots. pendingPred[v] counts
+	// predecessors of v not yet settled as Flow-in. Self-edges and multi-
+	// edges are counted per distinct predecessor node.
+	pendingPred := make([]int, n)
+	for v := 0; v < n; v++ {
+		pendingPred[v] = len(g.Preds(v))
+	}
+	queue := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		if pendingPred[v] == 0 {
+			queue = append(queue, v)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if settled[v] {
+			continue
+		}
+		settled[v] = true
+		of[v] = FlowIn
+		for _, w := range g.Succs(v) {
+			if settled[w] {
+				continue
+			}
+			pendingPred[w]--
+			if pendingPred[w] == 0 {
+				queue = append(queue, w)
+			}
+		}
+	}
+
+	// Step 5-8: grow Flow-out backwards from the sinks, among nodes not in
+	// Flow-in. pendingSucc[v] counts successors not yet settled as
+	// Flow-out; successors already in Flow-in never settle as Flow-out, so
+	// they keep v out of Flow-out, matching the definition ("all of its
+	// successors are in Flow-out").
+	pendingSucc := make([]int, n)
+	for v := 0; v < n; v++ {
+		pendingSucc[v] = len(g.Succs(v))
+	}
+	for v := 0; v < n; v++ {
+		if !settled[v] && pendingSucc[v] == 0 {
+			queue = append(queue, v)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if settled[v] {
+			continue
+		}
+		settled[v] = true
+		of[v] = FlowOut
+		for _, u := range g.Preds(v) {
+			if settled[u] {
+				continue
+			}
+			pendingSucc[u]--
+			if pendingSucc[u] == 0 {
+				queue = append(queue, u)
+			}
+		}
+	}
+
+	// Step 9: everything else is Cyclic.
+	res := &Result{Of: of}
+	for v := 0; v < n; v++ {
+		if !settled[v] {
+			of[v] = Cyclic
+		}
+		switch of[v] {
+		case FlowIn:
+			res.FlowIn = append(res.FlowIn, v)
+		case Cyclic:
+			res.Cyclic = append(res.Cyclic, v)
+		case FlowOut:
+			res.FlowOut = append(res.FlowOut, v)
+		}
+	}
+	return res
+}
+
+// CyclicSubgraph extracts the subgraph induced by the Cyclic nodes,
+// returning it together with the newID -> oldID mapping. It returns nil for
+// DOALL loops.
+func CyclicSubgraph(g *graph.Graph, r *Result) (*graph.Graph, []int, error) {
+	if r.IsDOALL() {
+		return nil, nil, nil
+	}
+	return g.InducedSubgraph(r.Cyclic)
+}
+
+// Check verifies the defining closure properties of a partition against the
+// graph; it is used by tests and by callers that construct partitions by
+// hand. It returns nil if the partition is exactly the one Partition
+// computes (the partition is unique, so structural checks suffice).
+func Check(g *graph.Graph, r *Result) error {
+	if len(r.Of) != g.N() {
+		return fmt.Errorf("classify: partition covers %d nodes, graph has %d", len(r.Of), g.N())
+	}
+	for v := 0; v < g.N(); v++ {
+		switch r.Of[v] {
+		case FlowIn:
+			for _, u := range g.Preds(v) {
+				if r.Of[u] != FlowIn {
+					return fmt.Errorf("classify: Flow-in node %d has non-Flow-in predecessor %d", v, u)
+				}
+			}
+		case FlowOut:
+			for _, w := range g.Succs(v) {
+				if r.Of[w] != FlowOut {
+					return fmt.Errorf("classify: Flow-out node %d has non-Flow-out successor %d", v, w)
+				}
+			}
+		}
+	}
+	// Maximality: recomputing must give the same labels (the fixed point is
+	// unique because Flow-in is the least fixed point of its closure rule
+	// and Flow-out is taken over the complement).
+	want := Partition(g)
+	for v := range want.Of {
+		if want.Of[v] != r.Of[v] {
+			return fmt.Errorf("classify: node %d labeled %s, canonical partition says %s", v, r.Of[v], want.Of[v])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,285 @@
+package classify
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"mimdloop/internal/graph"
+)
+
+// figure1 reconstructs the paper's Figure 1 example: 12 nodes A..L with
+// Flow-in = {A,B,C,D,F}, Flow-out = {G,H,J}, Cyclic = {E,I,K,L}, and
+// strongly connected subgraphs (E,I) and (L) inside the Cyclic subset.
+func figure1(t testing.TB) (*graph.Graph, map[string]int) {
+	b := graph.NewBuilder()
+	ids := make(map[string]int)
+	for _, name := range []string{"A", "B", "C", "D", "E", "F", "G", "H", "I", "J", "K", "L"} {
+		ids[name] = b.AddNode(name, 1)
+	}
+	e := func(from, to string, dist int) { b.AddEdge(ids[from], ids[to], dist) }
+	// Flow-in feeding the cyclic core.
+	e("A", "E", 0)
+	e("B", "E", 0)
+	e("C", "F", 0)
+	e("D", "F", 0)
+	e("F", "I", 0)
+	// Cyclic core: (E,I) strongly connected, K between, (L) self loop.
+	e("E", "I", 0)
+	e("I", "E", 1)
+	e("I", "K", 0)
+	e("K", "L", 0)
+	e("L", "L", 1)
+	// Flow-out tail.
+	e("K", "G", 0)
+	e("L", "J", 0)
+	e("G", "H", 0)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("figure1: %v", err)
+	}
+	return g, ids
+}
+
+func names(ids map[string]int, nodes []int) []string {
+	rev := make(map[int]string)
+	for n, id := range ids {
+		rev[id] = n
+	}
+	out := make([]string, len(nodes))
+	for i, v := range nodes {
+		out[i] = rev[v]
+	}
+	return out
+}
+
+func TestFigure1Classification(t *testing.T) {
+	g, ids := figure1(t)
+	r := Partition(g)
+	if got, want := names(ids, r.FlowIn), []string{"A", "B", "C", "D", "F"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Flow-in = %v, want %v", got, want)
+	}
+	if got, want := names(ids, r.Cyclic), []string{"E", "I", "K", "L"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Cyclic = %v, want %v", got, want)
+	}
+	if got, want := names(ids, r.FlowOut), []string{"G", "H", "J"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Flow-out = %v, want %v", got, want)
+	}
+	if r.IsDOALL() {
+		t.Error("IsDOALL = true, want false")
+	}
+	fi, cy, fo := r.Counts()
+	if fi != 5 || cy != 4 || fo != 3 {
+		t.Errorf("Counts = %d,%d,%d, want 5,4,3", fi, cy, fo)
+	}
+	if err := Check(g, r); err != nil {
+		t.Errorf("Check: %v", err)
+	}
+}
+
+func TestFigure1CyclicSubgraphHasSCC(t *testing.T) {
+	// Lemma 1: the Cyclic subset contains at least one strongly connected
+	// subgraph; here (E,I) and (L).
+	g, ids := figure1(t)
+	r := Partition(g)
+	sub, back, err := CyclicSubgraph(g, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sccs := sub.NonTrivialSCCs()
+	if len(sccs) != 2 {
+		t.Fatalf("NonTrivialSCCs in Cyclic subset = %d, want 2", len(sccs))
+	}
+	var all []string
+	for _, comp := range sccs {
+		for _, v := range comp {
+			all = append(all, names(ids, []int{back[v]})[0])
+		}
+	}
+	want := map[string]bool{"E": true, "I": true, "L": true}
+	if len(all) != 3 {
+		t.Fatalf("SCC members = %v", all)
+	}
+	for _, n := range all {
+		if !want[n] {
+			t.Fatalf("unexpected SCC member %s", n)
+		}
+	}
+}
+
+func TestDOALLLoop(t *testing.T) {
+	// Pure chain with no loop-carried dependence: everything is Flow-in.
+	b := graph.NewBuilder()
+	a := b.AddNode("A", 1)
+	c := b.AddNode("B", 1)
+	d := b.AddNode("C", 1)
+	b.AddEdge(a, c, 0)
+	b.AddEdge(c, d, 0)
+	g := b.MustBuild()
+	r := Partition(g)
+	if !r.IsDOALL() {
+		t.Fatalf("chain not classified DOALL: %v", r)
+	}
+	if len(r.FlowIn) != 3 {
+		t.Fatalf("Flow-in = %v, want all nodes", r.FlowIn)
+	}
+	sub, _, err := CyclicSubgraph(g, r)
+	if err != nil || sub != nil {
+		t.Fatalf("CyclicSubgraph on DOALL = %v, %v; want nil, nil", sub, err)
+	}
+}
+
+func TestSelfLoopOnlyNode(t *testing.T) {
+	b := graph.NewBuilder()
+	x := b.AddNode("X", 1)
+	b.AddEdge(x, x, 1)
+	g := b.MustBuild()
+	r := Partition(g)
+	if got := r.Cyclic; !reflect.DeepEqual(got, []int{0}) {
+		t.Fatalf("Cyclic = %v, want [0]", got)
+	}
+}
+
+func TestFigure7AllCyclic(t *testing.T) {
+	// The Figure 7 loop: A=A[i-1]+E[i-1]; B=A; C=B; D=D[i-1]+C[i-1]; E=D.
+	// The paper notes it has only Cyclic nodes.
+	b := graph.NewBuilder()
+	a := b.AddNode("A", 1)
+	bb := b.AddNode("B", 1)
+	c := b.AddNode("C", 1)
+	d := b.AddNode("D", 1)
+	e := b.AddNode("E", 1)
+	b.AddEdge(a, a, 1)
+	b.AddEdge(e, a, 1)
+	b.AddEdge(a, bb, 0)
+	b.AddEdge(bb, c, 0)
+	b.AddEdge(d, d, 1)
+	b.AddEdge(c, d, 1)
+	b.AddEdge(d, e, 0)
+	g := b.MustBuild()
+	r := Partition(g)
+	if len(r.Cyclic) != 5 || len(r.FlowIn) != 0 || len(r.FlowOut) != 0 {
+		t.Fatalf("classification = %v, want all 5 Cyclic", r)
+	}
+}
+
+func TestFlowOutChain(t *testing.T) {
+	// Cyclic core X (self loop) with a two-node tail X -> Y -> Z.
+	b := graph.NewBuilder()
+	x := b.AddNode("X", 1)
+	y := b.AddNode("Y", 1)
+	z := b.AddNode("Z", 1)
+	b.AddEdge(x, x, 1)
+	b.AddEdge(x, y, 0)
+	b.AddEdge(y, z, 0)
+	g := b.MustBuild()
+	r := Partition(g)
+	if !reflect.DeepEqual(r.Cyclic, []int{x}) {
+		t.Fatalf("Cyclic = %v, want [X]", r.Cyclic)
+	}
+	if !reflect.DeepEqual(r.FlowOut, []int{y, z}) {
+		t.Fatalf("Flow-out = %v, want [Y Z]", r.FlowOut)
+	}
+}
+
+func TestSandwichedAcyclicNodeIsCyclic(t *testing.T) {
+	// A node on a path between two cycles is neither Flow-in nor Flow-out,
+	// hence Cyclic, even though it lies on no cycle itself (like node K in
+	// Figure 1).
+	b := graph.NewBuilder()
+	x := b.AddNode("X", 1)
+	mid := b.AddNode("M", 1)
+	y := b.AddNode("Y", 1)
+	b.AddEdge(x, x, 1)
+	b.AddEdge(x, mid, 0)
+	b.AddEdge(mid, y, 0)
+	b.AddEdge(y, y, 1)
+	g := b.MustBuild()
+	r := Partition(g)
+	if r.Of[mid] != Cyclic {
+		t.Fatalf("middle node class = %v, want Cyclic", r.Of[mid])
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if FlowIn.String() != "Flow-in" || Cyclic.String() != "Cyclic" || FlowOut.String() != "Flow-out" {
+		t.Fatal("Class.String mismatch")
+	}
+	if Class(42).String() == "" {
+		t.Fatal("unknown class renders empty")
+	}
+}
+
+func TestCheckRejectsWrongPartition(t *testing.T) {
+	g, _ := figure1(t)
+	r := Partition(g)
+	bad := &Result{Of: append([]Class(nil), r.Of...)}
+	bad.Of[0] = Cyclic // A is really Flow-in
+	for v := range bad.Of {
+		switch bad.Of[v] {
+		case FlowIn:
+			bad.FlowIn = append(bad.FlowIn, v)
+		case Cyclic:
+			bad.Cyclic = append(bad.Cyclic, v)
+		case FlowOut:
+			bad.FlowOut = append(bad.FlowOut, v)
+		}
+	}
+	if err := Check(g, bad); err == nil {
+		t.Fatal("Check accepted a non-canonical partition")
+	}
+	short := &Result{Of: bad.Of[:3]}
+	if err := Check(g, short); err == nil {
+		t.Fatal("Check accepted a short partition")
+	}
+}
+
+// randomGraph mirrors the generator used in graph tests.
+func randomGraph(rng *rand.Rand, n, sd, lcd int) *graph.Graph {
+	b := graph.NewBuilder()
+	for i := 0; i < n; i++ {
+		b.AddNode("n", 1+rng.Intn(3))
+	}
+	for i := 0; i < sd; i++ {
+		u := rng.Intn(n - 1)
+		v := u + 1 + rng.Intn(n-u-1)
+		b.AddEdge(u, v, 0)
+	}
+	for i := 0; i < lcd; i++ {
+		b.AddEdge(rng.Intn(n), rng.Intn(n), 1)
+	}
+	return b.MustBuild()
+}
+
+func TestPropertyPartitionLawful(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		g := randomGraph(rng, n, rng.Intn(2*n), rng.Intn(n))
+		r := Partition(g)
+		// Disjoint cover.
+		if len(r.FlowIn)+len(r.Cyclic)+len(r.FlowOut) != g.N() {
+			return false
+		}
+		// Defining closure properties.
+		if err := Check(g, r); err != nil {
+			return false
+		}
+		// Lemma 1: a non-empty Cyclic subset contains an SCC.
+		if len(r.Cyclic) > 0 {
+			sub, _, err := CyclicSubgraph(g, r)
+			if err != nil || len(sub.NonTrivialSCCs()) == 0 {
+				return false
+			}
+		}
+		// No cycle in the whole graph => DOALL.
+		if !g.HasCycle() && !r.IsDOALL() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

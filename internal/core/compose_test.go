@@ -1,0 +1,195 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mimdloop/internal/classify"
+	"mimdloop/internal/graph"
+)
+
+// mixedLoop builds a loop with all three node classes:
+//
+//	I1 -> I2 -> X (cyclic, self loop) -> O1 -> O2
+func mixedLoop(t testing.TB) *graph.Graph {
+	b := graph.NewBuilder()
+	i1 := b.AddNode("I1", 1)
+	i2 := b.AddNode("I2", 1)
+	x := b.AddNode("X", 2)
+	o1 := b.AddNode("O1", 1)
+	o2 := b.AddNode("O2", 1)
+	b.AddEdge(i1, i2, 0)
+	b.AddEdge(i2, x, 0)
+	b.AddEdge(x, x, 1)
+	b.AddEdge(x, o1, 0)
+	b.AddEdge(o1, o2, 0)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("mixedLoop: %v", err)
+	}
+	return g
+}
+
+func TestScheduleLoopMixed(t *testing.T) {
+	g := mixedLoop(t)
+	ls, err := ScheduleLoop(g, Options{Processors: 2, CommCost: 2}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ls.GreedyFallback {
+		t.Fatal("unexpected greedy fallback")
+	}
+	if ls.Pattern() == nil {
+		t.Fatal("no pattern for single cyclic component")
+	}
+	// X alone binds the rate: 2 cycles/iteration.
+	if got := ls.RatePerIteration(); got != 2 {
+		t.Fatalf("rate = %v, want 2", got)
+	}
+	if err := ls.Full.Validate(true); err != nil {
+		t.Fatalf("full schedule: %v", err)
+	}
+	if fi, _, fo := ls.Class.Counts(); fi != 2 || fo != 2 {
+		t.Fatalf("classification: %v", ls.Class)
+	}
+	if ls.FlowInProcs < 1 || ls.FlowOutProcs < 1 {
+		t.Fatalf("flow procs = %d/%d, want >= 1 each", ls.FlowInProcs, ls.FlowOutProcs)
+	}
+	// Steady-state makespan should track the cyclic rate, not the flow
+	// fringe: 20 iterations at 2 cycles + bounded prologue.
+	if ms := ls.Full.Makespan(); ms > 2*20+30 {
+		t.Fatalf("makespan = %d, flow fringe is delaying the cyclic core", ms)
+	}
+}
+
+func TestScheduleLoopAllCyclic(t *testing.T) {
+	g := figure7(t)
+	ls, err := ScheduleLoop(g, Options{Processors: 2, CommCost: 2}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ls.FlowInProcs != 0 || ls.FlowOutProcs != 0 {
+		t.Fatalf("flow procs = %d/%d, want 0/0", ls.FlowInProcs, ls.FlowOutProcs)
+	}
+	if got := ls.RatePerIteration(); got != 3 {
+		t.Fatalf("rate = %v, want 3", got)
+	}
+	// Sequential is 5 cycles/iteration; percentage parallelism ~40%.
+	seq := 5 * 50
+	sp := float64(seq-ls.Full.Makespan()) / float64(seq) * 100
+	if sp < 35 || sp > 45 {
+		t.Fatalf("percentage parallelism = %.1f, want ~40", sp)
+	}
+}
+
+func TestScheduleLoopDOALL(t *testing.T) {
+	b := graph.NewBuilder()
+	a := b.AddNode("A", 1)
+	c := b.AddNode("B", 1)
+	b.AddEdge(a, c, 0)
+	g := b.MustBuild()
+	ls, err := ScheduleLoop(g, Options{Processors: 4, CommCost: 1}, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ls.Multi != nil {
+		t.Fatal("DOALL produced cyclic results")
+	}
+	if err := ls.Full.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+	// 40 iterations x 2 cycles over 4 processors: ideally ~20 cycles.
+	if ms := ls.Full.Makespan(); ms > 30 {
+		t.Fatalf("DOALL makespan = %d, want near 20", ms)
+	}
+}
+
+func TestScheduleLoopFold(t *testing.T) {
+	g := mixedLoop(t)
+	plain, err := ScheduleLoop(g, Options{Processors: 2, CommCost: 2}, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	folded, err := ScheduleLoop(g, Options{Processors: 2, CommCost: 2, FoldNonCyclic: true}, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := folded.Full.Validate(true); err != nil {
+		t.Fatalf("folded schedule: %v", err)
+	}
+	if folded.Folded {
+		if folded.TotalProcs() >= plain.TotalProcs() {
+			t.Fatalf("fold used %d procs, separate used %d", folded.TotalProcs(), plain.TotalProcs())
+		}
+		// 5% makespan tolerance enforced by the chooser.
+		if folded.Full.Makespan()*20 > plain.Full.Makespan()*21 {
+			t.Fatalf("fold makespan %d too far above separate %d", folded.Full.Makespan(), plain.Full.Makespan())
+		}
+	}
+}
+
+func TestScheduleLoopRejectsBadArgs(t *testing.T) {
+	g := mixedLoop(t)
+	if _, err := ScheduleLoop(g, Options{Processors: 2}, 0); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := ScheduleLoop(g, Options{Processors: -2}, 5); err == nil {
+		t.Fatal("negative procs accepted")
+	}
+}
+
+func TestPropertyScheduleLoopValidates(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(12)
+		b := graph.NewBuilder()
+		for i := 0; i < n; i++ {
+			b.AddNode("n", 1+rng.Intn(3))
+		}
+		sd := rng.Intn(2 * n)
+		for i := 0; i < sd; i++ {
+			u := rng.Intn(n - 1)
+			v := u + 1 + rng.Intn(n-u-1)
+			b.AddEdge(u, v, 0)
+		}
+		lcd := 1 + rng.Intn(n)
+		for i := 0; i < lcd; i++ {
+			b.AddEdge(rng.Intn(n), rng.Intn(n), 1)
+		}
+		g := b.MustBuild()
+		fold := seed%2 == 0
+		ls, err := ScheduleLoop(g, Options{Processors: 3, CommCost: rng.Intn(4), FoldNonCyclic: fold}, 12)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if err := ls.Full.Validate(true); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		// Flow-in never delays the cyclic core's rate: makespan grows at
+		// most linearly in the cyclic rate plus a constant prologue.
+		if ls.Multi != nil && !ls.GreedyFallback {
+			if float64(ls.Full.Makespan()) > ls.RatePerIteration()*12+200 {
+				t.Logf("seed %d: makespan %d vs rate %v", seed, ls.Full.Makespan(), ls.RatePerIteration())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClassifyConsistencyInLoopSchedule(t *testing.T) {
+	g := mixedLoop(t)
+	ls, err := ScheduleLoop(g, Options{Processors: 2, CommCost: 1}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := classify.Check(g, ls.Class); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,80 @@
+package core
+
+// driftGate enforces the DriftBound: instance (v, i) may not start before
+// iteration i-L has completely finished. It tracks per-iteration completion
+// and parks ready entries whose gate iteration is still incomplete.
+type driftGate struct {
+	l        int // L, the bound
+	activeN  int // instances per iteration (graph node count)
+	count    []int
+	maxFin   []int
+	deferred map[int][]readyEntry
+}
+
+func newDriftGate(l, activeN int) *driftGate {
+	return &driftGate{l: l, activeN: activeN, deferred: make(map[int][]readyEntry)}
+}
+
+func (d *driftGate) grow(iter int) {
+	for len(d.count) <= iter {
+		d.count = append(d.count, 0)
+		d.maxFin = append(d.maxFin, 0)
+	}
+}
+
+// blocked reports whether the entry must wait for its gate iteration.
+func (d *driftGate) blocked(iter int) bool {
+	j := iter - d.l
+	if j < 0 {
+		return false
+	}
+	d.grow(j)
+	return d.count[j] < d.activeN
+}
+
+// park stores a blocked entry until its gate iteration completes.
+func (d *driftGate) park(e readyEntry) {
+	j := e.iter - d.l
+	d.deferred[j] = append(d.deferred[j], e)
+}
+
+// floor returns the earliest cycle instance (v, iter) may start: the latest
+// finish of its gate iteration (0 when ungated).
+func (d *driftGate) floor(iter int) int {
+	j := iter - d.l
+	if j < 0 {
+		return 0
+	}
+	d.grow(j)
+	return d.maxFin[j]
+}
+
+// record notes a placement's completion and returns any entries released by
+// the iteration finishing.
+func (d *driftGate) record(iter, fin int) []readyEntry {
+	d.grow(iter)
+	d.count[iter]++
+	if fin > d.maxFin[iter] {
+		d.maxFin[iter] = fin
+	}
+	if d.count[iter] != d.activeN {
+		return nil
+	}
+	rel := d.deferred[iter]
+	delete(d.deferred, iter)
+	return rel
+}
+
+// minDeferredLower returns the smallest start lower bound among parked
+// entries (for the stable-time computation), or a large sentinel.
+func (d *driftGate) minDeferredLower() int {
+	min := 1 << 30
+	for _, list := range d.deferred {
+		for _, e := range list {
+			if e.lower < min {
+				min = e.lower
+			}
+		}
+	}
+	return min
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+
+	"mimdloop/internal/graph"
+	"mimdloop/internal/plan"
+)
+
+// forcePattern constructs a periodic schedule when no configuration repeat
+// was detected within the iteration budget. The paper's Theorem 1
+// guarantees a pattern exists, but its Lemma 6 implicitly assumes the
+// greedy's decisions depend only on a bounded window of the past; with
+// gap-filling placement and rational-rate recurrences the transient can be
+// chaotic for a very long time. The fallback is classic modulo scheduling
+// seeded by the greedy itself:
+//
+//  1. take a settled reference iteration i0 from the greedy warm-up and
+//     read off each node's processor and relative start offset;
+//  2. compute the smallest initiation interval T for which replaying that
+//     flat schedule every T cycles (iteration shift 1) satisfies every
+//     loop-carried dependence and keeps processors conflict-free;
+//  3. emit it as a Forced pattern whose expansion is purely periodic from
+//     iteration 0.
+//
+// The result is validated like any other expansion, so correctness does not
+// rest on this reasoning.
+func (r *CyclicResult) forcePattern() error {
+	g := r.Graph
+	timing := r.Greedy.Timing
+
+	// Completion census.
+	perIter := map[int]int{}
+	for _, pl := range r.Greedy.Placements {
+		perIter[pl.Iter]++
+	}
+	maxComplete := -1
+	for i := 0; ; i++ {
+		if perIter[i] != g.N() {
+			break
+		}
+		maxComplete = i
+	}
+	if maxComplete < 1 {
+		return fmt.Errorf("core: no complete iteration to force a pattern from")
+	}
+	i0 := maxComplete * 3 / 4
+	if i0 < 1 {
+		i0 = maxComplete
+	}
+
+	rel := make([]int, g.N())
+	proc := make([]int, g.N())
+	seen := 0
+	minRel := int(^uint(0) >> 1)
+	for _, pl := range r.Greedy.Placements {
+		if pl.Iter != i0 {
+			continue
+		}
+		rel[pl.Node] = pl.Start
+		proc[pl.Node] = pl.Proc
+		seen++
+		if pl.Start < minRel {
+			minRel = pl.Start
+		}
+	}
+	if seen != g.N() {
+		return fmt.Errorf("core: reference iteration %d incomplete (%d of %d nodes)", i0, seen, g.N())
+	}
+	for v := range rel {
+		rel[v] -= minRel
+	}
+
+	// Availability of u's value on v's processor, in relative offsets.
+	relAvail := func(e graph.Edge) int {
+		u := e.From
+		pu := plan.Placement{Node: u, Iter: 0, Proc: proc[u], Start: rel[u]}
+		return timing.Avail(pu, g.Nodes[u].Latency, e, proc[e.To])
+	}
+
+	// Lower bound on T from loop-carried dependences:
+	// rel(v) + T*dist >= relAvail(u->v).
+	tLow := 1
+	span := 0
+	for v := 0; v < g.N(); v++ {
+		if fin := rel[v] + g.Nodes[v].Latency; fin > span {
+			span = fin
+		}
+	}
+	for _, e := range g.Edges {
+		if e.Distance == 0 {
+			continue
+		}
+		need := relAvail(e) - rel[e.To]
+		if need <= 0 {
+			continue
+		}
+		t := (need + e.Distance - 1) / e.Distance
+		if t > tLow {
+			tLow = t
+		}
+	}
+
+	// Raise T until processor usage is conflict-free modulo T.
+	conflictFree := func(t int) bool {
+		for v := 0; v < g.N(); v++ {
+			if g.Nodes[v].Latency > t {
+				return false // the node would overlap its own next instance
+			}
+		}
+		for a := 0; a < g.N(); a++ {
+			for b := a + 1; b < g.N(); b++ {
+				if proc[a] != proc[b] {
+					continue
+				}
+				// Circular intervals [rel, rel+lat) mod t must stay
+				// disjoint across all period instances: with
+				// d = (rel[a]-rel[b]) mod t, instance b reaches into a
+				// when d < lat(b), and a wraps into b when t-d < lat(a).
+				d := ((rel[a]-rel[b])%t + t) % t
+				if d < g.Nodes[b].Latency || t-d < g.Nodes[a].Latency {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	// T = max(tLow, span) is always feasible: at T >= span the reference
+	// iteration's intervals keep their original, disjoint layout mod T.
+	period := -1
+	maxT := tLow + span + 1
+	for t := tLow; t <= maxT; t++ {
+		if conflictFree(t) {
+			period = t
+			break
+		}
+	}
+	if period < 0 {
+		return fmt.Errorf("core: no conflict-free initiation interval up to %d", maxT)
+	}
+
+	p := &Pattern{Start: 0, End: period, IterShift: 1, Forced: true}
+	for v := 0; v < g.N(); v++ {
+		p.Placements = append(p.Placements, plan.Placement{Node: v, Iter: 0, Proc: proc[v], Start: rel[v]})
+	}
+	r.Pattern = p
+	return nil
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"testing"
+
+	"mimdloop/internal/graph"
+	"mimdloop/internal/machine"
+	"mimdloop/internal/program"
+	"mimdloop/internal/workload"
+)
+
+// chaoticGraph is a shape observed to defeat spontaneous configuration
+// repetition: multiple recurrences with incommensurate rational rates
+// (7/3 vs 3 vs 1) coupled into one component, under gap-filling placement.
+func chaoticGraph(t testing.TB) *graph.Graph {
+	g, err := workload.Random(workload.PaperSpec, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestForcedPatternOnChaoticLoop(t *testing.T) {
+	g := chaoticGraph(t)
+	multi, err := CyclicSchedAll(g, Options{CommCost: 3})
+	if err != nil {
+		t.Fatalf("chaotic loop did not schedule: %v", err)
+	}
+	forced := false
+	for _, c := range multi.Components {
+		if c.Result.Pattern.Forced {
+			forced = true
+		}
+	}
+	// Whether a component needed forcing is an implementation property of
+	// the transient; what must hold is that expansion is valid and the
+	// rate respects the critical-path bound.
+	exp, err := multi.Expand(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := exp.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+	cpi := g.CriticalPathPerIteration()
+	if rate := multi.RatePerIteration(); rate+0.001 < float64(cpi-1) {
+		t.Fatalf("rate %v below critical bound %d", rate, cpi)
+	}
+	t.Logf("forced=%v rate=%.3g cyc/iter (critical >= %d)", forced, multi.RatePerIteration(), cpi)
+}
+
+func TestForcedPatternExecutes(t *testing.T) {
+	g := chaoticGraph(t)
+	multi, err := CyclicSchedAll(g, Options{CommCost: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := multi.Expand(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs, err := program.Build(exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := machine.Run(g, progs, machine.Config{Fluct: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Makespan <= 0 {
+		t.Fatal("empty simulation")
+	}
+}
+
+func TestForcedPatternDirectly(t *testing.T) {
+	// Exercise forcePattern through a tiny budget on a well-behaved loop:
+	// the forced schedule must still be valid, merely possibly slower.
+	g := figure7(t)
+	res, err := CyclicSched(g, Options{Processors: 2, CommCost: 2, MaxIterations: 6})
+	if err != nil {
+		t.Fatalf("tiny budget: %v", err)
+	}
+	if res.Pattern == nil {
+		t.Fatal("no pattern")
+	}
+	exp, err := res.Expand(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := exp.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+	// Forced or detected, the rate cannot beat the recurrence bound (2.5)
+	// nor exceed sequential (5).
+	rate := res.Pattern.RatePerIteration()
+	if rate < 2.5 || rate > 5 {
+		t.Fatalf("rate = %v, want within [2.5, 5]", rate)
+	}
+}
+
+func TestDriftBoundOption(t *testing.T) {
+	// An explicit small drift bound still schedules correctly.
+	g := figure7(t)
+	res, err := CyclicSched(g, Options{Processors: 2, CommCost: 2, DriftBound: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.Expand(20); err != nil {
+		t.Fatal(err)
+	}
+	// The generous default must match the paper-exact rate.
+	if got := res.Pattern.RatePerIteration(); got != 3 {
+		t.Fatalf("rate with tight drift bound = %v, want 3", got)
+	}
+}
+
+func TestCommFromStartSchedules(t *testing.T) {
+	g := figure7(t)
+	res, err := CyclicSched(g, Options{Processors: 2, CommCost: 2, CommFromStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := res.Expand(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := exp.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+	// The overlapped model can only help: rate <= the finish+k rate 3.
+	if got := res.Pattern.RatePerIteration(); got > 3 {
+		t.Fatalf("CommFromStart rate = %v, want <= 3", got)
+	}
+}

@@ -1,0 +1,106 @@
+// Package core implements the paper's scheduling algorithms: Cyclic-sched
+// (greedy earliest-start placement of the infinitely unwound Cyclic subset
+// under a communication-cost model, with pattern detection), Flow-in-sched
+// and Flow-out-sched (round-robin placement of the acyclic fringe on extra
+// processors), and the composition of the three into a complete loop
+// schedule.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"mimdloop/internal/graph"
+)
+
+// Options configures the scheduler.
+type Options struct {
+	// Processors is p, the number of processors offered to the Cyclic
+	// subset. 0 means "sufficient": one per node of the scheduled graph,
+	// matching the paper's sufficiency assumption in Section 2.3.
+	Processors int
+
+	// CommCost is k, the compile-time estimate of inter-processor
+	// communication cost in cycles. Edges with explicit costs override it;
+	// k must upper-bound them for the pattern-existence argument.
+	CommCost int
+
+	// CommFromStart selects the ablation timing model in which a value is
+	// available remotely at producerStart + cost rather than
+	// producerFinish + cost.
+	CommFromStart bool
+
+	// WindowHeight overrides the configuration window height. 0 means
+	// k + max node latency (the paper's k+1 generalized to non-unit
+	// latencies).
+	WindowHeight int
+
+	// MaxIterations bounds how far the conceptually infinite unwinding may
+	// proceed before Cyclic-sched stops waiting for a configuration repeat
+	// and switches to the modulo-scheduling fallback. 0 means 256.
+	MaxIterations int
+
+	// AppendOnly disables gap-filling placement: each processor's next
+	// operation starts no earlier than its previous one finished. Kept as
+	// an ablation of the placement rule.
+	AppendOnly bool
+
+	// FIFOOrder processes ready instances in arrival order rather than the
+	// default (iteration, body-rank) priority. Both are "consistent"
+	// orders in the paper's sense (footnote 7).
+	FIFOOrder bool
+
+	// FoldNonCyclic enables the Section 3 heuristic: try to place Flow-in
+	// and Flow-out nodes into idle slots of the Cyclic processors instead
+	// of dedicated extra processors, and keep whichever composition has
+	// the smaller makespan.
+	FoldNonCyclic bool
+
+	// DriftBound is L, the maximum number of iterations any node may run
+	// ahead of the slowest part of its component: instance (v, i) may not
+	// start before iteration i-L has completely finished. The paper's
+	// Lemma 3 asserts bounded same-configuration iteration skew, but its
+	// proof implicitly assumes no part of a connected component can run
+	// unboundedly ahead (false for, e.g., a fast self-loop feeding a slow
+	// one). The drift bound makes the premise true by construction; it
+	// does not change the steady-state rate, because work that runs ahead
+	// of the binding cycle only buffers values. 0 means 2N + 2k + 8,
+	// generous enough never to bind on rate-balanced graphs.
+	DriftBound int
+}
+
+// ErrNoPattern is returned when no repeating configuration was verified
+// within the iteration budget.
+var ErrNoPattern = errors.New("core: no pattern emerged within the iteration budget")
+
+func (o Options) withDefaults(g *graph.Graph) Options {
+	if o.Processors == 0 {
+		o.Processors = g.N()
+	}
+	if o.MaxIterations == 0 {
+		o.MaxIterations = 256
+	}
+	if o.WindowHeight == 0 {
+		maxLat := 1
+		for _, nd := range g.Nodes {
+			if nd.Latency > maxLat {
+				maxLat = nd.Latency
+			}
+		}
+		o.WindowHeight = o.CommCost + maxLat
+	}
+	if o.DriftBound == 0 {
+		o.DriftBound = 2*g.N() + 2*o.CommCost + 8
+	}
+	return o
+}
+
+func (o Options) validate() error {
+	if o.Processors < 0 {
+		return fmt.Errorf("core: negative processor count %d", o.Processors)
+	}
+	if o.CommCost < 0 {
+		return fmt.Errorf("core: negative communication cost %d", o.CommCost)
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+package core
+
+import "container/heap"
+
+// readyEntry is a dynamic node instance whose predecessors have all been
+// scheduled. lower is a lower bound on the instance's eventual start cycle
+// (the latest local finish of its predecessors); the minimum lower bound
+// over the queue is the "stable time" below which the schedule is final.
+type readyEntry struct {
+	node  int
+	iter  int
+	rank  int // body-order rank, the deterministic tie-break
+	lower int
+	seq   int // arrival order, for FIFO mode
+}
+
+type readyQueue struct {
+	entries []readyEntry
+	fifo    bool
+	nextSeq int
+}
+
+func (q *readyQueue) Len() int { return len(q.entries) }
+
+func (q *readyQueue) Less(i, j int) bool {
+	a, b := q.entries[i], q.entries[j]
+	if q.fifo {
+		return a.seq < b.seq
+	}
+	if a.iter != b.iter {
+		return a.iter < b.iter
+	}
+	if a.rank != b.rank {
+		return a.rank < b.rank
+	}
+	return a.node < b.node
+}
+
+func (q *readyQueue) Swap(i, j int) { q.entries[i], q.entries[j] = q.entries[j], q.entries[i] }
+
+func (q *readyQueue) Push(x any) { q.entries = append(q.entries, x.(readyEntry)) }
+
+func (q *readyQueue) Pop() any {
+	old := q.entries
+	n := len(old)
+	e := old[n-1]
+	q.entries = old[:n-1]
+	return e
+}
+
+func (q *readyQueue) add(e readyEntry) {
+	e.seq = q.nextSeq
+	q.nextSeq++
+	heap.Push(q, e)
+}
+
+func (q *readyQueue) next() readyEntry {
+	return heap.Pop(q).(readyEntry)
+}
+
+// stableTime returns the minimum start lower bound across all queued
+// instances. Any cycle strictly below it can no longer receive placements,
+// because every unscheduled instance (queued or not yet ready) starts at or
+// after some queued instance's lower bound.
+func (q *readyQueue) stableTime() int {
+	if len(q.entries) == 0 {
+		return 1 << 30
+	}
+	min := q.entries[0].lower
+	for _, e := range q.entries[1:] {
+		if e.lower < min {
+			min = e.lower
+		}
+	}
+	return min
+}

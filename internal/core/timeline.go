@@ -1,0 +1,64 @@
+package core
+
+import "sort"
+
+// interval is a half-open busy span [s, e) on one processor.
+type interval struct{ s, e int }
+
+// timeline tracks the busy intervals of one processor and answers
+// earliest-fit queries. Intervals are kept sorted and non-overlapping.
+type timeline struct {
+	ivs []interval
+}
+
+// fit returns the earliest start t >= ready such that [t, t+dur) is free.
+// With appendOnly, placement never precedes the last busy interval.
+func (tl *timeline) fit(ready, dur int, appendOnly bool) int {
+	if appendOnly {
+		if n := len(tl.ivs); n > 0 && tl.ivs[n-1].e > ready {
+			return tl.ivs[n-1].e
+		}
+		return ready
+	}
+	// First interval that ends after ready.
+	i := sort.Search(len(tl.ivs), func(i int) bool { return tl.ivs[i].e > ready })
+	t := ready
+	for ; i < len(tl.ivs); i++ {
+		if t+dur <= tl.ivs[i].s {
+			return t
+		}
+		if tl.ivs[i].e > t {
+			t = tl.ivs[i].e
+		}
+	}
+	return t
+}
+
+// insert marks [s, s+dur) busy. It assumes the span is free (as returned by
+// fit) and merges with adjacent intervals to keep the list compact.
+func (tl *timeline) insert(s, dur int) {
+	e := s + dur
+	i := sort.Search(len(tl.ivs), func(i int) bool { return tl.ivs[i].s >= s })
+	tl.ivs = append(tl.ivs, interval{})
+	copy(tl.ivs[i+1:], tl.ivs[i:])
+	tl.ivs[i] = interval{s: s, e: e}
+	// Merge left.
+	if i > 0 && tl.ivs[i-1].e == tl.ivs[i].s {
+		tl.ivs[i-1].e = tl.ivs[i].e
+		tl.ivs = append(tl.ivs[:i], tl.ivs[i+1:]...)
+		i--
+	}
+	// Merge right.
+	if i+1 < len(tl.ivs) && tl.ivs[i].e == tl.ivs[i+1].s {
+		tl.ivs[i].e = tl.ivs[i+1].e
+		tl.ivs = append(tl.ivs[:i+1], tl.ivs[i+2:]...)
+	}
+}
+
+// end returns the finish time of the last busy interval (0 when idle).
+func (tl *timeline) end() int {
+	if len(tl.ivs) == 0 {
+		return 0
+	}
+	return tl.ivs[len(tl.ivs)-1].e
+}

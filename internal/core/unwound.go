@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+
+	"mimdloop/internal/graph"
+	"mimdloop/internal/plan"
+)
+
+// UnwoundSchedule is a schedule produced by the paper's prescribed
+// normalization path: unwind the loop until all dependence distances are 0
+// or 1 [MuSi87], schedule the unwound body, and map placements back to the
+// original loop's (node, iteration) coordinates.
+type UnwoundSchedule struct {
+	// Factor is the unwinding degree (1 when no unwinding was needed).
+	Factor int
+	// Inner is the schedule of the unwound loop (its own node IDs).
+	Inner *LoopSchedule
+	// Full is the mapped schedule over the original graph for the
+	// requested iteration count.
+	Full *plan.Schedule
+}
+
+// RatePerIteration returns steady-state cycles per original iteration.
+func (u *UnwoundSchedule) RatePerIteration() float64 {
+	return u.Inner.RatePerIteration() / float64(u.Factor)
+}
+
+// ScheduleUnwound normalizes g's dependence distances to <= 1 by unwinding
+// (footnote 2 of the paper), runs the full pipeline on the unwound body,
+// and returns both views. The scheduler itself handles distances >= 2
+// natively; this entry point exists because unwinding exposes parallelism
+// the distance-d formulation hides from DOACROSS-style analyses and is the
+// transformation the paper assumes, and because callers may want the
+// unwound kernel for code generation.
+func ScheduleUnwound(g *graph.Graph, opts Options, n int) (*UnwoundSchedule, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("core: schedule %d iterations", n)
+	}
+	ng, factor, err := g.NormalizeDistances()
+	if err != nil {
+		return nil, err
+	}
+	innerIters := (n + factor - 1) / factor
+	inner, err := ScheduleLoop(ng, opts, innerIters)
+	if err != nil {
+		return nil, err
+	}
+
+	// Map (copy j of v, unwound iter i) -> (v, i*factor + j). Unwind lays
+	// copies out j-major: unwound ID = j*N + v.
+	nOrig := g.N()
+	full := &plan.Schedule{
+		Graph:      g,
+		Timing:     inner.Full.Timing,
+		Processors: inner.Full.Processors,
+	}
+	for _, pl := range inner.Full.Placements {
+		copyIdx := pl.Node / nOrig
+		orig := pl.Node % nOrig
+		iter := pl.Iter*factor + copyIdx
+		if iter >= n {
+			// Tail copies beyond the requested trip count. Dropping them
+			// is safe: dependences only flow from lower to higher
+			// original iterations, so no kept placement consumes one.
+			continue
+		}
+		full.Placements = append(full.Placements, plan.Placement{
+			Node:  orig,
+			Iter:  iter,
+			Proc:  pl.Proc,
+			Start: pl.Start,
+		})
+	}
+	if err := full.Validate(true); err != nil {
+		return nil, fmt.Errorf("core: unwound mapping invalid: %w", err)
+	}
+	return &UnwoundSchedule{Factor: factor, Inner: inner, Full: full}, nil
+}

@@ -1,0 +1,166 @@
+package doacross
+
+import "mimdloop/internal/graph"
+
+// bestOrder enumerates topological orders of the intra-iteration DAG (up to
+// limit of them) and returns the one minimizing the analytic steady-state
+// iteration delay; ties keep the earlier enumeration, which starts from the
+// canonical order. This reproduces the paper's exhaustively-reordered
+// DOACROSS variant (Figure 8(b)); the paper notes optimal reordering is
+// NP-hard in general, hence the enumeration cap.
+func bestOrder(g *graph.Graph, k int, fallback []int, limit int) []int {
+	n := g.N()
+	if n > 12 {
+		// 12! alone exceeds any sensible cap; don't pretend to search.
+		return fallback
+	}
+	indeg := make([]int, n)
+	for _, e := range g.Edges {
+		if e.Distance == 0 {
+			indeg[e.To]++
+		}
+	}
+	var (
+		cur      = make([]int, 0, n)
+		used     = make([]bool, n)
+		best     []int
+		bestCost = int(^uint(0) >> 1)
+		count    int
+	)
+	var rec func()
+	rec = func() {
+		if count >= limit {
+			return
+		}
+		if len(cur) == n {
+			count++
+			if c := iterationDelay(g, k, cur); c < bestCost {
+				bestCost = c
+				best = append([]int(nil), cur...)
+			}
+			return
+		}
+		for v := 0; v < n; v++ {
+			if used[v] || indeg[v] != 0 {
+				continue
+			}
+			used[v] = true
+			cur = append(cur, v)
+			for _, ei := range g.Out(v) {
+				e := g.Edges[ei]
+				if e.Distance == 0 {
+					indeg[e.To]--
+				}
+			}
+			rec()
+			for _, ei := range g.Out(v) {
+				e := g.Edges[ei]
+				if e.Distance == 0 {
+					indeg[e.To]++
+				}
+			}
+			cur = cur[:len(cur)-1]
+			used[v] = false
+			if count >= limit {
+				return
+			}
+		}
+	}
+	rec()
+	if best == nil {
+		return fallback
+	}
+	return best
+}
+
+// HeuristicOrder builds a topological body order that favors pipelining:
+// among ready nodes it prefers sources of loop-carried dependences (placing
+// them early shrinks their skew contribution) and defers their sinks
+// (placing them late absorbs the skew), with node ID as the deterministic
+// tie-break. It is the practical stand-in for exhaustive reordering on
+// bodies too large to enumerate.
+func HeuristicOrder(g *graph.Graph) []int {
+	n := g.N()
+	isSource := make([]bool, n)
+	isSink := make([]bool, n)
+	for _, e := range g.Edges {
+		if e.Distance > 0 {
+			isSource[e.From] = true
+			isSink[e.To] = true
+		}
+	}
+	class := func(v int) int {
+		switch {
+		case isSource[v] && !isSink[v]:
+			return 0
+		case isSource[v] && isSink[v]:
+			return 1
+		case !isSource[v] && !isSink[v]:
+			return 2
+		default:
+			return 3
+		}
+	}
+	indeg := make([]int, n)
+	for _, e := range g.Edges {
+		if e.Distance == 0 {
+			indeg[e.To]++
+		}
+	}
+	order := make([]int, 0, n)
+	inOrder := make([]bool, n)
+	for len(order) < n {
+		best := -1
+		for v := 0; v < n; v++ {
+			if inOrder[v] || indeg[v] != 0 {
+				continue
+			}
+			if best == -1 || class(v) < class(best) {
+				best = v
+			}
+		}
+		order = append(order, best)
+		inOrder[best] = true
+		for _, ei := range g.Out(best) {
+			e := g.Edges[ei]
+			if e.Distance == 0 {
+				indeg[e.To]--
+			}
+		}
+	}
+	return order
+}
+
+// iterationDelay computes, for a given body order, the minimum steady-state
+// offset D between consecutive iteration starts under DOACROSS with every
+// cross-iteration dependence paying the communication cost k (consecutive
+// iterations always sit on different processors for p >= 2):
+//
+//	D = max over edges with distance >= 1 of
+//	    ceil((offset(u) + lat(u) + k - offset(v)) / distance)
+//
+// where offset(x) is x's start within the sequential body.
+func iterationDelay(g *graph.Graph, k int, order []int) int {
+	off := make([]int, g.N())
+	t := 0
+	for _, v := range order {
+		off[v] = t
+		t += g.Nodes[v].Latency
+	}
+	d := 0
+	for _, e := range g.Edges {
+		if e.Distance == 0 {
+			continue
+		}
+		cost := graph.EdgeCost(e, k)
+		need := off[e.From] + g.Nodes[e.From].Latency + cost - off[e.To]
+		if need <= 0 {
+			continue
+		}
+		per := (need + e.Distance - 1) / e.Distance
+		if per > d {
+			d = per
+		}
+	}
+	return d
+}

@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mimdloop/internal/core"
+	"mimdloop/internal/graph"
+	"mimdloop/internal/machine"
+	"mimdloop/internal/metrics"
+	"mimdloop/internal/program"
+	"mimdloop/internal/workload"
+)
+
+// KEstimateRow measures schedule robustness when the compile-time estimate
+// k differs from the machine's true communication cost (Section 5: the
+// approach stays profitable "even when the estimation of communication cost
+// is far off the mark").
+type KEstimateRow struct {
+	EstimatedK int
+	TrueCost   int
+	Sp         float64
+}
+
+// AblationKEstimate schedules the given loop with each estimate and runs it
+// on a machine whose true cost is trueCost.
+func AblationKEstimate(g *graph.Graph, estimates []int, trueCost, iters int) ([]KEstimateRow, error) {
+	var rows []KEstimateRow
+	seq := iters * g.TotalLatency()
+	for _, k := range estimates {
+		multi, err := core.CyclicSchedAll(g, core.Options{CommCost: k})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: k=%d: %w", k, err)
+		}
+		full, err := multi.Expand(iters)
+		if err != nil {
+			return nil, err
+		}
+		progs, err := program.Build(full)
+		if err != nil {
+			return nil, err
+		}
+		stats, err := machine.Run(g, progs, machine.Config{Override: true, OverrideCost: trueCost})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, KEstimateRow{
+			EstimatedK: k,
+			TrueCost:   trueCost,
+			Sp:         metrics.ClampZero(metrics.PercentParallelism(seq, stats.Makespan)),
+		})
+	}
+	return rows, nil
+}
+
+// RateRow is a named steady-state rate measurement.
+type RateRow struct {
+	Name string
+	Rate float64 // cycles per iteration
+}
+
+// AblationPlacement compares gap-filling placement against append-only
+// placement on the given loop.
+func AblationPlacement(g *graph.Graph, k int) ([]RateRow, error) {
+	var rows []RateRow
+	for _, cfg := range []struct {
+		name       string
+		appendOnly bool
+	}{{"gap-fill", false}, {"append-only", true}} {
+		multi, err := core.CyclicSchedAll(g, core.Options{CommCost: k, AppendOnly: cfg.appendOnly})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, RateRow{Name: cfg.name, Rate: multi.RatePerIteration()})
+	}
+	return rows, nil
+}
+
+// AblationQueueOrder compares the deterministic (iteration, body-rank)
+// ready order against FIFO arrival order.
+func AblationQueueOrder(g *graph.Graph, k int) ([]RateRow, error) {
+	var rows []RateRow
+	for _, cfg := range []struct {
+		name string
+		fifo bool
+	}{{"iter-rank", false}, {"fifo", true}} {
+		multi, err := core.CyclicSchedAll(g, core.Options{CommCost: k, FIFOOrder: cfg.fifo})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, RateRow{Name: cfg.name, Rate: multi.RatePerIteration()})
+	}
+	return rows, nil
+}
+
+// AblationProcessors sweeps the per-component processor budget.
+func AblationProcessors(g *graph.Graph, k int, procs []int) ([]RateRow, error) {
+	var rows []RateRow
+	for _, p := range procs {
+		multi, err := core.CyclicSchedAll(g, core.Options{Processors: p, CommCost: k})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, RateRow{Name: fmt.Sprintf("p=%d", p), Rate: multi.RatePerIteration()})
+	}
+	return rows, nil
+}
+
+// AblationCommModel compares the finish+k availability model against the
+// overlapped start+k reading (CommFromStart).
+func AblationCommModel(g *graph.Graph, k int) ([]RateRow, error) {
+	var rows []RateRow
+	for _, cfg := range []struct {
+		name      string
+		fromStart bool
+	}{{"finish+k", false}, {"start+k", true}} {
+		multi, err := core.CyclicSchedAll(g, core.Options{CommCost: k, CommFromStart: cfg.fromStart})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, RateRow{Name: cfg.name, Rate: multi.RatePerIteration()})
+	}
+	return rows, nil
+}
+
+// AblationPerfectPipelining contrasts the zero-communication idealized
+// pattern (Perfect Pipelining, [AiNi88a]) with communication-aware
+// schedules at increasing k on the Figure 3 example.
+func AblationPerfectPipelining(ks []int) ([]RateRow, error) {
+	g := workload.Figure3()
+	var rows []RateRow
+	for _, k := range ks {
+		multi, err := core.CyclicSchedAll(g, core.Options{CommCost: k})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, RateRow{Name: fmt.Sprintf("k=%d", k), Rate: multi.RatePerIteration()})
+	}
+	return rows, nil
+}

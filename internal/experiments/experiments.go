@@ -1,0 +1,212 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation: the worked examples of Section 3 (Figures 3, 7, 8, 9, 11, 12)
+// and the 25-random-loop robustness study of Section 4 (Table 1), plus the
+// ablations of design choices called out in DESIGN.md. It is shared by
+// cmd/paperbench (human-readable reports) and the repository benchmarks.
+package experiments
+
+import (
+	"fmt"
+
+	"mimdloop/internal/core"
+	"mimdloop/internal/doacross"
+	"mimdloop/internal/graph"
+	"mimdloop/internal/machine"
+	"mimdloop/internal/metrics"
+	"mimdloop/internal/plan"
+	"mimdloop/internal/program"
+	"mimdloop/internal/workload"
+)
+
+// Comparison is one "our algorithm vs DOACROSS" measurement on a loop,
+// using the simulated multiprocessor with exact communication estimates.
+type Comparison struct {
+	Name       string
+	Iterations int
+	CommCost   int
+
+	SeqTime       int
+	OursTime      int
+	DoacrossTime  int
+	OursSp        float64 // percentage parallelism, clamped at 0
+	DoacrossSp    float64
+	OursProcs     int
+	DoacrossProcs int
+	OursRate      float64 // steady-state cycles/iteration (0 if no pattern)
+
+	// PaperOursSp / PaperDoacrossSp record the numbers the paper reports
+	// for this artifact, for side-by-side presentation (0 when the paper
+	// gives none).
+	PaperOursSp     float64
+	PaperDoacrossSp float64
+}
+
+func (c *Comparison) String() string {
+	return fmt.Sprintf(
+		"%s (k=%d, N=%d): seq=%d ours=%d (%d PEs, Sp=%.1f%%, paper %.1f%%) doacross=%d (%d PEs, Sp=%.1f%%, paper %.1f%%)",
+		c.Name, c.CommCost, c.Iterations,
+		c.SeqTime,
+		c.OursTime, c.OursProcs, c.OursSp, c.PaperOursSp,
+		c.DoacrossTime, c.DoacrossProcs, c.DoacrossSp, c.PaperDoacrossSp)
+}
+
+// CompareOptions tunes a comparison run.
+type CompareOptions struct {
+	CommCost   int
+	Iterations int
+	// Processors for our algorithm's Cyclic subset (0 = sufficient).
+	Processors int
+	// Fold applies the Section 3 non-Cyclic folding heuristic.
+	Fold bool
+	// DoacrossMaxProcs bounds the baseline's search (0 = 8).
+	DoacrossMaxProcs int
+	// Fluct / Seed forward to the simulated machine (Table 1's mm).
+	Fluct int
+	Seed  int64
+}
+
+// Compare schedules g with both algorithms and measures parallel execution
+// time on the simulated machine.
+func Compare(name string, g *graph.Graph, opt CompareOptions) (*Comparison, error) {
+	if opt.Iterations == 0 {
+		opt.Iterations = 100
+	}
+	n := opt.Iterations
+	seq := n * g.TotalLatency()
+	cmp := &Comparison{Name: name, Iterations: n, CommCost: opt.CommCost, SeqTime: seq}
+
+	ls, err := core.ScheduleLoop(g, core.Options{
+		Processors:    opt.Processors,
+		CommCost:      opt.CommCost,
+		FoldNonCyclic: opt.Fold,
+	}, n)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s ours: %w", name, err)
+	}
+	oursProgs, err := program.Build(ls.Full)
+	if err != nil {
+		return nil, err
+	}
+	oursStats, err := machine.Run(g, oursProgs, machine.Config{Fluct: opt.Fluct, Seed: opt.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s ours sim: %w", name, err)
+	}
+	cmp.OursTime = oursStats.Makespan
+	cmp.OursProcs = ls.TotalProcs()
+	cmp.OursRate = ls.RatePerIteration()
+	cmp.OursSp = metrics.ClampZero(metrics.PercentParallelism(seq, cmp.OursTime))
+
+	da, err := doacross.Schedule(g, doacross.Options{
+		MaxProcessors: opt.DoacrossMaxProcs,
+		CommCost:      opt.CommCost,
+	}, n)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s doacross: %w", name, err)
+	}
+	daProgs, err := program.Build(da.Schedule)
+	if err != nil {
+		return nil, err
+	}
+	daStats, err := machine.Run(g, daProgs, machine.Config{Fluct: opt.Fluct, Seed: opt.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s doacross sim: %w", name, err)
+	}
+	cmp.DoacrossTime = daStats.Makespan
+	cmp.DoacrossProcs = da.Processors
+	cmp.DoacrossSp = metrics.ClampZero(metrics.PercentParallelism(seq, cmp.DoacrossTime))
+	return cmp, nil
+}
+
+// Figure7 reproduces the Section 3 headline example: ours 40% vs
+// DOACROSS 0% at k=2 on 2 processors.
+func Figure7(iters int) (*Comparison, error) {
+	c, err := Compare("figure7", workload.Figure7().Graph, CompareOptions{
+		CommCost:   2,
+		Iterations: iters,
+		Processors: 2,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.PaperOursSp, c.PaperDoacrossSp = 40, 0
+	return c, nil
+}
+
+// Figure9 reproduces the [Cytron86] example: paper reports 72.7% vs 31.8%
+// at k=2.
+func Figure9(iters int) (*Comparison, error) {
+	c, err := Compare("figure9-cytron86", workload.Figure9(), CompareOptions{
+		CommCost:   2,
+		Iterations: iters,
+		Processors: 2,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.PaperOursSp, c.PaperDoacrossSp = 72.7, 31.8
+	return c, nil
+}
+
+// Figure11 reproduces the 18th Livermore Loop comparison: paper reports
+// 49.4% vs 12.6% at k=2 with the non-Cyclic folding heuristic.
+func Figure11(iters int) (*Comparison, error) {
+	c, err := Compare("figure11-livermore18", workload.Livermore18().Graph, CompareOptions{
+		CommCost:   2,
+		Iterations: iters,
+		Processors: 2,
+		Fold:       true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.PaperOursSp, c.PaperDoacrossSp = 49.4, 12.6
+	return c, nil
+}
+
+// Figure12 reproduces the fifth-order elliptic filter comparison: paper
+// reports 30.9% vs 0% at k=2 with folding.
+func Figure12(iters int) (*Comparison, error) {
+	c, err := Compare("figure12-elliptic", workload.Elliptic().Graph, CompareOptions{
+		CommCost:   2,
+		Iterations: iters,
+		Processors: 2,
+		Fold:       true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.PaperOursSp, c.PaperDoacrossSp = 30.9, 0
+	return c, nil
+}
+
+// Figure8 reproduces the DOACROSS-only study on the Figure 7 loop: natural
+// order and exhaustively reordered, both gaining nothing.
+type Figure8Result struct {
+	NaturalMakespan   int
+	ReorderedMakespan int
+	SequentialTime    int
+	NaturalSp         float64
+	ReorderedSp       float64
+}
+
+// Figure8 runs both DOACROSS variants of Figure 8.
+func Figure8(iters int) (*Figure8Result, error) {
+	g := workload.Figure7().Graph
+	timing := plan.Timing{CommCost: 2}
+	seq := plan.Sequential(g, timing, iters).Makespan()
+	nat, err := doacross.Schedule(g, doacross.Options{MaxProcessors: 4, CommCost: 2}, iters)
+	if err != nil {
+		return nil, err
+	}
+	reord, err := doacross.Schedule(g, doacross.Options{MaxProcessors: 4, CommCost: 2, BestReorder: true}, iters)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure8Result{
+		NaturalMakespan:   nat.Schedule.Makespan(),
+		ReorderedMakespan: reord.Schedule.Makespan(),
+		SequentialTime:    seq,
+		NaturalSp:         metrics.ClampZero(metrics.PercentParallelism(seq, nat.Schedule.Makespan())),
+		ReorderedSp:       metrics.ClampZero(metrics.PercentParallelism(seq, reord.Schedule.Makespan())),
+	}, nil
+}

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mimdloop/internal/core"
+	"mimdloop/internal/doacross"
+	"mimdloop/internal/machine"
+	"mimdloop/internal/metrics"
+	"mimdloop/internal/program"
+	"mimdloop/internal/workload"
+)
+
+// MMValues are the communication-fluctuation settings of Table 1: mm = 1
+// (no fluctuation), 3 (up to 67% extra delay on k=3), and 5 (up to 130%).
+var MMValues = [3]int{1, 3, 5}
+
+// Table1Row is one random loop's percentage parallelism under each mm.
+type Table1Row struct {
+	Loop     int // paper's loop number, 0-based seed-1
+	Nodes    int
+	Ours     [3]float64
+	Doacross [3]float64
+}
+
+// Table1Result aggregates the suite, mirroring Table 1(a) and 1(b).
+type Table1Result struct {
+	Rows         []Table1Row
+	OursMean     [3]float64
+	DoacrossMean [3]float64
+	Factor       [3]float64
+	// PaperOursMean etc. are the paper's reported aggregates for
+	// side-by-side display.
+	PaperOursMean     [3]float64
+	PaperDoacrossMean [3]float64
+	PaperFactor       [3]float64
+}
+
+// Table1 runs the Section 4 experiment: loops 0..count-1 of the random
+// suite (the paper uses all 25), scheduled by both algorithms with an
+// estimated k = 3 and executed on the simulated multiprocessor with
+// run-time communication costs in [k, k+mm-1] for mm in {1, 3, 5}.
+func Table1(count, iters int) (*Table1Result, error) {
+	if count < 1 || count > 25 {
+		return nil, fmt.Errorf("experiments: table 1 loop count %d, want 1..25", count)
+	}
+	if iters == 0 {
+		iters = 100
+	}
+	const k = 3
+	res := &Table1Result{
+		PaperOursMean:     [3]float64{47.4046, 39.0674, 30.2776},
+		PaperDoacrossMean: [3]float64{16.3135, 13.0623, 9.4823},
+		PaperFactor:       [3]float64{2.9, 3.0, 3.3},
+	}
+	for seed := int64(1); seed <= int64(count); seed++ {
+		g, err := workload.Random(workload.PaperSpec, seed)
+		if err != nil {
+			return nil, err
+		}
+		row := Table1Row{Loop: int(seed - 1), Nodes: g.N()}
+		seq := iters * g.TotalLatency()
+
+		// Ours: pattern schedule with sufficient processors.
+		multi, err := core.CyclicSchedAll(g, core.Options{CommCost: k})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: loop %d ours: %w", seed-1, err)
+		}
+		full, err := multi.Expand(iters)
+		if err != nil {
+			return nil, err
+		}
+		oursProgs, err := program.Build(full)
+		if err != nil {
+			return nil, err
+		}
+
+		// DOACROSS baseline, with the reordering courtesy of footnote 16.
+		da, err := doacross.Schedule(g, doacross.Options{MaxProcessors: 8, CommCost: k, HeuristicReorder: true}, iters)
+		if err != nil {
+			return nil, err
+		}
+		daProgs, err := program.Build(da.Schedule)
+		if err != nil {
+			return nil, err
+		}
+
+		for mi, mm := range MMValues {
+			cfg := machine.Config{Fluct: mm, Seed: seed}
+			os, err := machine.Run(g, oursProgs, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: loop %d mm=%d ours sim: %w", seed-1, mm, err)
+			}
+			ds, err := machine.Run(g, daProgs, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: loop %d mm=%d doacross sim: %w", seed-1, mm, err)
+			}
+			row.Ours[mi] = metrics.ClampZero(metrics.PercentParallelism(seq, os.Makespan))
+			row.Doacross[mi] = metrics.ClampZero(metrics.PercentParallelism(seq, ds.Makespan))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	for mi := range MMValues {
+		var ours, da []float64
+		for _, row := range res.Rows {
+			ours = append(ours, row.Ours[mi])
+			da = append(da, row.Doacross[mi])
+		}
+		res.OursMean[mi] = metrics.Mean(ours)
+		res.DoacrossMean[mi] = metrics.Mean(da)
+		res.Factor[mi] = metrics.SpeedupFactor(res.OursMean[mi], res.DoacrossMean[mi])
+	}
+	return res, nil
+}
+
+// FormatA renders Table 1(a).
+func (r *Table1Result) FormatA() string {
+	t := &metrics.Table{Header: []string{
+		"loop", "x mm=1", "doacross", "x mm=3", "doacross", "x mm=5", "doacross",
+	}}
+	for _, row := range r.Rows {
+		t.AddRow(
+			fmt.Sprint(row.Loop),
+			metrics.F1(row.Ours[0]), metrics.F1(row.Doacross[0]),
+			metrics.F1(row.Ours[1]), metrics.F1(row.Doacross[1]),
+			metrics.F1(row.Ours[2]), metrics.F1(row.Doacross[2]),
+		)
+	}
+	return t.String()
+}
+
+// FormatB renders Table 1(b) with the paper's numbers alongside.
+func (r *Table1Result) FormatB() string {
+	t := &metrics.Table{Header: []string{"", "mm=1", "mm=3", "mm=5"}}
+	t.AddRow("x mean", metrics.F4(r.OursMean[0]), metrics.F4(r.OursMean[1]), metrics.F4(r.OursMean[2]))
+	t.AddRow("doacross mean", metrics.F4(r.DoacrossMean[0]), metrics.F4(r.DoacrossMean[1]), metrics.F4(r.DoacrossMean[2]))
+	t.AddRow("factor", metrics.F1(r.Factor[0]), metrics.F1(r.Factor[1]), metrics.F1(r.Factor[2]))
+	t.AddRow("paper x mean", metrics.F4(r.PaperOursMean[0]), metrics.F4(r.PaperOursMean[1]), metrics.F4(r.PaperOursMean[2]))
+	t.AddRow("paper doacross", metrics.F4(r.PaperDoacrossMean[0]), metrics.F4(r.PaperDoacrossMean[1]), metrics.F4(r.PaperDoacrossMean[2]))
+	t.AddRow("paper factor", metrics.F1(r.PaperFactor[0]), metrics.F1(r.PaperFactor[1]), metrics.F1(r.PaperFactor[2]))
+	return t.String()
+}

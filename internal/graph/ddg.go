@@ -1,0 +1,380 @@
+// Package graph implements the data-dependence-graph substrate used by the
+// loop parallelizer: nodes with integer latencies, dependence edges with
+// non-negative distances, and the structural queries (strongly connected
+// components, topological order, connected components, unwinding) that the
+// classification and scheduling algorithms rely on.
+//
+// A loop is viewed, as in the paper, as a graph whose edges carry a
+// dependence distance: distance 0 is an intra-iteration ("simple")
+// dependence, distance 1 is a loop-carried dependence, and larger distances
+// are reduced to 0/1 by unwinding (see Unwind).
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DefaultCost marks an edge that uses the machine-wide communication cost k
+// rather than a per-edge override.
+const DefaultCost = -1
+
+// Node is a unit of computation: a single operation or a whole procedure,
+// depending on the granularity chosen for the target machine.
+type Node struct {
+	ID      int    // dense index in [0, len(Nodes))
+	Name    string // human-readable label, e.g. "A" or "a[i]=b[i-1]+c"
+	Latency int    // execution time in cycles, >= 1
+}
+
+// Edge is a data-dependence link From -> To with an iteration distance.
+// Distance 0 means the dependence is within one iteration; distance d > 0
+// means iteration i's instance of From feeds iteration i+d's instance of To.
+type Edge struct {
+	From, To int
+	Distance int
+	// Cost is the communication cost in cycles paid when From and To are
+	// placed on different processors. DefaultCost (-1) means "use the
+	// machine-wide estimate k". Per the paper, every edge may have its own
+	// cost as long as k upper-bounds it.
+	Cost int
+}
+
+// Graph is an immutable-after-Build data dependence graph.
+type Graph struct {
+	Nodes []Node
+	Edges []Edge
+
+	succ [][]int // node -> indices into Edges (outgoing)
+	pred [][]int // node -> indices into Edges (incoming)
+}
+
+// Builder incrementally assembles a Graph.
+type Builder struct {
+	nodes  []Node
+	edges  []Edge
+	byName map[string]int
+}
+
+// NewBuilder returns an empty graph builder.
+func NewBuilder() *Builder {
+	return &Builder{byName: make(map[string]int)}
+}
+
+// AddNode appends a node with the given name and latency and returns its ID.
+// Duplicate names are allowed but only the first is found by NodeByName.
+func (b *Builder) AddNode(name string, latency int) int {
+	id := len(b.nodes)
+	b.nodes = append(b.nodes, Node{ID: id, Name: name, Latency: latency})
+	if _, dup := b.byName[name]; !dup {
+		b.byName[name] = id
+	}
+	return id
+}
+
+// AddEdge appends a dependence edge with the machine-default communication
+// cost.
+func (b *Builder) AddEdge(from, to, distance int) {
+	b.edges = append(b.edges, Edge{From: from, To: to, Distance: distance, Cost: DefaultCost})
+}
+
+// AddEdgeCost appends a dependence edge with an explicit communication cost.
+func (b *Builder) AddEdgeCost(from, to, distance, cost int) {
+	b.edges = append(b.edges, Edge{From: from, To: to, Distance: distance, Cost: cost})
+}
+
+// NodeByName returns the ID of the first node added with the given name.
+func (b *Builder) NodeByName(name string) (int, bool) {
+	id, ok := b.byName[name]
+	return id, ok
+}
+
+// Build validates the accumulated nodes and edges and returns the graph.
+func (b *Builder) Build() (*Graph, error) {
+	g := &Graph{Nodes: append([]Node(nil), b.nodes...), Edges: append([]Edge(nil), b.edges...)}
+	if err := g.init(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// MustBuild is Build for statically-known-good graphs; it panics on error.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// New builds a graph directly from node and edge slices.
+func New(nodes []Node, edges []Edge) (*Graph, error) {
+	g := &Graph{Nodes: append([]Node(nil), nodes...), Edges: append([]Edge(nil), edges...)}
+	if err := g.init(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func (g *Graph) init() error {
+	n := len(g.Nodes)
+	if n == 0 {
+		return fmt.Errorf("graph: no nodes")
+	}
+	for i, nd := range g.Nodes {
+		if nd.ID != i {
+			return fmt.Errorf("graph: node %q has ID %d, want dense ID %d", nd.Name, nd.ID, i)
+		}
+		if nd.Latency < 1 {
+			return fmt.Errorf("graph: node %q has latency %d, want >= 1", nd.Name, nd.Latency)
+		}
+	}
+	g.succ = make([][]int, n)
+	g.pred = make([][]int, n)
+	for i, e := range g.Edges {
+		if e.From < 0 || e.From >= n || e.To < 0 || e.To >= n {
+			return fmt.Errorf("graph: edge %d (%d->%d) references unknown node", i, e.From, e.To)
+		}
+		if e.Distance < 0 {
+			return fmt.Errorf("graph: edge %d (%d->%d) has negative distance %d", i, e.From, e.To, e.Distance)
+		}
+		if e.Cost < DefaultCost {
+			return fmt.Errorf("graph: edge %d (%d->%d) has invalid cost %d", i, e.From, e.To, e.Cost)
+		}
+		if e.Distance == 0 && e.From == e.To {
+			return fmt.Errorf("graph: edge %d is a zero-distance self loop on node %q", i, g.Nodes[e.From].Name)
+		}
+		g.succ[e.From] = append(g.succ[e.From], i)
+		g.pred[e.To] = append(g.pred[e.To], i)
+	}
+	// Deterministic adjacency order: by (peer node, distance).
+	for v := range g.succ {
+		es := g.Edges
+		sort.SliceStable(g.succ[v], func(a, b int) bool {
+			ea, eb := es[g.succ[v][a]], es[g.succ[v][b]]
+			if ea.To != eb.To {
+				return ea.To < eb.To
+			}
+			return ea.Distance < eb.Distance
+		})
+		sort.SliceStable(g.pred[v], func(a, b int) bool {
+			ea, eb := es[g.pred[v][a]], es[g.pred[v][b]]
+			if ea.From != eb.From {
+				return ea.From < eb.From
+			}
+			return ea.Distance < eb.Distance
+		})
+	}
+	// The intra-iteration (distance 0) subgraph must be acyclic, otherwise
+	// the loop body has no sequential meaning.
+	if cyc := g.zeroDistanceCycle(); cyc != nil {
+		names := make([]string, len(cyc))
+		for i, v := range cyc {
+			names[i] = g.Nodes[v].Name
+		}
+		return fmt.Errorf("graph: intra-iteration dependences form a cycle: %s", strings.Join(names, " -> "))
+	}
+	return nil
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.Nodes) }
+
+// Out returns the outgoing edge indices of v.
+func (g *Graph) Out(v int) []int { return g.succ[v] }
+
+// In returns the incoming edge indices of v.
+func (g *Graph) In(v int) []int { return g.pred[v] }
+
+// Succs returns the distinct successor node IDs of v in ascending order.
+func (g *Graph) Succs(v int) []int {
+	return g.peers(g.succ[v], func(e Edge) int { return e.To })
+}
+
+// Preds returns the distinct predecessor node IDs of v in ascending order.
+func (g *Graph) Preds(v int) []int {
+	return g.peers(g.pred[v], func(e Edge) int { return e.From })
+}
+
+func (g *Graph) peers(edgeIdx []int, pick func(Edge) int) []int {
+	out := make([]int, 0, len(edgeIdx))
+	seen := -1
+	for _, ei := range edgeIdx {
+		p := pick(g.Edges[ei])
+		if p != seen || len(out) == 0 {
+			if len(out) == 0 || out[len(out)-1] != p {
+				out = append(out, p)
+			}
+			seen = p
+		}
+	}
+	return out
+}
+
+// TotalLatency returns the sum of all node latencies: the sequential
+// execution time of one iteration.
+func (g *Graph) TotalLatency() int {
+	sum := 0
+	for _, nd := range g.Nodes {
+		sum += nd.Latency
+	}
+	return sum
+}
+
+// MaxDistance returns the largest dependence distance in the graph.
+func (g *Graph) MaxDistance() int {
+	d := 0
+	for _, e := range g.Edges {
+		if e.Distance > d {
+			d = e.Distance
+		}
+	}
+	return d
+}
+
+// MaxCost returns the largest explicit edge cost, or def for edges using the
+// default.
+func (g *Graph) MaxCost(def int) int {
+	m := 0
+	for _, e := range g.Edges {
+		c := e.Cost
+		if c == DefaultCost {
+			c = def
+		}
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// EdgeCost resolves an edge's communication cost against the machine-wide
+// default k.
+func EdgeCost(e Edge, k int) int {
+	if e.Cost == DefaultCost {
+		return k
+	}
+	return e.Cost
+}
+
+// zeroDistanceCycle returns a cycle among distance-0 edges, or nil.
+func (g *Graph) zeroDistanceCycle() []int {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make([]int, g.N())
+	parent := make([]int, g.N())
+	for i := range parent {
+		parent[i] = -1
+	}
+	var cycle []int
+	var dfs func(v int) bool
+	dfs = func(v int) bool {
+		color[v] = grey
+		for _, ei := range g.succ[v] {
+			e := g.Edges[ei]
+			if e.Distance != 0 {
+				continue
+			}
+			w := e.To
+			switch color[w] {
+			case white:
+				parent[w] = v
+				if dfs(w) {
+					return true
+				}
+			case grey:
+				// Found a cycle w -> ... -> v -> w.
+				cycle = []int{w}
+				for x := v; x != w && x != -1; x = parent[x] {
+					cycle = append(cycle, x)
+				}
+				for i, j := 0, len(cycle)-1; i < j; i, j = i+1, j-1 {
+					cycle[i], cycle[j] = cycle[j], cycle[i]
+				}
+				cycle = append(cycle, w)
+				return true
+			}
+		}
+		color[v] = black
+		return false
+	}
+	for v := 0; v < g.N(); v++ {
+		if color[v] == white && dfs(v) {
+			return cycle
+		}
+	}
+	return nil
+}
+
+// InducedSubgraph returns the subgraph induced by keep (a set of node IDs),
+// along with a mapping newID -> oldID. Edges with either endpoint outside
+// keep are dropped. Node IDs are renumbered densely preserving order.
+func (g *Graph) InducedSubgraph(keep []int) (*Graph, []int, error) {
+	sorted := append([]int(nil), keep...)
+	sort.Ints(sorted)
+	oldToNew := make(map[int]int, len(sorted))
+	var nodes []Node
+	var newToOld []int
+	for _, v := range sorted {
+		if v < 0 || v >= g.N() {
+			return nil, nil, fmt.Errorf("graph: induced subgraph references unknown node %d", v)
+		}
+		if _, dup := oldToNew[v]; dup {
+			continue
+		}
+		id := len(nodes)
+		oldToNew[v] = id
+		nd := g.Nodes[v]
+		nodes = append(nodes, Node{ID: id, Name: nd.Name, Latency: nd.Latency})
+		newToOld = append(newToOld, v)
+	}
+	var edges []Edge
+	for _, e := range g.Edges {
+		f, okf := oldToNew[e.From]
+		t, okt := oldToNew[e.To]
+		if okf && okt {
+			edges = append(edges, Edge{From: f, To: t, Distance: e.Distance, Cost: e.Cost})
+		}
+	}
+	sub, err := New(nodes, edges)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sub, newToOld, nil
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	cp, err := New(g.Nodes, g.Edges)
+	if err != nil {
+		panic("graph: clone of valid graph failed: " + err.Error())
+	}
+	return cp
+}
+
+// String renders a compact description for debugging.
+func (g *Graph) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "graph{%d nodes, %d edges}", len(g.Nodes), len(g.Edges))
+	return sb.String()
+}
+
+// Format renders the full node and edge lists, one per line.
+func (g *Graph) Format() string {
+	var sb strings.Builder
+	for _, nd := range g.Nodes {
+		fmt.Fprintf(&sb, "node %d %q lat=%d\n", nd.ID, nd.Name, nd.Latency)
+	}
+	for _, e := range g.Edges {
+		cost := "k"
+		if e.Cost != DefaultCost {
+			cost = fmt.Sprint(e.Cost)
+		}
+		fmt.Fprintf(&sb, "edge %s -> %s dist=%d cost=%s\n", g.Nodes[e.From].Name, g.Nodes[e.To].Name, e.Distance, cost)
+	}
+	return sb.String()
+}

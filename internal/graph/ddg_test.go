@@ -1,0 +1,467 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// chain builds a0 -> a1 -> ... -> a(n-1) with distance-0 edges.
+func chain(t *testing.T, n int) *Graph {
+	t.Helper()
+	b := NewBuilder()
+	for i := 0; i < n; i++ {
+		b.AddNode(string(rune('a'+i)), 1)
+	}
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(i, i+1, 0)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("chain(%d): %v", n, err)
+	}
+	return g
+}
+
+func TestBuilderBasics(t *testing.T) {
+	b := NewBuilder()
+	a := b.AddNode("A", 1)
+	c := b.AddNode("C", 2)
+	if a != 0 || c != 1 {
+		t.Fatalf("IDs = %d,%d, want 0,1", a, c)
+	}
+	b.AddEdge(a, c, 0)
+	b.AddEdgeCost(c, a, 1, 5)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 2 {
+		t.Fatalf("N = %d, want 2", g.N())
+	}
+	if id, ok := b.NodeByName("C"); !ok || id != 1 {
+		t.Fatalf("NodeByName(C) = %d,%v", id, ok)
+	}
+	if _, ok := b.NodeByName("Z"); ok {
+		t.Fatal("NodeByName(Z) unexpectedly found")
+	}
+	if got := g.TotalLatency(); got != 3 {
+		t.Fatalf("TotalLatency = %d, want 3", got)
+	}
+	if got := g.MaxDistance(); got != 1 {
+		t.Fatalf("MaxDistance = %d, want 1", got)
+	}
+	if got := g.MaxCost(3); got != 5 {
+		t.Fatalf("MaxCost = %d, want 5", got)
+	}
+	if got := EdgeCost(g.Edges[0], 7); got != 7 {
+		t.Fatalf("EdgeCost(default) = %d, want 7", got)
+	}
+	if got := EdgeCost(g.Edges[1], 7); got != 5 {
+		t.Fatalf("EdgeCost(override) = %d, want 5", got)
+	}
+}
+
+func TestBuildRejectsBadInput(t *testing.T) {
+	cases := []struct {
+		name  string
+		nodes []Node
+		edges []Edge
+		frag  string
+	}{
+		{"empty", nil, nil, "no nodes"},
+		{"bad latency", []Node{{ID: 0, Name: "A", Latency: 0}}, nil, "latency"},
+		{"bad id", []Node{{ID: 1, Name: "A", Latency: 1}}, nil, "dense ID"},
+		{"edge out of range", []Node{{ID: 0, Name: "A", Latency: 1}}, []Edge{{From: 0, To: 3, Cost: DefaultCost}}, "unknown node"},
+		{"negative distance", []Node{{ID: 0, Name: "A", Latency: 1}}, []Edge{{From: 0, To: 0, Distance: -1, Cost: DefaultCost}}, "negative distance"},
+		{"zero self loop", []Node{{ID: 0, Name: "A", Latency: 1}}, []Edge{{From: 0, To: 0, Distance: 0, Cost: DefaultCost}}, "self loop"},
+		{"bad cost", []Node{{ID: 0, Name: "A", Latency: 1}, {ID: 1, Name: "B", Latency: 1}}, []Edge{{From: 0, To: 1, Cost: -2}}, "invalid cost"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := New(tc.nodes, tc.edges)
+			if err == nil || !strings.Contains(err.Error(), tc.frag) {
+				t.Fatalf("New() err = %v, want containing %q", err, tc.frag)
+			}
+		})
+	}
+}
+
+func TestZeroDistanceCycleRejected(t *testing.T) {
+	b := NewBuilder()
+	a := b.AddNode("A", 1)
+	c := b.AddNode("B", 1)
+	d := b.AddNode("C", 1)
+	b.AddEdge(a, c, 0)
+	b.AddEdge(c, d, 0)
+	b.AddEdge(d, a, 0)
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("Build() err = %v, want intra-iteration cycle error", err)
+	}
+	// Same cycle broken by a loop-carried edge is legal.
+	b2 := NewBuilder()
+	a = b2.AddNode("A", 1)
+	c = b2.AddNode("B", 1)
+	d = b2.AddNode("C", 1)
+	b2.AddEdge(a, c, 0)
+	b2.AddEdge(c, d, 0)
+	b2.AddEdge(d, a, 1)
+	if _, err := b2.Build(); err != nil {
+		t.Fatalf("Build() with distance-1 back edge: %v", err)
+	}
+}
+
+func TestSuccsPredsDeduplicated(t *testing.T) {
+	b := NewBuilder()
+	a := b.AddNode("A", 1)
+	c := b.AddNode("B", 1)
+	b.AddEdge(a, c, 0)
+	b.AddEdge(a, c, 1) // parallel edge, different distance
+	g := b.MustBuild()
+	if got := g.Succs(a); !reflect.DeepEqual(got, []int{c}) {
+		t.Fatalf("Succs = %v, want [%d]", got, c)
+	}
+	if got := g.Preds(c); !reflect.DeepEqual(got, []int{a}) {
+		t.Fatalf("Preds = %v, want [%d]", got, a)
+	}
+	if got := len(g.Out(a)); got != 2 {
+		t.Fatalf("Out edges = %d, want 2", got)
+	}
+}
+
+func TestBodyOrderChain(t *testing.T) {
+	g := chain(t, 5)
+	want := []int{0, 1, 2, 3, 4}
+	if got := g.BodyOrder(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("BodyOrder = %v, want %v", got, want)
+	}
+	rank := g.BodyRank()
+	for i, v := range want {
+		if rank[v] != i {
+			t.Fatalf("BodyRank[%d] = %d, want %d", v, rank[v], i)
+		}
+	}
+}
+
+func TestBodyOrderIgnoresLoopCarried(t *testing.T) {
+	// B -> A with distance 1 must not force B before A.
+	b := NewBuilder()
+	a := b.AddNode("A", 1)
+	bb := b.AddNode("B", 1)
+	b.AddEdge(a, bb, 0)
+	b.AddEdge(bb, a, 1)
+	g := b.MustBuild()
+	if got := g.BodyOrder(); !reflect.DeepEqual(got, []int{a, bb}) {
+		t.Fatalf("BodyOrder = %v, want [A B]", got)
+	}
+}
+
+func TestASAPLevels(t *testing.T) {
+	b := NewBuilder()
+	a := b.AddNode("A", 2)
+	c := b.AddNode("B", 1)
+	d := b.AddNode("C", 3)
+	e := b.AddNode("D", 1)
+	b.AddEdge(a, c, 0)
+	b.AddEdge(a, d, 0)
+	b.AddEdge(c, e, 0)
+	b.AddEdge(d, e, 0)
+	g := b.MustBuild()
+	lv := g.ASAPLevels()
+	want := []int{0, 2, 2, 5}
+	if !reflect.DeepEqual(lv, want) {
+		t.Fatalf("ASAPLevels = %v, want %v", lv, want)
+	}
+}
+
+func TestSCCs(t *testing.T) {
+	// Two cycles: {0,1} via distance-1 back edge, {3} self loop; node 2
+	// bridges them.
+	b := NewBuilder()
+	n0 := b.AddNode("0", 1)
+	n1 := b.AddNode("1", 1)
+	n2 := b.AddNode("2", 1)
+	n3 := b.AddNode("3", 1)
+	b.AddEdge(n0, n1, 0)
+	b.AddEdge(n1, n0, 1)
+	b.AddEdge(n1, n2, 0)
+	b.AddEdge(n2, n3, 0)
+	b.AddEdge(n3, n3, 1)
+	g := b.MustBuild()
+
+	nontrivial := g.NonTrivialSCCs()
+	var flat [][]int
+	for _, c := range nontrivial {
+		flat = append(flat, c)
+	}
+	sort.Slice(flat, func(i, j int) bool { return flat[i][0] < flat[j][0] })
+	want := [][]int{{0, 1}, {3}}
+	if !reflect.DeepEqual(flat, want) {
+		t.Fatalf("NonTrivialSCCs = %v, want %v", flat, want)
+	}
+	if !g.HasCycle() {
+		t.Fatal("HasCycle = false, want true")
+	}
+	all := g.SCCs()
+	total := 0
+	for _, c := range all {
+		total += len(c)
+	}
+	if total != g.N() {
+		t.Fatalf("SCCs cover %d nodes, want %d", total, g.N())
+	}
+}
+
+func TestSCCsAcyclic(t *testing.T) {
+	g := chain(t, 4)
+	if g.HasCycle() {
+		t.Fatal("chain reported cyclic")
+	}
+	if got := g.NonTrivialSCCs(); got != nil {
+		t.Fatalf("NonTrivialSCCs = %v, want nil", got)
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	b := NewBuilder()
+	for i := 0; i < 6; i++ {
+		b.AddNode(string(rune('a'+i)), 1)
+	}
+	b.AddEdge(0, 1, 0)
+	b.AddEdge(2, 3, 1)
+	b.AddEdge(3, 2, 1)
+	// 4 and 5 isolated.
+	g := b.MustBuild()
+	got := g.ConnectedComponents()
+	want := [][]int{{0, 1}, {2, 3}, {4}, {5}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ConnectedComponents = %v, want %v", got, want)
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	b := NewBuilder()
+	a := b.AddNode("A", 1)
+	c := b.AddNode("B", 2)
+	d := b.AddNode("C", 3)
+	b.AddEdge(a, c, 0)
+	b.AddEdge(c, d, 0)
+	b.AddEdge(d, a, 1)
+	g := b.MustBuild()
+	sub, back, err := g.InducedSubgraph([]int{c, d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.N() != 2 {
+		t.Fatalf("sub.N = %d, want 2", sub.N())
+	}
+	if !reflect.DeepEqual(back, []int{1, 2}) {
+		t.Fatalf("mapping = %v, want [1 2]", back)
+	}
+	if len(sub.Edges) != 1 || sub.Edges[0].From != 0 || sub.Edges[0].To != 1 {
+		t.Fatalf("sub edges = %v, want single 0->1", sub.Edges)
+	}
+	if sub.Nodes[1].Latency != 3 {
+		t.Fatalf("latency not preserved: %v", sub.Nodes)
+	}
+	if _, _, err := g.InducedSubgraph([]int{99}); err == nil {
+		t.Fatal("InducedSubgraph(99) did not fail")
+	}
+}
+
+func TestUnwindReducesDistances(t *testing.T) {
+	b := NewBuilder()
+	a := b.AddNode("A", 1)
+	c := b.AddNode("B", 1)
+	b.AddEdge(a, c, 0)
+	b.AddEdge(c, a, 3)
+	g := b.MustBuild()
+	ng, factor, err := g.NormalizeDistances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if factor != 3 {
+		t.Fatalf("factor = %d, want 3", factor)
+	}
+	if ng.N() != 6 {
+		t.Fatalf("unwound N = %d, want 6", ng.N())
+	}
+	if md := ng.MaxDistance(); md > 1 {
+		t.Fatalf("unwound MaxDistance = %d, want <= 1", md)
+	}
+	// Edge count preserved per copy.
+	if len(ng.Edges) != len(g.Edges)*3 {
+		t.Fatalf("unwound edges = %d, want %d", len(ng.Edges), len(g.Edges)*3)
+	}
+}
+
+func TestUnwindIdentity(t *testing.T) {
+	g := chain(t, 3)
+	ng, factor, err := g.NormalizeDistances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if factor != 1 || ng.N() != 3 {
+		t.Fatalf("NormalizeDistances trivial case: factor=%d N=%d", factor, ng.N())
+	}
+	if _, err := g.Unwind(0); err == nil {
+		t.Fatal("Unwind(0) did not fail")
+	}
+}
+
+func TestInstancePreds(t *testing.T) {
+	b := NewBuilder()
+	a := b.AddNode("A", 1)
+	c := b.AddNode("B", 1)
+	b.AddEdge(a, c, 0)
+	b.AddEdge(c, a, 1)
+	b.AddEdge(a, a, 2)
+	g := b.MustBuild()
+
+	if got := g.InstancePredCount(a, 0); got != 0 {
+		t.Fatalf("InstancePredCount(A,0) = %d, want 0", got)
+	}
+	if got := g.InstancePredCount(a, 1); got != 1 {
+		t.Fatalf("InstancePredCount(A,1) = %d, want 1", got)
+	}
+	if got := g.InstancePredCount(a, 2); got != 2 {
+		t.Fatalf("InstancePredCount(A,2) = %d, want 2", got)
+	}
+	preds := g.InstancePreds(a, 2)
+	want := []InstanceID{{Node: a, Iter: 0}, {Node: c, Iter: 1}}
+	sort.Slice(preds, func(i, j int) bool { return preds[i].Node < preds[j].Node })
+	if !reflect.DeepEqual(preds, want) {
+		t.Fatalf("InstancePreds(A,2) = %v, want %v", preds, want)
+	}
+}
+
+func TestCriticalPathPerIteration(t *testing.T) {
+	// Cycle A(1) -> B(1) -> A with distance 1: 2 cycles / 1 iter.
+	b := NewBuilder()
+	a := b.AddNode("A", 1)
+	c := b.AddNode("B", 1)
+	b.AddEdge(a, c, 0)
+	b.AddEdge(c, a, 1)
+	g := b.MustBuild()
+	if got := g.CriticalPathPerIteration(); got != 2 {
+		t.Fatalf("CPI = %d, want 2", got)
+	}
+	// Acyclic -> 0.
+	if got := chain(t, 4).CriticalPathPerIteration(); got != 0 {
+		t.Fatalf("acyclic CPI = %d, want 0", got)
+	}
+	// Self loop with distance 2, latency 3: ceil(3/2) = 2.
+	b2 := NewBuilder()
+	x := b2.AddNode("X", 3)
+	b2.AddEdgeCost(x, x, 2, DefaultCost)
+	g2 := b2.MustBuild()
+	if got := g2.CriticalPathPerIteration(); got != 2 {
+		t.Fatalf("self-loop CPI = %d, want 2", got)
+	}
+}
+
+func TestCloneAndFormat(t *testing.T) {
+	g := chain(t, 3)
+	cp := g.Clone()
+	cp.Nodes[0].Latency = 99
+	if g.Nodes[0].Latency == 99 {
+		t.Fatal("Clone aliases node storage")
+	}
+	if s := g.String(); !strings.Contains(s, "3 nodes") {
+		t.Fatalf("String = %q", s)
+	}
+	f := g.Format()
+	if !strings.Contains(f, "node 0") || !strings.Contains(f, "dist=0") {
+		t.Fatalf("Format = %q", f)
+	}
+}
+
+// randomGraph builds a valid random DDG for property tests: distance-0 edges
+// only flow from lower to higher IDs, so the body is acyclic by
+// construction.
+func randomGraph(rng *rand.Rand, n, sd, lcd int) *Graph {
+	b := NewBuilder()
+	for i := 0; i < n; i++ {
+		b.AddNode(string(rune('A'+i%26))+string(rune('0'+i/26)), 1+rng.Intn(3))
+	}
+	for i := 0; i < sd; i++ {
+		u := rng.Intn(n - 1)
+		v := u + 1 + rng.Intn(n-u-1)
+		b.AddEdge(u, v, 0)
+	}
+	for i := 0; i < lcd; i++ {
+		b.AddEdge(rng.Intn(n), rng.Intn(n), 1+rng.Intn(2))
+	}
+	return b.MustBuild()
+}
+
+func TestPropertyBodyOrderIsTopological(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		g := randomGraph(rng, n, rng.Intn(2*n), rng.Intn(n))
+		rank := g.BodyRank()
+		for _, e := range g.Edges {
+			if e.Distance == 0 && rank[e.From] >= rank[e.To] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertySCCsPartition(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		g := randomGraph(rng, n, rng.Intn(2*n), rng.Intn(n))
+		seen := make([]bool, g.N())
+		for _, comp := range g.SCCs() {
+			for _, v := range comp {
+				if seen[v] {
+					return false
+				}
+				seen[v] = true
+			}
+		}
+		for _, s := range seen {
+			if !s {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyUnwindPreservesStructure(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		g := randomGraph(rng, n, rng.Intn(n), 1+rng.Intn(n))
+		u := 1 + rng.Intn(4)
+		ug, err := g.Unwind(u)
+		if err != nil {
+			return false
+		}
+		if ug.N() != g.N()*u {
+			return false
+		}
+		if len(ug.Edges) != len(g.Edges)*u {
+			return false
+		}
+		// Total latency scales by u.
+		return ug.TotalLatency() == g.TotalLatency()*u
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,166 @@
+package graph
+
+import "sort"
+
+// SCCs returns the strongly connected components of the graph, treating
+// every edge (regardless of distance) as a directed link. Components are
+// returned in reverse topological order of the condensation (Tarjan's
+// order), each component sorted by node ID.
+//
+// A single node with no self-edge forms a trivial component; the paper's
+// notion of "strongly connected subgraph" (Lemma 1) corresponds to the
+// non-trivial components returned by NonTrivialSCCs.
+func (g *Graph) SCCs() [][]int {
+	n := g.N()
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	var comps [][]int
+	next := 0
+
+	// Iterative Tarjan to survive deep graphs without blowing the stack.
+	type frame struct {
+		v  int
+		ei int // position within g.succ[v]
+	}
+	var dfs func(root int)
+	dfs = func(root int) {
+		frames := []frame{{v: root}}
+		index[root] = next
+		low[root] = next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			v := f.v
+			advanced := false
+			for f.ei < len(g.succ[v]) {
+				e := g.Edges[g.succ[v][f.ei]]
+				f.ei++
+				w := e.To
+				if index[w] == -1 {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{v: w})
+					advanced = true
+					break
+				} else if onStack[w] {
+					if index[w] < low[v] {
+						low[v] = index[w]
+					}
+				}
+			}
+			if advanced {
+				continue
+			}
+			// v is finished.
+			if low[v] == index[v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				sort.Ints(comp)
+				comps = append(comps, comp)
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := frames[len(frames)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		if index[v] == -1 {
+			dfs(v)
+		}
+	}
+	return comps
+}
+
+// NonTrivialSCCs returns only components that contain a cycle: either more
+// than one node, or a single node with a self-edge (of any distance).
+func (g *Graph) NonTrivialSCCs() [][]int {
+	var out [][]int
+	for _, comp := range g.SCCs() {
+		if len(comp) > 1 {
+			out = append(out, comp)
+			continue
+		}
+		v := comp[0]
+		for _, ei := range g.succ[v] {
+			if g.Edges[ei].To == v {
+				out = append(out, comp)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// HasCycle reports whether the graph, with all edges treated as directed
+// links regardless of distance, contains any cycle.
+func (g *Graph) HasCycle() bool {
+	return len(g.NonTrivialSCCs()) > 0
+}
+
+// ConnectedComponents returns the weakly connected components (treating
+// edges as undirected), each sorted by node ID, ordered by smallest member.
+// The paper assumes a connected dependence graph and applies the scheduler
+// to each component independently.
+func (g *Graph) ConnectedComponents() [][]int {
+	n := g.N()
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for _, e := range g.Edges {
+		union(e.From, e.To)
+	}
+	groups := make(map[int][]int)
+	for v := 0; v < n; v++ {
+		r := find(v)
+		groups[r] = append(groups[r], v)
+	}
+	roots := make([]int, 0, len(groups))
+	for r := range groups {
+		roots = append(roots, r)
+	}
+	sort.Slice(roots, func(i, j int) bool { return groups[roots[i]][0] < groups[roots[j]][0] })
+	out := make([][]int, 0, len(groups))
+	for _, r := range roots {
+		comp := groups[r]
+		sort.Ints(comp)
+		out = append(out, comp)
+	}
+	return out
+}

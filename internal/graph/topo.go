@@ -1,0 +1,172 @@
+package graph
+
+import "fmt"
+
+// BodyOrder returns a deterministic topological order of the loop body with
+// respect to intra-iteration (distance 0) dependences only. Among ready
+// nodes the smallest ID is emitted first. This is the canonical statement
+// order used for sequential execution and as the consistent tie-breaking
+// order required by the scheduler (paper footnote 7).
+func (g *Graph) BodyOrder() []int {
+	n := g.N()
+	indeg := make([]int, n)
+	for _, e := range g.Edges {
+		if e.Distance == 0 {
+			indeg[e.To]++
+		}
+	}
+	// Min-heap of ready node IDs, implemented inline to avoid a dependency
+	// on container/heap interface plumbing for a hot, simple case.
+	ready := &intHeap{}
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			ready.push(v)
+		}
+	}
+	order := make([]int, 0, n)
+	for ready.len() > 0 {
+		v := ready.pop()
+		order = append(order, v)
+		for _, ei := range g.succ[v] {
+			e := g.Edges[ei]
+			if e.Distance != 0 {
+				continue
+			}
+			indeg[e.To]--
+			if indeg[e.To] == 0 {
+				ready.push(e.To)
+			}
+		}
+	}
+	if len(order) != n {
+		// init() guarantees the distance-0 subgraph is acyclic.
+		panic(fmt.Sprintf("graph: body order found %d of %d nodes", len(order), n))
+	}
+	return order
+}
+
+// BodyRank returns rank[v] = position of v in BodyOrder.
+func (g *Graph) BodyRank() []int {
+	order := g.BodyOrder()
+	rank := make([]int, len(order))
+	for i, v := range order {
+		rank[v] = i
+	}
+	return rank
+}
+
+// ASAPLevels returns, for each node, the earliest start time within a single
+// iteration considering only distance-0 edges and node latencies (the
+// idealized Perfect-Pipelining levels with zero communication cost).
+func (g *Graph) ASAPLevels() []int {
+	levels := make([]int, g.N())
+	for _, v := range g.BodyOrder() {
+		start := 0
+		for _, ei := range g.pred[v] {
+			e := g.Edges[ei]
+			if e.Distance != 0 {
+				continue
+			}
+			fin := levels[e.From] + g.Nodes[e.From].Latency
+			if fin > start {
+				start = fin
+			}
+		}
+		levels[v] = start
+	}
+	return levels
+}
+
+// CriticalPathPerIteration returns the maximum, over all cycles C in the
+// dependence graph, of ceil(latency(C) / distance(C)): the well-known lower
+// bound on steady-state cycles per iteration for any schedule honoring the
+// compile-time dependences (communication cost excluded). It returns 0 for
+// acyclic graphs (DOALL loops).
+//
+// The bound is computed by binary search on the rate r combined with a
+// Bellman-Ford negative-cycle test on edge weights latency(u) - r*distance,
+// using exact integer arithmetic on a common denominator.
+func (g *Graph) CriticalPathPerIteration() int {
+	if !g.HasCycle() {
+		return 0
+	}
+	// r is an integer number of cycles per iteration; feasible(r) means no
+	// cycle has latency(C) > r*distance(C).
+	feasible := func(r int) bool {
+		n := g.N()
+		dist := make([]int64, n)
+		for iter := 0; iter < n; iter++ {
+			changed := false
+			for _, e := range g.Edges {
+				w := int64(g.Nodes[e.From].Latency) - int64(r)*int64(e.Distance)
+				if dist[e.From]+w > dist[e.To] {
+					dist[e.To] = dist[e.From] + w
+					changed = true
+				}
+			}
+			if !changed {
+				return true
+			}
+		}
+		// One more relaxation pass detects a positive cycle.
+		for _, e := range g.Edges {
+			w := int64(g.Nodes[e.From].Latency) - int64(r)*int64(e.Distance)
+			if dist[e.From]+w > dist[e.To] {
+				return false
+			}
+		}
+		return true
+	}
+	lo, hi := 1, g.TotalLatency()
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if feasible(mid) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// intHeap is a minimal min-heap of ints.
+type intHeap struct{ a []int }
+
+func (h *intHeap) len() int { return len(h.a) }
+
+func (h *intHeap) push(x int) {
+	h.a = append(h.a, x)
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.a[p] <= h.a[i] {
+			break
+		}
+		h.a[p], h.a[i] = h.a[i], h.a[p]
+		i = p
+	}
+}
+
+func (h *intHeap) pop() int {
+	top := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a = h.a[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h.a) && h.a[l] < h.a[small] {
+			small = l
+		}
+		if r < len(h.a) && h.a[r] < h.a[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.a[i], h.a[small] = h.a[small], h.a[i]
+		i = small
+	}
+	return top
+}

@@ -1,0 +1,99 @@
+package graph
+
+import "fmt"
+
+// Unwind unrolls the loop body u times, producing a graph over u copies of
+// every node. The copy of node v for unroll position j (0 <= j < u) is named
+// "name#j". An edge v->w with distance d becomes, for each source position
+// j, an edge from copy (v,j) to copy (w, (j+d) mod u) with distance
+// (j+d) div u.
+//
+// Per [MuSi87] (paper footnote 2), unwinding by u >= max distance reduces
+// all dependence distances to 0 or 1: after unrolling, j+d <= (u-1)+u-1 <
+// 2u, hence the new distance is 0 or 1 whenever d <= u.
+func (g *Graph) Unwind(u int) (*Graph, error) {
+	if u < 1 {
+		return nil, fmt.Errorf("graph: unwind factor %d, want >= 1", u)
+	}
+	if u == 1 {
+		return g.Clone(), nil
+	}
+	n := g.N()
+	nodes := make([]Node, 0, n*u)
+	for j := 0; j < u; j++ {
+		for _, nd := range g.Nodes {
+			nodes = append(nodes, Node{
+				ID:      j*n + nd.ID,
+				Name:    fmt.Sprintf("%s#%d", nd.Name, j),
+				Latency: nd.Latency,
+			})
+		}
+	}
+	var edges []Edge
+	for _, e := range g.Edges {
+		for j := 0; j < u; j++ {
+			tgt := j + e.Distance
+			edges = append(edges, Edge{
+				From:     j*n + e.From,
+				To:       (tgt%u)*n + e.To,
+				Distance: tgt / u,
+				Cost:     e.Cost,
+			})
+		}
+	}
+	return New(nodes, edges)
+}
+
+// NormalizeDistances returns a graph whose dependence distances are all 0 or
+// 1, unwinding by the maximum distance if necessary. The returned factor is
+// the number of original iterations represented by one iteration of the
+// result (1 when no unwinding was needed).
+func (g *Graph) NormalizeDistances() (*Graph, int, error) {
+	d := g.MaxDistance()
+	if d <= 1 {
+		return g.Clone(), 1, nil
+	}
+	ug, err := g.Unwind(d)
+	if err != nil {
+		return nil, 0, err
+	}
+	if md := ug.MaxDistance(); md > 1 {
+		return nil, 0, fmt.Errorf("graph: normalize left distance %d", md)
+	}
+	return ug, d, nil
+}
+
+// InstanceID identifies one dynamic instance of a node: the Iter-th
+// iteration's execution of node Node.
+type InstanceID struct {
+	Node int
+	Iter int
+}
+
+// InstancePreds returns the dynamic predecessors of instance (v, iter):
+// for each incoming edge u->v with distance d, the instance (u, iter-d),
+// omitting instances from before iteration 0 (loop boundary).
+func (g *Graph) InstancePreds(v, iter int) []InstanceID {
+	var out []InstanceID
+	for _, ei := range g.pred[v] {
+		e := g.Edges[ei]
+		src := iter - e.Distance
+		if src < 0 {
+			continue
+		}
+		out = append(out, InstanceID{Node: e.From, Iter: src})
+	}
+	return out
+}
+
+// InstancePredCount returns how many dynamic predecessors instance (v, iter)
+// has (the number of incoming edges whose source iteration is >= 0).
+func (g *Graph) InstancePredCount(v, iter int) int {
+	c := 0
+	for _, ei := range g.pred[v] {
+		if iter-g.Edges[ei].Distance >= 0 {
+			c++
+		}
+	}
+	return c
+}

@@ -1,0 +1,123 @@
+package loopir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Loop is a parsed single-loop program.
+type Loop struct {
+	Name string
+	// N is the default iteration count from the header (0 if omitted).
+	N     int
+	Stmts []*Stmt
+}
+
+// Stmt is one (possibly guarded) single-assignment statement.
+type Stmt struct {
+	Target  string // array being assigned
+	Cond    *Expr  // guard, nil when unconditional
+	RHS     *Expr
+	Latency int // estimated execution time of the statement node
+	Line    int
+}
+
+// ExprKind discriminates expression nodes.
+type ExprKind int8
+
+const (
+	// ExprNum is a literal constant.
+	ExprNum ExprKind = iota
+	// ExprRef is an array reference Name[i-Offset].
+	ExprRef
+	// ExprParam is a scalar loop-invariant parameter.
+	ExprParam
+	// ExprBin is a binary operation; Op one of + - * / < > l g e n
+	// (l: <=, g: >=, e: ==, n: !=).
+	ExprBin
+	// ExprNeg is unary negation.
+	ExprNeg
+)
+
+// Expr is an expression tree node.
+type Expr struct {
+	Kind   ExprKind
+	Num    float64
+	Name   string
+	Offset int
+	Op     byte
+	L, R   *Expr
+}
+
+func (e *Expr) String() string {
+	switch e.Kind {
+	case ExprNum:
+		return fmt.Sprintf("%g", e.Num)
+	case ExprRef:
+		return e.Name + renderOffset(e.Offset)
+	case ExprParam:
+		return e.Name
+	case ExprNeg:
+		return "-" + e.L.String()
+	case ExprBin:
+		op := string(e.Op)
+		switch e.Op {
+		case 'l':
+			op = "<="
+		case 'g':
+			op = ">="
+		case 'e':
+			op = "=="
+		case 'n':
+			op = "!="
+		}
+		return fmt.Sprintf("(%s %s %s)", e.L.String(), op, e.R.String())
+	}
+	return "?"
+}
+
+// walkRefs visits every array reference in the expression.
+func (e *Expr) walkRefs(fn func(name string, offset int)) {
+	switch e.Kind {
+	case ExprRef:
+		fn(e.Name, e.Offset)
+	case ExprBin:
+		e.L.walkRefs(fn)
+		e.R.walkRefs(fn)
+	case ExprNeg:
+		e.L.walkRefs(fn)
+	}
+}
+
+// String renders the loop back to parseable source.
+func (l *Loop) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "loop %s", l.Name)
+	if l.N > 0 {
+		fmt.Fprintf(&sb, "(N = %d)", l.N)
+	}
+	sb.WriteString(" {\n")
+	for _, s := range l.Stmts {
+		sb.WriteString("    ")
+		if s.Cond != nil {
+			fmt.Fprintf(&sb, "if %s ", s.Cond.String())
+		}
+		fmt.Fprintf(&sb, "%s[i] = %s", s.Target, s.RHS.String())
+		if s.Latency != 1 {
+			fmt.Fprintf(&sb, " @lat(%d)", s.Latency)
+		}
+		sb.WriteString("\n")
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// Defined reports whether name is assigned by some statement.
+func (l *Loop) Defined(name string) bool {
+	for _, s := range l.Stmts {
+		if s.Target == name {
+			return true
+		}
+	}
+	return false
+}

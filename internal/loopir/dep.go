@@ -1,0 +1,286 @@
+package loopir
+
+import (
+	"fmt"
+	"math"
+
+	"mimdloop/internal/graph"
+)
+
+// NodeKind distinguishes the DDG nodes a compiled loop produces.
+type NodeKind int8
+
+const (
+	// NodeAssign evaluates a statement's right-hand side (or, for guarded
+	// statements, the if-converted select).
+	NodeAssign NodeKind = iota
+	// NodeCond evaluates a guard condition to 0/1. Introduced by
+	// if-conversion [AlKe83]: control dependence becomes a data dependence
+	// from the condition node to the select node.
+	NodeCond
+)
+
+// NodeInfo describes one DDG node of a compiled loop.
+type NodeInfo struct {
+	Kind NodeKind
+	// Stmt indexes Loop.Stmts.
+	Stmt int
+}
+
+// Compiled couples a loop with its data dependence graph and enough
+// metadata to evaluate nodes — it implements the runtime Semantics contract
+// (Eval/Boundary) used by the goroutine executor and the interpreter.
+type Compiled struct {
+	Loop  *Loop
+	Graph *graph.Graph
+	// Info[v] describes graph node v.
+	Info []NodeInfo
+	// CondNode[s] is the condition node for guarded statement s (-1 none).
+	CondNode []int
+	// AssignNode[s] is the assign/select node for statement s.
+	AssignNode []int
+
+	// Initial supplies X[j] for j < 0 (loop-entry state). Defaults to a
+	// deterministic function of the name and index.
+	Initial func(name string, idx int) float64
+	// Input supplies external (never-assigned) array values.
+	Input func(name string, idx int) float64
+	// Param supplies scalar parameter values.
+	Param func(name string) float64
+
+	// operand lookup: for node v, edgeValue maps (producer node, distance)
+	// to the operand slot aligned with Graph.In(v).
+	inEdges [][]graph.Edge
+}
+
+// Compile runs dependence analysis and if-conversion, producing the DDG:
+//
+//   - one NodeAssign per statement (latency from @lat);
+//   - one NodeCond per guarded statement (latency 1), feeding its select;
+//   - a flow edge for every reference X[i-c] to the statement defining X,
+//     with distance c (deduplicated per (producer, distance));
+//   - for guarded statements, an additional distance-1 self edge: the
+//     if-converted select needs the previous value of its own target.
+//
+// References to arrays never assigned in the loop are external inputs and
+// produce no edges.
+func Compile(l *Loop) (*Compiled, error) {
+	b := graph.NewBuilder()
+	c := &Compiled{
+		Loop:       l,
+		CondNode:   make([]int, len(l.Stmts)),
+		AssignNode: make([]int, len(l.Stmts)),
+		Initial: func(name string, idx int) float64 {
+			return float64(len(name))*0.35 + float64(idx)*0.21
+		},
+		Input: func(name string, idx int) float64 {
+			return float64(len(name))*0.17 + float64(idx)*0.13
+		},
+		Param: func(name string) float64 {
+			return 1 + float64(len(name))*0.5
+		},
+	}
+	definer := map[string]int{} // array -> stmt index
+	for si, s := range l.Stmts {
+		definer[s.Target] = si
+	}
+	for si, s := range l.Stmts {
+		c.CondNode[si] = -1
+		if s.Cond != nil {
+			c.CondNode[si] = b.AddNode(s.Target+"?", 1)
+			c.Info = append(c.Info, NodeInfo{Kind: NodeCond, Stmt: si})
+		}
+		c.AssignNode[si] = b.AddNode(s.Target, s.Latency)
+		c.Info = append(c.Info, NodeInfo{Kind: NodeAssign, Stmt: si})
+	}
+
+	addRefEdges := func(dst int, e *Expr, extra map[[2]int]bool) {
+		e.walkRefs(func(name string, off int) {
+			src, ok := definer[name]
+			if !ok {
+				return // external input
+			}
+			key := [2]int{c.AssignNode[src], off}
+			if extra[key] {
+				return
+			}
+			extra[key] = true
+			b.AddEdge(c.AssignNode[src], dst, off)
+		})
+	}
+	for si, s := range l.Stmts {
+		seen := map[[2]int]bool{}
+		if s.Cond != nil {
+			condSeen := map[[2]int]bool{}
+			addRefEdges(c.CondNode[si], s.Cond, condSeen)
+			// Control dependence converted to data dependence.
+			b.AddEdge(c.CondNode[si], c.AssignNode[si], 0)
+			// The select's false leg is the previous value of the target.
+			seen[[2]int{c.AssignNode[si], 1}] = true
+			b.AddEdge(c.AssignNode[si], c.AssignNode[si], 1)
+		}
+		addRefEdges(c.AssignNode[si], s.RHS, seen)
+	}
+
+	g, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("loopir: %s: %w", l.Name, err)
+	}
+	c.Graph = g
+	c.inEdges = make([][]graph.Edge, g.N())
+	for v := 0; v < g.N(); v++ {
+		for _, ei := range g.In(v) {
+			c.inEdges[v] = append(c.inEdges[v], g.Edges[ei])
+		}
+	}
+	return c, nil
+}
+
+// MustCompile parses and compiles, panicking on error.
+func MustCompile(src string) *Compiled {
+	l := MustParse(src)
+	c, err := Compile(l)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Eval computes node (node, iter) from operand values aligned with
+// Graph.In(node); it satisfies the runtime Semantics contract.
+func (c *Compiled) Eval(node, iter int, args []float64) float64 {
+	vals := map[[2]int]float64{}
+	for i, e := range c.inEdges[node] {
+		vals[[2]int{e.From, e.Distance}] = args[i]
+	}
+	info := c.Info[node]
+	s := c.Loop.Stmts[info.Stmt]
+	lookup := func(name string, off int) float64 {
+		if si, ok := c.lookupDefiner(name); ok {
+			if iter-off < 0 {
+				return c.Initial(name, iter-off)
+			}
+			return vals[[2]int{c.AssignNode[si], off}]
+		}
+		return c.Input(name, iter-off)
+	}
+	switch info.Kind {
+	case NodeCond:
+		if c.evalCond(s.Cond, iter, lookup) {
+			return 1
+		}
+		return 0
+	default:
+		if s.Cond != nil {
+			condVal := vals[[2]int{c.CondNode[info.Stmt], 0}]
+			if condVal == 0 {
+				// Guard false: keep the previous value (if-conversion
+				// select's false leg).
+				if iter-1 < 0 {
+					return c.Initial(s.Target, iter-1)
+				}
+				return vals[[2]int{c.AssignNode[info.Stmt], 1}]
+			}
+		}
+		return c.evalExpr(s.RHS, iter, lookup)
+	}
+}
+
+// Boundary supplies the value read through edge e when the source iteration
+// is negative; it satisfies the runtime Semantics contract.
+func (c *Compiled) Boundary(e graph.Edge, iter int) float64 {
+	name := c.Graph.Nodes[e.From].Name
+	return c.Initial(name, iter-e.Distance)
+}
+
+func (c *Compiled) lookupDefiner(name string) (int, bool) {
+	for si, s := range c.Loop.Stmts {
+		if s.Target == name {
+			return si, true
+		}
+	}
+	return 0, false
+}
+
+func (c *Compiled) evalExpr(e *Expr, iter int, lookup func(string, int) float64) float64 {
+	switch e.Kind {
+	case ExprNum:
+		return e.Num
+	case ExprRef:
+		return lookup(e.Name, e.Offset)
+	case ExprParam:
+		return c.Param(e.Name)
+	case ExprNeg:
+		return -c.evalExpr(e.L, iter, lookup)
+	case ExprBin:
+		l := c.evalExpr(e.L, iter, lookup)
+		r := c.evalExpr(e.R, iter, lookup)
+		switch e.Op {
+		case '+':
+			return l + r
+		case '-':
+			return l - r
+		case '*':
+			return l * r
+		case '/':
+			if r == 0 {
+				return math.Inf(1)
+			}
+			return l / r
+		}
+	}
+	panic(fmt.Sprintf("loopir: unevaluable expression %v", e))
+}
+
+func (c *Compiled) evalCond(e *Expr, iter int, lookup func(string, int) float64) bool {
+	l := c.evalExpr(e.L, iter, lookup)
+	r := c.evalExpr(e.R, iter, lookup)
+	switch e.Op {
+	case '<':
+		return l < r
+	case '>':
+		return l > r
+	case 'l':
+		return l <= r
+	case 'g':
+		return l >= r
+	case 'e':
+		return l == r
+	case 'n':
+		return l != r
+	}
+	panic(fmt.Sprintf("loopir: bad comparison op %q", e.Op))
+}
+
+// Interpret runs the loop sequentially for n iterations and returns every
+// node instance's value — the ground truth for the parallel executions.
+func (c *Compiled) Interpret(n int) map[graph.InstanceID]float64 {
+	g := c.Graph
+	order := g.BodyOrder()
+	vals := make(map[graph.InstanceID]float64, n*g.N())
+	for iter := 0; iter < n; iter++ {
+		for _, v := range order {
+			args := make([]float64, 0, len(c.inEdges[v]))
+			for _, e := range c.inEdges[v] {
+				srcIter := iter - e.Distance
+				if srcIter < 0 {
+					args = append(args, c.Boundary(e, iter))
+					continue
+				}
+				args = append(args, vals[graph.InstanceID{Node: e.From, Iter: srcIter}])
+			}
+			vals[graph.InstanceID{Node: v, Iter: iter}] = c.Eval(v, iter, args)
+		}
+	}
+	return vals
+}
+
+// FinalValues extracts, for each computed array, its value at the last
+// iteration — the observable result of the loop.
+func (c *Compiled) FinalValues(vals map[graph.InstanceID]float64, n int) map[string]float64 {
+	out := make(map[string]float64)
+	for si, s := range c.Loop.Stmts {
+		out[s.Target] = vals[graph.InstanceID{Node: c.AssignNode[si], Iter: n - 1}]
+	}
+	return out
+}

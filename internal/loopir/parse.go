@@ -1,0 +1,331 @@
+package loopir
+
+import "fmt"
+
+// Parse parses a loop program.
+func Parse(src string) (*Loop, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	loop, err := p.parseLoop()
+	if err != nil {
+		return nil, err
+	}
+	if err := validate(loop); err != nil {
+		return nil, err
+	}
+	return loop, nil
+}
+
+// MustParse is Parse for statically-known-good sources; it panics on error.
+func MustParse(src string) *Loop {
+	l, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
+func (p *parser) errf(t token, format string, args ...any) error {
+	return fmt.Errorf("loopir: line %d col %d: %s", t.line, t.col, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expectPunct(text string) (token, error) {
+	t := p.next()
+	if t.kind != tokPunct || t.text != text {
+		return t, p.errf(t, "expected %q, found %s", text, t.describe())
+	}
+	return t, nil
+}
+
+func (p *parser) expectIdent() (token, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return t, p.errf(t, "expected identifier, found %s", t.describe())
+	}
+	return t, nil
+}
+
+func (p *parser) parseLoop() (*Loop, error) {
+	kw, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if kw.text != "loop" {
+		return nil, p.errf(kw, `program must start with "loop", found %q`, kw.text)
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	loop := &Loop{Name: name.text}
+	if p.peek().kind == tokPunct && p.peek().text == "(" {
+		p.next()
+		nTok, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if nTok.text != "N" {
+			return nil, p.errf(nTok, `loop header parameter must be "N"`)
+		}
+		if _, err := p.expectPunct("="); err != nil {
+			return nil, err
+		}
+		num := p.next()
+		if num.kind != tokNumber || num.num != float64(int(num.num)) || num.num < 1 {
+			return nil, p.errf(num, "N must be a positive integer")
+		}
+		loop.N = int(num.num)
+		if _, err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	for {
+		if p.peek().kind == tokPunct && p.peek().text == "}" {
+			p.next()
+			break
+		}
+		if p.atEOF() {
+			return nil, p.errf(p.peek(), "unterminated loop body")
+		}
+		stmt, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		loop.Stmts = append(loop.Stmts, stmt)
+	}
+	if !p.atEOF() {
+		return nil, p.errf(p.peek(), "trailing input after loop body")
+	}
+	return loop, nil
+}
+
+func (p *parser) parseStmt() (*Stmt, error) {
+	stmt := &Stmt{Latency: 1, Line: p.peek().line}
+	if p.peek().kind == tokIdent && p.peek().text == "if" {
+		p.next()
+		if _, err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseCond()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		stmt.Cond = cond
+	}
+	target, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	stmt.Target = target.text
+	if _, err := p.expectPunct("["); err != nil {
+		return nil, err
+	}
+	iv, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if iv.text != "i" {
+		return nil, p.errf(iv, `assignment target index must be "i"`)
+	}
+	if _, err := p.expectPunct("]"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expectPunct("="); err != nil {
+		return nil, err
+	}
+	rhs, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	stmt.RHS = rhs
+	if p.peek().kind == tokPunct && p.peek().text == "@" {
+		p.next()
+		kw, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if kw.text != "lat" {
+			return nil, p.errf(kw, `only "@lat(n)" annotations are supported`)
+		}
+		if _, err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		num := p.next()
+		if num.kind != tokNumber || num.num != float64(int(num.num)) || num.num < 1 {
+			return nil, p.errf(num, "latency must be a positive integer")
+		}
+		stmt.Latency = int(num.num)
+		if _, err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseCond() (*Expr, error) {
+	l, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	t := p.next()
+	var op byte
+	switch {
+	case t.kind != tokPunct:
+		return nil, p.errf(t, "expected comparison operator, found %s", t.describe())
+	case t.text == "<":
+		op = '<'
+	case t.text == ">":
+		op = '>'
+	case t.text == "<=":
+		op = 'l'
+	case t.text == ">=":
+		op = 'g'
+	case t.text == "==":
+		op = 'e'
+	case t.text == "!=":
+		op = 'n'
+	default:
+		return nil, p.errf(t, "expected comparison operator, found %s", t.describe())
+	}
+	r, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &Expr{Kind: ExprBin, Op: op, L: l, R: r}, nil
+}
+
+func (p *parser) parseExpr() (*Expr, error) {
+	l, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokPunct && (p.peek().text == "+" || p.peek().text == "-") {
+		op := p.next().text[0]
+		r, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		l = &Expr{Kind: ExprBin, Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseTerm() (*Expr, error) {
+	l, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokPunct && (p.peek().text == "*" || p.peek().text == "/") {
+		op := p.next().text[0]
+		r, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		l = &Expr{Kind: ExprBin, Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseFactor() (*Expr, error) {
+	t := p.next()
+	switch {
+	case t.kind == tokNumber:
+		return &Expr{Kind: ExprNum, Num: t.num}, nil
+	case t.kind == tokPunct && t.text == "-":
+		inner, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		return &Expr{Kind: ExprNeg, L: inner}, nil
+	case t.kind == tokPunct && t.text == "(":
+		inner, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	case t.kind == tokIdent:
+		if p.peek().kind == tokPunct && p.peek().text == "[" {
+			p.next()
+			iv, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if iv.text != "i" {
+				return nil, p.errf(iv, `array index must be "i" or "i-k"`)
+			}
+			offset := 0
+			if p.peek().kind == tokPunct && p.peek().text == "-" {
+				p.next()
+				num := p.next()
+				if num.kind != tokNumber || num.num != float64(int(num.num)) || num.num < 0 {
+					return nil, p.errf(num, "offset must be a non-negative integer")
+				}
+				offset = int(num.num)
+			}
+			if _, err := p.expectPunct("]"); err != nil {
+				return nil, err
+			}
+			return &Expr{Kind: ExprRef, Name: t.text, Offset: offset}, nil
+		}
+		return &Expr{Kind: ExprParam, Name: t.text}, nil
+	default:
+		return nil, p.errf(t, "expected expression, found %s", t.describe())
+	}
+}
+
+// validate enforces single assignment and self-consistency rules that the
+// dependence analysis relies on.
+func validate(l *Loop) error {
+	if len(l.Stmts) == 0 {
+		return fmt.Errorf("loopir: loop %s has no statements", l.Name)
+	}
+	defined := map[string]int{}
+	for _, s := range l.Stmts {
+		if prev, dup := defined[s.Target]; dup {
+			return fmt.Errorf("loopir: line %d: %s assigned twice (first at line %d); single assignment required",
+				s.Line, s.Target, prev)
+		}
+		defined[s.Target] = s.Line
+	}
+	// A same-iteration self reference (X[i] in the RHS of X[i] = ...)
+	// would be a zero-distance self loop.
+	for _, s := range l.Stmts {
+		bad := false
+		s.RHS.walkRefs(func(name string, off int) {
+			if name == s.Target && off == 0 {
+				bad = true
+			}
+		})
+		if s.Cond != nil {
+			s.Cond.walkRefs(func(name string, off int) {
+				if name == s.Target && off == 0 {
+					bad = true
+				}
+			})
+		}
+		if bad {
+			return fmt.Errorf("loopir: line %d: %s[i] used in its own definition", s.Line, s.Target)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,187 @@
+package loopir
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mimdloop/internal/graph"
+)
+
+// randomLoopSource generates a random, guaranteed-valid loop program.
+func randomLoopSource(rng *rand.Rand) string {
+	n := 1 + rng.Intn(8)
+	var sb strings.Builder
+	sb.WriteString("loop fuzz {\n")
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("v%d", i)
+		// Guard some statements.
+		if i > 0 && rng.Intn(4) == 0 {
+			ref := fmt.Sprintf("v%d", rng.Intn(i))
+			fmt.Fprintf(&sb, "  if (%s[i] > 0.5) ", ref)
+		}
+		fmt.Fprintf(&sb, "%s[i] = ", name)
+		terms := 1 + rng.Intn(3)
+		for t := 0; t < terms; t++ {
+			if t > 0 {
+				sb.WriteString([]string{" + ", " - ", " * "}[rng.Intn(3)])
+			}
+			switch rng.Intn(4) {
+			case 0:
+				fmt.Fprintf(&sb, "%.2f", rng.Float64()*4-2)
+			case 1: // previously-defined array, same iteration
+				if i == 0 {
+					fmt.Fprintf(&sb, "IN[i-%d]", rng.Intn(2))
+				} else {
+					fmt.Fprintf(&sb, "v%d[i]", rng.Intn(i))
+				}
+			case 2: // any array, previous iterations
+				fmt.Fprintf(&sb, "v%d[i-%d]", rng.Intn(n), 1+rng.Intn(2))
+			default:
+				sb.WriteString("p")
+			}
+		}
+		if rng.Intn(3) == 0 {
+			fmt.Fprintf(&sb, " @lat(%d)", 1+rng.Intn(3))
+		}
+		sb.WriteString("\n")
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func TestPropertyParseStringRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src := randomLoopSource(rng)
+		l1, err := Parse(src)
+		if err != nil {
+			t.Logf("seed %d: %v\n%s", seed, err, src)
+			return false
+		}
+		l2, err := Parse(l1.String())
+		if err != nil {
+			t.Logf("seed %d round trip: %v\n%s", seed, err, l1.String())
+			return false
+		}
+		if len(l1.Stmts) != len(l2.Stmts) {
+			return false
+		}
+		for i := range l1.Stmts {
+			a, b := l1.Stmts[i], l2.Stmts[i]
+			if a.Target != b.Target || a.Latency != b.Latency ||
+				a.RHS.String() != b.RHS.String() {
+				return false
+			}
+			if (a.Cond == nil) != (b.Cond == nil) {
+				return false
+			}
+			if a.Cond != nil && a.Cond.String() != b.Cond.String() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyCompileAndInterpretTotal(t *testing.T) {
+	// Every generated program compiles to a valid graph, and the
+	// interpreter is deterministic.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src := randomLoopSource(rng)
+		c1, err := Compile(MustParse(src))
+		if err != nil {
+			t.Logf("seed %d: %v\n%s", seed, err, src)
+			return false
+		}
+		c2, err := Compile(MustParse(src))
+		if err != nil {
+			return false
+		}
+		n := 1 + rng.Intn(8)
+		v1 := c1.Interpret(n)
+		v2 := c2.Interpret(n)
+		if len(v1) != len(v2) || len(v1) != n*c1.Graph.N() {
+			return false
+		}
+		for k, a := range v1 {
+			b := v2[k]
+			if a != b && !(math.IsNaN(a) && math.IsNaN(b)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyGuardedStatementsHaveSelfLoop(t *testing.T) {
+	// If-conversion must introduce the distance-1 self dependence (the
+	// select's false leg) for every guarded statement.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src := randomLoopSource(rng)
+		c, err := Compile(MustParse(src))
+		if err != nil {
+			return false
+		}
+		for si, s := range c.Loop.Stmts {
+			if s.Cond == nil {
+				continue
+			}
+			node := c.AssignNode[si]
+			found := false
+			for _, ei := range c.Graph.In(node) {
+				e := c.Graph.Edges[ei]
+				if e.From == node && e.Distance == 1 {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+			// And the condition node feeds the select at distance 0.
+			condFeeds := false
+			for _, ei := range c.Graph.In(node) {
+				e := c.Graph.Edges[ei]
+				if e.From == c.CondNode[si] && e.Distance == 0 {
+					condFeeds = true
+				}
+			}
+			if !condFeeds {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoundaryEdgeNaming(t *testing.T) {
+	c := MustCompile(`loop b { X[i] = X[i-2] + 1.0 }`)
+	c.Initial = func(name string, idx int) float64 {
+		if name != "X" {
+			t.Fatalf("boundary asked for %q", name)
+		}
+		return float64(idx)
+	}
+	vals := c.Interpret(2)
+	// X[0] = X[-2] + 1 = -2 + 1; X[1] = X[-1] + 1 = 0.
+	if got := vals[graph.InstanceID{Node: 0, Iter: 0}]; got != -1 {
+		t.Fatalf("X[0] = %v, want -1", got)
+	}
+	if got := vals[graph.InstanceID{Node: 0, Iter: 1}]; got != 0 {
+		t.Fatalf("X[1] = %v, want 0", got)
+	}
+}

@@ -1,0 +1,31 @@
+package machine
+
+import (
+	"testing"
+
+	"mimdloop/internal/core"
+	"mimdloop/internal/program"
+)
+
+func BenchmarkSimulatedRun(b *testing.B) {
+	g := figure7(b)
+	res, err := core.CyclicSched(g, core.Options{Processors: 2, CommCost: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := res.Expand(1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	progs, err := program.Build(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(g, progs, Config{Fluct: 3, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(progs[0].Instrs)+len(progs[1].Instrs))/1000, "instrs/iter")
+}

@@ -1,0 +1,181 @@
+// Package machine is the simulated asynchronous MIMD multiprocessor of the
+// paper's Section 4: it executes per-processor instruction streams
+// self-timed (each processor runs as fast as its program order and message
+// arrivals allow), with fully-overlapped communication whose per-message
+// run-time cost fluctuates between the compile-time estimate k and
+// k + mm - 1. Compile-time schedules only determine placement and order;
+// the simulator measures what actually happens when the communication
+// estimate is wrong — the paper's robustness experiment (Table 1).
+package machine
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"mimdloop/internal/graph"
+	"mimdloop/internal/program"
+)
+
+// Config controls run-time communication behaviour.
+type Config struct {
+	// Fluct is the paper's mm: each message's latency is its compile-time
+	// cost plus a deterministic pseudo-random extra in [0, mm-1]. Values
+	// <= 1 mean no fluctuation.
+	Fluct int
+	// Seed selects the fluctuation stream.
+	Seed int64
+	// LinkFIFO forces in-order delivery per (src, dst) link: a message
+	// cannot arrive before an earlier-sent message on the same link.
+	LinkFIFO bool
+	// Override, when true, replaces every message's compile-time cost with
+	// OverrideCost: the machine's real communication latency regardless of
+	// what the scheduler assumed. Used to study robustness of the
+	// communication-cost estimate (Section 5's "even when the estimation
+	// of communication cost is far off the mark").
+	Override     bool
+	OverrideCost int
+}
+
+// ProcStats reports one processor's activity.
+type ProcStats struct {
+	Finish int // cycle its last instruction completed
+	Busy   int // cycles spent computing
+	Wait   int // cycles stalled in RECV
+	Sends  int
+	Recvs  int
+}
+
+// Stats reports a whole run.
+type Stats struct {
+	Makespan int
+	Messages int
+	PerProc  []ProcStats
+}
+
+// Utilization returns total busy cycles / (makespan * processors).
+func (s *Stats) Utilization() float64 {
+	if s.Makespan == 0 || len(s.PerProc) == 0 {
+		return 0
+	}
+	busy := 0
+	for _, p := range s.PerProc {
+		busy += p.Busy
+	}
+	return float64(busy) / float64(s.Makespan*len(s.PerProc))
+}
+
+// Run executes the programs and returns timing statistics. It fails on
+// deadlock (a RECV whose message is never sent) with a diagnostic of the
+// blocked processors.
+func Run(g *graph.Graph, progs []program.Program, cfg Config) (*Stats, error) {
+	if cfg.Fluct < 0 {
+		return nil, fmt.Errorf("machine: negative fluctuation %d", cfg.Fluct)
+	}
+	n := len(progs)
+	arrivals := make(map[program.MsgKey]int)
+	lastOnLink := make(map[[2]int]int)
+	pc := make([]int, n)
+	clock := make([]int, n)
+	stats := &Stats{PerProc: make([]ProcStats, n)}
+
+	for {
+		progress := false
+		done := true
+		for p := 0; p < n; p++ {
+			prog := &progs[p]
+			for pc[p] < len(prog.Instrs) {
+				in := prog.Instrs[pc[p]]
+				switch in.Kind {
+				case program.OpCompute:
+					lat := g.Nodes[in.Node].Latency
+					clock[p] += lat
+					stats.PerProc[p].Busy += lat
+				case program.OpSend:
+					key := program.MsgKey{Node: in.Node, Iter: in.Iter, From: p, To: in.Peer}
+					cost := in.Cost
+					if cfg.Override {
+						cost = cfg.OverrideCost
+					}
+					delay := cost + fluct(cfg, key)
+					arr := clock[p] + delay
+					if cfg.LinkFIFO {
+						link := [2]int{p, in.Peer}
+						if prev, ok := lastOnLink[link]; ok && prev > arr {
+							arr = prev
+						}
+						lastOnLink[link] = arr
+					}
+					arrivals[key] = arr
+					stats.PerProc[p].Sends++
+					stats.Messages++
+				case program.OpRecv:
+					key := program.MsgKey{Node: in.Node, Iter: in.Iter, From: in.Peer, To: p}
+					arr, ok := arrivals[key]
+					if !ok {
+						// Blocked: try again after other processors run.
+						goto nextProc
+					}
+					if arr > clock[p] {
+						stats.PerProc[p].Wait += arr - clock[p]
+						clock[p] = arr
+					}
+					stats.PerProc[p].Recvs++
+				}
+				pc[p]++
+				progress = true
+			}
+		nextProc:
+			if pc[p] < len(prog.Instrs) {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+		if !progress {
+			return nil, deadlockError(progs, pc)
+		}
+	}
+	for p := 0; p < n; p++ {
+		stats.PerProc[p].Finish = clock[p]
+		if clock[p] > stats.Makespan {
+			stats.Makespan = clock[p]
+		}
+	}
+	return stats, nil
+}
+
+// fluct derives the deterministic per-message extra delay in [0, mm-1].
+// Hashing the message identity (rather than drawing from a shared stream)
+// makes the delay independent of execution interleaving.
+func fluct(cfg Config, key program.MsgKey) int {
+	if cfg.Fluct <= 1 {
+		return 0
+	}
+	h := fnv.New64a()
+	var buf [40]byte
+	put := func(off int, v int64) {
+		for i := 0; i < 8; i++ {
+			buf[off+i] = byte(v >> (8 * i))
+		}
+	}
+	put(0, cfg.Seed)
+	put(8, int64(key.Node))
+	put(16, int64(key.Iter))
+	put(24, int64(key.From))
+	put(32, int64(key.To))
+	h.Write(buf[:])
+	return int(h.Sum64() % uint64(cfg.Fluct))
+}
+
+func deadlockError(progs []program.Program, pc []int) error {
+	msg := "machine: deadlock:"
+	for p := range progs {
+		if pc[p] < len(progs[p].Instrs) {
+			in := progs[p].Instrs[pc[p]]
+			msg += fmt.Sprintf(" PE%d blocked at instr %d (%s node=%d iter=%d peer=%d);",
+				p, pc[p], in.Kind, in.Node, in.Iter, in.Peer)
+		}
+	}
+	return fmt.Errorf("%s", msg)
+}

@@ -1,0 +1,241 @@
+package machine
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mimdloop/internal/classify"
+	"mimdloop/internal/core"
+	"mimdloop/internal/doacross"
+	"mimdloop/internal/graph"
+	"mimdloop/internal/program"
+)
+
+func figure7(t testing.TB) *graph.Graph {
+	b := graph.NewBuilder()
+	a := b.AddNode("A", 1)
+	bb := b.AddNode("B", 1)
+	c := b.AddNode("C", 1)
+	d := b.AddNode("D", 1)
+	e := b.AddNode("E", 1)
+	b.AddEdge(a, a, 1)
+	b.AddEdge(e, a, 1)
+	b.AddEdge(a, bb, 0)
+	b.AddEdge(bb, c, 0)
+	b.AddEdge(d, d, 1)
+	b.AddEdge(c, d, 1)
+	b.AddEdge(d, e, 0)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestSimulatedTimeTracksStaticSchedule(t *testing.T) {
+	// Self-timed execution under exact communication estimates can never
+	// be slower than the static schedule (ASAP execution of the same
+	// order), and for the Fig. 7 loop it matches the static makespan.
+	g := figure7(t)
+	res, err := core.CyclicSched(g, core.Options{Processors: 2, CommCost: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := res.Expand(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs, err := program.Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := Run(g, progs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Makespan > s.Makespan() {
+		t.Fatalf("simulated %d > static %d", stats.Makespan, s.Makespan())
+	}
+	if stats.Makespan < s.Makespan()-res.Pattern.Cycles() {
+		t.Fatalf("simulated %d improbably far below static %d", stats.Makespan, s.Makespan())
+	}
+	if stats.Messages == 0 {
+		t.Fatal("no messages simulated")
+	}
+	if u := stats.Utilization(); u <= 0 || u > 1 {
+		t.Fatalf("utilization = %v", u)
+	}
+}
+
+func TestFluctuationSlowsExecution(t *testing.T) {
+	g := figure7(t)
+	res, err := core.CyclicSched(g, core.Options{Processors: 2, CommCost: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := res.Expand(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs, err := program.Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Run(g, progs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := Run(g, progs, Config{Fluct: 5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Makespan <= base.Makespan {
+		t.Fatalf("mm=5 makespan %d not worse than mm=1 %d", slow.Makespan, base.Makespan)
+	}
+	// Determinism.
+	again, err := Run(g, progs, Config{Fluct: 5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Makespan != slow.Makespan {
+		t.Fatalf("same seed, different makespan: %d vs %d", again.Makespan, slow.Makespan)
+	}
+	other, err := Run(g, progs, Config{Fluct: 5, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.Makespan == slow.Makespan && other.PerProc[0].Wait == slow.PerProc[0].Wait {
+		t.Log("different seeds gave identical stats (possible but unlikely)")
+	}
+}
+
+func TestLinkFIFOOrdering(t *testing.T) {
+	g := figure7(t)
+	res, err := core.CyclicSched(g, core.Options{Processors: 2, CommCost: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := res.Expand(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs, err := program.Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	free, err := Run(g, progs, Config{Fluct: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fifo, err := Run(g, progs, Config{Fluct: 4, Seed: 3, LinkFIFO: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fifo.Makespan < free.Makespan {
+		t.Fatalf("FIFO links made execution faster: %d < %d", fifo.Makespan, free.Makespan)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	g := figure7(t)
+	progs := []program.Program{
+		{Proc: 0, Instrs: []program.Instr{{Kind: program.OpRecv, Node: 0, Iter: 0, Peer: 1}}},
+		{Proc: 1, Instrs: []program.Instr{{Kind: program.OpRecv, Node: 1, Iter: 0, Peer: 0}}},
+	}
+	_, err := Run(g, progs, Config{})
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("err = %v, want deadlock", err)
+	}
+}
+
+func TestNegativeFluctRejected(t *testing.T) {
+	g := figure7(t)
+	if _, err := Run(g, nil, Config{Fluct: -1}); err == nil {
+		t.Fatal("negative fluct accepted")
+	}
+}
+
+func TestPropertySimulationNeverBeatsCriticalPath(t *testing.T) {
+	// For any random cyclic loop: simulated makespan (exact comm) is at
+	// least iterations x critical-path rate, and no more than the static
+	// schedule's makespan.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(8)
+		b := graph.NewBuilder()
+		for i := 0; i < n; i++ {
+			b.AddNode("n", 1+rng.Intn(3))
+		}
+		for i, sd := 0, rng.Intn(n); i < sd; i++ {
+			u := rng.Intn(n - 1)
+			v := u + 1 + rng.Intn(n-u-1)
+			b.AddEdge(u, v, 0)
+		}
+		for i, lcd := 0, 1+rng.Intn(n); i < lcd; i++ {
+			b.AddEdge(rng.Intn(n), rng.Intn(n), 1)
+		}
+		g := b.MustBuild()
+		cls := classify.Partition(g)
+		if cls.IsDOALL() {
+			return true
+		}
+		sub, _, err := classify.CyclicSubgraph(g, cls)
+		if err != nil {
+			return false
+		}
+		multi, err := core.CyclicSchedAll(sub, core.Options{Processors: 3, CommCost: rng.Intn(3)})
+		if err != nil {
+			return false
+		}
+		iters := 12
+		s, err := multi.Expand(iters)
+		if err != nil {
+			return false
+		}
+		progs, err := program.Build(s)
+		if err != nil {
+			return false
+		}
+		stats, err := Run(sub, progs, Config{})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if stats.Makespan > s.Makespan() {
+			t.Logf("seed %d: sim %d > static %d", seed, stats.Makespan, s.Makespan())
+			return false
+		}
+		// CriticalPathPerIteration is the ceiling of the rational rate
+		// max L(C)/D(C); cpi-1 strictly lower-bounds the true rate.
+		cpi := sub.CriticalPathPerIteration()
+		if cpi > 1 && stats.Makespan < (iters-1)*(cpi-1) {
+			t.Logf("seed %d: sim %d below critical bound %d", seed, stats.Makespan, (iters-1)*(cpi-1))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoacrossProgramsRunOnMachine(t *testing.T) {
+	g := figure7(t)
+	res, err := doacross.Schedule(g, doacross.Options{MaxProcessors: 3, CommCost: 2}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs, err := program.Build(res.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := Run(g, progs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Makespan > res.Schedule.Makespan() {
+		t.Fatalf("sim %d > static %d", stats.Makespan, res.Schedule.Makespan())
+	}
+}

@@ -1,0 +1,106 @@
+package machine
+
+import (
+	"testing"
+
+	"mimdloop/internal/core"
+	"mimdloop/internal/program"
+)
+
+func fig7Programs(t testing.TB, k int) ([]program.Program, int) {
+	t.Helper()
+	g := figure7(t)
+	res, err := core.CyclicSched(g, core.Options{Processors: 2, CommCost: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := res.Expand(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs, err := program.Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return progs, s.Makespan()
+}
+
+func TestOverrideCostChangesTiming(t *testing.T) {
+	g := figure7(t)
+	progs, static := fig7Programs(t, 2)
+
+	exact, err := Run(g, progs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Makespan > static {
+		t.Fatalf("exact run %d > static %d", exact.Makespan, static)
+	}
+
+	// True cost 0: communication free, execution can only speed up.
+	free, err := Run(g, progs, Config{Override: true, OverrideCost: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free.Makespan > exact.Makespan {
+		t.Fatalf("free comm %d slower than scheduled comm %d", free.Makespan, exact.Makespan)
+	}
+
+	// True cost far above the estimate: execution slows but still
+	// completes correctly (self-timed).
+	slow, err := Run(g, progs, Config{Override: true, OverrideCost: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Makespan <= exact.Makespan {
+		t.Fatalf("9-cycle comm %d not slower than 2-cycle %d", slow.Makespan, exact.Makespan)
+	}
+}
+
+func TestOverrideZeroValueIsInert(t *testing.T) {
+	// Config{} must not override costs (Override defaults to false even
+	// though OverrideCost is 0).
+	g := figure7(t)
+	progs, _ := fig7Programs(t, 2)
+	a, err := Run(g, progs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(g, progs, Config{OverrideCost: 0}) // Override not set
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan {
+		t.Fatalf("inert override changed timing: %d vs %d", a.Makespan, b.Makespan)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	g := figure7(t)
+	progs, _ := fig7Programs(t, 2)
+	stats, err := Run(g, progs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Busy cycles = 50 iterations x 5 unit-latency nodes.
+	busy := 0
+	for _, p := range stats.PerProc {
+		busy += p.Busy
+	}
+	if busy != 250 {
+		t.Fatalf("busy = %d, want 250", busy)
+	}
+	sends, recvs := 0, 0
+	for _, p := range stats.PerProc {
+		sends += p.Sends
+		recvs += p.Recvs
+	}
+	if sends != recvs || sends != stats.Messages {
+		t.Fatalf("sends %d recvs %d messages %d", sends, recvs, stats.Messages)
+	}
+	for i, p := range stats.PerProc {
+		if p.Finish > stats.Makespan {
+			t.Fatalf("PE%d finish %d beyond makespan %d", i, p.Finish, stats.Makespan)
+		}
+	}
+}

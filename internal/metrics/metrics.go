@@ -1,0 +1,102 @@
+// Package metrics implements the paper's evaluation metric — percentage
+// parallelism — and the aggregate statistics of Table 1.
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PercentParallelism is the paper's Sp = (s - p) / s * 100 ([Cytron84]),
+// where s and p are sequential and parallel execution times. Negative
+// values mean the parallel execution was slower.
+func PercentParallelism(seq, par int) float64 {
+	if seq <= 0 {
+		return 0
+	}
+	return float64(seq-par) / float64(seq) * 100
+}
+
+// ClampZero reports a percentage the way the paper's tables do: a scheduler
+// would fall back to sequential execution rather than run a slower parallel
+// version, so negative parallelism is reported as 0.
+func ClampZero(sp float64) float64 {
+	if sp < 0 {
+		return 0
+	}
+	return sp
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// SpeedupFactor is the paper's Table 1(b) "factor of speed-up over
+// DOACROSS": the ratio of mean percentage parallelisms.
+func SpeedupFactor(ours, doacross float64) float64 {
+	if doacross == 0 {
+		return 0
+	}
+	return ours / doacross
+}
+
+// Table renders rows of labeled float columns with a header, space-aligned,
+// in the spirit of the paper's tables.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%*s", widths[i], c)
+		}
+		sb.WriteString("\n")
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i, w := range widths {
+		sep[i] = strings.Repeat("-", w)
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// F1 formats with one decimal, as the paper's per-loop entries.
+func F1(x float64) string { return fmt.Sprintf("%.1f", x) }
+
+// F4 formats with four decimals, as the paper's Table 1(b) averages.
+func F4(x float64) string { return fmt.Sprintf("%.4f", x) }

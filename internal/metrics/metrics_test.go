@@ -1,0 +1,61 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPercentParallelism(t *testing.T) {
+	if got := PercentParallelism(100, 60); got != 40 {
+		t.Fatalf("Sp = %v, want 40", got)
+	}
+	if got := PercentParallelism(100, 100); got != 0 {
+		t.Fatalf("Sp = %v, want 0", got)
+	}
+	if got := PercentParallelism(100, 150); got != -50 {
+		t.Fatalf("Sp = %v, want -50", got)
+	}
+	if got := PercentParallelism(0, 10); got != 0 {
+		t.Fatalf("Sp with zero sequential = %v", got)
+	}
+}
+
+func TestClampZero(t *testing.T) {
+	if got := ClampZero(-3); got != 0 {
+		t.Fatalf("clamp = %v", got)
+	}
+	if got := ClampZero(7.5); got != 7.5 {
+		t.Fatalf("clamp = %v", got)
+	}
+}
+
+func TestMeanAndFactor(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %v", got)
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("Mean = %v", got)
+	}
+	if got := SpeedupFactor(45, 15); got != 3 {
+		t.Fatalf("factor = %v", got)
+	}
+	if got := SpeedupFactor(45, 0); got != 0 {
+		t.Fatalf("factor/0 = %v", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{Header: []string{"loop", "x", "doacross"}}
+	tbl.AddRow("0", F1(45.25), F1(18.6))
+	tbl.AddRow("1", F4(36.1), F1(0))
+	s := tbl.String()
+	for _, want := range []string{"loop", "45.2", "36.1000", "0.0", "---"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("table missing %q:\n%s", want, s)
+		}
+	}
+	lines := strings.Count(s, "\n")
+	if lines != 4 { // header + separator + 2 rows
+		t.Fatalf("lines = %d, want 4:\n%s", lines, s)
+	}
+}

@@ -1,0 +1,40 @@
+package mimdrt
+
+import (
+	"testing"
+
+	"mimdloop/internal/core"
+	"mimdloop/internal/program"
+)
+
+func BenchmarkGoroutineExecution(b *testing.B) {
+	// Real parallel execution of 1000 iterations of the Figure 7 loop:
+	// measures the fine-grain synchronization cost the repro notes warn
+	// about (channel send/recv per cross-processor value).
+	g := figure7(b)
+	res, err := core.CyclicSched(g, core.Options{Processors: 2, CommCost: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := res.Expand(1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	progs, err := program.Build(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(g, progs, MixSemantics{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSequentialInterpretation(b *testing.B) {
+	g := figure7(b)
+	for i := 0; i < b.N; i++ {
+		Sequential(g, MixSemantics{}, 1000)
+	}
+}

@@ -1,0 +1,221 @@
+// Package pattern implements the configuration-window machinery of the
+// paper's Section 2.3: it watches a growing schedule, hashes fixed-size
+// "configurations" (a window of width p processors and height k+1 cycles,
+// with iteration indices normalized), and reports when a configuration
+// repeats — the signal that the greedy schedule has entered its steady
+// state. A candidate repeat is accepted only after the whole period between
+// the two windows replays exactly (slot-by-slot with a uniform iteration
+// shift), which guards against hash coincidences and against anomalies when
+// the processor count is too small for the paper's sufficiency assumption.
+package pattern
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Slot describes one (cycle, processor) cell of the schedule grid: which
+// node instance occupies it and which cycle of that instance's execution
+// (Phase) this is. An empty cell has Node == -1.
+type Slot struct {
+	Node  int
+	Iter  int
+	Phase int
+}
+
+// Empty is the unoccupied slot.
+var Empty = Slot{Node: -1}
+
+// Match is a verified repetition: the schedule segment [Start, End) repeats
+// forever with iteration indices advancing by IterShift per repetition.
+type Match struct {
+	Start     int // first cycle of the period
+	End       int // one past the last cycle of the period
+	IterShift int // d: iterations advanced per period
+}
+
+// Cycles returns the period length in cycles.
+func (m Match) Cycles() int { return m.End - m.Start }
+
+func (m Match) String() string {
+	return fmt.Sprintf("pattern[%d,%d) d=%d", m.Start, m.End, m.IterShift)
+}
+
+type candidate struct {
+	t1, t2 int
+	shift  int
+}
+
+// Detector accumulates placements into a cycle×processor grid and searches
+// for repeating configurations. It must only be consulted with a
+// stableTime: the cycle below which the schedule can no longer change (no
+// future placement can start earlier).
+type Detector struct {
+	procs  int
+	height int
+
+	grid      [][]Slot // grid[cycle][proc]
+	firstSeen map[string]int
+	nextScan  int
+	pending   []candidate
+}
+
+// NewDetector creates a detector for a schedule over procs processors using
+// configuration windows of the given height (the paper's k+1; callers use
+// k + max latency so that multi-cycle operations are fully visible).
+func NewDetector(procs, height int) *Detector {
+	if procs < 1 {
+		panic("pattern: detector needs at least one processor")
+	}
+	if height < 1 {
+		height = 1
+	}
+	return &Detector{procs: procs, height: height, firstSeen: make(map[string]int)}
+}
+
+// Add records that iteration iter of node occupies processor proc during
+// cycles [start, start+latency).
+func (d *Detector) Add(node, iter, proc, start, latency int) {
+	if proc < 0 || proc >= d.procs {
+		panic(fmt.Sprintf("pattern: placement on processor %d of %d", proc, d.procs))
+	}
+	end := start + latency
+	for len(d.grid) < end {
+		row := make([]Slot, d.procs)
+		for i := range row {
+			row[i] = Empty
+		}
+		d.grid = append(d.grid, row)
+	}
+	for c := start; c < end; c++ {
+		if d.grid[c][proc].Node != -1 {
+			panic(fmt.Sprintf("pattern: slot (%d, P%d) double-booked", c, proc))
+		}
+		d.grid[c][proc] = Slot{Node: node, Iter: iter, Phase: c - start}
+	}
+}
+
+// slot returns the grid cell, Empty beyond the recorded frontier.
+func (d *Detector) slot(cycle, proc int) Slot {
+	if cycle >= len(d.grid) {
+		return Empty
+	}
+	return d.grid[cycle][proc]
+}
+
+// windowKey canonicalizes the window with top row t: iteration numbers are
+// rebased to the window's minimum iteration so that shifted twins hash
+// identically. ok is false for fully-empty windows, which are excluded from
+// matching (they carry no phase information and would match trivially).
+func (d *Detector) windowKey(t int) (string, int, bool) {
+	minIter := -1
+	for r := t; r < t+d.height; r++ {
+		for p := 0; p < d.procs; p++ {
+			s := d.slot(r, p)
+			if s.Node != -1 && (minIter == -1 || s.Iter < minIter) {
+				minIter = s.Iter
+			}
+		}
+	}
+	if minIter == -1 {
+		return "", 0, false
+	}
+	buf := make([]byte, 0, d.height*d.procs*12)
+	var scratch [12]byte
+	for r := t; r < t+d.height; r++ {
+		for p := 0; p < d.procs; p++ {
+			s := d.slot(r, p)
+			if s.Node == -1 {
+				buf = append(buf, 0xff)
+				continue
+			}
+			binary.LittleEndian.PutUint32(scratch[0:4], uint32(s.Node))
+			binary.LittleEndian.PutUint32(scratch[4:8], uint32(s.Iter-minIter))
+			binary.LittleEndian.PutUint32(scratch[8:12], uint32(s.Phase))
+			buf = append(buf, scratch[:]...)
+		}
+	}
+	return string(buf), minIter, true
+}
+
+// segmentRepeats verifies that grid rows [t1, t1+n) equal rows [t2, t2+n)
+// with all iteration indices shifted by d.
+func (d *Detector) segmentRepeats(t1, t2, n, shift int) bool {
+	for r := 0; r < n; r++ {
+		for p := 0; p < d.procs; p++ {
+			a := d.slot(t1+r, p)
+			b := d.slot(t2+r, p)
+			if a.Node == -1 || b.Node == -1 {
+				if a.Node != b.Node {
+					return false
+				}
+				continue
+			}
+			if a.Node != b.Node || a.Phase != b.Phase || a.Iter+shift != b.Iter {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Find scans newly-stable rows for a repeated configuration and verifies
+// candidates whose full period has stabilized. stableTime is the cycle
+// below which the schedule is final. It returns the first verified match.
+func (d *Detector) Find(stableTime int) (Match, bool) {
+	// First try to settle pending candidates. Verification replays two
+	// full periods: a single period can coincide in schedules that merely
+	// repeat locally (e.g. geometrically slowing ones).
+	kept := d.pending[:0]
+	for _, c := range d.pending {
+		period := c.t2 - c.t1
+		if stableTime < c.t2+2*period {
+			kept = append(kept, c)
+			continue
+		}
+		if d.segmentRepeats(c.t1, c.t2, period, c.shift) &&
+			d.segmentRepeats(c.t2, c.t2+period, period, c.shift) {
+			d.pending = nil
+			return Match{Start: c.t1, End: c.t2, IterShift: c.shift}, true
+		}
+		// Coincidence — drop it.
+	}
+	d.pending = kept
+
+	// Scan new fully-stable window positions.
+	for t := d.nextScan; t+d.height <= stableTime; t++ {
+		d.nextScan = t + 1
+		key, minIter, ok := d.windowKey(t)
+		if !ok {
+			continue
+		}
+		t1, seen := d.firstSeen[key]
+		if !seen {
+			d.firstSeen[key] = t
+			continue
+		}
+		_, prevMin, _ := d.windowKey(t1)
+		shift := minIter - prevMin
+		if shift < 1 {
+			continue
+		}
+		period := t - t1
+		if period < 1 {
+			continue
+		}
+		if stableTime >= t+2*period {
+			if d.segmentRepeats(t1, t, period, shift) &&
+				d.segmentRepeats(t, t+period, period, shift) {
+				return Match{Start: t1, End: t, IterShift: shift}, true
+			}
+			continue
+		}
+		if len(d.pending) < 64 {
+			d.pending = append(d.pending, candidate{t1: t1, t2: t, shift: shift})
+		}
+	}
+	return Match{}, false
+}
+
+// Rows returns the number of grid rows recorded so far.
+func (d *Detector) Rows() int { return len(d.grid) }

@@ -1,0 +1,122 @@
+package pattern
+
+import "testing"
+
+func TestDetectorFindsSimpleRepetition(t *testing.T) {
+	// One node per iteration on one processor, latency 1: period 1.
+	d := NewDetector(1, 2)
+	for i := 0; i < 8; i++ {
+		d.Add(0, i, 0, i, 1)
+	}
+	m, ok := d.Find(8)
+	if !ok {
+		t.Fatal("no match")
+	}
+	if m.IterShift < 1 || m.Cycles() < 1 {
+		t.Fatalf("match = %v", m)
+	}
+	if m.Cycles() != m.IterShift {
+		t.Fatalf("rate = %d/%d, want 1 cycle/iter", m.Cycles(), m.IterShift)
+	}
+}
+
+func TestDetectorRespectsStability(t *testing.T) {
+	d := NewDetector(1, 2)
+	for i := 0; i < 8; i++ {
+		d.Add(0, i, 0, i, 1)
+	}
+	// Nothing stable: nothing found.
+	if _, ok := d.Find(0); ok {
+		t.Fatal("found a match in an unstable schedule")
+	}
+	// Stability reveals it.
+	if _, ok := d.Find(8); !ok {
+		t.Fatal("no match after stabilization")
+	}
+}
+
+func TestDetectorTwoProcessorAlternation(t *testing.T) {
+	// Node 0 alternates processors by iteration parity: the shift must be
+	// even so the twin windows agree on placement.
+	d := NewDetector(2, 2)
+	for i := 0; i < 12; i++ {
+		d.Add(0, i, i%2, i, 1)
+	}
+	m, ok := d.Find(12)
+	if !ok {
+		t.Fatal("no match")
+	}
+	if m.IterShift%2 != 0 {
+		t.Fatalf("shift = %d, want even", m.IterShift)
+	}
+}
+
+func TestDetectorRejectsNonRepeating(t *testing.T) {
+	// Geometrically slowing schedule: gaps grow, no repetition.
+	d := NewDetector(1, 2)
+	tcur := 0
+	for i := 0; i < 12; i++ {
+		d.Add(0, i, 0, tcur, 1)
+		tcur += 1 + i // widening gaps
+	}
+	if m, ok := d.Find(tcur); ok {
+		t.Fatalf("matched a non-periodic schedule: %v", m)
+	}
+}
+
+func TestDetectorMultiCyclePhases(t *testing.T) {
+	// Latency-3 node: slots carry phases; period 3 with shift 1.
+	d := NewDetector(1, 3)
+	for i := 0; i < 8; i++ {
+		d.Add(0, i, 0, 3*i, 3)
+	}
+	m, ok := d.Find(24)
+	if !ok {
+		t.Fatal("no match")
+	}
+	if got := float64(m.Cycles()) / float64(m.IterShift); got != 3 {
+		t.Fatalf("rate = %v, want 3", got)
+	}
+}
+
+func TestDetectorSlotConflictPanics(t *testing.T) {
+	d := NewDetector(1, 1)
+	d.Add(0, 0, 0, 0, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double booking did not panic")
+		}
+	}()
+	d.Add(1, 0, 0, 1, 1)
+}
+
+func TestDetectorBadProcPanics(t *testing.T) {
+	d := NewDetector(1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range processor did not panic")
+		}
+	}()
+	d.Add(0, 0, 5, 0, 1)
+}
+
+func TestMatchString(t *testing.T) {
+	m := Match{Start: 3, End: 9, IterShift: 2}
+	if m.Cycles() != 6 {
+		t.Fatalf("cycles = %d", m.Cycles())
+	}
+	if m.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestRows(t *testing.T) {
+	d := NewDetector(2, 2)
+	if d.Rows() != 0 {
+		t.Fatal("rows before Add")
+	}
+	d.Add(0, 0, 1, 4, 2)
+	if d.Rows() != 6 {
+		t.Fatalf("rows = %d, want 6", d.Rows())
+	}
+}

@@ -1,0 +1,85 @@
+package plan
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"mimdloop/internal/graph"
+)
+
+// scheduleJSON is the stable wire format: the graph is embedded so a
+// schedule file is self-contained and can be validated on load.
+type scheduleJSON struct {
+	Timing     Timing      `json:"timing"`
+	Processors int         `json:"processors"`
+	Nodes      []nodeJSON  `json:"nodes"`
+	Edges      []edgeJSON  `json:"edges"`
+	Placements []placeJSON `json:"placements"`
+}
+
+type nodeJSON struct {
+	Name    string `json:"name"`
+	Latency int    `json:"latency"`
+}
+
+type edgeJSON struct {
+	From     int `json:"from"`
+	To       int `json:"to"`
+	Distance int `json:"distance"`
+	Cost     int `json:"cost"` // -1 = machine default
+}
+
+type placeJSON struct {
+	Node  int `json:"node"`
+	Iter  int `json:"iter"`
+	Proc  int `json:"proc"`
+	Start int `json:"start"`
+}
+
+// MarshalJSON encodes the schedule with its graph.
+func (s *Schedule) MarshalJSON() ([]byte, error) {
+	out := scheduleJSON{
+		Timing:     s.Timing,
+		Processors: s.Processors,
+	}
+	for _, nd := range s.Graph.Nodes {
+		out.Nodes = append(out.Nodes, nodeJSON{Name: nd.Name, Latency: nd.Latency})
+	}
+	for _, e := range s.Graph.Edges {
+		out.Edges = append(out.Edges, edgeJSON{From: e.From, To: e.To, Distance: e.Distance, Cost: e.Cost})
+	}
+	for _, p := range s.Placements {
+		out.Placements = append(out.Placements, placeJSON{Node: p.Node, Iter: p.Iter, Proc: p.Proc, Start: p.Start})
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON decodes and structurally validates a schedule (graph
+// construction re-checks node/edge invariants; Validate is left to the
+// caller, which knows whether the schedule should be complete).
+func (s *Schedule) UnmarshalJSON(data []byte) error {
+	var in scheduleJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("plan: decode schedule: %w", err)
+	}
+	nodes := make([]graph.Node, len(in.Nodes))
+	for i, nd := range in.Nodes {
+		nodes[i] = graph.Node{ID: i, Name: nd.Name, Latency: nd.Latency}
+	}
+	edges := make([]graph.Edge, len(in.Edges))
+	for i, e := range in.Edges {
+		edges[i] = graph.Edge{From: e.From, To: e.To, Distance: e.Distance, Cost: e.Cost}
+	}
+	g, err := graph.New(nodes, edges)
+	if err != nil {
+		return fmt.Errorf("plan: decode schedule graph: %w", err)
+	}
+	s.Graph = g
+	s.Timing = in.Timing
+	s.Processors = in.Processors
+	s.Placements = nil
+	for _, p := range in.Placements {
+		s.Placements = append(s.Placements, Placement{Node: p.Node, Iter: p.Iter, Proc: p.Proc, Start: p.Start})
+	}
+	return nil
+}

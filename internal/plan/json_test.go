@@ -1,0 +1,50 @@
+package plan
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestScheduleJSONRoundTrip(t *testing.T) {
+	g := chainGraph(t)
+	s := Sequential(g, Timing{CommCost: 2, CommFromStart: true}, 3)
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Schedule
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Timing != s.Timing || back.Processors != s.Processors {
+		t.Fatalf("metadata changed: %+v vs %+v", back.Timing, s.Timing)
+	}
+	if !reflect.DeepEqual(back.Placements, s.Placements) {
+		t.Fatal("placements changed in round trip")
+	}
+	if back.Graph.N() != g.N() || len(back.Graph.Edges) != len(g.Edges) {
+		t.Fatal("graph changed in round trip")
+	}
+	if err := back.Validate(true); err != nil {
+		t.Fatalf("round-tripped schedule invalid: %v", err)
+	}
+}
+
+func TestScheduleJSONRejectsCorruptGraph(t *testing.T) {
+	g := chainGraph(t)
+	s := Sequential(g, Timing{}, 1)
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := strings.Replace(string(data), `"latency":2`, `"latency":0`, 1)
+	var back Schedule
+	if err := json.Unmarshal([]byte(corrupt), &back); err == nil {
+		t.Fatal("zero-latency graph accepted")
+	}
+	if err := json.Unmarshal([]byte("{"), &back); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+}

@@ -1,0 +1,249 @@
+// Package plan defines the schedule representation shared by the pattern
+// scheduler (internal/core), the DOACROSS baseline (internal/doacross), the
+// code generator (internal/program) and the machine simulator
+// (internal/machine): a set of timed placements of dynamic node instances
+// onto processors, plus the timing model used to judge their validity.
+package plan
+
+import (
+	"fmt"
+	"sort"
+
+	"mimdloop/internal/graph"
+)
+
+// Placement records that iteration Iter of node Node runs on processor Proc
+// during cycles [Start, Finish).
+type Placement struct {
+	Node  int
+	Iter  int
+	Proc  int
+	Start int
+}
+
+// Key returns the instance identity of the placement.
+func (p Placement) Key() graph.InstanceID { return graph.InstanceID{Node: p.Node, Iter: p.Iter} }
+
+// Timing captures the communication model under which a schedule is
+// constructed and validated.
+type Timing struct {
+	// CommCost is the machine-wide estimate k; edges may override it.
+	CommCost int
+	// CommFromStart, when true, makes a value available on a remote
+	// processor at producerStart + cost instead of producerFinish + cost
+	// (communication fully overlapped with the producing operation). This
+	// is the alternative reading of the paper's figures, kept as an
+	// ablation.
+	CommFromStart bool
+}
+
+// Avail returns the cycle at which the value produced by placement p (of a
+// node with the given latency) becomes usable on processor q via edge e.
+func (t Timing) Avail(p Placement, latency int, e graph.Edge, q int) int {
+	fin := p.Start + latency
+	if p.Proc == q {
+		return fin
+	}
+	c := graph.EdgeCost(e, t.CommCost)
+	if t.CommFromStart {
+		return p.Start + c
+	}
+	return fin + c
+}
+
+// Schedule is a static assignment of dynamic instances to processors.
+type Schedule struct {
+	Graph      *graph.Graph
+	Timing     Timing
+	Processors int // number of processors the schedule may use
+	Placements []Placement
+}
+
+// Clone returns a deep copy of the schedule.
+func (s *Schedule) Clone() *Schedule {
+	cp := *s
+	cp.Placements = append([]Placement(nil), s.Placements...)
+	return &cp
+}
+
+// Makespan returns the cycle at which the last operation finishes.
+func (s *Schedule) Makespan() int {
+	end := 0
+	for _, p := range s.Placements {
+		fin := p.Start + s.Graph.Nodes[p.Node].Latency
+		if fin > end {
+			end = fin
+		}
+	}
+	return end
+}
+
+// Iterations returns 1 + the largest iteration index placed (0 if empty).
+func (s *Schedule) Iterations() int {
+	n := 0
+	for _, p := range s.Placements {
+		if p.Iter+1 > n {
+			n = p.Iter + 1
+		}
+	}
+	return n
+}
+
+// ProcsUsed returns the number of distinct processors with at least one
+// placement.
+func (s *Schedule) ProcsUsed() int {
+	seen := map[int]bool{}
+	for _, p := range s.Placements {
+		seen[p.Proc] = true
+	}
+	return len(seen)
+}
+
+// ByProc returns placement indices grouped by processor, each group sorted
+// by start cycle. The outer slice has length s.Processors (or the max proc
+// index + 1 if larger).
+func (s *Schedule) ByProc() [][]int {
+	n := s.Processors
+	for _, p := range s.Placements {
+		if p.Proc+1 > n {
+			n = p.Proc + 1
+		}
+	}
+	out := make([][]int, n)
+	for i, p := range s.Placements {
+		out[p.Proc] = append(out[p.Proc], i)
+	}
+	for _, grp := range out {
+		sort.Slice(grp, func(a, b int) bool {
+			pa, pb := s.Placements[grp[a]], s.Placements[grp[b]]
+			if pa.Start != pb.Start {
+				return pa.Start < pb.Start
+			}
+			return pa.Iter < pb.Iter
+		})
+	}
+	return out
+}
+
+// Index returns a map from instance to placement index.
+func (s *Schedule) Index() map[graph.InstanceID]int {
+	idx := make(map[graph.InstanceID]int, len(s.Placements))
+	for i, p := range s.Placements {
+		idx[p.Key()] = i
+	}
+	return idx
+}
+
+// BusyCycles returns the total number of processor-cycles spent computing.
+func (s *Schedule) BusyCycles() int {
+	total := 0
+	for _, p := range s.Placements {
+		total += s.Graph.Nodes[p.Node].Latency
+	}
+	return total
+}
+
+// Utilization returns busy cycles / (makespan * processors used), in [0,1].
+func (s *Schedule) Utilization() float64 {
+	ms, pu := s.Makespan(), s.ProcsUsed()
+	if ms == 0 || pu == 0 {
+		return 0
+	}
+	return float64(s.BusyCycles()) / float64(ms*pu)
+}
+
+// Validate checks the schedule against the graph and timing model:
+//
+//   - every placement references a valid node and non-negative iteration;
+//   - no instance is placed twice;
+//   - placements on one processor do not overlap in time;
+//   - every dependence with a source iteration >= 0 has its producer placed,
+//     and the consumer starts no earlier than the producer's availability on
+//     the consumer's processor;
+//   - if complete is true, additionally: every instance (v, i) for
+//     i < Iterations() is placed (the schedule covers whole iterations).
+//
+// It returns nil if the schedule is valid.
+func (s *Schedule) Validate(complete bool) error {
+	g := s.Graph
+	idx := make(map[graph.InstanceID]int, len(s.Placements))
+	for i, p := range s.Placements {
+		if p.Node < 0 || p.Node >= g.N() {
+			return fmt.Errorf("plan: placement %d references unknown node %d", i, p.Node)
+		}
+		if p.Iter < 0 {
+			return fmt.Errorf("plan: placement %d has negative iteration", i)
+		}
+		if p.Start < 0 {
+			return fmt.Errorf("plan: placement %d starts at negative cycle %d", i, p.Start)
+		}
+		if p.Proc < 0 {
+			return fmt.Errorf("plan: placement %d on negative processor", i)
+		}
+		if s.Processors > 0 && p.Proc >= s.Processors {
+			return fmt.Errorf("plan: placement %d on processor %d, schedule declares %d", i, p.Proc, s.Processors)
+		}
+		if prev, dup := idx[p.Key()]; dup {
+			return fmt.Errorf("plan: instance (%s, iter %d) placed twice (placements %d and %d)",
+				g.Nodes[p.Node].Name, p.Iter, prev, i)
+		}
+		idx[p.Key()] = i
+	}
+	// Processor overlap.
+	for proc, grp := range s.ByProc() {
+		for j := 1; j < len(grp); j++ {
+			prev := s.Placements[grp[j-1]]
+			cur := s.Placements[grp[j]]
+			if prev.Start+g.Nodes[prev.Node].Latency > cur.Start {
+				return fmt.Errorf("plan: processor %d overlap: (%s,%d)@%d and (%s,%d)@%d",
+					proc, g.Nodes[prev.Node].Name, prev.Iter, prev.Start,
+					g.Nodes[cur.Node].Name, cur.Iter, cur.Start)
+			}
+		}
+	}
+	// Dependences.
+	for i, p := range s.Placements {
+		for _, ei := range g.In(p.Node) {
+			e := g.Edges[ei]
+			srcIter := p.Iter - e.Distance
+			if srcIter < 0 {
+				continue
+			}
+			pi, ok := idx[graph.InstanceID{Node: e.From, Iter: srcIter}]
+			if !ok {
+				return fmt.Errorf("plan: placement %d (%s, iter %d) depends on unplaced (%s, iter %d)",
+					i, g.Nodes[p.Node].Name, p.Iter, g.Nodes[e.From].Name, srcIter)
+			}
+			prod := s.Placements[pi]
+			avail := s.Timing.Avail(prod, g.Nodes[prod.Node].Latency, e, p.Proc)
+			if p.Start < avail {
+				return fmt.Errorf("plan: (%s, iter %d)@%d on P%d starts before (%s, iter %d) is available (cycle %d)",
+					g.Nodes[p.Node].Name, p.Iter, p.Start, p.Proc, g.Nodes[e.From].Name, srcIter, avail)
+			}
+		}
+	}
+	if complete {
+		iters := s.Iterations()
+		if len(s.Placements) != iters*g.N() {
+			return fmt.Errorf("plan: %d placements for %d iterations of %d nodes (want %d)",
+				len(s.Placements), iters, g.N(), iters*g.N())
+		}
+	}
+	return nil
+}
+
+// Sequential returns the schedule that runs all N iterations of the whole
+// graph on processor 0 in body order: the baseline "s" in the percentage
+// parallelism metric. Its makespan is N * TotalLatency().
+func Sequential(g *graph.Graph, timing Timing, n int) *Schedule {
+	order := g.BodyOrder()
+	s := &Schedule{Graph: g, Timing: timing, Processors: 1}
+	t := 0
+	for it := 0; it < n; it++ {
+		for _, v := range order {
+			s.Placements = append(s.Placements, Placement{Node: v, Iter: it, Proc: 0, Start: t})
+			t += g.Nodes[v].Latency
+		}
+	}
+	return s
+}

@@ -1,0 +1,153 @@
+package program
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mimdloop/internal/graph"
+	"mimdloop/internal/plan"
+)
+
+// CodegenInput describes a pattern-partitioned loop for pseudo-code
+// rendering in the style of the paper's Figures 7(e) and 10.
+type CodegenInput struct {
+	Graph *graph.Graph
+	// Prologue are the placements before the steady state (concrete
+	// iteration numbers).
+	Prologue []plan.Placement
+	// Pattern are the steady-state placements of one period.
+	Pattern []plan.Placement
+	// IterShift is d, iterations advanced per period.
+	IterShift int
+	// LoopVar names the symbolic iteration variable (default "I").
+	LoopVar string
+}
+
+// Pseudocode renders per-processor subloops: straight-line prologue code
+// followed by a FOR loop over periods whose body contains the period's
+// computes with RECEIVE lines before cross-processor uses and SEND lines
+// after cross-processor definitions. Synchronization in the prologue is
+// elided for readability; the executable artifact is Build's instruction
+// streams, which carry full synchronization.
+func Pseudocode(in CodegenInput) (string, error) {
+	g := in.Graph
+	d := in.IterShift
+	if d < 1 {
+		return "", fmt.Errorf("program: iteration shift %d", d)
+	}
+	if len(in.Pattern) == 0 {
+		return "", fmt.Errorf("program: empty pattern")
+	}
+	loopVar := in.LoopVar
+	if loopVar == "" {
+		loopVar = "I"
+	}
+
+	// classProc[node][iter mod d] = processor running that residue class
+	// in steady state.
+	classProc := make(map[int]map[int]int)
+	baseIter := in.Pattern[0].Iter
+	for _, pl := range in.Pattern {
+		if pl.Iter < baseIter {
+			baseIter = pl.Iter
+		}
+	}
+	for _, pl := range in.Pattern {
+		m := classProc[pl.Node]
+		if m == nil {
+			m = make(map[int]int)
+			classProc[pl.Node] = m
+		}
+		m[((pl.Iter%d)+d)%d] = pl.Proc
+	}
+	procOf := func(node, iter int) (int, bool) {
+		m := classProc[node]
+		if m == nil {
+			return 0, false
+		}
+		p, ok := m[((iter%d)+d)%d]
+		return p, ok
+	}
+
+	// Group pattern and prologue ops per processor in start order.
+	perProc := map[int][]plan.Placement{}
+	prologueProc := map[int][]plan.Placement{}
+	procSeen := map[int]bool{}
+	var procIDs []int
+	note := func(proc int) {
+		if !procSeen[proc] {
+			procSeen[proc] = true
+			procIDs = append(procIDs, proc)
+		}
+	}
+	for _, pl := range in.Pattern {
+		note(pl.Proc)
+		perProc[pl.Proc] = append(perProc[pl.Proc], pl)
+	}
+	for _, pl := range in.Prologue {
+		note(pl.Proc)
+		prologueProc[pl.Proc] = append(prologueProc[pl.Proc], pl)
+	}
+	sort.Ints(procIDs)
+	for _, m := range []map[int][]plan.Placement{perProc, prologueProc} {
+		for _, list := range m {
+			sort.Slice(list, func(i, j int) bool { return list[i].Start < list[j].Start })
+		}
+	}
+
+	var sb strings.Builder
+	sb.WriteString("PARBEGIN\n")
+	for _, proc := range procIDs {
+		fmt.Fprintf(&sb, "PE%d:\n", proc)
+		for _, pl := range prologueProc[proc] {
+			fmt.Fprintf(&sb, "    %s[%d] = ...            /* prologue */\n", g.Nodes[pl.Node].Name, pl.Iter)
+		}
+		body := perProc[proc]
+		if len(body) == 0 {
+			sb.WriteString("    /* idle in steady state */\n")
+			continue
+		}
+		fmt.Fprintf(&sb, "    FOR %s = %d TO N-1 STEP %d\n", loopVar, baseIter, d)
+		for _, pl := range body {
+			delta := pl.Iter - baseIter
+			// Receives for cross-processor inputs.
+			for _, ei := range g.In(pl.Node) {
+				e := g.Edges[ei]
+				srcProc, ok := procOf(e.From, pl.Iter-e.Distance)
+				if !ok || srcProc == proc {
+					continue
+				}
+				fmt.Fprintf(&sb, "        RECEIVE %s[%s] FROM PE%d\n",
+					g.Nodes[e.From].Name, offsetExpr(loopVar, delta-e.Distance), srcProc)
+			}
+			fmt.Fprintf(&sb, "        %s[%s] = ...\n", g.Nodes[pl.Node].Name, offsetExpr(loopVar, delta))
+			// Sends for cross-processor consumers (deduplicated per peer).
+			sent := map[int]bool{}
+			for _, ei := range g.Out(pl.Node) {
+				e := g.Edges[ei]
+				dstProc, ok := procOf(e.To, pl.Iter+e.Distance)
+				if !ok || dstProc == proc || sent[dstProc] {
+					continue
+				}
+				sent[dstProc] = true
+				fmt.Fprintf(&sb, "        SEND %s[%s] TO PE%d\n",
+					g.Nodes[pl.Node].Name, offsetExpr(loopVar, delta), dstProc)
+			}
+		}
+		sb.WriteString("    ENDFOR\n")
+	}
+	sb.WriteString("PAREND\n")
+	return sb.String(), nil
+}
+
+func offsetExpr(v string, delta int) string {
+	switch {
+	case delta == 0:
+		return v
+	case delta > 0:
+		return fmt.Sprintf("%s+%d", v, delta)
+	default:
+		return fmt.Sprintf("%s-%d", v, -delta)
+	}
+}

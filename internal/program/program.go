@@ -1,0 +1,208 @@
+// Package program lowers a static schedule to per-processor instruction
+// streams of COMPUTE / SEND / RECV operations — the form in which the
+// parallelized loop actually executes on an asynchronous MIMD machine
+// (paper Figures 7(e) and 10). The streams synchronize purely through
+// messages: a SEND is emitted right after the producing compute, and a RECV
+// right before the earliest consumer on the destination processor, so
+// execution is correct under any communication timing.
+package program
+
+import (
+	"fmt"
+	"sort"
+
+	"mimdloop/internal/graph"
+	"mimdloop/internal/plan"
+)
+
+// OpKind discriminates instruction types.
+type OpKind int8
+
+const (
+	// OpCompute executes one dynamic node instance.
+	OpCompute OpKind = iota
+	// OpSend ships the value of instance (Node, Iter) to processor Peer.
+	OpSend
+	// OpRecv blocks until the value of instance (Node, Iter) arrives from
+	// processor Peer.
+	OpRecv
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpCompute:
+		return "compute"
+	case OpSend:
+		return "send"
+	case OpRecv:
+		return "recv"
+	}
+	return fmt.Sprintf("OpKind(%d)", int8(k))
+}
+
+// Instr is one instruction of a processor's stream.
+type Instr struct {
+	Kind OpKind
+	// Node, Iter identify the value: the instance computed, sent or
+	// received.
+	Node int
+	Iter int
+	// Peer is the destination (send) or source (recv) processor.
+	Peer int
+	// Cost is the communication cost of the message in cycles (sends
+	// only); when several dependence edges share one message it is their
+	// maximum.
+	Cost int
+}
+
+// Program is one processor's instruction stream.
+type Program struct {
+	Proc   int
+	Instrs []Instr
+}
+
+// MsgKey identifies a message: one value moving between two processors.
+// Each needed (value, src, dst) triple is sent exactly once, regardless of
+// how many dependence edges it serves.
+type MsgKey struct {
+	Node, Iter int
+	From, To   int
+}
+
+// Build lowers the schedule to one program per processor (indices
+// 0..Processors-1; processors with no work get empty programs). It returns
+// an error if the schedule misses a producer for any dependence.
+func Build(s *plan.Schedule) ([]Program, error) {
+	g := s.Graph
+	idx := s.Index()
+	byProc := s.ByProc()
+
+	// Discover messages: for each cross-processor dependence, record the
+	// earliest consuming placement per (value, dst) and the max edge cost.
+	type msgInfo struct {
+		firstConsumer int // placement index of earliest consumer on To
+		cost          int
+	}
+	msgs := make(map[MsgKey]*msgInfo)
+	for pi, p := range s.Placements {
+		for _, ei := range g.In(p.Node) {
+			e := g.Edges[ei]
+			srcIter := p.Iter - e.Distance
+			if srcIter < 0 {
+				continue
+			}
+			prodIdx, ok := idx[graph.InstanceID{Node: e.From, Iter: srcIter}]
+			if !ok {
+				return nil, fmt.Errorf("program: (%s, iter %d) has no producer for %s",
+					g.Nodes[p.Node].Name, p.Iter, g.Nodes[e.From].Name)
+			}
+			prod := s.Placements[prodIdx]
+			if prod.Proc == p.Proc {
+				continue
+			}
+			key := MsgKey{Node: e.From, Iter: srcIter, From: prod.Proc, To: p.Proc}
+			info := msgs[key]
+			if info == nil {
+				info = &msgInfo{firstConsumer: pi, cost: graph.EdgeCost(e, s.Timing.CommCost)}
+				msgs[key] = info
+			} else {
+				if c := graph.EdgeCost(e, s.Timing.CommCost); c > info.cost {
+					info.cost = c
+				}
+				if earlier(s, pi, info.firstConsumer) {
+					info.firstConsumer = pi
+				}
+			}
+		}
+	}
+
+	// Group receives by consumer placement and sends by producer placement.
+	recvsBefore := make(map[int][]MsgKey)
+	sendsAfter := make(map[int][]MsgKey)
+	for key, info := range msgs {
+		recvsBefore[info.firstConsumer] = append(recvsBefore[info.firstConsumer], key)
+		prodIdx := idx[graph.InstanceID{Node: key.Node, Iter: key.Iter}]
+		sendsAfter[prodIdx] = append(sendsAfter[prodIdx], key)
+	}
+	for _, list := range recvsBefore {
+		sortKeys(list, true)
+	}
+	for _, list := range sendsAfter {
+		sortKeys(list, false)
+	}
+
+	progs := make([]Program, len(byProc))
+	for proc, placements := range byProc {
+		progs[proc].Proc = proc
+		for _, pi := range placements {
+			p := s.Placements[pi]
+			for _, key := range recvsBefore[pi] {
+				progs[proc].Instrs = append(progs[proc].Instrs, Instr{
+					Kind: OpRecv, Node: key.Node, Iter: key.Iter, Peer: key.From,
+				})
+			}
+			progs[proc].Instrs = append(progs[proc].Instrs, Instr{
+				Kind: OpCompute, Node: p.Node, Iter: p.Iter,
+			})
+			for _, key := range sendsAfter[pi] {
+				progs[proc].Instrs = append(progs[proc].Instrs, Instr{
+					Kind: OpSend, Node: key.Node, Iter: key.Iter, Peer: key.To,
+					Cost: msgs[key].cost,
+				})
+			}
+		}
+	}
+	return progs, nil
+}
+
+// earlier orders placements by (start, iteration, node) for deterministic
+// first-consumer selection.
+func earlier(s *plan.Schedule, a, b int) bool {
+	pa, pb := s.Placements[a], s.Placements[b]
+	if pa.Start != pb.Start {
+		return pa.Start < pb.Start
+	}
+	if pa.Iter != pb.Iter {
+		return pa.Iter < pb.Iter
+	}
+	return pa.Node < pb.Node
+}
+
+func sortKeys(keys []MsgKey, byFrom bool) {
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if byFrom && a.From != b.From {
+			return a.From < b.From
+		}
+		if !byFrom && a.To != b.To {
+			return a.To < b.To
+		}
+		if a.Iter != b.Iter {
+			return a.Iter < b.Iter
+		}
+		return a.Node < b.Node
+	})
+}
+
+// Stats summarizes a program set.
+type Stats struct {
+	Computes, Sends, Recvs int
+}
+
+// Summarize counts instruction kinds across all programs.
+func Summarize(progs []Program) Stats {
+	var st Stats
+	for _, p := range progs {
+		for _, in := range p.Instrs {
+			switch in.Kind {
+			case OpCompute:
+				st.Computes++
+			case OpSend:
+				st.Sends++
+			case OpRecv:
+				st.Recvs++
+			}
+		}
+	}
+	return st
+}

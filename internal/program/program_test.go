@@ -1,0 +1,189 @@
+package program
+
+import (
+	"strings"
+	"testing"
+
+	"mimdloop/internal/core"
+	"mimdloop/internal/graph"
+	"mimdloop/internal/plan"
+)
+
+func figure7(t testing.TB) *graph.Graph {
+	b := graph.NewBuilder()
+	a := b.AddNode("A", 1)
+	bb := b.AddNode("B", 1)
+	c := b.AddNode("C", 1)
+	d := b.AddNode("D", 1)
+	e := b.AddNode("E", 1)
+	b.AddEdge(a, a, 1)
+	b.AddEdge(e, a, 1)
+	b.AddEdge(a, bb, 0)
+	b.AddEdge(bb, c, 0)
+	b.AddEdge(d, d, 1)
+	b.AddEdge(c, d, 1)
+	b.AddEdge(d, e, 0)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func fig7Schedule(t testing.TB, n int) (*graph.Graph, *plan.Schedule, *core.CyclicResult) {
+	g := figure7(t)
+	res, err := core.CyclicSched(g, core.Options{Processors: 2, CommCost: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := res.Expand(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, s, res
+}
+
+func TestBuildInstructionInvariants(t *testing.T) {
+	g, s, _ := fig7Schedule(t, 12)
+	progs, err := Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(progs) != 2 {
+		t.Fatalf("programs = %d, want 2", len(progs))
+	}
+	st := Summarize(progs)
+	if st.Computes != 12*g.N() {
+		t.Fatalf("computes = %d, want %d", st.Computes, 12*g.N())
+	}
+	if st.Sends != st.Recvs {
+		t.Fatalf("sends %d != recvs %d", st.Sends, st.Recvs)
+	}
+	if st.Sends == 0 {
+		t.Fatal("no communication generated for a cross-processor schedule")
+	}
+	// Per program: every recv precedes the first compute that needs it;
+	// every send follows its producing compute. Verify by replaying
+	// available-value sets.
+	for _, prog := range progs {
+		have := map[graph.InstanceID]bool{}
+		for i, in := range prog.Instrs {
+			id := graph.InstanceID{Node: in.Node, Iter: in.Iter}
+			switch in.Kind {
+			case OpRecv:
+				have[id] = true
+			case OpSend:
+				if !have[id] {
+					t.Fatalf("PE%d instr %d sends value it does not have", prog.Proc, i)
+				}
+			case OpCompute:
+				for _, ei := range g.In(in.Node) {
+					e := g.Edges[ei]
+					src := graph.InstanceID{Node: e.From, Iter: in.Iter - e.Distance}
+					if src.Iter < 0 {
+						continue
+					}
+					if !have[src] {
+						t.Fatalf("PE%d instr %d computes (%s,%d) missing operand (%s,%d)",
+							prog.Proc, i, g.Nodes[in.Node].Name, in.Iter, g.Nodes[e.From].Name, src.Iter)
+					}
+				}
+				have[id] = true
+			}
+		}
+	}
+}
+
+func TestBuildDeduplicatesMessages(t *testing.T) {
+	// Two consumers of the same value on the same destination processor
+	// must share one message.
+	b := graph.NewBuilder()
+	src := b.AddNode("S", 1)
+	c1 := b.AddNode("C1", 1)
+	c2 := b.AddNode("C2", 1)
+	b.AddEdge(src, c1, 0)
+	b.AddEdge(src, c2, 0)
+	g := b.MustBuild()
+	s := &plan.Schedule{
+		Graph:      g,
+		Timing:     plan.Timing{CommCost: 1},
+		Processors: 2,
+		Placements: []plan.Placement{
+			{Node: src, Iter: 0, Proc: 0, Start: 0},
+			{Node: c1, Iter: 0, Proc: 1, Start: 2},
+			{Node: c2, Iter: 0, Proc: 1, Start: 3},
+		},
+	}
+	if err := s.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+	progs, err := Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Summarize(progs)
+	if st.Sends != 1 || st.Recvs != 1 {
+		t.Fatalf("sends/recvs = %d/%d, want 1/1 (deduplicated)", st.Sends, st.Recvs)
+	}
+}
+
+func TestBuildMissingProducer(t *testing.T) {
+	g := figure7(t)
+	s := &plan.Schedule{
+		Graph:      g,
+		Timing:     plan.Timing{CommCost: 2},
+		Processors: 1,
+		Placements: []plan.Placement{{Node: 1, Iter: 1, Proc: 0, Start: 0}}, // B iter 1 without A
+	}
+	if _, err := Build(s); err == nil {
+		t.Fatal("missing producer accepted")
+	}
+}
+
+func TestPseudocodeFigure7Shape(t *testing.T) {
+	g, _, res := fig7Schedule(t, 12)
+	var prologue []plan.Placement
+	for _, pl := range res.Greedy.Placements {
+		if pl.Start < res.Pattern.Start {
+			prologue = append(prologue, pl)
+		}
+	}
+	text, err := Pseudocode(CodegenInput{
+		Graph:     g,
+		Prologue:  prologue,
+		Pattern:   res.Pattern.Placements,
+		IterShift: res.Pattern.IterShift,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"PARBEGIN", "PAREND", "PE0:", "PE1:", "FOR I", "SEND", "RECEIVE", "ENDFOR"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("pseudocode missing %q:\n%s", want, text)
+		}
+	}
+	// Fig 7(e): the loop is partitioned into two subloops stepping by the
+	// iteration shift.
+	if res.Pattern.IterShift >= 2 && !strings.Contains(text, "STEP 2") {
+		t.Fatalf("expected STEP 2 loops:\n%s", text)
+	}
+}
+
+func TestPseudocodeRejectsBadInput(t *testing.T) {
+	g := figure7(t)
+	if _, err := Pseudocode(CodegenInput{Graph: g, IterShift: 0}); err == nil {
+		t.Fatal("iterShift 0 accepted")
+	}
+	if _, err := Pseudocode(CodegenInput{Graph: g, IterShift: 1}); err == nil {
+		t.Fatal("empty pattern accepted")
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	if OpCompute.String() != "compute" || OpSend.String() != "send" || OpRecv.String() != "recv" {
+		t.Fatal("OpKind strings")
+	}
+	if OpKind(9).String() == "" {
+		t.Fatal("unknown OpKind empty")
+	}
+}

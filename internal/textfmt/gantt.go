@@ -1,0 +1,62 @@
+// Package textfmt renders schedules as the step-by-processor tables the
+// paper's figures use (Figures 3(c), 7(d), 8, 9(c)).
+package textfmt
+
+import (
+	"fmt"
+	"strings"
+
+	"mimdloop/internal/plan"
+)
+
+// Gantt renders the first maxCycles cycles of a schedule, one row per
+// cycle, one column per processor, each cell showing node name and
+// iteration subscript ("A3") with '.' continuation for multi-cycle
+// operations. maxCycles <= 0 renders everything.
+func Gantt(s *plan.Schedule, maxCycles int) string {
+	g := s.Graph
+	end := s.Makespan()
+	if maxCycles > 0 && maxCycles < end {
+		end = maxCycles
+	}
+	procs := s.Processors
+	if pu := s.ByProc(); len(pu) > procs {
+		procs = len(pu)
+	}
+	grid := make([][]string, end)
+	for c := range grid {
+		grid[c] = make([]string, procs)
+	}
+	width := 5
+	for _, pl := range s.Placements {
+		lat := g.Nodes[pl.Node].Latency
+		label := fmt.Sprintf("%s%d", g.Nodes[pl.Node].Name, pl.Iter)
+		if len(label)+1 > width {
+			width = len(label) + 1
+		}
+		for c := pl.Start; c < pl.Start+lat && c < end; c++ {
+			if c == pl.Start {
+				grid[c][pl.Proc] = label
+			} else {
+				grid[c][pl.Proc] = "."
+			}
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%6s", "step")
+	for p := 0; p < procs; p++ {
+		fmt.Fprintf(&sb, " %*s", width, fmt.Sprintf("PE%d", p))
+	}
+	sb.WriteString("\n")
+	for c := 0; c < end; c++ {
+		fmt.Fprintf(&sb, "%6d", c)
+		for p := 0; p < procs; p++ {
+			fmt.Fprintf(&sb, " %*s", width, grid[c][p])
+		}
+		sb.WriteString("\n")
+	}
+	if end < s.Makespan() {
+		fmt.Fprintf(&sb, "... (%d more cycles)\n", s.Makespan()-end)
+	}
+	return sb.String()
+}

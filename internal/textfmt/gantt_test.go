@@ -1,0 +1,56 @@
+package textfmt
+
+import (
+	"strings"
+	"testing"
+
+	"mimdloop/internal/graph"
+	"mimdloop/internal/plan"
+)
+
+func TestGanttRendering(t *testing.T) {
+	b := graph.NewBuilder()
+	a := b.AddNode("A", 2)
+	c := b.AddNode("B", 1)
+	b.AddEdge(a, c, 0)
+	g := b.MustBuild()
+	s := &plan.Schedule{
+		Graph:      g,
+		Timing:     plan.Timing{CommCost: 1},
+		Processors: 2,
+		Placements: []plan.Placement{
+			{Node: a, Iter: 0, Proc: 0, Start: 0},
+			{Node: c, Iter: 0, Proc: 1, Start: 3},
+		},
+	}
+	out := Gantt(s, 0)
+	if !strings.Contains(out, "PE0") || !strings.Contains(out, "PE1") {
+		t.Fatalf("missing processor headers:\n%s", out)
+	}
+	if !strings.Contains(out, "A0") || !strings.Contains(out, "B0") {
+		t.Fatalf("missing node labels:\n%s", out)
+	}
+	// Latency-2 op shows a continuation dot on its second cycle.
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[2], ".") {
+		t.Fatalf("missing continuation marker on cycle 1:\n%s", out)
+	}
+}
+
+func TestGanttTruncation(t *testing.T) {
+	b := graph.NewBuilder()
+	a := b.AddNode("X", 1)
+	b.AddEdge(a, a, 1)
+	g := b.MustBuild()
+	s := &plan.Schedule{Graph: g, Processors: 1}
+	for i := 0; i < 10; i++ {
+		s.Placements = append(s.Placements, plan.Placement{Node: a, Iter: i, Proc: 0, Start: i})
+	}
+	out := Gantt(s, 3)
+	if !strings.Contains(out, "more cycles") {
+		t.Fatalf("missing truncation note:\n%s", out)
+	}
+	if strings.Contains(out, "X9") {
+		t.Fatalf("truncated output shows late placements:\n%s", out)
+	}
+}

@@ -1,0 +1,67 @@
+package workload
+
+import "mimdloop/internal/loopir"
+
+// EllipticSource reconstructs the fifth-order elliptic wave filter of
+// Figure 12 ([PaKn89]'s force-directed-scheduling benchmark): 34 operations
+// — 26 additions (latency 1) and 8 multiplications (latency 2) — arranged
+// as a cascade of coupled second-order sections with global feedback, so
+// that classification yields exactly one non-Cyclic node (the output tap,
+// Flow-out), matching the paper's statement that "only node 34 is a
+// non-Cyclic node (a Flow-out node)". The exact netlist is a
+// reconstruction; the operation mix, latencies and classification are
+// pinned by the text.
+//
+// The filter's state recurrence (in -> ... -> s8 -> r3 -> in) is 28 cycles
+// of its 42-cycle body: our scheduler keeps that chain on one processor and
+// the residue ops on another (Sp ~ 31%, paper: 30.9). The coupling adder
+// r1 — textually the last statement — feeds a1 of the next iteration, so
+// DOACROSS's pipelining skew exceeds the body length and it degenerates to
+// sequential execution (Sp = 0, paper: 0).
+const EllipticSource = `
+// Fifth-order elliptic wave filter (reconstruction).
+loop ewf(N = 100) {
+    // State recurrence chain.
+    in[i] = X[i] + r3[i-1]
+    a1[i] = in[i] + r1[i-1]
+    m1[i] = c1 * a1[i]      @lat(2)
+    a2[i] = m1[i] + s2[i-1]
+    a3[i] = a2[i] + a1[i]
+    s1[i] = a3[i] + m1[i]
+    b1[i] = s1[i] + s2[i-1]
+    m3[i] = c3 * b1[i]      @lat(2)
+    a4[i] = m3[i] + r2[i-1]
+    a5[i] = a4[i] + b1[i]
+    s3[i] = a5[i] + m3[i]
+    b2[i] = s3[i] + s4[i-1]
+    m5[i] = c5 * b2[i]      @lat(2)
+    a6[i] = m5[i] + r3[i-1]
+    a7[i] = a6[i] + b2[i]
+    s5[i] = a7[i] + m5[i]
+    b3[i] = s5[i] + s6[i-1]
+    m7[i] = c7 * b3[i]      @lat(2)
+    a8[i] = m7[i] + r4[i-1]
+    a9[i] = a8[i] + b3[i]
+    m8[i] = c8 * a9[i]      @lat(2)
+    s8[i] = m8[i] + a8[i]
+    r3[i] = s5[i] + s8[i]
+
+    // Residue ops off the critical recurrence.
+    m2[i] = c2 * a3[i]      @lat(2)
+    s2[i] = m2[i] + a2[i]
+    m4[i] = c4 * a5[i]      @lat(2)
+    s4[i] = m4[i] + a4[i]
+    m6[i] = c6 * a7[i]      @lat(2)
+    s6[i] = m6[i] + a6[i]
+    s7[i] = a9[i] + m7[i]
+    r2[i] = s3[i] + b3[i]
+    r4[i] = s7[i] + s2[i]
+    out[i] = s8[i] + s4[i]
+    r1[i] = s1[i] + b2[i]
+}
+`
+
+// Elliptic compiles the elliptic wave filter reconstruction.
+func Elliptic() *loopir.Compiled {
+	return loopir.MustCompile(EllipticSource)
+}

@@ -1,0 +1,63 @@
+package workload
+
+import "mimdloop/internal/loopir"
+
+// Livermore18Source is a reconstruction of the 18th Livermore Loop
+// (2-D explicit hydrodynamics fragment) as scheduled in Figure 11. The
+// paper's drawing has 29 nodes of which exactly 8 are Flow-in
+// (nodes 1,2,3,6,9,10,11,14 in its numbering) and the rest Cyclic.
+//
+// This source reproduces those counts and the performance structure the
+// paper reports: 8 statements read only external arrays (Flow-in), and the
+// 21 zone-update statements form one connected Cyclic component with a
+// 15-cycle main recurrence (m1..m15, closed by m15[i-1] -> m1) and a 6-node
+// side recurrence (s1..s6) that overlaps with it. Our scheduler runs the
+// two chains on separate processors at the 15-cycle recurrence bound
+// (Sp ~ 48%, paper: 49.4); DOACROSS is crippled because m1 also consumes
+// s6[i-1], the last statement of the body (Sp ~ 21%, paper: 12.6).
+const Livermore18Source = `
+// LFK 18 - 2D explicit hydrodynamics fragment (reconstruction; see
+// DESIGN.md for the substitution note).
+loop lfk18(N = 100) {
+    // Flow-in: pure functions of external zone arrays (8 statements).
+    g1[i] = ZA[i] * ZP[i]
+    g2[i] = ZB[i] * ZQ[i]
+    g3[i] = ZA[i] + ZB[i]
+    g4[i] = ZP[i] - ZQ[i]
+    g5[i] = ZM[i] * ZR[i]
+    g6[i] = ZM[i] + ZZ[i]
+    g7[i] = ZU[i] * ZR[i]
+    g8[i] = ZU[i] - ZZ[i]
+
+    // Main zone recurrence: 15 statements, closed by m15[i-1] -> m1.
+    m1[i] = m15[i-1] + s6[i-1] + g1[i]
+    m2[i] = m1[i] + g2[i]
+    m3[i] = m2[i] * s
+    m4[i] = m3[i] + g7[i]
+    m5[i] = m4[i] + g8[i]
+    m6[i] = m5[i] * t
+    m7[i] = m6[i] + g3[i]
+    m8[i] = m7[i] + g1[i]
+    m9[i] = m8[i] + g2[i]
+    m10[i] = m9[i] * s
+    m11[i] = m10[i] + g5[i]
+    m12[i] = m11[i] + g6[i]
+    m13[i] = m12[i] + g4[i]
+    m14[i] = m13[i] + g7[i]
+    m15[i] = m14[i] + g8[i]
+
+    // Side recurrence: 6 statements, closed by s6[i-1] -> s1; it hangs
+    // off the main chain's first link and runs concurrently with it.
+    s1[i] = s6[i-1] + m1[i]
+    s2[i] = s1[i] + g3[i]
+    s3[i] = s2[i] + g4[i]
+    s4[i] = s3[i] + s2[i]
+    s5[i] = s4[i] + g5[i]
+    s6[i] = s5[i] + g6[i]
+}
+`
+
+// Livermore18 compiles the LFK18 reconstruction.
+func Livermore18() *loopir.Compiled {
+	return loopir.MustCompile(Livermore18Source)
+}

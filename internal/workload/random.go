@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mimdloop/internal/classify"
+	"mimdloop/internal/graph"
+)
+
+// RandomSpec mirrors the paper's Section 4 generator parameters.
+type RandomSpec struct {
+	Nodes      int // 40 in the paper
+	Simple     int // simple (distance-0) dependences; 20 in the paper
+	LoopCarry  int // loop-carried (distance-1) dependences; 20 in the paper
+	MaxLatency int // node latency uniform in [1, MaxLatency]; 3 in the paper
+	// MinCyclic rejects draws whose extracted Cyclic subset is smaller
+	// than this. The paper describes its extracted loops as graphs of up
+	// to 40 nodes with complex, entangled dependence structure; a plain
+	// uniform draw usually leaves only a handful of Cyclic nodes, so the
+	// suite resamples (deterministically) until the subset is substantial.
+	MinCyclic int
+}
+
+// PaperSpec is the parameterization of Section 4 (see MinCyclic for the one
+// documented deviation).
+var PaperSpec = RandomSpec{Nodes: 40, Simple: 20, LoopCarry: 20, MaxLatency: 3, MinCyclic: 12}
+
+// Random generates one random loop per the paper's recipe and returns only
+// its Cyclic subset ("we have extracted only Cyclic nodes from the graph"),
+// with node IDs renumbered. Simple dependences are oriented from lower to
+// higher node index so the loop body stays acyclic, matching the standard
+// construction. If a seed's Cyclic subset comes out empty (possible for
+// sparse draws), deterministic sub-seeds seed*31+attempt are tried; the
+// paper's own seeds 1..25 presumably never hit this, ours rarely does.
+func Random(spec RandomSpec, seed int64) (*graph.Graph, error) {
+	if spec.Nodes < 2 || spec.MaxLatency < 1 {
+		return nil, fmt.Errorf("workload: bad spec %+v", spec)
+	}
+	minCyclic := spec.MinCyclic
+	if minCyclic < 1 {
+		minCyclic = 1
+	}
+	for attempt := 0; attempt < 3000; attempt++ {
+		s := seed
+		if attempt > 0 {
+			s = seed*1000003 + int64(attempt)
+		}
+		g := generate(spec, s)
+		cls := classify.Partition(g)
+		if len(cls.Cyclic) < minCyclic {
+			continue
+		}
+		sub, _, err := classify.CyclicSubgraph(g, cls)
+		if err != nil {
+			return nil, err
+		}
+		return sub, nil
+	}
+	return nil, fmt.Errorf("workload: seed %d produced no cyclic subset of >= %d nodes in 3000 attempts", seed, minCyclic)
+}
+
+func generate(spec RandomSpec, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder()
+	for i := 0; i < spec.Nodes; i++ {
+		b.AddNode(fmt.Sprintf("v%d", i), 1+rng.Intn(spec.MaxLatency))
+	}
+	for i := 0; i < spec.Simple; i++ {
+		u := rng.Intn(spec.Nodes - 1)
+		v := u + 1 + rng.Intn(spec.Nodes-u-1)
+		b.AddEdge(u, v, 0)
+	}
+	for i := 0; i < spec.LoopCarry; i++ {
+		b.AddEdge(rng.Intn(spec.Nodes), rng.Intn(spec.Nodes), 1)
+	}
+	return b.MustBuild()
+}
+
+// Suite returns the paper's 25 random loops (seeds 1..25), Cyclic subsets
+// only.
+func Suite() ([]*graph.Graph, error) {
+	out := make([]*graph.Graph, 0, 25)
+	for seed := int64(1); seed <= 25; seed++ {
+		g, err := Random(PaperSpec, seed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, g)
+	}
+	return out, nil
+}

@@ -1,0 +1,176 @@
+package workload
+
+import (
+	"testing"
+
+	"mimdloop/internal/classify"
+	"mimdloop/internal/core"
+)
+
+func TestFigure1Classification(t *testing.T) {
+	g := Figure1()
+	r := classify.Partition(g)
+	fi, cy, fo := r.Counts()
+	if fi != 5 || cy != 4 || fo != 3 {
+		t.Fatalf("Figure 1 classification = %d/%d/%d, want 5/4/3 (%v)", fi, cy, fo, r)
+	}
+	sub, _, err := classify.CyclicSubgraph(g, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sub.NonTrivialSCCs()); got != 2 {
+		t.Fatalf("strongly connected subgraphs = %d, want 2 ((E,I) and (L))", got)
+	}
+}
+
+func TestFigure3AllCyclicAndPatterns(t *testing.T) {
+	g := Figure3()
+	r := classify.Partition(g)
+	if len(r.Cyclic) != 7 {
+		t.Fatalf("Figure 3 should be all-Cyclic: %v", r)
+	}
+	// k=1 as in the figure ("execution time of each node and the cost of
+	// communication are both assumed to be one cycle").
+	res, err := core.CyclicSchedAll(g, core.Options{Processors: 4, CommCost: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The binding recurrences are 3 cycles per iteration.
+	if rate := res.RatePerIteration(); rate < 3 || rate > 4 {
+		t.Fatalf("Figure 3 rate = %v, want in [3,4]", rate)
+	}
+}
+
+func TestFigure7Exact(t *testing.T) {
+	c := Figure7()
+	if c.Graph.N() != 5 || len(c.Graph.Edges) != 7 {
+		t.Fatalf("Figure 7 graph: %d nodes %d edges", c.Graph.N(), len(c.Graph.Edges))
+	}
+	r := classify.Partition(c.Graph)
+	if len(r.Cyclic) != 5 {
+		t.Fatalf("Figure 7 classification: %v", r)
+	}
+}
+
+func TestFigure9Properties(t *testing.T) {
+	g := Figure9()
+	if g.N() != 17 {
+		t.Fatalf("nodes = %d, want 17", g.N())
+	}
+	if got := g.TotalLatency(); got != 22 {
+		t.Fatalf("total latency = %d, want 22 (sequential cycles/iteration)", got)
+	}
+	r := classify.Partition(g)
+	fi, cy, fo := r.Counts()
+	if fi != 11 || cy != 6 || fo != 0 {
+		t.Fatalf("classification = %d/%d/%d, want 11/6/0 (%v)", fi, cy, fo, r)
+	}
+	// Cyclic subset: one connected component, rate 6 cycles/iteration
+	// bound by the 0->1->2->4 recurrence.
+	sub, _, err := classify.CyclicSubgraph(g, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comps := sub.ConnectedComponents(); len(comps) != 1 {
+		t.Fatalf("cyclic components = %d, want 1", len(comps))
+	}
+	if cpi := sub.CriticalPathPerIteration(); cpi != 6 {
+		t.Fatalf("critical cycles/iteration = %d, want 6", cpi)
+	}
+}
+
+func TestLivermore18Properties(t *testing.T) {
+	c := Livermore18()
+	g := c.Graph
+	if g.N() != 29 {
+		t.Fatalf("nodes = %d, want 29", g.N())
+	}
+	r := classify.Partition(g)
+	fi, cy, fo := r.Counts()
+	if fi != 8 {
+		t.Fatalf("Flow-in = %d, want 8 (paper: nodes 1,2,3,6,9,10,11,14)", fi)
+	}
+	if cy != 21 || fo != 0 {
+		t.Fatalf("classification = %d/%d/%d, want 8/21/0", fi, cy, fo)
+	}
+	// It must schedule with a pattern.
+	ls, err := core.ScheduleLoop(g, core.Options{Processors: 2, CommCost: 2}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ls.GreedyFallback {
+		t.Fatal("Livermore 18 fell back to greedy")
+	}
+}
+
+func TestEllipticProperties(t *testing.T) {
+	c := Elliptic()
+	g := c.Graph
+	if g.N() != 34 {
+		t.Fatalf("nodes = %d, want 34", g.N())
+	}
+	adds, mults := 0, 0
+	for _, nd := range g.Nodes {
+		switch nd.Latency {
+		case 1:
+			adds++
+		case 2:
+			mults++
+		default:
+			t.Fatalf("node %s latency %d", nd.Name, nd.Latency)
+		}
+	}
+	if adds != 26 || mults != 8 {
+		t.Fatalf("op mix = %d adds / %d mults, want 26/8", adds, mults)
+	}
+	r := classify.Partition(g)
+	fi, cy, fo := r.Counts()
+	if fi != 0 || fo != 1 || cy != 33 {
+		t.Fatalf("classification = %d/%d/%d, want 0/33/1 (single Flow-out output)", fi, cy, fo)
+	}
+	if g.Nodes[r.FlowOut[0]].Name != "out" {
+		t.Fatalf("Flow-out node is %s, want out", g.Nodes[r.FlowOut[0]].Name)
+	}
+}
+
+func TestRandomSuite(t *testing.T) {
+	suite, err := Suite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suite) != 25 {
+		t.Fatalf("suite size = %d, want 25", len(suite))
+	}
+	for i, g := range suite {
+		if g.N() > 40 {
+			t.Fatalf("loop %d has %d nodes, want <= 40", i, g.N())
+		}
+		if g.N() < 1 {
+			t.Fatalf("loop %d empty", i)
+		}
+		if !g.HasCycle() {
+			t.Fatalf("loop %d: cyclic subset has no cycle", i)
+		}
+		for _, nd := range g.Nodes {
+			if nd.Latency < 1 || nd.Latency > 3 {
+				t.Fatalf("loop %d: latency %d out of [1,3]", i, nd.Latency)
+			}
+		}
+	}
+	// Determinism.
+	again, err := Suite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range suite {
+		if suite[i].N() != again[i].N() || len(suite[i].Edges) != len(again[i].Edges) {
+			t.Fatalf("loop %d not deterministic", i)
+		}
+	}
+}
+
+func TestRandomBadSpec(t *testing.T) {
+	if _, err := Random(RandomSpec{Nodes: 1, MaxLatency: 1}, 1); err == nil {
+		t.Fatal("bad spec accepted")
+	}
+}

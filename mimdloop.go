@@ -1,0 +1,272 @@
+// Package mimdloop parallelizes non-vectorizable loops for asynchronous
+// MIMD machines, reproducing Kim & Nicolau, "Parallelizing Non-Vectorizable
+// Loops for MIMD Machines" (ICPP 1990 / UC Irvine TR 90-01).
+//
+// A loop is modeled as a data dependence graph whose edges carry iteration
+// distances. The library:
+//
+//   - classifies nodes into Flow-in / Cyclic / Flow-out subsets (the Cyclic
+//     subset alone determines the achievable steady-state rate);
+//   - greedily schedules the conceptually infinite unwinding of the Cyclic
+//     subset onto processors under an explicit communication-cost model,
+//     detecting the repeating pattern the paper's Theorem 1 guarantees (with
+//     a modulo-scheduling fallback when the transient is chaotic);
+//   - schedules the Flow-in and Flow-out fringes on extra processors so they
+//     never delay the cyclic core;
+//   - lowers schedules to per-processor COMPUTE/SEND/RECV programs, runs
+//     them on a deterministic simulated multiprocessor with communication
+//     fluctuation (the paper's Table 1 experiment), and executes them for
+//     real on goroutine-per-processor hardware with channel messaging;
+//   - provides the DOACROSS iteration-pipelining baseline [Cytron86], a
+//     miniature loop-language front end with dependence analysis and
+//     if-conversion [AlKe83], and the paper's example workloads.
+//
+// Quick start:
+//
+//	c := mimdloop.MustCompileLoop(`
+//	    loop f(N = 100) {
+//	        A[i] = A[i-1] + E[i-1]
+//	        B[i] = A[i]
+//	        C[i] = B[i]
+//	        D[i] = D[i-1] + C[i-1]
+//	        E[i] = D[i]
+//	    }`)
+//	ls, _ := mimdloop.ScheduleLoop(c.Graph, mimdloop.Options{Processors: 2, CommCost: 2}, 100)
+//	fmt.Printf("steady state: %.1f cycles/iteration\n", ls.RatePerIteration())
+package mimdloop
+
+import (
+	"mimdloop/internal/classify"
+	"mimdloop/internal/core"
+	"mimdloop/internal/doacross"
+	"mimdloop/internal/graph"
+	"mimdloop/internal/loopir"
+	"mimdloop/internal/machine"
+	"mimdloop/internal/mimdrt"
+	"mimdloop/internal/plan"
+	"mimdloop/internal/program"
+	"mimdloop/internal/textfmt"
+	"mimdloop/internal/workload"
+)
+
+// Graph construction and analysis.
+type (
+	// Graph is a loop's data dependence graph.
+	Graph = graph.Graph
+	// GraphBuilder assembles a Graph node by node.
+	GraphBuilder = graph.Builder
+	// Node is one unit of computation with an integer latency.
+	Node = graph.Node
+	// Edge is a dependence link with an iteration distance.
+	Edge = graph.Edge
+	// InstanceID names one dynamic execution of a node.
+	InstanceID = graph.InstanceID
+	// Classification partitions nodes into Flow-in / Cyclic / Flow-out.
+	Classification = classify.Result
+	// NodeClass is one of FlowIn, Cyclic, FlowOut.
+	NodeClass = classify.Class
+)
+
+// Classification labels.
+const (
+	FlowIn  = classify.FlowIn
+	Cyclic  = classify.Cyclic
+	FlowOut = classify.FlowOut
+)
+
+// Scheduling.
+type (
+	// Options configures the pattern scheduler.
+	Options = core.Options
+	// LoopSchedule is the composed result of the full pipeline.
+	LoopSchedule = core.LoopSchedule
+	// Pattern is a verified steady-state period.
+	Pattern = core.Pattern
+	// CyclicResult is the Cyclic-sched outcome on one connected graph.
+	CyclicResult = core.CyclicResult
+	// MultiResult holds per-component Cyclic-sched outcomes.
+	MultiResult = core.MultiResult
+	// Schedule is a set of timed placements on processors.
+	Schedule = plan.Schedule
+	// Placement assigns one node instance to a processor and start cycle.
+	Placement = plan.Placement
+	// Timing is the communication-cost model.
+	Timing = plan.Timing
+)
+
+// Baseline.
+type (
+	// DoacrossOptions configures the iteration-pipelining baseline.
+	DoacrossOptions = doacross.Options
+	// DoacrossResult is the baseline's schedule and chosen parameters.
+	DoacrossResult = doacross.Result
+)
+
+// Execution.
+type (
+	// Program is one processor's COMPUTE/SEND/RECV stream.
+	Program = program.Program
+	// Instr is one program instruction.
+	Instr = program.Instr
+	// MachineConfig controls the simulated multiprocessor.
+	MachineConfig = machine.Config
+	// MachineStats reports a simulated run.
+	MachineStats = machine.Stats
+	// Semantics gives nodes meaning for real execution.
+	Semantics = mimdrt.Semantics
+	// MixSemantics is a synthetic, misrouting-sensitive Semantics.
+	MixSemantics = mimdrt.MixSemantics
+)
+
+// Front end.
+type (
+	// Loop is a parsed loop-language program.
+	Loop = loopir.Loop
+	// CompiledLoop couples a Loop with its dependence graph and runnable
+	// semantics.
+	CompiledLoop = loopir.Compiled
+)
+
+// ErrNoPattern reports that no steady state was found within budget.
+var ErrNoPattern = core.ErrNoPattern
+
+// NewGraphBuilder returns an empty dependence-graph builder.
+func NewGraphBuilder() *GraphBuilder { return graph.NewBuilder() }
+
+// NewGraph builds a graph from explicit node and edge lists.
+func NewGraph(nodes []Node, edges []Edge) (*Graph, error) { return graph.New(nodes, edges) }
+
+// Classify partitions a graph's nodes (paper Figure 2).
+func Classify(g *Graph) *Classification { return classify.Partition(g) }
+
+// ScheduleLoop runs the complete pipeline of paper Figure 6 for n
+// iterations: classification, Cyclic-sched per connected component,
+// Flow-in-sched, Flow-out-sched, composition.
+func ScheduleLoop(g *Graph, opts Options, n int) (*LoopSchedule, error) {
+	return core.ScheduleLoop(g, opts, n)
+}
+
+// CyclicSched schedules one connected graph's infinite unwinding until a
+// pattern is verified (paper Figure 4).
+func CyclicSched(g *Graph, opts Options) (*CyclicResult, error) {
+	return core.CyclicSched(g, opts)
+}
+
+// CyclicSchedAll schedules each weakly-connected component independently.
+func CyclicSchedAll(g *Graph, opts Options) (*MultiResult, error) {
+	return core.CyclicSchedAll(g, opts)
+}
+
+// GreedySchedule schedules exactly n iterations without pattern machinery.
+func GreedySchedule(g *Graph, opts Options, n int) (*Schedule, error) {
+	return core.GreedyN(g, opts, n)
+}
+
+// UnwoundSchedule is the result of the normalize-then-schedule path.
+type UnwoundSchedule = core.UnwoundSchedule
+
+// ScheduleUnwound normalizes dependence distances to <= 1 by unwinding
+// [MuSi87], schedules the unwound body, and maps placements back to the
+// original loop's iteration space.
+func ScheduleUnwound(g *Graph, opts Options, n int) (*UnwoundSchedule, error) {
+	return core.ScheduleUnwound(g, opts, n)
+}
+
+// Doacross builds the best DOACROSS schedule for n iterations [Cytron86].
+func Doacross(g *Graph, opts DoacrossOptions, n int) (*DoacrossResult, error) {
+	return doacross.Schedule(g, opts, n)
+}
+
+// SequentialSchedule runs everything on one processor: the baseline "s" of
+// the percentage-parallelism metric.
+func SequentialSchedule(g *Graph, timing Timing, n int) *Schedule {
+	return plan.Sequential(g, timing, n)
+}
+
+// BuildPrograms lowers a schedule to per-processor instruction streams.
+func BuildPrograms(s *Schedule) ([]Program, error) { return program.Build(s) }
+
+// Simulate executes programs on the deterministic simulated MIMD machine.
+func Simulate(g *Graph, progs []Program, cfg MachineConfig) (*MachineStats, error) {
+	return machine.Run(g, progs, cfg)
+}
+
+// Execute runs programs concurrently — one goroutine per processor,
+// channel messaging — and returns every computed value.
+func Execute(g *Graph, progs []Program, sem Semantics) (map[InstanceID]float64, error) {
+	return mimdrt.Run(g, progs, sem)
+}
+
+// ExecuteSequential interprets the graph in body order: ground truth for
+// Execute.
+func ExecuteSequential(g *Graph, sem Semantics, n int) map[InstanceID]float64 {
+	return mimdrt.Sequential(g, sem, n)
+}
+
+// ParseLoop parses loop-language source.
+func ParseLoop(src string) (*Loop, error) { return loopir.Parse(src) }
+
+// CompileLoop parses and analyzes loop-language source into a dependence
+// graph with runnable semantics (if-converting guarded statements).
+func CompileLoop(src string) (*CompiledLoop, error) {
+	l, err := loopir.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return loopir.Compile(l)
+}
+
+// MustCompileLoop is CompileLoop for known-good sources.
+func MustCompileLoop(src string) *CompiledLoop { return loopir.MustCompile(src) }
+
+// Gantt renders a schedule as the step-by-processor tables of the paper's
+// figures. maxCycles <= 0 renders the whole schedule.
+func Gantt(s *Schedule, maxCycles int) string { return textfmt.Gantt(s, maxCycles) }
+
+// Pseudocode renders a scheduled loop as per-processor communicating
+// subloops in the style of the paper's Figures 7(e) and 10.
+func Pseudocode(ls *LoopSchedule) (string, error) {
+	pat := ls.Pattern()
+	if pat == nil {
+		return "", ErrNoPattern
+	}
+	var prologue []Placement
+	if !pat.Forced && ls.Multi != nil && len(ls.Multi.Components) == 1 {
+		for _, pl := range ls.Multi.Components[0].Result.Greedy.Placements {
+			if pl.Start < pat.Start {
+				prologue = append(prologue, pl)
+			}
+		}
+	}
+	return program.Pseudocode(program.CodegenInput{
+		Graph:     componentGraph(ls),
+		Prologue:  prologue,
+		Pattern:   pat.Placements,
+		IterShift: pat.IterShift,
+	})
+}
+
+func componentGraph(ls *LoopSchedule) *Graph {
+	if ls.Multi != nil && len(ls.Multi.Components) == 1 {
+		return ls.Multi.Components[0].Result.Graph
+	}
+	return ls.Graph
+}
+
+// Example workloads from the paper.
+
+// Figure7Loop returns the exact loop of paper Figure 7(a).
+func Figure7Loop() *CompiledLoop { return workload.Figure7() }
+
+// Livermore18Loop returns the Figure 11 workload (LFK 18 reconstruction).
+func Livermore18Loop() *CompiledLoop { return workload.Livermore18() }
+
+// EllipticLoop returns the Figure 12 workload (fifth-order elliptic wave
+// filter reconstruction).
+func EllipticLoop() *CompiledLoop { return workload.Elliptic() }
+
+// RandomCyclicLoop returns one of the Section 4 random workloads: the
+// Cyclic subset of a 40-node, 20+20-dependence random loop.
+func RandomCyclicLoop(seed int64) (*Graph, error) {
+	return workload.Random(workload.PaperSpec, seed)
+}

@@ -1,0 +1,159 @@
+package mimdloop_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mimdloop"
+)
+
+// TestPublicAPIEndToEnd drives the whole library through the public facade
+// only: compile source, classify, schedule, lower, simulate, execute with
+// goroutines, verify values, and render both presentation formats.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	compiled, err := mimdloop.CompileLoop(`
+		loop demo(N = 40) {
+		    A[i] = A[i-1] + U[i]
+		    B[i] = A[i] * 2.0
+		    C[i] = C[i-1] + B[i-1]
+		}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := compiled.Graph
+
+	cls := mimdloop.Classify(g)
+	if cls.IsDOALL() {
+		t.Fatal("recurrences classified DOALL")
+	}
+	for _, v := range cls.Cyclic {
+		if cls.Of[v] != mimdloop.Cyclic {
+			t.Fatal("classification labels inconsistent")
+		}
+	}
+
+	const iters = 40
+	ls, err := mimdloop.ScheduleLoop(g, mimdloop.Options{Processors: 2, CommCost: 1}, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ls.Full.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+
+	progs, err := mimdloop.BuildPrograms(ls.Full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := mimdloop.Simulate(g, progs, mimdloop.MachineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Makespan <= 0 || stats.Makespan > ls.Full.Makespan() {
+		t.Fatalf("simulated makespan %d vs static %d", stats.Makespan, ls.Full.Makespan())
+	}
+
+	got, err := mimdloop.Execute(g, progs, compiled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := compiled.Interpret(iters)
+	for k, w := range want {
+		if math.Abs(got[k]-w) > 1e-9*math.Max(1, math.Abs(w)) {
+			t.Fatalf("value %+v = %v, want %v", k, got[k], w)
+		}
+	}
+
+	if s := mimdloop.Gantt(ls.Full, 10); !strings.Contains(s, "PE0") {
+		t.Fatalf("Gantt: %q", s)
+	}
+	code, err := mimdloop.Pseudocode(ls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(code, "PARBEGIN") {
+		t.Fatalf("Pseudocode: %q", code)
+	}
+}
+
+func TestPublicGraphBuilder(t *testing.T) {
+	b := mimdloop.NewGraphBuilder()
+	x := b.AddNode("X", 1)
+	y := b.AddNode("Y", 1)
+	b.AddEdge(x, y, 0)
+	b.AddEdge(y, x, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mimdloop.CyclicSched(g, mimdloop.Options{Processors: 2, CommCost: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pattern == nil {
+		t.Fatal("no pattern")
+	}
+	if _, err := mimdloop.NewGraph(nil, nil); err == nil {
+		t.Fatal("empty graph accepted")
+	}
+}
+
+func TestPublicDoacrossAndSequential(t *testing.T) {
+	g := mimdloop.Figure7Loop().Graph
+	n := 20
+	da, err := mimdloop.Doacross(g, mimdloop.DoacrossOptions{MaxProcessors: 4, CommCost: 2}, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := mimdloop.SequentialSchedule(g, mimdloop.Timing{CommCost: 2}, n)
+	if da.Schedule.Makespan() > seq.Makespan() {
+		t.Fatalf("DOACROSS %d worse than sequential %d", da.Schedule.Makespan(), seq.Makespan())
+	}
+	greedy, err := mimdloop.GreedySchedule(g, mimdloop.Options{Processors: 2, CommCost: 2}, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if greedy.Makespan() >= seq.Makespan() {
+		t.Fatalf("greedy %d not better than sequential %d", greedy.Makespan(), seq.Makespan())
+	}
+}
+
+func TestPublicWorkloads(t *testing.T) {
+	if g := mimdloop.Livermore18Loop().Graph; g.N() != 29 {
+		t.Fatalf("LFK18 nodes = %d", g.N())
+	}
+	if g := mimdloop.EllipticLoop().Graph; g.N() != 34 {
+		t.Fatalf("elliptic nodes = %d", g.N())
+	}
+	g, err := mimdloop.RandomCyclicLoop(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasCycle() {
+		t.Fatal("random loop has no cycle")
+	}
+}
+
+func TestPublicExecuteSequentialMatchesMixSemantics(t *testing.T) {
+	g := mimdloop.Figure7Loop().Graph
+	vals := mimdloop.ExecuteSequential(g, mimdloop.MixSemantics{}, 5)
+	if len(vals) != 5*g.N() {
+		t.Fatalf("values = %d", len(vals))
+	}
+}
+
+func TestPseudocodeWithoutPattern(t *testing.T) {
+	// DOALL loop: no pattern, Pseudocode reports ErrNoPattern.
+	c, err := mimdloop.CompileLoop(`loop d(N=4) { A[i] = U[i] }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := mimdloop.ScheduleLoop(c.Graph, mimdloop.Options{Processors: 2, CommCost: 1}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mimdloop.Pseudocode(ls); err == nil {
+		t.Fatal("Pseudocode succeeded without a pattern")
+	}
+}
