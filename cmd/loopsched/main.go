@@ -4,22 +4,48 @@
 // the generated communicating subloops, and a comparison against the
 // DOACROSS baseline.
 //
+// It can also run as a scheduling service: `loopsched serve` starts an
+// HTTP server that schedules POSTed loop source through a content-addressed
+// plan cache, so repeated requests for the same loop are answered without
+// rescheduling.
+//
 // Usage:
 //
 //	loopsched [-k cost] [-p procs] [-n iters] [-fold] [-gantt cycles] file.loop
 //	loopsched -example fig7|lfk18|ewf
+//	loopsched serve [-addr :8080] [-cache entries]
+//
+// Serving endpoints:
+//
+//	POST /v1/schedule   loop source (raw text or {"source": ..., "comm_cost": ...,
+//	                    "processors": ..., "iterations": ..., "fold": ...});
+//	                    replies with the JSON plan and a cache_hit flag
+//	GET  /v1/stats      plan-cache hit/miss/eviction counters
+//	GET  /healthz       liveness probe
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"os"
+	"time"
 
 	"mimdloop"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		if err := serve(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "loopsched:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	var (
 		k        = flag.Int("k", 2, "communication cost estimate in cycles")
 		procs    = flag.Int("p", 0, "processors for the Cyclic subset (0 = sufficient)")
@@ -34,6 +60,57 @@ func main() {
 		fmt.Fprintln(os.Stderr, "loopsched:", err)
 		os.Exit(1)
 	}
+}
+
+// serve runs the HTTP scheduling service until the listener fails.
+func serve(args []string) error {
+	fs := flag.NewFlagSet("loopsched serve", flag.ContinueOnError)
+	var (
+		addr  = fs.String("addr", ":8080", "listen address")
+		cache = fs.Int("cache", 0, "maximum cached plans and compiled sources (0 = 1024)")
+	)
+	// The parse error is reported once, by our caller — but -h/-help must
+	// still print the flag listing.
+	fs.SetOutput(io.Discard)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			fs.SetOutput(os.Stdout)
+			fs.Usage()
+			return nil
+		}
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("serve takes no positional arguments, got %v", fs.Args())
+	}
+	handler, err := newServeHandler(*cache)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("loopsched: serving on %s (POST /v1/schedule, GET /v1/stats)\n", ln.Addr())
+	srv := &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		// The write deadline covers handler compute plus the body write;
+		// near-cap replies run to tens of MB, so leave slow links room.
+		WriteTimeout: 2 * time.Minute,
+		IdleTimeout:  2 * time.Minute,
+	}
+	return srv.Serve(ln)
+}
+
+// newServeHandler builds the service handler around a fresh pipeline.
+func newServeHandler(maxEntries int) (http.Handler, error) {
+	if maxEntries < 0 {
+		return nil, fmt.Errorf("negative cache size %d", maxEntries)
+	}
+	pipe := mimdloop.NewPipeline(mimdloop.PipelineConfig{MaxEntries: maxEntries})
+	return mimdloop.NewPipelineServer(pipe), nil
 }
 
 func run(k, procs, iters int, fold bool, gantt int, example, jsonPath string, args []string) error {

@@ -1,8 +1,12 @@
 package main
 
 import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -46,6 +50,46 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run(2, 0, 10, false, 0, "", "", []string{"/does/not/exist.loop"}); err == nil {
 		t.Fatal("nonexistent file accepted")
+	}
+}
+
+func TestServeHandler(t *testing.T) {
+	h, err := newServeHandler(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := `loop t(N = 10) {
+        A[i] = A[i-1] + U[i]
+        B[i] = A[i] * 2.0
+    }`
+	for i, wantHit := range []bool{false, true} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/schedule", strings.NewReader(src)))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", i, rec.Code, rec.Body)
+		}
+		var resp struct {
+			Loop     string `json:"loop"`
+			CacheHit bool   `json:"cache_hit"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Loop != "t" || resp.CacheHit != wantHit {
+			t.Fatalf("request %d: %+v, want hit=%v", i, resp, wantHit)
+		}
+	}
+}
+
+func TestServeArgErrors(t *testing.T) {
+	if _, err := newServeHandler(-1); err == nil {
+		t.Fatal("negative cache size accepted")
+	}
+	if err := serve([]string{"stray"}); err == nil {
+		t.Fatal("positional argument accepted")
+	}
+	if err := serve([]string{"-nosuchflag"}); err == nil {
+		t.Fatal("unknown flag accepted")
 	}
 }
 

@@ -7,6 +7,8 @@
 //	paperbench -fig 7     # one figure (1, 3, 7, 8, 9, 11, 12)
 //	paperbench -table 1a  # Table 1(a) or 1b
 //	paperbench -ablations # design-choice ablations
+//	paperbench -sweep     # concurrent processors x comm-cost sweep (Figure 7 loop)
+//	paperbench -workers 8 # worker-pool size for Table 1 and the sweep
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"mimdloop/internal/classify"
 	"mimdloop/internal/core"
 	"mimdloop/internal/experiments"
+	"mimdloop/internal/metrics"
 	"mimdloop/internal/textfmt"
 	"mimdloop/internal/workload"
 )
@@ -27,22 +30,26 @@ func main() {
 		fig       = flag.Int("fig", 0, "regenerate one figure (1, 3, 7, 8, 9, 11, 12)")
 		table     = flag.String("table", "", "regenerate a table: 1a or 1b")
 		ablations = flag.Bool("ablations", false, "run the design-choice ablations")
+		sweep     = flag.Bool("sweep", false, "sweep processors x comm cost on the Figure 7 loop")
 		iters     = flag.Int("n", 100, "iterations per measurement")
 		loops     = flag.Int("loops", 25, "random loops for Table 1")
+		workers   = flag.Int("workers", 0, "worker-pool size for Table 1 and -sweep (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
-	all := *fig == 0 && *table == "" && !*ablations
+	all := *fig == 0 && *table == "" && !*ablations && !*sweep
 	var err error
 	switch {
 	case all:
-		err = runAll(*iters, *loops)
+		err = runAll(*iters, *loops, *workers)
 	case *fig != 0:
 		err = runFigure(*fig, *iters)
 	case *table != "":
-		err = runTable(*table, *iters, *loops)
+		err = runTable(*table, *iters, *loops, *workers)
 	case *ablations:
 		err = runAblations(*iters)
+	case *sweep:
+		err = runSweep(*iters, *workers)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "paperbench:", err)
@@ -50,22 +57,59 @@ func main() {
 	}
 }
 
-func runAll(iters, loops int) error {
+func runAll(iters, loops, workers int) error {
 	for _, f := range []int{1, 3, 7, 8, 9, 11, 12} {
 		if err := runFigure(f, iters); err != nil {
 			return err
 		}
 		fmt.Println()
 	}
-	if err := runTable("1a", iters, loops); err != nil {
+	// Compute Table 1 once and print both renderings from it.
+	res, err := experiments.Table1Workers(loops, iters, workers)
+	if err != nil {
+		return err
+	}
+	printTable("1a", res)
+	fmt.Println()
+	printTable("1b", res)
+	fmt.Println()
+	if err := runAblations(iters); err != nil {
 		return err
 	}
 	fmt.Println()
-	if err := runTable("1b", iters, loops); err != nil {
-		return err
+	return runSweep(iters, workers)
+}
+
+// runSweep evaluates a processors x comm-cost grid on the Figure 7 loop
+// concurrently through the pipeline and prints Sp at every point.
+func runSweep(iters, workers int) error {
+	fmt.Println("== Sweep: percentage parallelism, Figure 7 loop, processors x k ==")
+	procs := []int{2, 3, 4, 6, 8}
+	costs := []int{0, 1, 2, 3, 4, 5}
+	pipe := mimdloop.NewPipeline(mimdloop.PipelineConfig{})
+	results := pipe.Sweep(mimdloop.Figure7Loop().Graph, mimdloop.SweepGrid(procs, costs),
+		mimdloop.SweepOptions{Iterations: iters, Workers: workers, Simulate: true})
+
+	header := []string{"procs \\ k"}
+	for _, k := range costs {
+		header = append(header, fmt.Sprintf("k=%d", k))
 	}
-	fmt.Println()
-	return runAblations(iters)
+	t := &metrics.Table{Header: header}
+	i := 0
+	for _, p := range procs {
+		row := []string{fmt.Sprint(p)}
+		for range costs {
+			r := results[i]
+			i++
+			if r.Err != nil {
+				return r.Err
+			}
+			row = append(row, metrics.F1(r.Sp))
+		}
+		t.AddRow(row...)
+	}
+	fmt.Print(t.String())
+	return nil
 }
 
 func runFigure(fig, iters int) error {
@@ -165,22 +209,26 @@ func printFig7Details() error {
 	return nil
 }
 
-func runTable(name string, iters, loops int) error {
-	res, err := experiments.Table1(loops, iters)
+func runTable(name string, iters, loops, workers int) error {
+	if name != "1a" && name != "1b" {
+		return fmt.Errorf("unknown table %q (have 1a, 1b)", name)
+	}
+	res, err := experiments.Table1Workers(loops, iters, workers)
 	if err != nil {
 		return err
 	}
-	switch name {
-	case "1a":
+	printTable(name, res)
+	return nil
+}
+
+func printTable(name string, res *experiments.Table1Result) {
+	if name == "1a" {
 		fmt.Println("== Table 1(a): percentage parallelism, 25 random loops ==")
 		fmt.Print(res.FormatA())
-	case "1b":
-		fmt.Println("== Table 1(b): averages and speedup factors ==")
-		fmt.Print(res.FormatB())
-	default:
-		return fmt.Errorf("unknown table %q (have 1a, 1b)", name)
+		return
 	}
-	return nil
+	fmt.Println("== Table 1(b): averages and speedup factors ==")
+	fmt.Print(res.FormatB())
 }
 
 func runAblations(iters int) error {

@@ -15,14 +15,20 @@ func TestRunFigures(t *testing.T) {
 }
 
 func TestRunTables(t *testing.T) {
-	if err := runTable("1a", 30, 3); err != nil {
+	if err := runTable("1a", 30, 3, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := runTable("1b", 30, 3); err != nil {
+	if err := runTable("1b", 30, 3, 2); err != nil {
 		t.Fatal(err)
 	}
-	if err := runTable("2x", 30, 3); err == nil {
+	if err := runTable("2x", 30, 3, 0); err == nil {
 		t.Fatal("unknown table accepted")
+	}
+}
+
+func TestRunSweep(t *testing.T) {
+	if err := runSweep(20, 4); err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -39,7 +45,7 @@ func TestRunAllSmall(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full paperbench in -short mode")
 	}
-	if err := runAll(20, 2); err != nil {
+	if err := runAll(20, 2, 0); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -1,0 +1,3 @@
+module mimdloop
+
+go 1.22

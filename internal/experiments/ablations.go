@@ -7,6 +7,7 @@ import (
 	"mimdloop/internal/graph"
 	"mimdloop/internal/machine"
 	"mimdloop/internal/metrics"
+	"mimdloop/internal/pipeline"
 	"mimdloop/internal/program"
 	"mimdloop/internal/workload"
 )
@@ -92,15 +93,22 @@ func AblationQueueOrder(g *graph.Graph, k int) ([]RateRow, error) {
 	return rows, nil
 }
 
-// AblationProcessors sweeps the per-component processor budget.
+// AblationProcessors sweeps the per-component processor budget through the
+// pipeline's concurrent Sweep. The reported rate is the composed
+// schedule's steady-state cycles/iteration — the verified pattern rate
+// when one exists (iteration-count independent), else the measured
+// average over the scheduled iterations (DOALL and no-pattern graphs).
+// Unlike the seed, flow-bearing graphs are classified first, so the rate
+// reflects the Cyclic core rather than flow nodes scheduled as if cyclic.
 func AblationProcessors(g *graph.Graph, k int, procs []int) ([]RateRow, error) {
-	var rows []RateRow
-	for _, p := range procs {
-		multi, err := core.CyclicSchedAll(g, core.Options{Processors: p, CommCost: k})
-		if err != nil {
-			return nil, err
+	pipe := pipeline.New(pipeline.Config{})
+	results := pipe.Sweep(g, pipeline.Grid(procs, []int{k}), pipeline.SweepOptions{Iterations: 100})
+	rows := make([]RateRow, 0, len(results))
+	for _, r := range results {
+		if r.Err != nil {
+			return nil, r.Err
 		}
-		rows = append(rows, RateRow{Name: fmt.Sprintf("p=%d", p), Rate: multi.RatePerIteration()})
+		rows = append(rows, RateRow{Name: fmt.Sprintf("p=%d", r.Point.Processors), Rate: r.Rate})
 	}
 	return rows, nil
 }

@@ -7,6 +7,7 @@ import (
 	"mimdloop/internal/doacross"
 	"mimdloop/internal/machine"
 	"mimdloop/internal/metrics"
+	"mimdloop/internal/pipeline"
 	"mimdloop/internal/program"
 	"mimdloop/internal/workload"
 )
@@ -39,66 +40,37 @@ type Table1Result struct {
 // Table1 runs the Section 4 experiment: loops 0..count-1 of the random
 // suite (the paper uses all 25), scheduled by both algorithms with an
 // estimated k = 3 and executed on the simulated multiprocessor with
-// run-time communication costs in [k, k+mm-1] for mm in {1, 3, 5}.
+// run-time communication costs in [k, k+mm-1] for mm in {1, 3, 5}. Loops
+// are evaluated concurrently on up to GOMAXPROCS workers; every
+// measurement is deterministic per loop, so the result is identical to the
+// serial run.
 func Table1(count, iters int) (*Table1Result, error) {
+	return Table1Workers(count, iters, 0)
+}
+
+// Table1Workers is Table1 with an explicit worker-pool size (0 =
+// GOMAXPROCS, 1 = the seed's serial behaviour).
+func Table1Workers(count, iters, workers int) (*Table1Result, error) {
 	if count < 1 || count > 25 {
 		return nil, fmt.Errorf("experiments: table 1 loop count %d, want 1..25", count)
 	}
 	if iters == 0 {
 		iters = 100
 	}
-	const k = 3
 	res := &Table1Result{
 		PaperOursMean:     [3]float64{47.4046, 39.0674, 30.2776},
 		PaperDoacrossMean: [3]float64{16.3135, 13.0623, 9.4823},
 		PaperFactor:       [3]float64{2.9, 3.0, 3.3},
 	}
-	for seed := int64(1); seed <= int64(count); seed++ {
-		g, err := workload.Random(workload.PaperSpec, seed)
+	res.Rows = make([]Table1Row, count)
+	errs := make([]error, count)
+	pipeline.RunPool(count, workers, func(i int) {
+		res.Rows[i], errs[i] = table1Row(int64(i+1), iters)
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		row := Table1Row{Loop: int(seed - 1), Nodes: g.N()}
-		seq := iters * g.TotalLatency()
-
-		// Ours: pattern schedule with sufficient processors.
-		multi, err := core.CyclicSchedAll(g, core.Options{CommCost: k})
-		if err != nil {
-			return nil, fmt.Errorf("experiments: loop %d ours: %w", seed-1, err)
-		}
-		full, err := multi.Expand(iters)
-		if err != nil {
-			return nil, err
-		}
-		oursProgs, err := program.Build(full)
-		if err != nil {
-			return nil, err
-		}
-
-		// DOACROSS baseline, with the reordering courtesy of footnote 16.
-		da, err := doacross.Schedule(g, doacross.Options{MaxProcessors: 8, CommCost: k, HeuristicReorder: true}, iters)
-		if err != nil {
-			return nil, err
-		}
-		daProgs, err := program.Build(da.Schedule)
-		if err != nil {
-			return nil, err
-		}
-
-		for mi, mm := range MMValues {
-			cfg := machine.Config{Fluct: mm, Seed: seed}
-			os, err := machine.Run(g, oursProgs, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: loop %d mm=%d ours sim: %w", seed-1, mm, err)
-			}
-			ds, err := machine.Run(g, daProgs, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: loop %d mm=%d doacross sim: %w", seed-1, mm, err)
-			}
-			row.Ours[mi] = metrics.ClampZero(metrics.PercentParallelism(seq, os.Makespan))
-			row.Doacross[mi] = metrics.ClampZero(metrics.PercentParallelism(seq, ds.Makespan))
-		}
-		res.Rows = append(res.Rows, row)
 	}
 	for mi := range MMValues {
 		var ours, da []float64
@@ -111,6 +83,59 @@ func Table1(count, iters int) (*Table1Result, error) {
 		res.Factor[mi] = metrics.SpeedupFactor(res.OursMean[mi], res.DoacrossMean[mi])
 	}
 	return res, nil
+}
+
+// table1Row measures one random loop under both algorithms and all mm
+// values. It is pure in seed and iters, which is what makes the
+// worker-pool evaluation in Table1Workers order-independent.
+func table1Row(seed int64, iters int) (Table1Row, error) {
+	const k = 3
+	var row Table1Row
+	g, err := workload.Random(workload.PaperSpec, seed)
+	if err != nil {
+		return row, err
+	}
+	row = Table1Row{Loop: int(seed - 1), Nodes: g.N()}
+	seq := iters * g.TotalLatency()
+
+	// Ours: pattern schedule with sufficient processors.
+	multi, err := core.CyclicSchedAll(g, core.Options{CommCost: k})
+	if err != nil {
+		return row, fmt.Errorf("experiments: loop %d ours: %w", seed-1, err)
+	}
+	full, err := multi.Expand(iters)
+	if err != nil {
+		return row, err
+	}
+	oursProgs, err := program.Build(full)
+	if err != nil {
+		return row, err
+	}
+
+	// DOACROSS baseline, with the reordering courtesy of footnote 16.
+	da, err := doacross.Schedule(g, doacross.Options{MaxProcessors: 8, CommCost: k, HeuristicReorder: true}, iters)
+	if err != nil {
+		return row, err
+	}
+	daProgs, err := program.Build(da.Schedule)
+	if err != nil {
+		return row, err
+	}
+
+	for mi, mm := range MMValues {
+		cfg := machine.Config{Fluct: mm, Seed: seed}
+		os, err := machine.Run(g, oursProgs, cfg)
+		if err != nil {
+			return row, fmt.Errorf("experiments: loop %d mm=%d ours sim: %w", seed-1, mm, err)
+		}
+		ds, err := machine.Run(g, daProgs, cfg)
+		if err != nil {
+			return row, fmt.Errorf("experiments: loop %d mm=%d doacross sim: %w", seed-1, mm, err)
+		}
+		row.Ours[mi] = metrics.ClampZero(metrics.PercentParallelism(seq, os.Makespan))
+		row.Doacross[mi] = metrics.ClampZero(metrics.PercentParallelism(seq, ds.Makespan))
+	}
+	return row, nil
 }
 
 // FormatA renders Table 1(a).

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // DefaultCost marks an edge that uses the machine-wide communication cost k
@@ -48,6 +49,9 @@ type Graph struct {
 
 	succ [][]int // node -> indices into Edges (outgoing)
 	pred [][]int // node -> indices into Edges (incoming)
+
+	fpOnce sync.Once // memoizes Fingerprint (immutability makes it stable)
+	fp     string
 }
 
 // Builder incrementally assembles a Graph.

@@ -1,0 +1,47 @@
+package graph
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+)
+
+// Fingerprint returns a content hash of the graph: two graphs share a
+// fingerprint exactly when they have the same nodes (name, latency, in ID
+// order) and the same dependence edges (endpoint IDs, distance, cost,
+// irrespective of insertion order). It is the graph half of the plan-cache
+// key in internal/pipeline: schedules depend only on this content, so a
+// fingerprint match makes a cached plan reusable. The hash is computed
+// once per Graph and memoized, so the cache-hit path pays a lookup, not a
+// rehash.
+func (g *Graph) Fingerprint() string {
+	g.fpOnce.Do(func() { g.fp = g.fingerprint() })
+	return g.fp
+}
+
+func (g *Graph) fingerprint() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "v1 %d %d\n", len(g.Nodes), len(g.Edges))
+	for _, nd := range g.Nodes {
+		fmt.Fprintf(h, "n %q %d\n", nd.Name, nd.Latency)
+	}
+	edges := append([]Edge(nil), g.Edges...)
+	sort.Slice(edges, func(a, b int) bool {
+		ea, eb := edges[a], edges[b]
+		if ea.From != eb.From {
+			return ea.From < eb.From
+		}
+		if ea.To != eb.To {
+			return ea.To < eb.To
+		}
+		if ea.Distance != eb.Distance {
+			return ea.Distance < eb.Distance
+		}
+		return ea.Cost < eb.Cost
+	})
+	for _, e := range edges {
+		fmt.Fprintf(h, "e %d %d %d %d\n", e.From, e.To, e.Distance, e.Cost)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

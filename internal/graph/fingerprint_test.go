@@ -1,0 +1,46 @@
+package graph
+
+import "testing"
+
+func fpGraph(t *testing.T, nodes []Node, edges []Edge) *Graph {
+	t.Helper()
+	g, err := New(nodes, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestFingerprintContentAddressing(t *testing.T) {
+	nodes := []Node{{ID: 0, Name: "A", Latency: 1}, {ID: 1, Name: "B", Latency: 2}}
+	e1 := Edge{From: 0, To: 1, Distance: 0, Cost: DefaultCost}
+	e2 := Edge{From: 1, To: 0, Distance: 1, Cost: DefaultCost}
+
+	g := fpGraph(t, nodes, []Edge{e1, e2})
+	same := fpGraph(t, nodes, []Edge{e1, e2})
+	if g.Fingerprint() != same.Fingerprint() {
+		t.Fatal("identical graphs disagree")
+	}
+	if g.Fingerprint() != g.Clone().Fingerprint() {
+		t.Fatal("clone disagrees")
+	}
+
+	// Edge insertion order is canonicalized away.
+	reordered := fpGraph(t, nodes, []Edge{e2, e1})
+	if g.Fingerprint() != reordered.Fingerprint() {
+		t.Fatal("edge order changed the fingerprint")
+	}
+
+	// Content changes change the fingerprint.
+	for name, other := range map[string]*Graph{
+		"latency": fpGraph(t, []Node{{ID: 0, Name: "A", Latency: 3}, {ID: 1, Name: "B", Latency: 2}}, []Edge{e1, e2}),
+		"name":    fpGraph(t, []Node{{ID: 0, Name: "Z", Latency: 1}, {ID: 1, Name: "B", Latency: 2}}, []Edge{e1, e2}),
+		"dist":    fpGraph(t, nodes, []Edge{e1, {From: 1, To: 0, Distance: 2, Cost: DefaultCost}}),
+		"cost":    fpGraph(t, nodes, []Edge{e1, {From: 1, To: 0, Distance: 1, Cost: 4}}),
+		"edges":   fpGraph(t, nodes, []Edge{e2}),
+	} {
+		if g.Fingerprint() == other.Fingerprint() {
+			t.Fatalf("%s change kept the fingerprint", name)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package pipeline
+
+import (
+	"runtime"
+	"testing"
+
+	"mimdloop/internal/workload"
+)
+
+// BenchmarkScheduleCold measures the uncached pipeline on the Figure 7
+// workload: classify + Cyclic-sched + compose + lower on every request
+// (the seed's only mode of operation).
+func BenchmarkScheduleCold(b *testing.B) {
+	p := New(Config{DisableCache: true})
+	g := workload.Figure7().Graph
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := p.Schedule(g, fig7Opts, 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScheduleCacheHit measures the steady-state serving path: the
+// same request against a warm cache. The acceptance bar for this PR is
+// >= 10x faster than BenchmarkScheduleCold; in practice the gap is orders
+// of magnitude (a fingerprint plus a sharded map lookup).
+func BenchmarkScheduleCacheHit(b *testing.B) {
+	p := New(Config{})
+	g := workload.Figure7().Graph
+	if _, _, err := p.Schedule(g, fig7Opts, 100); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, hit, err := p.Schedule(g, fig7Opts, 100)
+		if err != nil || !hit {
+			b.Fatalf("hit=%v err=%v", hit, err)
+		}
+	}
+}
+
+// BenchmarkScheduleCacheHitParallel is the serving path under concurrent
+// clients, as the HTTP server sees it.
+func BenchmarkScheduleCacheHitParallel(b *testing.B) {
+	p := New(Config{})
+	g := workload.Figure7().Graph
+	if _, _, err := p.Schedule(g, fig7Opts, 100); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, hit, err := p.Schedule(g, fig7Opts, 100); err != nil || !hit {
+				b.Fatalf("hit=%v err=%v", hit, err)
+			}
+		}
+	})
+}
+
+var sweepPoints = Grid([]int{2, 3, 4, 6, 8}, []int{0, 1, 2, 3, 4, 5})
+
+// BenchmarkSweepSerial is the seed-equivalent parameter study: every grid
+// point scheduled one after another, no cache.
+func BenchmarkSweepSerial(b *testing.B) {
+	g := workload.Figure7().Graph
+	for i := 0; i < b.N; i++ {
+		p := New(Config{DisableCache: true})
+		res := p.Sweep(g, sweepPoints, SweepOptions{Iterations: 100, Workers: 1})
+		for _, r := range res {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+}
+
+// BenchmarkSweepConcurrent runs the same grid on the worker pool.
+func BenchmarkSweepConcurrent(b *testing.B) {
+	g := workload.Figure7().Graph
+	for i := 0; i < b.N; i++ {
+		p := New(Config{DisableCache: true})
+		res := p.Sweep(g, sweepPoints, SweepOptions{Iterations: 100, Workers: runtime.GOMAXPROCS(0)})
+		for _, r := range res {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+}

@@ -1,0 +1,443 @@
+// Package pipeline unifies the compile → classify → schedule → lower flow
+// behind one reusable Pipeline value with a content-addressed plan cache.
+//
+// Every entry point of the library ultimately runs the same stages: parse
+// loop source (optional), classify the dependence graph, run Cyclic-sched
+// until a steady-state pattern is verified, compose the Flow-in/Flow-out
+// fringes, and lower the composed schedule to per-processor programs. The
+// stages are deterministic pure functions of (graph content, Options,
+// iteration count), so their results are cacheable: a Pipeline hashes the
+// graph (graph.Fingerprint) together with the scheduling options and
+// iteration count, and serves repeat requests from a sharded LRU cache
+// that is safe for any number of concurrent readers. Misses for the same
+// key are collapsed into a single computation (singleflight), so a burst
+// of identical requests costs one schedule.
+//
+// On top of plan reuse the package provides Sweep, a worker-pool
+// evaluation of processor-count × communication-cost grids (replacing the
+// serial parameter loops in internal/experiments and cmd/paperbench), and
+// Server, an HTTP front end that schedules POSTed loop source and reports
+// cache statistics (see server.go).
+package pipeline
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+
+	"mimdloop/internal/core"
+	"mimdloop/internal/graph"
+	"mimdloop/internal/loopir"
+	"mimdloop/internal/program"
+)
+
+// Config tunes a Pipeline.
+type Config struct {
+	// MaxEntries bounds the number of cached plans across all shards, and
+	// doubles as the entry bound of the parsed-source compile cache.
+	// Values <= 0 mean 1024. Eviction is least-recently-used per shard.
+	MaxEntries int
+	// MaxPlacements bounds the total scheduled placements retained across
+	// all cached plans — an approximate memory bound, since a plan's
+	// footprint is O(placements). Values <= 0 mean 4,000,000. A shard
+	// always keeps at least one plan even if it alone exceeds the budget.
+	MaxPlacements int
+	// DisableCache turns the pipeline into a pass-through that schedules
+	// every request from scratch (useful for measurement baselines).
+	DisableCache bool
+}
+
+// Plan is one fully-constructed scheduling artifact: the composed loop
+// schedule together with its lowered per-processor programs. Plans are
+// shared between cache readers and must be treated as immutable.
+type Plan struct {
+	// GraphHash is the content fingerprint of the scheduled graph.
+	GraphHash string
+	// Opts and Iterations complete the cache key.
+	Opts       core.Options
+	Iterations int
+
+	// Schedule is the composed result of core.ScheduleLoop.
+	Schedule *core.LoopSchedule
+	// Programs are the lowered COMPUTE/SEND/RECV streams, one per
+	// processor of Schedule.Full.
+	Programs []program.Program
+
+	// makespan, procs and rate are computed once at build time: all can
+	// cost O(placements) scans that must not run per request on the hit
+	// path (rate falls back to makespan/iterations for pattern-less
+	// plans).
+	makespan int
+	procs    int
+	rate     float64
+
+	// schedJSON memoizes the wire encoding of Schedule.Full so serving a
+	// cached plan does not re-marshal the full placement list.
+	schedJSONOnce sync.Once
+	schedJSON     []byte
+	schedJSONErr  error
+}
+
+// ScheduleJSON returns the plan's composed schedule in the internal/plan
+// wire format, marshaled once per Plan.
+func (p *Plan) ScheduleJSON() ([]byte, error) {
+	p.schedJSONOnce.Do(func() {
+		p.schedJSON, p.schedJSONErr = json.Marshal(p.Schedule.Full)
+	})
+	return p.schedJSON, p.schedJSONErr
+}
+
+// Rate returns the plan's steady-state cycles per iteration.
+func (p *Plan) Rate() float64 { return p.rate }
+
+// Procs returns the number of processors the plan occupies.
+func (p *Plan) Procs() int { return p.procs }
+
+// Makespan returns the composed schedule's finishing cycle.
+func (p *Plan) Makespan() int { return p.makespan }
+
+// Stats is a point-in-time snapshot of cache behaviour.
+type Stats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Computes  uint64 `json:"computes"` // misses that actually scheduled (rest piggybacked on an in-flight computation)
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+}
+
+// HitRate returns hits / (hits + misses), or 0 before any traffic.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// maxCacheShards caps lock striping; small caches use fewer shards so the
+// configured MaxEntries is honored exactly.
+const maxCacheShards = 16
+
+// Pipeline is a concurrency-safe scheduling front end with a plan cache.
+// The zero value is not usable; construct with New.
+type Pipeline struct {
+	cfg    Config
+	shards []cacheShard
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	computes  atomic.Uint64
+	evictions atomic.Uint64
+
+	// compileMu guards the compile cache: an LRU of parsed loop sources
+	// keyed by source hash (so arbitrarily large request bodies are never
+	// retained as map keys), used by CompileAndSchedule and the server.
+	compileMu sync.Mutex
+	compiled  map[string]*list.Element // sha256(source) -> element of compOrder
+	compOrder *list.List               // front = most recently used; Value is *compiledEntry
+}
+
+// compiledEntry is one compile-cache slot.
+type compiledEntry struct {
+	key string
+	c   *loopir.Compiled
+}
+
+// cacheShard is one lock-striped LRU segment of the plan cache.
+type cacheShard struct {
+	mu        sync.Mutex
+	limit     int                      // fixed per-shard entry capacity; shard limits sum to MaxEntries
+	maxWeight int                      // per-shard placement budget; shard budgets sum to MaxPlacements
+	weight    int                      // total placements of completed entries in this shard
+	entries   map[string]*list.Element // key -> element whose Value is *cacheEntry
+	order     *list.List               // front = most recently used
+}
+
+// cacheEntry carries the singleflight state for one key: fn is installed
+// at insertion, and whichever goroutine reaches get() first runs it; every
+// other goroutine for the same key blocks in the Once and shares the
+// outcome.
+type cacheEntry struct {
+	key  string
+	once sync.Once
+	fn   func() (*Plan, error)
+	done atomic.Bool // set after fn completes; distinguishes hits from piggybacks
+	plan *Plan
+	err  error
+	// weight is the plan's placement count, charged against the shard
+	// budget once the computation completes (0 while in flight).
+	weight int
+}
+
+func (e *cacheEntry) get() (*Plan, error) {
+	e.once.Do(func() {
+		e.plan, e.err = e.fn()
+		e.fn = nil
+		e.done.Store(true)
+	})
+	return e.plan, e.err
+}
+
+// New returns an empty Pipeline.
+func New(cfg Config) *Pipeline {
+	if cfg.MaxEntries <= 0 {
+		cfg.MaxEntries = 1024
+	}
+	if cfg.MaxPlacements <= 0 {
+		cfg.MaxPlacements = 4_000_000
+	}
+	n := maxCacheShards
+	if cfg.MaxEntries < n {
+		n = cfg.MaxEntries
+	}
+	p := &Pipeline{
+		cfg:       cfg,
+		shards:    make([]cacheShard, n),
+		compiled:  make(map[string]*list.Element),
+		compOrder: list.New(),
+	}
+	// Distribute capacity so shard limits sum to exactly MaxEntries, and
+	// likewise for the placement budget.
+	for i := range p.shards {
+		p.shards[i].limit = cfg.MaxEntries / n
+		if i < cfg.MaxEntries%n {
+			p.shards[i].limit++
+		}
+		p.shards[i].maxWeight = cfg.MaxPlacements / n
+		if i < cfg.MaxPlacements%n {
+			p.shards[i].maxWeight++
+		}
+		p.shards[i].entries = make(map[string]*list.Element)
+		p.shards[i].order = list.New()
+	}
+	return p
+}
+
+// planKey derives the full cache key. The whole Options struct is
+// formatted (field names included) so a field added to core.Options later
+// joins the key automatically instead of silently aliasing plans.
+func planKey(hash string, o core.Options, n int) string {
+	return fmt.Sprintf("%s|%+v|n%d", hash, o, n)
+}
+
+func (p *Pipeline) shard(key string) *cacheShard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return &p.shards[h.Sum32()%uint32(len(p.shards))]
+}
+
+// Schedule runs the full pipeline on g for n iterations, serving from the
+// plan cache when an identical request (same graph content, options and
+// iteration count) was seen before. The boolean reports whether the plan
+// came from the cache.
+func (p *Pipeline) Schedule(g *graph.Graph, opts core.Options, n int) (*Plan, bool, error) {
+	hash := g.Fingerprint()
+	if p.cfg.DisableCache {
+		plan, err := build(g, hash, opts, n)
+		p.misses.Add(1)
+		p.computes.Add(1)
+		return plan, false, err
+	}
+	key := planKey(hash, opts, n)
+	sh := p.shard(key)
+
+	sh.mu.Lock()
+	if el, ok := sh.entries[key]; ok {
+		sh.order.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		sh.mu.Unlock()
+		// The entry may still be in flight: get() then waits for the
+		// shared computation. Only a completed entry counts as a hit —
+		// a piggybacked request waited the full scheduling latency, so
+		// reporting it as a hit would flatter the cache counters.
+		wasDone := e.done.Load()
+		plan, err := e.get()
+		if err != nil {
+			p.misses.Add(1)
+			return nil, false, err
+		}
+		if !wasDone {
+			p.misses.Add(1)
+			return plan, false, nil
+		}
+		p.hits.Add(1)
+		return plan, true, nil
+	}
+	e := &cacheEntry{key: key}
+	e.fn = func() (*Plan, error) {
+		p.computes.Add(1)
+		return build(g, hash, opts, n)
+	}
+	el := sh.order.PushFront(e)
+	sh.entries[key] = el
+	evicted := sh.evictLocked()
+	sh.mu.Unlock()
+	p.misses.Add(1)
+	p.evictions.Add(evicted)
+
+	plan, err := e.get()
+	if err != nil {
+		// Do not cache failures: drop the entry so a later (possibly
+		// fixed) request recomputes.
+		sh.mu.Lock()
+		if cur, ok := sh.entries[e.key]; ok && cur == el {
+			sh.order.Remove(el)
+			delete(sh.entries, e.key)
+		}
+		sh.mu.Unlock()
+		return nil, false, err
+	}
+	// Charge the finished plan against the shard's placement budget and
+	// trim (only if the entry is still cached — eviction may have raced
+	// the computation). A plan that alone exceeds the budget is served
+	// but not cached: keeping it would drain every warm entry in the
+	// shard without ever fitting.
+	w := len(plan.Schedule.Full.Placements)
+	if w < 1 {
+		w = 1
+	}
+	sh.mu.Lock()
+	var trimmed uint64
+	if cur, ok := sh.entries[e.key]; ok && cur == el {
+		if w > sh.maxWeight {
+			sh.order.Remove(el)
+			delete(sh.entries, e.key)
+			trimmed = 1
+		} else {
+			e.weight = w
+			sh.weight += w
+			trimmed = sh.evictLocked()
+		}
+	}
+	sh.mu.Unlock()
+	p.evictions.Add(trimmed)
+	return plan, false, nil
+}
+
+// evictLocked trims the shard to its entry capacity and placement budget
+// (always keeping at least one entry) and returns how many were dropped.
+// Caller holds sh.mu.
+func (sh *cacheShard) evictLocked() uint64 {
+	var n uint64
+	for sh.order.Len() > sh.limit ||
+		(sh.weight > sh.maxWeight && sh.order.Len() > 1) {
+		el := sh.order.Back()
+		e := el.Value.(*cacheEntry)
+		sh.order.Remove(el)
+		delete(sh.entries, e.key)
+		sh.weight -= e.weight
+		n++
+	}
+	return n
+}
+
+// build runs the uncached pipeline stages: schedule, then lower.
+func build(g *graph.Graph, hash string, opts core.Options, n int) (*Plan, error) {
+	ls, err := core.ScheduleLoop(g, opts, n)
+	if err != nil {
+		return nil, err
+	}
+	progs, err := program.Build(ls.Full)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{
+		GraphHash:  hash,
+		Opts:       opts,
+		Iterations: n,
+		Schedule:   ls,
+		Programs:   progs,
+		makespan:   ls.Full.Makespan(),
+		procs:      ls.Full.ProcsUsed(),
+		rate:       ls.RatePerIteration(),
+	}, nil
+}
+
+// CompileAndSchedule parses loop-language source (memoizing compilation by
+// source content), then schedules the compiled graph through the plan
+// cache.
+func (p *Pipeline) CompileAndSchedule(src string, opts core.Options, n int) (*loopir.Compiled, *Plan, bool, error) {
+	c, err := p.Compile(src)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	plan, hit, err := p.Schedule(c.Graph, opts, n)
+	return c, plan, hit, err
+}
+
+// Compile parses and analyzes loop-language source through the compile
+// cache: repeat sources return the same *Compiled without re-parsing.
+func (p *Pipeline) Compile(src string) (*loopir.Compiled, error) {
+	key := fmt.Sprintf("%x", sha256.Sum256([]byte(src)))
+	p.compileMu.Lock()
+	if el, ok := p.compiled[key]; ok {
+		p.compOrder.MoveToFront(el)
+		c := el.Value.(*compiledEntry).c
+		p.compileMu.Unlock()
+		return c, nil
+	}
+	p.compileMu.Unlock()
+
+	l, err := loopir.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	c, err := loopir.Compile(l)
+	if err != nil {
+		return nil, err
+	}
+
+	p.compileMu.Lock()
+	if el, ok := p.compiled[key]; ok {
+		// A concurrent request compiled the same source first; keep that
+		// result so repeat callers keep seeing one pointer.
+		p.compOrder.MoveToFront(el)
+		c = el.Value.(*compiledEntry).c
+	} else {
+		p.compiled[key] = p.compOrder.PushFront(&compiledEntry{key: key, c: c})
+		for p.compOrder.Len() > p.cfg.MaxEntries {
+			back := p.compOrder.Back()
+			p.compOrder.Remove(back)
+			delete(p.compiled, back.Value.(*compiledEntry).key)
+		}
+	}
+	p.compileMu.Unlock()
+	return c, nil
+}
+
+// Stats snapshots the cache counters.
+func (p *Pipeline) Stats() Stats {
+	s := Stats{
+		Hits:      p.hits.Load(),
+		Misses:    p.misses.Load(),
+		Computes:  p.computes.Load(),
+		Evictions: p.evictions.Load(),
+	}
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		s.Entries += sh.order.Len()
+		sh.mu.Unlock()
+	}
+	return s
+}
+
+// Flush empties the plan and compile caches.
+func (p *Pipeline) Flush() {
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		sh.entries = make(map[string]*list.Element)
+		sh.order.Init()
+		sh.weight = 0
+		sh.mu.Unlock()
+	}
+	p.compileMu.Lock()
+	p.compiled = make(map[string]*list.Element)
+	p.compOrder.Init()
+	p.compileMu.Unlock()
+}

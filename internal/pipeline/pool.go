@@ -1,0 +1,40 @@
+package pipeline
+
+import (
+	"runtime"
+	"sync"
+)
+
+// RunPool invokes fn(i) for every i in [0, n) on a bounded pool of
+// goroutines. workers <= 0 means GOMAXPROCS; the pool never exceeds n.
+// Each index is claimed by exactly one worker, so fn may write to the
+// i-th slot of a shared result slice without locking. RunPool returns
+// when every call has finished. It is the one worker-pool implementation
+// shared by Sweep and experiments.Table1Workers.
+func RunPool(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+}

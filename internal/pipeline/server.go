@@ -1,0 +1,299 @@
+package pipeline
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+
+	"mimdloop/internal/core"
+)
+
+// maxRequestBody bounds a schedule request: loop sources are tiny, so a
+// megabyte is already generous.
+const maxRequestBody = 1 << 20
+
+// Server-side parameter caps: schedules cost O(iterations x nodes)
+// placements (and the reply embeds them all), and the greedy scheduler
+// considers every offered processor per placement, so an unauthenticated
+// request must not pick unbounded values in any dimension — including the
+// node count of the compiled graph, which also bounds the "sufficient"
+// processor default.
+// maxCommCost is deliberately small: the configuration-window height and
+// drift bound both scale with k (see core.Options.withDefaults), making
+// scheduling cost superlinear in k — k=10,000 already takes ~30s of CPU
+// on a 5-node loop. The paper's experiments use k <= 7.
+const (
+	maxIterations = 10_000
+	maxProcessors = 1024
+	maxCommCost   = 256
+	maxGraphNodes = 512
+	maxPlacements = 500_000 // iterations x nodes ceiling
+
+	// Pre-parse caps: compilation itself is superlinear in source size,
+	// so the source is bounded cheaply before Compile runs. The loop
+	// language puts one statement per line, so a line cap of twice the
+	// node cap leaves comfortable room for braces and blank lines while
+	// keeping worst-case compile (and compile-cache retention) small.
+	maxSourceBytes = 64 << 10
+	maxSourceLines = 2 * maxGraphNodes
+)
+
+// ScheduleRequest is the POST /v1/schedule body. The same fields are
+// accepted as a JSON object; a body that does not start with '{' is taken
+// to be raw loop source with default parameters.
+type ScheduleRequest struct {
+	// Source is the loop-language program to schedule.
+	Source string `json:"source"`
+	// CommCost is k (default 2, matching cmd/loopsched).
+	CommCost *int `json:"comm_cost"`
+	// Processors for the Cyclic subset (0 = sufficient).
+	Processors int `json:"processors"`
+	// Iterations to schedule (default 100).
+	Iterations int `json:"iterations"`
+	// Fold applies the Section 3 non-Cyclic folding heuristic.
+	Fold bool `json:"fold"`
+}
+
+// ScheduleResponse is the POST /v1/schedule reply.
+type ScheduleResponse struct {
+	Loop       string  `json:"loop"`
+	Nodes      int     `json:"nodes"`
+	GraphHash  string  `json:"graph_hash"`
+	Iterations int     `json:"iterations"`
+	Rate       float64 `json:"rate_cycles_per_iteration"`
+	Makespan   int     `json:"makespan"`
+
+	CyclicProcs    int  `json:"cyclic_procs"`
+	FlowInProcs    int  `json:"flow_in_procs"`
+	FlowOutProcs   int  `json:"flow_out_procs"`
+	Folded         bool `json:"folded"`
+	GreedyFallback bool `json:"greedy_fallback"`
+
+	Pattern *PatternInfo `json:"pattern,omitempty"`
+
+	// CacheHit reports the plan was served without rescheduling.
+	CacheHit bool `json:"cache_hit"`
+
+	// Schedule is the composed schedule in the internal/plan wire format
+	// (graph embedded, so the reply is self-contained).
+	Schedule json.RawMessage `json:"schedule"`
+}
+
+// PatternInfo summarizes the verified steady state.
+type PatternInfo struct {
+	Cycles    int     `json:"cycles"`
+	IterShift int     `json:"iter_shift"`
+	Rate      float64 `json:"rate"`
+	Forced    bool    `json:"forced"`
+}
+
+// errorResponse is the JSON error envelope.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Server exposes a Pipeline over HTTP:
+//
+//	POST /v1/schedule  schedule loop source, returning the JSON plan
+//	GET  /v1/stats     cache-hit statistics
+//	GET  /healthz      liveness probe
+type Server struct {
+	pipe *Pipeline
+	mux  *http.ServeMux
+	// sem bounds concurrent schedule computations: the per-request caps
+	// bound individual cost, this bounds aggregate cost — N distinct
+	// near-cap requests must not each hold an in-flight plan at once.
+	sem chan struct{}
+}
+
+// NewServer wraps p in an http.Handler.
+func NewServer(p *Pipeline) *Server {
+	s := &Server{
+		pipe: p,
+		mux:  http.NewServeMux(),
+		sem:  make(chan struct{}, 4*runtime.GOMAXPROCS(0)),
+	}
+	s.mux.HandleFunc("/v1/schedule", s.handleSchedule)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"POST a loop to /v1/schedule"})
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBody+1))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+	if len(body) > maxRequestBody {
+		writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{"request body over 1 MiB"})
+		return
+	}
+	req, err := parseScheduleRequest(body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+
+	k := 2
+	if req.CommCost != nil {
+		k = *req.CommCost
+	}
+	n := req.Iterations
+	if n == 0 {
+		n = 100
+	}
+	switch {
+	case n < 0 || n > maxIterations:
+		writeJSON(w, http.StatusBadRequest,
+			errorResponse{fmt.Sprintf("iterations %d out of range [1, %d]", n, maxIterations)})
+		return
+	case req.Processors < 0 || req.Processors > maxProcessors:
+		writeJSON(w, http.StatusBadRequest,
+			errorResponse{fmt.Sprintf("processors %d out of range [0, %d]", req.Processors, maxProcessors)})
+		return
+	case k < 0 || k > maxCommCost:
+		writeJSON(w, http.StatusBadRequest,
+			errorResponse{fmt.Sprintf("comm_cost %d out of range [0, %d]", k, maxCommCost)})
+		return
+	}
+	switch {
+	case len(req.Source) > maxSourceBytes:
+		writeJSON(w, http.StatusRequestEntityTooLarge,
+			errorResponse{fmt.Sprintf("source is %d bytes, over the serving cap %d", len(req.Source), maxSourceBytes)})
+		return
+	case strings.Count(req.Source, "\n") >= maxSourceLines:
+		writeJSON(w, http.StatusRequestEntityTooLarge,
+			errorResponse{fmt.Sprintf("source has over %d lines, over the serving cap", maxSourceLines)})
+		return
+	}
+	// Admission: compile, schedule, and marshal under the in-flight
+	// bound, honoring client cancellation while queued. The slot is
+	// released before the (possibly large, possibly slow) response write
+	// so a stalled reader cannot starve scheduling.
+	select {
+	case s.sem <- struct{}{}:
+	case <-r.Context().Done():
+		return
+	}
+	resp, status, err := s.scheduleResponse(req, k, n)
+	<-s.sem
+	if err != nil {
+		writeJSON(w, status, errorResponse{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// scheduleResponse runs the compute section of a schedule request; on
+// failure it returns the HTTP status to report.
+func (s *Server) scheduleResponse(req *ScheduleRequest, k, n int) (*ScheduleResponse, int, error) {
+	compiled, err := s.pipe.Compile(req.Source)
+	if err != nil {
+		return nil, http.StatusUnprocessableEntity, err
+	}
+	switch {
+	case compiled.Graph.N() > maxGraphNodes:
+		return nil, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("loop has %d nodes, over the serving cap %d", compiled.Graph.N(), maxGraphNodes)
+	case n*compiled.Graph.N() > maxPlacements:
+		return nil, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("iterations x nodes = %d over the serving cap %d", n*compiled.Graph.N(), maxPlacements)
+	}
+	opts := core.Options{Processors: req.Processors, CommCost: k, FoldNonCyclic: req.Fold}
+	plan, hit, err := s.pipe.Schedule(compiled.Graph, opts, n)
+	if err != nil {
+		if errors.Is(err, core.ErrNoPattern) {
+			return nil, http.StatusConflict, err
+		}
+		return nil, http.StatusUnprocessableEntity, err
+	}
+
+	sched, err := plan.ScheduleJSON()
+	if err != nil {
+		return nil, http.StatusInternalServerError, err
+	}
+	resp := &ScheduleResponse{
+		Loop:           compiled.Loop.Name,
+		Nodes:          compiled.Graph.N(),
+		GraphHash:      plan.GraphHash,
+		Iterations:     n,
+		Rate:           plan.Rate(),
+		Makespan:       plan.Makespan(),
+		CyclicProcs:    plan.Schedule.CyclicProcs,
+		FlowInProcs:    plan.Schedule.FlowInProcs,
+		FlowOutProcs:   plan.Schedule.FlowOutProcs,
+		Folded:         plan.Schedule.Folded,
+		GreedyFallback: plan.Schedule.GreedyFallback,
+		CacheHit:       hit,
+		Schedule:       sched,
+	}
+	if pat := plan.Schedule.Pattern(); pat != nil {
+		resp.Pattern = &PatternInfo{
+			Cycles:    pat.Cycles(),
+			IterShift: pat.IterShift,
+			Rate:      pat.RatePerIteration(),
+			Forced:    pat.Forced,
+		}
+	}
+	return resp, http.StatusOK, nil
+}
+
+// parseScheduleRequest accepts either the JSON envelope or raw loop
+// source (anything not starting with '{').
+func parseScheduleRequest(body []byte) (*ScheduleRequest, error) {
+	trimmed := strings.TrimSpace(string(body))
+	if trimmed == "" {
+		return nil, errors.New("empty request body")
+	}
+	if !strings.HasPrefix(trimmed, "{") {
+		return &ScheduleRequest{Source: trimmed}, nil
+	}
+	var req ScheduleRequest
+	dec := json.NewDecoder(strings.NewReader(trimmed))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("decode request: %w", err)
+	}
+	if dec.More() {
+		return nil, errors.New("trailing content after the request object")
+	}
+	if strings.TrimSpace(req.Source) == "" {
+		return nil, errors.New("missing \"source\"")
+	}
+	return &req, nil
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"GET /v1/stats"})
+		return
+	}
+	stats := s.pipe.Stats()
+	writeJSON(w, http.StatusOK, struct {
+		Stats
+		HitRate float64 `json:"hit_rate"`
+	}{stats, stats.HitRate()})
+}
+
+// writeJSON emits compact JSON: schedule replies embed up to hundreds of
+// thousands of placements, and indentation would multiply their size.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,208 @@
+package pipeline
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"mimdloop/internal/plan"
+)
+
+const fig7Source = `loop f(N = 100) {
+    A[i] = A[i-1] + E[i-1]
+    B[i] = A[i]
+    C[i] = B[i]
+    D[i] = D[i-1] + C[i-1]
+    E[i] = D[i]
+}`
+
+func postSchedule(t *testing.T, srv *Server, body string) (*http.Response, []byte) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/schedule", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	return rec.Result(), rec.Body.Bytes()
+}
+
+func TestServerScheduleJSON(t *testing.T) {
+	srv := NewServer(New(Config{}))
+	body, err := json.Marshal(ScheduleRequest{Source: fig7Source, Processors: 2, Iterations: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, data := postSchedule(t, srv, string(body))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var out ScheduleResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("decode: %v\n%s", err, data)
+	}
+	if out.Loop != "f" || out.Nodes != 5 || out.Rate != 3 || out.CacheHit {
+		t.Fatalf("response = %+v", out)
+	}
+	if out.Pattern == nil || out.Pattern.Rate != 3 {
+		t.Fatalf("pattern = %+v", out.Pattern)
+	}
+	// The embedded schedule round-trips through the plan wire format.
+	var sched plan.Schedule
+	if err := json.Unmarshal(out.Schedule, &sched); err != nil {
+		t.Fatalf("embedded schedule: %v", err)
+	}
+	if err := sched.Validate(true); err != nil {
+		t.Fatalf("embedded schedule invalid: %v", err)
+	}
+	if sched.Iterations() != 100 {
+		t.Fatalf("embedded schedule iterations = %d", sched.Iterations())
+	}
+
+	// Same request again: served from cache.
+	resp, data = postSchedule(t, srv, string(body))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.CacheHit {
+		t.Fatal("repeat request not served from cache")
+	}
+}
+
+func TestServerScheduleRawSource(t *testing.T) {
+	srv := NewServer(New(Config{}))
+	resp, data := postSchedule(t, srv, fig7Source)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var out ScheduleResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Loop != "f" || out.Iterations != 100 {
+		t.Fatalf("response = %+v", out)
+	}
+}
+
+func TestServerScheduleErrors(t *testing.T) {
+	srv := NewServer(New(Config{}))
+	cases := []struct {
+		name   string
+		method string
+		body   string
+		status int
+	}{
+		{"get", http.MethodGet, "", http.StatusMethodNotAllowed},
+		{"empty", http.MethodPost, "   ", http.StatusBadRequest},
+		{"bad json", http.MethodPost, `{"source": 12}`, http.StatusBadRequest},
+		{"unknown field", http.MethodPost, `{"source":"x","nope":1}`, http.StatusBadRequest},
+		{"trailing garbage", http.MethodPost, `{"source":"x"}{"source":"y"}`, http.StatusBadRequest},
+		{"missing source", http.MethodPost, `{"iterations":5}`, http.StatusBadRequest},
+		{"bad loop", http.MethodPost, "loop ???", http.StatusUnprocessableEntity},
+		{"negative processors", http.MethodPost, `{"source":"x","processors":-1}`, http.StatusBadRequest},
+		{"negative comm cost", http.MethodPost, `{"source":"x","comm_cost":-1}`, http.StatusBadRequest},
+		{"huge iterations", http.MethodPost, `{"source":"x","iterations":1000000000}`, http.StatusBadRequest},
+		{"negative iterations", http.MethodPost, `{"source":"x","iterations":-1}`, http.StatusBadRequest},
+		{"huge processors", http.MethodPost, `{"source":"x","processors":1000000}`, http.StatusBadRequest},
+		{"huge comm cost", http.MethodPost, `{"source":"x","comm_cost":2000000}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		req := httptest.NewRequest(tc.method, "/v1/schedule", strings.NewReader(tc.body))
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		if rec.Code != tc.status {
+			t.Fatalf("%s: status %d, want %d (%s)", tc.name, rec.Code, tc.status, rec.Body)
+		}
+		var e errorResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error == "" {
+			t.Fatalf("%s: error envelope %q (%v)", tc.name, rec.Body, err)
+		}
+	}
+}
+
+// TestServerWorkCaps checks the resource dimensions a request body cannot
+// blow up: graph node count and the iterations x nodes product.
+func TestServerWorkCaps(t *testing.T) {
+	srv := NewServer(New(Config{}))
+
+	bigLoop := func(stmts int) string {
+		var sb strings.Builder
+		sb.WriteString("loop big(N = 10) {\n")
+		for i := 0; i < stmts; i++ {
+			fmt.Fprintf(&sb, "    X%d[i] = X%d[i-1] + U[i]\n", i, i)
+		}
+		sb.WriteString("}")
+		return sb.String()
+	}
+
+	resp, data := postSchedule(t, srv, bigLoop(600))
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("600-node loop: status %d: %.200s", resp.StatusCode, data)
+	}
+
+	// Pre-parse caps fire before any compilation work.
+	if resp, data = postSchedule(t, srv, bigLoop(1200)); resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("1200-line loop: status %d: %.200s", resp.StatusCode, data)
+	}
+	longLine := "loop big(N = 10) {\n A[i] = A[i-1] + " + strings.Repeat("U", 70_000) + "[i]\n}"
+	if resp, data = postSchedule(t, srv, longLine); resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("70 KB source: status %d: %.200s", resp.StatusCode, data)
+	}
+
+	body, _ := json.Marshal(ScheduleRequest{Source: bigLoop(60), Iterations: 10000})
+	resp, data = postSchedule(t, srv, string(body))
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("60 nodes x 10000 iters: status %d: %.200s", resp.StatusCode, data)
+	}
+
+	// The same loop within the work cap schedules fine.
+	body, _ = json.Marshal(ScheduleRequest{Source: bigLoop(60), Iterations: 100})
+	if resp, data = postSchedule(t, srv, string(body)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("60 nodes x 100 iters: status %d: %.200s", resp.StatusCode, data)
+	}
+}
+
+func TestServerStatsAndHealth(t *testing.T) {
+	srv := NewServer(New(Config{}))
+	for i := 0; i < 3; i++ {
+		if resp, data := postSchedule(t, srv, fig7Source); resp.StatusCode != http.StatusOK {
+			t.Fatalf("schedule %d: %d %s", i, resp.StatusCode, data)
+		}
+	}
+
+	req := httptest.NewRequest(http.MethodGet, "/v1/stats", nil)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats status %d", rec.Code)
+	}
+	var stats struct {
+		Stats
+		HitRate float64 `json:"hit_rate"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Hits != 2 || stats.Misses != 1 || stats.Entries != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.HitRate < 0.66 || stats.HitRate > 0.67 {
+		t.Fatalf("hit rate = %v", stats.HitRate)
+	}
+
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/stats", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST stats status %d", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "ok") {
+		t.Fatalf("healthz: %d %q", rec.Code, rec.Body)
+	}
+}

@@ -1,0 +1,107 @@
+package pipeline
+
+import (
+	"mimdloop/internal/core"
+	"mimdloop/internal/graph"
+	"mimdloop/internal/machine"
+	"mimdloop/internal/metrics"
+)
+
+// Point is one cell of a machine-parameter grid: a processor budget for
+// the Cyclic subset and a communication-cost estimate k.
+type Point struct {
+	Processors int
+	CommCost   int
+}
+
+// Grid returns the cross product procs × commCosts in row-major order
+// (all comm costs for the first processor count first).
+func Grid(procs, commCosts []int) []Point {
+	out := make([]Point, 0, len(procs)*len(commCosts))
+	for _, p := range procs {
+		for _, k := range commCosts {
+			out = append(out, Point{Processors: p, CommCost: k})
+		}
+	}
+	return out
+}
+
+// SweepOptions configures a Sweep run.
+type SweepOptions struct {
+	// Base is the Options template; each point overwrites Processors and
+	// CommCost.
+	Base core.Options
+	// Iterations to schedule per point. 0 means 100.
+	Iterations int
+	// Workers bounds pool size. 0 means GOMAXPROCS; 1 recovers the old
+	// serial behaviour exactly.
+	Workers int
+	// Simulate additionally executes each plan on the deterministic
+	// simulated machine, filling SimMakespan and Sp.
+	Simulate bool
+	// MachineConfig is the simulated-machine setup used when Simulate is
+	// set (fluctuation, seed, overrides).
+	MachineConfig machine.Config
+}
+
+// Result is the outcome at one grid point. Err is nil exactly when Plan
+// is non-nil: scheduling or (when requested) simulation failures leave
+// only Point and Err set.
+type Result struct {
+	Point Point
+	Plan  *Plan
+	Err   error
+
+	// Rate is the steady-state cycles/iteration of the plan.
+	Rate float64
+	// Procs is the total processors occupied (Cyclic + Flow fringes).
+	Procs int
+	// CacheHit reports the plan came from the pipeline's cache.
+	CacheHit bool
+
+	// SimMakespan and Sp (percentage parallelism vs the sequential
+	// schedule) are filled when SweepOptions.Simulate is set.
+	SimMakespan int
+	Sp          float64
+}
+
+// Sweep schedules g at every grid point concurrently on a bounded worker
+// pool, reusing the plan cache across points and across calls. Results
+// are returned in the same order as points, so concurrent evaluation is
+// observationally identical to the serial loops it replaces.
+func (p *Pipeline) Sweep(g *graph.Graph, points []Point, opt SweepOptions) []Result {
+	if opt.Iterations == 0 {
+		opt.Iterations = 100
+	}
+	results := make([]Result, len(points))
+	seq := opt.Iterations * g.TotalLatency()
+	RunPool(len(points), opt.Workers, func(i int) {
+		results[i] = p.evalPoint(g, points[i], opt, seq)
+	})
+	return results
+}
+
+func (p *Pipeline) evalPoint(g *graph.Graph, pt Point, opt SweepOptions, seq int) Result {
+	opts := opt.Base
+	opts.Processors = pt.Processors
+	opts.CommCost = pt.CommCost
+	res := Result{Point: pt}
+	plan, hit, err := p.Schedule(g, opts, opt.Iterations)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	res.Plan = plan
+	res.CacheHit = hit
+	res.Rate = plan.Rate()
+	res.Procs = plan.Procs()
+	if opt.Simulate {
+		stats, err := machine.Run(g, plan.Programs, opt.MachineConfig)
+		if err != nil {
+			return Result{Point: pt, Err: err}
+		}
+		res.SimMakespan = stats.Makespan
+		res.Sp = metrics.ClampZero(metrics.PercentParallelism(seq, stats.Makespan))
+	}
+	return res
+}

@@ -19,7 +19,11 @@
 //     real on goroutine-per-processor hardware with channel messaging;
 //   - provides the DOACROSS iteration-pipelining baseline [Cytron86], a
 //     miniature loop-language front end with dependence analysis and
-//     if-conversion [AlKe83], and the paper's example workloads.
+//     if-conversion [AlKe83], and the paper's example workloads;
+//   - wraps the whole flow in a Pipeline whose content-addressed plan cache
+//     makes repeat scheduling a map lookup, with concurrent
+//     machine-parameter sweeps (Pipeline.Sweep) and an HTTP serving mode
+//     (`loopsched serve`, NewPipelineServer).
 //
 // Quick start:
 //
@@ -43,6 +47,7 @@ import (
 	"mimdloop/internal/loopir"
 	"mimdloop/internal/machine"
 	"mimdloop/internal/mimdrt"
+	"mimdloop/internal/pipeline"
 	"mimdloop/internal/plan"
 	"mimdloop/internal/program"
 	"mimdloop/internal/textfmt"
@@ -93,6 +98,39 @@ type (
 	// Timing is the communication-cost model.
 	Timing = plan.Timing
 )
+
+// Pipeline: cached scheduling, concurrent parameter sweeps, serving.
+type (
+	// Pipeline is a concurrency-safe scheduling front end whose
+	// content-addressed plan cache makes repeat scheduling a lookup.
+	Pipeline = pipeline.Pipeline
+	// PipelineConfig tunes cache capacity.
+	PipelineConfig = pipeline.Config
+	// PipelineStats snapshots cache hit/miss/eviction counters.
+	PipelineStats = pipeline.Stats
+	// Plan is one cached artifact: a LoopSchedule plus its lowered
+	// per-processor programs. Plans are shared and must not be mutated.
+	Plan = pipeline.Plan
+	// SweepPoint is one (processors, comm cost) grid cell.
+	SweepPoint = pipeline.Point
+	// SweepOptions configures a concurrent parameter sweep.
+	SweepOptions = pipeline.SweepOptions
+	// SweepResult is the outcome at one grid point.
+	SweepResult = pipeline.Result
+	// PipelineServer serves schedules over HTTP (see NewPipelineServer).
+	PipelineServer = pipeline.Server
+)
+
+// NewPipeline returns an empty pipeline with its own plan cache.
+func NewPipeline(cfg PipelineConfig) *Pipeline { return pipeline.New(cfg) }
+
+// NewPipelineServer wraps a pipeline in an http.Handler exposing
+// POST /v1/schedule, GET /v1/stats and GET /healthz.
+func NewPipelineServer(p *Pipeline) *PipelineServer { return pipeline.NewServer(p) }
+
+// SweepGrid returns the cross product procs x commCosts in row-major
+// order, for Pipeline.Sweep.
+func SweepGrid(procs, commCosts []int) []SweepPoint { return pipeline.Grid(procs, commCosts) }
 
 // Baseline.
 type (
