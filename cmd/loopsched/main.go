@@ -7,19 +7,26 @@
 // It can also run as a scheduling service: `loopsched serve` starts an
 // HTTP server that schedules POSTed loop source through a content-addressed
 // plan cache, so repeated requests for the same loop are answered without
-// rescheduling.
+// rescheduling; `-warmup corpus.json` pre-populates the cache before the
+// listener opens. `loopsched tune` searches a processors × comm-cost grid
+// for the best (p, k) under an objective, and `loopsched batch` schedules
+// many loop files at once with per-file error isolation.
 //
 // Usage:
 //
 //	loopsched [-k cost] [-p procs] [-n iters] [-fold] [-gantt cycles] file.loop
 //	loopsched -example fig7|lfk18|ewf
-//	loopsched serve [-addr :8080] [-cache entries]
+//	loopsched tune [-n iters] [-p list] [-k list] [-objective o] [-epsilon e] [-example name] [file.loop]
+//	loopsched batch [-k cost] [-p procs] [-n iters] [-fold] [-workers w] file.loop...
+//	loopsched serve [-addr :8080] [-cache entries] [-warmup corpus.json]
 //
-// Serving endpoints:
+// Serving endpoints (full reference in docs/API.md):
 //
 //	POST /v1/schedule   loop source (raw text or {"source": ..., "comm_cost": ...,
 //	                    "processors": ..., "iterations": ..., "fold": ...});
 //	                    replies with the JSON plan and a cache_hit flag
+//	POST /v1/batch      {"items": [...]}: many loops, per-item error isolation
+//	POST /v1/tune       auto-tune (p, k) over a grid under an objective
 //	GET  /v1/stats      plan-cache hit/miss/eviction counters
 //	GET  /healthz       liveness probe
 package main
@@ -33,18 +40,31 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"mimdloop"
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "serve" {
-		if err := serve(os.Args[2:]); err != nil {
-			fmt.Fprintln(os.Stderr, "loopsched:", err)
-			os.Exit(1)
+	if len(os.Args) > 1 {
+		var sub func([]string) error
+		switch os.Args[1] {
+		case "serve":
+			sub = serve
+		case "tune":
+			sub = tune
+		case "batch":
+			sub = batch
 		}
-		return
+		if sub != nil {
+			if err := sub(os.Args[2:]); err != nil {
+				fmt.Fprintln(os.Stderr, "loopsched:", err)
+				os.Exit(1)
+			}
+			return
+		}
 	}
 	var (
 		k        = flag.Int("k", 2, "communication cost estimate in cycles")
@@ -62,38 +82,59 @@ func main() {
 	}
 }
 
-// serve runs the HTTP scheduling service until the listener fails.
-func serve(args []string) error {
-	fs := flag.NewFlagSet("loopsched serve", flag.ContinueOnError)
-	var (
-		addr  = fs.String("addr", ":8080", "listen address")
-		cache = fs.Int("cache", 0, "maximum cached plans and compiled sources (0 = 1024)")
-	)
-	// The parse error is reported once, by our caller — but -h/-help must
-	// still print the flag listing.
+// parseFlags parses a subcommand flag set, keeping the parse-error
+// reporting in one place: the error is printed once by main, but -h/-help
+// still prints the flag listing. It reports done = true when the caller
+// should return immediately (help was requested).
+func parseFlags(fs *flag.FlagSet, args []string) (done bool, err error) {
 	fs.SetOutput(io.Discard)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			fs.SetOutput(os.Stdout)
 			fs.Usage()
-			return nil
+			return true, nil
 		}
+		return false, err
+	}
+	return false, nil
+}
+
+// serve runs the HTTP scheduling service until the listener fails.
+func serve(args []string) error {
+	fs := flag.NewFlagSet("loopsched serve", flag.ContinueOnError)
+	var (
+		addr   = fs.String("addr", ":8080", "listen address")
+		cache  = fs.Int("cache", 0, "maximum cached plans and compiled sources (0 = 1024)")
+		warmup = fs.String("warmup", "", "pre-populate the plan cache from this schedule corpus (JSON array of sources or request objects)")
+	)
+	if done, err := parseFlags(fs, args); done || err != nil {
 		return err
 	}
 	if fs.NArg() != 0 {
 		return fmt.Errorf("serve takes no positional arguments, got %v", fs.Args())
 	}
-	handler, err := newServeHandler(*cache)
+	pipe, err := newServePipeline(*cache)
 	if err != nil {
 		return err
+	}
+	if *warmup != "" {
+		stats, err := warmupFromFile(pipe, *warmup)
+		if err != nil {
+			return err
+		}
+		for _, msg := range stats.Errors {
+			fmt.Fprintf(os.Stderr, "loopsched: warmup %s\n", msg)
+		}
+		fmt.Printf("loopsched: warmed %d/%d corpus plans (%d failed)\n",
+			stats.Warmed, stats.Entries, stats.Failed)
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("loopsched: serving on %s (POST /v1/schedule, GET /v1/stats)\n", ln.Addr())
+	fmt.Printf("loopsched: serving on %s (POST /v1/schedule /v1/batch /v1/tune, GET /v1/stats)\n", ln.Addr())
 	srv := &http.Server{
-		Handler:           handler,
+		Handler:           mimdloop.NewPipelineServer(pipe),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		// The write deadline covers handler compute plus the body write;
@@ -104,37 +145,193 @@ func serve(args []string) error {
 	return srv.Serve(ln)
 }
 
-// newServeHandler builds the service handler around a fresh pipeline.
-func newServeHandler(maxEntries int) (http.Handler, error) {
+// newServePipeline builds the pipeline behind the service.
+func newServePipeline(maxEntries int) (*mimdloop.Pipeline, error) {
 	if maxEntries < 0 {
 		return nil, fmt.Errorf("negative cache size %d", maxEntries)
 	}
-	pipe := mimdloop.NewPipeline(mimdloop.PipelineConfig{MaxEntries: maxEntries})
+	return mimdloop.NewPipeline(mimdloop.PipelineConfig{MaxEntries: maxEntries}), nil
+}
+
+// newServeHandler builds the service handler around a fresh pipeline.
+func newServeHandler(maxEntries int) (http.Handler, error) {
+	pipe, err := newServePipeline(maxEntries)
+	if err != nil {
+		return nil, err
+	}
 	return mimdloop.NewPipelineServer(pipe), nil
 }
 
-func run(k, procs, iters int, fold bool, gantt int, example, jsonPath string, args []string) error {
-	var compiled *mimdloop.CompiledLoop
+// warmupFromFile loads a schedule corpus and schedules every entry
+// through the pipeline's caches.
+func warmupFromFile(pipe *mimdloop.Pipeline, path string) (mimdloop.WarmupStats, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return mimdloop.WarmupStats{}, err
+	}
+	reqs, err := mimdloop.ParseCorpus(data)
+	if err != nil {
+		return mimdloop.WarmupStats{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return pipe.Warmup(reqs, 0), nil
+}
+
+// tune searches a processors × comm-cost grid for the best (p, k) under
+// an objective and prints the evaluated grid plus the winner.
+func tune(args []string) error {
+	fs := flag.NewFlagSet("loopsched tune", flag.ContinueOnError)
+	var (
+		iters     = fs.Int("n", 100, "iterations to schedule per grid point")
+		procsCSV  = fs.String("p", "", "comma-separated processor budgets (default 1..min(nodes, 8))")
+		costsCSV  = fs.String("k", "", "comma-separated comm-cost estimates (default 1,2,3,4)")
+		objective = fs.String("objective", "min_rate", "tuning objective: min_rate, min_procs or efficiency")
+		epsilon   = fs.Float64("epsilon", 0.05, "min_procs relative rate slack")
+		workers   = fs.Int("workers", 0, "sweep worker-pool size (0 = GOMAXPROCS)")
+		example   = fs.String("example", "", "tune a built-in workload: fig7, lfk18, ewf")
+	)
+	if done, err := parseFlags(fs, args); done || err != nil {
+		return err
+	}
+	compiled, err := loadLoop(*example, fs.Args())
+	if err != nil {
+		return err
+	}
+	obj, err := mimdloop.ParseObjective(*objective)
+	if err != nil {
+		return err
+	}
+	procs, err := parseIntList(*procsCSV)
+	if err != nil {
+		return fmt.Errorf("-p: %w", err)
+	}
+	costs, err := parseIntList(*costsCSV)
+	if err != nil {
+		return fmt.Errorf("-k: %w", err)
+	}
+	res, err := mimdloop.AutoTune(compiled.Graph, *iters, mimdloop.TuneOptions{
+		Processors: procs,
+		CommCosts:  costs,
+		Objective:  obj,
+		Epsilon:    *epsilon,
+		Workers:    *workers,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("loop %s: %d nodes, tuning %d grid points (%d scheduled), objective %s\n\n",
+		compiled.Loop.Name, compiled.Graph.N(), len(res.Results), res.Evaluated, res.Objective)
+	fmt.Printf("%5s %5s %12s %8s\n", "p", "k", "rate", "procs")
+	for _, r := range res.Results {
+		if r.Err != nil {
+			fmt.Printf("%5d %5d %12s %8s  (%v)\n", r.Point.Processors, r.Point.CommCost, "-", "-", r.Err)
+			continue
+		}
+		marker := ""
+		if r.Point == res.Best.Point {
+			marker = "  <-- best"
+		}
+		fmt.Printf("%5d %5d %12.3g %8d%s\n", r.Point.Processors, r.Point.CommCost, r.Rate, r.Procs, marker)
+	}
+	fmt.Printf("\nbest: p=%d k=%d -> %.3g cycles/iteration on %d processors (score %.3g)\n",
+		res.Best.Point.Processors, res.Best.Point.CommCost, res.Best.Rate, res.Best.Procs, res.Score)
+	return nil
+}
+
+// batch schedules every argument loop file concurrently with per-file
+// error isolation: a file that fails to read, compile or schedule reports
+// its error without stopping the rest; the command exits nonzero at the
+// end when any file failed.
+func batch(args []string) error {
+	fs := flag.NewFlagSet("loopsched batch", flag.ContinueOnError)
+	var (
+		k       = fs.Int("k", 2, "communication cost estimate in cycles")
+		procs   = fs.Int("p", 0, "processors for the Cyclic subset (0 = sufficient)")
+		iters   = fs.Int("n", 100, "iterations to schedule")
+		fold    = fs.Bool("fold", false, "fold non-Cyclic nodes into idle Cyclic slots")
+		workers = fs.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
+	)
+	if done, err := parseFlags(fs, args); done || err != nil {
+		return err
+	}
+	files := fs.Args()
+	if len(files) == 0 {
+		return errors.New("usage: loopsched batch [flags] file.loop...")
+	}
+	items := make([]mimdloop.BatchItem, len(files))
+	for i, path := range files {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			// An unreadable file is isolated like any other per-item
+			// failure: an empty Source fails inside Batch.
+			fmt.Fprintf(os.Stderr, "loopsched: %s: %v\n", path, err)
+			continue
+		}
+		items[i] = mimdloop.BatchItem{
+			Source:     string(src),
+			Opts:       mimdloop.Options{Processors: *procs, CommCost: *k, FoldNonCyclic: *fold},
+			Iterations: *iters,
+		}
+	}
+	results := mimdloop.NewPipeline(mimdloop.PipelineConfig{}).Batch(items, mimdloop.BatchOptions{Workers: *workers})
+	failed := 0
+	for i, r := range results {
+		if r.Err != nil {
+			failed++
+			fmt.Printf("%-24s ERROR %v\n", files[i], r.Err)
+			continue
+		}
+		fmt.Printf("%-24s loop %-12s %3d nodes  %8.3g cycles/iteration  %3d procs\n",
+			files[i], r.Loop, r.Compiled.Graph.N(), r.Plan.Rate(), r.Plan.Procs())
+	}
+	fmt.Printf("%d/%d loops scheduled\n", len(results)-failed, len(results))
+	if failed > 0 {
+		return fmt.Errorf("%d of %d loops failed", failed, len(results))
+	}
+	return nil
+}
+
+// parseIntList parses a comma-separated integer list; empty means nil
+// (take the defaults).
+func parseIntList(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// loadLoop resolves a built-in example name or a single loop file.
+func loadLoop(example string, args []string) (*mimdloop.CompiledLoop, error) {
 	switch {
 	case example == "fig7":
-		compiled = mimdloop.Figure7Loop()
+		return mimdloop.Figure7Loop(), nil
 	case example == "lfk18":
-		compiled = mimdloop.Livermore18Loop()
+		return mimdloop.Livermore18Loop(), nil
 	case example == "ewf":
-		compiled = mimdloop.EllipticLoop()
+		return mimdloop.EllipticLoop(), nil
 	case example != "":
-		return fmt.Errorf("unknown example %q (want fig7, lfk18 or ewf)", example)
+		return nil, fmt.Errorf("unknown example %q (want fig7, lfk18 or ewf)", example)
 	case len(args) != 1:
-		return fmt.Errorf("usage: loopsched [flags] file.loop (or -example fig7)")
-	default:
-		src, err := os.ReadFile(args[0])
-		if err != nil {
-			return err
-		}
-		compiled, err = mimdloop.CompileLoop(string(src))
-		if err != nil {
-			return err
-		}
+		return nil, errors.New("want exactly one loop file (or -example fig7)")
+	}
+	src, err := os.ReadFile(args[0])
+	if err != nil {
+		return nil, err
+	}
+	return mimdloop.CompileLoop(string(src))
+}
+
+func run(k, procs, iters int, fold bool, gantt int, example, jsonPath string, args []string) error {
+	compiled, err := loadLoop(example, args)
+	if err != nil {
+		return err
 	}
 
 	g := compiled.Graph

@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"mimdloop"
 )
 
 func TestRunBuiltinExamples(t *testing.T) {
@@ -78,6 +80,117 @@ func TestServeHandler(t *testing.T) {
 		if resp.Loop != "t" || resp.CacheHit != wantHit {
 			t.Fatalf("request %d: %+v, want hit=%v", i, resp, wantHit)
 		}
+	}
+}
+
+func TestTuneSubcommand(t *testing.T) {
+	if err := tune([]string{"-example", "fig7", "-p", "1,2", "-k", "2", "-objective", "min_procs"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tune([]string{"-example", "nope"}); err == nil {
+		t.Fatal("unknown example accepted")
+	}
+	if err := tune([]string{"-objective", "fastest", "-example", "fig7"}); err == nil {
+		t.Fatal("unknown objective accepted")
+	}
+	if err := tune([]string{"-p", "1,x", "-example", "fig7"}); err == nil {
+		t.Fatal("bad -p list accepted")
+	}
+	if err := tune(nil); err == nil {
+		t.Fatal("missing loop file accepted")
+	}
+}
+
+func TestBatchSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.loop")
+	bad := filepath.Join(dir, "bad.loop")
+	if err := os.WriteFile(good, []byte("loop g(N = 10) {\n A[i] = A[i-1] + U[i]\n}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(bad, []byte("loop ???"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := batch([]string{good, good}); err != nil {
+		t.Fatalf("all-good batch failed: %v", err)
+	}
+	// Per-item isolation: the command still processes every file, then
+	// reports the failure via its exit error.
+	if err := batch([]string{good, bad}); err == nil {
+		t.Fatal("batch with a bad file reported success")
+	}
+	if err := batch([]string{good, filepath.Join(dir, "missing.loop")}); err == nil {
+		t.Fatal("batch with a missing file reported success")
+	}
+	if err := batch(nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+}
+
+func TestServeWarmup(t *testing.T) {
+	pipe, err := newServePipeline(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	corpus := filepath.Join(dir, "corpus.json")
+	body := `[
+		"loop a(N = 10) {\n A[i] = A[i-1] + U[i]\n}",
+		{"source": "loop b(N = 10) {\n B[i] = B[i-1] + V[i]\n}", "processors": 1},
+		{"source": "loop broken("}
+	]`
+	if err := os.WriteFile(corpus, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := warmupFromFile(pipe, corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Entries != 3 || stats.Warmed != 2 || stats.Failed != 1 {
+		t.Fatalf("warmup stats = %+v", stats)
+	}
+
+	// A served request matching a warmed entry is a cache hit.
+	h := mimdloop.NewPipelineServer(pipe)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/schedule",
+		strings.NewReader("loop a(N = 10) {\n A[i] = A[i-1] + U[i]\n}")))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var resp struct {
+		CacheHit bool `json:"cache_hit"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.CacheHit {
+		t.Fatal("warmed loop not served from cache")
+	}
+
+	if _, err := warmupFromFile(pipe, filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing corpus accepted")
+	}
+	badCorpus := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(badCorpus, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := warmupFromFile(pipe, badCorpus); err == nil {
+		t.Fatal("malformed corpus accepted")
+	}
+}
+
+func TestParseIntList(t *testing.T) {
+	got, err := parseIntList(" 1, 2,8 ")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[2] != 8 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+	if got, err := parseIntList(""); got != nil || err != nil {
+		t.Fatalf("empty list: %v, %v", got, err)
+	}
+	if _, err := parseIntList("1,,2"); err == nil {
+		t.Fatal("empty element accepted")
 	}
 }
 

@@ -5,7 +5,7 @@
 //
 //	paperbench            # everything
 //	paperbench -fig 7     # one figure (1, 3, 7, 8, 9, 11, 12)
-//	paperbench -table 1a  # Table 1(a) or 1b
+//	paperbench -table 1a  # Table 1(a), 1b, or 1t (auto-tuned variant)
 //	paperbench -ablations # design-choice ablations
 //	paperbench -sweep     # concurrent processors x comm-cost sweep (Figure 7 loop)
 //	paperbench -workers 8 # worker-pool size for Table 1 and the sweep
@@ -28,7 +28,7 @@ import (
 func main() {
 	var (
 		fig       = flag.Int("fig", 0, "regenerate one figure (1, 3, 7, 8, 9, 11, 12)")
-		table     = flag.String("table", "", "regenerate a table: 1a or 1b")
+		table     = flag.String("table", "", "regenerate a table: 1a, 1b, or 1t (sweep-tuned (p, k) variant)")
 		ablations = flag.Bool("ablations", false, "run the design-choice ablations")
 		sweep     = flag.Bool("sweep", false, "sweep processors x comm cost on the Figure 7 loop")
 		iters     = flag.Int("n", 100, "iterations per measurement")
@@ -210,8 +210,17 @@ func printFig7Details() error {
 }
 
 func runTable(name string, iters, loops, workers int) error {
+	if name == "1t" {
+		res, err := experiments.Table1Tuned(loops, iters, workers)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Table 1 (auto-tuned): sweep-chosen (p, k) vs sufficient processors ==")
+		fmt.Print(res.Format())
+		return nil
+	}
 	if name != "1a" && name != "1b" {
-		return fmt.Errorf("unknown table %q (have 1a, 1b)", name)
+		return fmt.Errorf("unknown table %q (have 1a, 1b, 1t)", name)
 	}
 	res, err := experiments.Table1Workers(loops, iters, workers)
 	if err != nil {

@@ -25,6 +25,51 @@ func ExampleScheduleLoop() {
 	// Output: steady state: 3.0 cycles/iteration
 }
 
+// ExampleAutoTune searches a processors × comm-cost grid for the
+// cheapest plan within 5% of the best achievable rate: the Figure 7 loop
+// reaches its steady-state optimum of 3 cycles/iteration already on 2
+// processors, so min_procs refuses to pay for more.
+func ExampleAutoTune() {
+	g := mimdloop.Figure7Loop().Graph
+	res, err := mimdloop.AutoTune(g, 100, mimdloop.TuneOptions{
+		Processors: []int{1, 2, 3, 4},
+		CommCosts:  []int{2},
+		Objective:  mimdloop.ObjectiveMinProcs,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("evaluated %d grid points\n", res.Evaluated)
+	fmt.Printf("best: p=%d k=%d -> %.1f cycles/iteration on %d processors\n",
+		res.Best.Point.Processors, res.Best.Point.CommCost, res.Best.Rate, res.Best.Procs)
+	// Output:
+	// evaluated 4 grid points
+	// best: p=2 k=2 -> 3.0 cycles/iteration on 2 processors
+}
+
+// ExamplePipeline_batch schedules several loops at once with per-item
+// error isolation: the broken loop reports its own error while its
+// neighbours still come back with plans.
+func ExamplePipeline_batch() {
+	p := mimdloop.NewPipeline(mimdloop.PipelineConfig{})
+	results := p.Batch([]mimdloop.BatchItem{
+		{Source: "loop a(N = 50) {\n A[i] = A[i-1] + U[i]\n}"},
+		{Source: "loop broken("},
+		{Source: "loop c(N = 50) {\n X[i] = X[i-2] + Y[i-1]\n Y[i] = X[i]\n}"},
+	}, mimdloop.BatchOptions{})
+	for _, r := range results {
+		if r.Err != nil {
+			fmt.Printf("item %d: failed to schedule\n", r.Index)
+			continue
+		}
+		fmt.Printf("item %d: loop %s at %.1f cycles/iteration\n", r.Index, r.Loop, r.Plan.Rate())
+	}
+	// Output:
+	// item 0: loop a at 1.0 cycles/iteration
+	// item 1: failed to schedule
+	// item 2: loop c at 2.0 cycles/iteration
+}
+
 // ExamplePipeline schedules the same loop twice through a Pipeline: the
 // second request is answered from the content-addressed plan cache.
 func ExamplePipeline() {

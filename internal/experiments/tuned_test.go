@@ -1,0 +1,64 @@
+package experiments
+
+import "testing"
+
+func TestTable1TunedSavesProcessors(t *testing.T) {
+	res, err := Table1Tuned(3, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("got %d rows", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Procs <= 0 || row.BaseProcs <= 0 || row.Rate <= 0 {
+			t.Fatalf("row %+v", row)
+		}
+		if row.Point.Processors < 1 || row.Point.Processors > 8 {
+			t.Fatalf("loop %d chose p=%d outside the grid", row.Loop, row.Point.Processors)
+		}
+	}
+	// The point of the min-procs objective: tuning never costs processors
+	// on average, and on this suite it saves them outright.
+	if res.ProcsMean >= res.BaseProcsMean {
+		t.Fatalf("tuned procs mean %.2f >= sufficient %.2f", res.ProcsMean, res.BaseProcsMean)
+	}
+	// Sp stays in the same band as the baseline (within the epsilon-sized
+	// slack plus fluctuation noise), not collapsed.
+	for mi := range MMValues {
+		if res.TunedMean[mi] < res.BaseMean[mi]-10 {
+			t.Fatalf("mm=%d tuned Sp mean %.1f far below baseline %.1f",
+				MMValues[mi], res.TunedMean[mi], res.BaseMean[mi])
+		}
+	}
+	if res.Format() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+// Worker count must not change any measurement: rows are pure in
+// (seed, iters) and the inner sweep is deterministic.
+func TestTable1TunedDeterministic(t *testing.T) {
+	serial, err := Table1Tuned(2, 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Table1Tuned(2, 50, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial.Rows {
+		if serial.Rows[i] != parallel.Rows[i] {
+			t.Fatalf("row %d differs: serial %+v parallel %+v", i, serial.Rows[i], parallel.Rows[i])
+		}
+	}
+}
+
+func TestTable1TunedBadCount(t *testing.T) {
+	if _, err := Table1Tuned(0, 100, 0); err == nil {
+		t.Fatal("count 0 accepted")
+	}
+	if _, err := Table1Tuned(26, 100, 0); err == nil {
+		t.Fatal("count 26 accepted")
+	}
+}

@@ -1,0 +1,99 @@
+package pipeline
+
+import (
+	"errors"
+
+	"mimdloop/internal/core"
+	"mimdloop/internal/graph"
+	"mimdloop/internal/loopir"
+)
+
+// BatchItem is one loop of a Batch call. Exactly one of Graph and Source
+// should be set; a set Graph wins (Source is then ignored).
+type BatchItem struct {
+	// Graph is a pre-compiled dependence graph to schedule.
+	Graph *graph.Graph
+	// Source is loop-language text, compiled through the pipeline's
+	// compile cache when Graph is nil.
+	Source string
+	// Opts configures scheduling for this item.
+	Opts core.Options
+	// Iterations to schedule. 0 means 100.
+	Iterations int
+}
+
+// BatchResult is the outcome of one BatchItem, in input order. Err is nil
+// exactly when Plan is non-nil: a failed item isolates its error here and
+// never affects its neighbours.
+type BatchResult struct {
+	// Index is the item's position in the input slice.
+	Index int
+	// Loop is the parsed loop name when the item was compiled from
+	// Source.
+	Loop string
+	// Compiled is the compile-cache entry for Source items (nil for
+	// pre-compiled Graph items).
+	Compiled *loopir.Compiled
+	// Plan is the scheduling artifact, shared with the plan cache.
+	Plan *Plan
+	// CacheHit reports the plan was served without rescheduling —
+	// including when an identical loop appeared earlier in this batch
+	// (items dedup through graph.Fingerprint, so textually different
+	// sources compiling to the same graph share one schedule).
+	CacheHit bool
+	// Err is the item's compile or scheduling failure.
+	Err error
+}
+
+// BatchOptions configures a Batch call.
+type BatchOptions struct {
+	// Workers bounds the pool scheduling the items. 0 means GOMAXPROCS;
+	// 1 processes the batch serially in input order.
+	Workers int
+}
+
+// Batch schedules a set of loops concurrently on a bounded worker pool.
+// Results arrive in input order. Errors are isolated per item: one loop
+// that fails to compile or schedule leaves the other N-1 plans intact.
+// Items sharing a dependence graph (same fingerprint, options and
+// iteration count) dedup through the plan cache — concurrent duplicates
+// collapse into one computation via singleflight, so a batch of identical
+// loops costs one schedule.
+func (p *Pipeline) Batch(items []BatchItem, opt BatchOptions) []BatchResult {
+	results := make([]BatchResult, len(items))
+	RunPool(len(items), opt.Workers, func(i int) {
+		results[i] = p.batchOne(i, items[i])
+	})
+	return results
+}
+
+func (p *Pipeline) batchOne(i int, item BatchItem) BatchResult {
+	res := BatchResult{Index: i}
+	g := item.Graph
+	if g == nil {
+		if item.Source == "" {
+			res.Err = errors.New("pipeline: batch item has neither graph nor source")
+			return res
+		}
+		c, err := p.Compile(item.Source)
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		res.Compiled = c
+		res.Loop = c.Loop.Name
+		g = c.Graph
+	}
+	n := item.Iterations
+	if n == 0 {
+		n = 100
+	}
+	plan, hit, err := p.Schedule(g, item.Opts, n)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	res.Plan = plan
+	res.CacheHit = hit
+	return res
+}

@@ -1,0 +1,167 @@
+package pipeline
+
+import (
+	"strings"
+	"testing"
+
+	"mimdloop/internal/core"
+	"mimdloop/internal/workload"
+)
+
+// TestBatchIsolatesErrors is the acceptance bar: a batch of N loops with
+// one invalid source returns N-1 plans and exactly one structured error,
+// in input order.
+func TestBatchIsolatesErrors(t *testing.T) {
+	p := New(Config{})
+	items := []BatchItem{
+		{Source: "loop a(N = 10) {\n A[i] = A[i-1] + U[i]\n}"},
+		{Source: "loop b(N = 10) {\n B[i] = B[i-2] + V[i]\n}"},
+		{Source: "loop ??? not a loop"},
+		{Source: "loop d(N = 10) {\n D[i] = D[i-1] * 0.5\n}"},
+	}
+	results := p.Batch(items, BatchOptions{})
+	if len(results) != len(items) {
+		t.Fatalf("got %d results for %d items", len(results), len(items))
+	}
+	plans, errs := 0, 0
+	for i, r := range results {
+		if r.Index != i {
+			t.Fatalf("result %d carries index %d", i, r.Index)
+		}
+		if r.Err != nil {
+			errs++
+			if i != 2 {
+				t.Fatalf("item %d failed: %v", i, r.Err)
+			}
+			if r.Plan != nil {
+				t.Fatal("failed item carries a plan")
+			}
+			continue
+		}
+		plans++
+		if r.Plan == nil || r.Plan.Rate() <= 0 {
+			t.Fatalf("item %d: plan %+v", i, r.Plan)
+		}
+		if r.Loop == "" || r.Compiled == nil {
+			t.Fatalf("item %d: missing compile info (%q)", i, r.Loop)
+		}
+	}
+	if plans != 3 || errs != 1 {
+		t.Fatalf("plans/errs = %d/%d, want 3/1", plans, errs)
+	}
+}
+
+func TestBatchDedupsThroughCache(t *testing.T) {
+	p := New(Config{})
+	src := "loop a(N = 10) {\n A[i] = A[i-1] + U[i]\n}"
+	// Workers: 1 serializes the batch, so the first duplicate computes
+	// and every later one must be a cache hit sharing the same *Plan.
+	results := p.Batch([]BatchItem{{Source: src}, {Source: src}, {Source: src}}, BatchOptions{Workers: 1})
+	if results[0].CacheHit {
+		t.Fatal("first item reported a cache hit")
+	}
+	for i := 1; i < 3; i++ {
+		if !results[i].CacheHit {
+			t.Fatalf("duplicate item %d missed the cache", i)
+		}
+		if results[i].Plan != results[0].Plan {
+			t.Fatalf("duplicate item %d got a different plan", i)
+		}
+	}
+	if s := p.Stats(); s.Computes != 1 {
+		t.Fatalf("batch of 3 identical loops cost %d computes", s.Computes)
+	}
+}
+
+func TestBatchGraphItemsAndEmpty(t *testing.T) {
+	p := New(Config{})
+	results := p.Batch([]BatchItem{
+		{Graph: workload.Figure7().Graph, Opts: core.Options{Processors: 2, CommCost: 2}},
+		{}, // neither graph nor source
+	}, BatchOptions{})
+	if results[0].Err != nil || results[0].Plan.Rate() != 3 {
+		t.Fatalf("graph item: %+v", results[0])
+	}
+	if results[0].Loop != "" || results[0].Compiled != nil {
+		t.Fatal("graph item invented compile info")
+	}
+	if results[1].Err == nil || !strings.Contains(results[1].Err.Error(), "neither graph nor source") {
+		t.Fatalf("empty item error = %v", results[1].Err)
+	}
+	if got := p.Batch(nil, BatchOptions{}); len(got) != 0 {
+		t.Fatalf("empty batch returned %d results", len(got))
+	}
+}
+
+func TestParseCorpus(t *testing.T) {
+	reqs, err := ParseCorpus([]byte(`[
+		"loop a(N = 5) {\n A[i] = A[i-1] + U[i]\n}",
+		{"source": "loop b(N = 5) {\n B[i] = B[i-1] + V[i]\n}", "comm_cost": 3, "processors": 2}
+	]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 2 {
+		t.Fatalf("got %d entries", len(reqs))
+	}
+	if reqs[0].CommCost != nil || !strings.HasPrefix(reqs[0].Source, "loop a") {
+		t.Fatalf("string entry = %+v", reqs[0])
+	}
+	if reqs[1].Processors != 2 || *reqs[1].CommCost != 3 {
+		t.Fatalf("object entry = %+v", reqs[1])
+	}
+
+	for name, bad := range map[string]string{
+		"not an array":   `{"source": "x"}`,
+		"unknown field":  `[{"source": "x", "nope": 1}]`,
+		"missing source": `[{"iterations": 5}]`,
+		"bad element":    `[42]`,
+	} {
+		if _, err := ParseCorpus([]byte(bad)); err == nil {
+			t.Fatalf("%s accepted", name)
+		}
+	}
+}
+
+func TestWarmupPopulatesCache(t *testing.T) {
+	p := New(Config{})
+	k := 2
+	reqs := []ScheduleRequest{
+		{Source: "loop a(N = 10) {\n A[i] = A[i-1] + U[i]\n}"},
+		{Source: fig7Source, Processors: 2, CommCost: &k},
+		{Source: "loop broken("},
+	}
+	stats := p.Warmup(reqs, 0)
+	if stats.Entries != 3 || stats.Warmed != 2 || stats.Failed != 1 {
+		t.Fatalf("warmup stats = %+v", stats)
+	}
+	if len(stats.Errors) != 1 || !strings.Contains(stats.Errors[0], "entry 2") {
+		t.Fatalf("warmup errors = %v", stats.Errors)
+	}
+	// Warmup enforces the serving caps: an entry no HTTP request could
+	// fetch is rejected before any scheduling work.
+	capped := New(Config{})
+	cs := capped.Warmup([]ScheduleRequest{
+		{Source: fig7Source, Iterations: maxIterations + 1},
+	}, 0)
+	if cs.Warmed != 0 || cs.Failed != 1 || !strings.Contains(cs.Errors[0], "iterations") {
+		t.Fatalf("over-cap warmup = %+v", cs)
+	}
+	if s := capped.Stats(); s.Computes != 0 {
+		t.Fatalf("over-cap warmup scheduled %d plans", s.Computes)
+	}
+
+	// A request matching a warmed entry (serving defaults: k=2, n=100) is
+	// now a cache hit.
+	c, err := p.Compile(fig7Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, hit, err := p.Schedule(c.Graph, core.Options{Processors: 2, CommCost: 2}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatal("warmed plan not served from cache")
+	}
+}

@@ -1,0 +1,44 @@
+package pipeline
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestAPIDocCoversRoutes pins docs/API.md to the server: every route the
+// server registers must appear in the doc (as "METHOD /path"), and every
+// status code the handlers emit must be discussed. Adding an endpoint
+// without documenting it fails here.
+func TestAPIDocCoversRoutes(t *testing.T) {
+	data, err := os.ReadFile("../../docs/API.md")
+	if err != nil {
+		t.Fatalf("docs/API.md must exist and document the HTTP API: %v", err)
+	}
+	doc := string(data)
+
+	for _, r := range NewServer(New(Config{})).Routes() {
+		if !strings.Contains(doc, r.Method+" "+r.Path) {
+			t.Errorf("docs/API.md does not document %s %s", r.Method, r.Path)
+		}
+	}
+
+	// The codes the handlers can produce (see writeJSON call sites).
+	for _, code := range []int{400, 405, 409, 413, 422} {
+		if !strings.Contains(doc, fmt.Sprintf("%d", code)) {
+			t.Errorf("docs/API.md does not mention status %d", code)
+		}
+	}
+
+	// The caps table must track the constants.
+	for name, fragment := range map[string]string{
+		"maxBatchItems": fmt.Sprintf("%d", maxBatchItems),
+		"maxTunePoints": fmt.Sprintf("%d", maxTunePoints),
+		"maxGraphNodes": fmt.Sprintf("%d", maxGraphNodes),
+	} {
+		if !strings.Contains(doc, fragment) {
+			t.Errorf("docs/API.md does not mention %s = %s", name, fragment)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -12,8 +13,10 @@ import (
 	"mimdloop/internal/core"
 )
 
-// maxRequestBody bounds a schedule request: loop sources are tiny, so a
-// megabyte is already generous.
+// maxRequestBody bounds a request body on every POST route. Loop sources
+// are tiny, so a megabyte is generous for typical batches; note it binds
+// before the per-item source cap for large batches — 64 items cannot
+// each carry a near-64 KiB source in one request.
 const maxRequestBody = 1 << 20
 
 // Server-side parameter caps: schedules cost O(iterations x nodes)
@@ -40,11 +43,23 @@ const (
 	// keeping worst-case compile (and compile-cache retention) small.
 	maxSourceBytes = 64 << 10
 	maxSourceLines = 2 * maxGraphNodes
+
+	// Aggregate-endpoint caps: a batch is at most maxBatchItems loops
+	// (each under the per-item caps above), and a tune grid at most
+	// maxTunePoints (p, k) cells. Both reject before any scheduling work.
+	maxBatchItems = 64
+	maxTunePoints = 128
+
+	// aggregateWorkers bounds the internal pool of one batch or tune
+	// computation, so an admitted aggregate request cannot fan out to
+	// unbounded parallel scheduling on its own.
+	aggregateWorkers = 4
 )
 
-// ScheduleRequest is the POST /v1/schedule body. The same fields are
-// accepted as a JSON object; a body that does not start with '{' is taken
-// to be raw loop source with default parameters.
+// ScheduleRequest is the POST /v1/schedule body (and one item of a
+// /v1/batch request, and one entry of a warm-up corpus). The same fields
+// are accepted as a JSON object; a body that does not start with '{' is
+// taken to be raw loop source with default parameters.
 type ScheduleRequest struct {
 	// Source is the loop-language program to schedule.
 	Source string `json:"source"`
@@ -56,6 +71,63 @@ type ScheduleRequest struct {
 	Iterations int `json:"iterations"`
 	// Fold applies the Section 3 non-Cyclic folding heuristic.
 	Fold bool `json:"fold"`
+}
+
+// params resolves the request's scheduling parameters, applying the
+// serving defaults (k = 2, 100 iterations).
+func (r *ScheduleRequest) params() (core.Options, int) {
+	k := 2
+	if r.CommCost != nil {
+		k = *r.CommCost
+	}
+	n := r.Iterations
+	if n == 0 {
+		n = 100
+	}
+	return core.Options{Processors: r.Processors, CommCost: k, FoldNonCyclic: r.Fold}, n
+}
+
+// check validates the request's scalar parameters and source against the
+// serving caps; on failure the int is the HTTP status to report.
+func (r *ScheduleRequest) check() (int, error) {
+	opts, n := r.params()
+	switch {
+	case n < 0 || n > maxIterations:
+		return http.StatusBadRequest,
+			fmt.Errorf("iterations %d out of range [1, %d]", n, maxIterations)
+	case opts.Processors < 0 || opts.Processors > maxProcessors:
+		return http.StatusBadRequest,
+			fmt.Errorf("processors %d out of range [0, %d]", opts.Processors, maxProcessors)
+	case opts.CommCost < 0 || opts.CommCost > maxCommCost:
+		return http.StatusBadRequest,
+			fmt.Errorf("comm_cost %d out of range [0, %d]", opts.CommCost, maxCommCost)
+	}
+	return checkSource(r.Source)
+}
+
+// checkSource applies the pre-parse caps.
+func checkSource(src string) (int, error) {
+	switch {
+	case len(src) > maxSourceBytes:
+		return http.StatusRequestEntityTooLarge,
+			fmt.Errorf("source is %d bytes, over the serving cap %d", len(src), maxSourceBytes)
+	case strings.Count(src, "\n") >= maxSourceLines:
+		return http.StatusRequestEntityTooLarge,
+			fmt.Errorf("source has over %d lines, over the serving cap", maxSourceLines)
+	}
+	return http.StatusOK, nil
+}
+
+// checkGraphCaps applies the post-compile caps: graph size and the
+// iterations x nodes work/reply bound.
+func checkGraphCaps(nodes, n int) error {
+	switch {
+	case nodes > maxGraphNodes:
+		return fmt.Errorf("loop has %d nodes, over the serving cap %d", nodes, maxGraphNodes)
+	case n*nodes > maxPlacements:
+		return fmt.Errorf("iterations x nodes = %d over the serving cap %d", n*nodes, maxPlacements)
+	}
+	return nil
 }
 
 // ScheduleResponse is the POST /v1/schedule reply.
@@ -91,22 +163,121 @@ type PatternInfo struct {
 	Forced    bool    `json:"forced"`
 }
 
+// BatchRequest is the POST /v1/batch body.
+type BatchRequest struct {
+	// Items are scheduled independently; one invalid item never fails
+	// its neighbours.
+	Items []ScheduleRequest `json:"items"`
+}
+
+// BatchItemResult is one item's outcome in a BatchResponse. Error is
+// empty exactly when the item scheduled; the reply carries plan summaries
+// only — re-POST an item to /v1/schedule to fetch its full placement
+// list, which the warm plan cache answers without rescheduling.
+type BatchItemResult struct {
+	Index      int     `json:"index"`
+	Loop       string  `json:"loop,omitempty"`
+	Nodes      int     `json:"nodes,omitempty"`
+	GraphHash  string  `json:"graph_hash,omitempty"`
+	Iterations int     `json:"iterations,omitempty"`
+	Rate       float64 `json:"rate_cycles_per_iteration,omitempty"`
+	Makespan   int     `json:"makespan,omitempty"`
+	Procs      int     `json:"procs,omitempty"`
+	CacheHit   bool    `json:"cache_hit,omitempty"`
+	Error      string  `json:"error,omitempty"`
+}
+
+// BatchResponse is the POST /v1/batch reply.
+type BatchResponse struct {
+	Count     int               `json:"count"`
+	Succeeded int               `json:"succeeded"`
+	Failed    int               `json:"failed"`
+	Results   []BatchItemResult `json:"results"`
+}
+
+// TuneRequest is the POST /v1/tune body.
+type TuneRequest struct {
+	// Source is the loop to tune.
+	Source string `json:"source"`
+	// Processors and CommCosts span the grid. Empty lists take the
+	// AutoTune defaults (1..min(nodes, 8) and {1, 2, 3, 4}).
+	Processors []int `json:"processors"`
+	CommCosts  []int `json:"comm_costs"`
+	// Iterations per grid point (default 100).
+	Iterations int `json:"iterations"`
+	// Objective is "min_rate" (default), "min_procs" or "efficiency".
+	Objective string `json:"objective"`
+	// Epsilon is the min_procs relative rate slack. Omitted means 0.05;
+	// an explicit 0 means exact (only best-rate points qualify).
+	Epsilon *float64 `json:"epsilon"`
+	// Fold applies the folding heuristic at every point.
+	Fold bool `json:"fold"`
+}
+
+// params resolves the tune request's defaulted parameters. Callers must
+// have validated the objective via checkTuneRequest first.
+func (r *TuneRequest) params() (Objective, int, float64) {
+	obj, _ := ParseObjective(r.Objective)
+	n := r.Iterations
+	if n == 0 {
+		n = 100
+	}
+	eps := 0.05
+	if r.Epsilon != nil {
+		eps = *r.Epsilon
+	}
+	return obj, n, eps
+}
+
+// TunePointResult is one grid cell of a TuneResponse.
+type TunePointResult struct {
+	Processors int     `json:"processors"`
+	CommCost   int     `json:"comm_cost"`
+	Rate       float64 `json:"rate_cycles_per_iteration,omitempty"`
+	Procs      int     `json:"procs,omitempty"`
+	CacheHit   bool    `json:"cache_hit,omitempty"`
+	Error      string  `json:"error,omitempty"`
+}
+
+// TuneResponse is the POST /v1/tune reply.
+type TuneResponse struct {
+	Loop      string            `json:"loop"`
+	Nodes     int               `json:"nodes"`
+	GraphHash string            `json:"graph_hash"`
+	Objective string            `json:"objective"`
+	Best      TunePointResult   `json:"best"`
+	Score     float64           `json:"score"`
+	Evaluated int               `json:"evaluated"`
+	Results   []TunePointResult `json:"results"`
+}
+
 // errorResponse is the JSON error envelope.
 type errorResponse struct {
 	Error string `json:"error"`
 }
 
+// Route is one registered endpoint, as "METHOD /path".
+type Route struct {
+	Method string
+	Path   string
+}
+
 // Server exposes a Pipeline over HTTP:
 //
 //	POST /v1/schedule  schedule loop source, returning the JSON plan
+//	POST /v1/batch     schedule many loops, per-item error isolation
+//	POST /v1/tune      auto-tune (processors, k) over a grid
 //	GET  /v1/stats     cache-hit statistics
 //	GET  /healthz      liveness probe
 type Server struct {
-	pipe *Pipeline
-	mux  *http.ServeMux
+	pipe   *Pipeline
+	mux    *http.ServeMux
+	routes []Route
 	// sem bounds concurrent schedule computations: the per-request caps
 	// bound individual cost, this bounds aggregate cost — N distinct
-	// near-cap requests must not each hold an in-flight plan at once.
+	// near-cap requests must not each hold an in-flight plan at once. A
+	// batch or tune holds one slot for its whole (internally bounded)
+	// computation.
 	sem chan struct{}
 }
 
@@ -117,30 +288,66 @@ func NewServer(p *Pipeline) *Server {
 		mux:  http.NewServeMux(),
 		sem:  make(chan struct{}, 4*runtime.GOMAXPROCS(0)),
 	}
-	s.mux.HandleFunc("/v1/schedule", s.handleSchedule)
-	s.mux.HandleFunc("/v1/stats", s.handleStats)
-	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
-	})
+	for _, rt := range []struct {
+		method, path string
+		handler      http.HandlerFunc
+	}{
+		{http.MethodPost, "/v1/schedule", s.handleSchedule},
+		{http.MethodPost, "/v1/batch", s.handleBatch},
+		{http.MethodPost, "/v1/tune", s.handleTune},
+		{http.MethodGet, "/v1/stats", s.handleStats},
+		{http.MethodGet, "/healthz", s.handleHealthz},
+	} {
+		s.routes = append(s.routes, Route{Method: rt.method, Path: rt.path})
+		s.mux.HandleFunc(rt.path, rt.handler)
+	}
 	return s
+}
+
+// Routes returns every registered endpoint. docs/API.md must document
+// each one; TestAPIDocCoversRoutes enforces the correspondence.
+func (s *Server) Routes() []Route {
+	out := make([]Route, len(s.routes))
+	copy(out, s.routes)
+	return out
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+// readPost enforces the method and body cap shared by the POST
+// endpoints. It reports ok = false after writing the error reply.
+func readPost(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
 	if r.Method != http.MethodPost {
-		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"POST a loop to /v1/schedule"})
-		return
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"POST " + r.URL.Path})
+		return nil, false
 	}
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBody+1))
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
-		return
+		return nil, false
 	}
 	if len(body) > maxRequestBody {
 		writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{"request body over 1 MiB"})
+		return nil, false
+	}
+	return body, true
+}
+
+// admit blocks until a computation slot is free, honoring client
+// cancellation while queued. It reports false when the client went away.
+func (s *Server) admit(r *http.Request) bool {
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	case <-r.Context().Done():
+		return false
+	}
+}
+
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	body, ok := readPost(w, r)
+	if !ok {
 		return
 	}
 	req, err := parseScheduleRequest(body)
@@ -148,49 +355,17 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
 		return
 	}
-
-	k := 2
-	if req.CommCost != nil {
-		k = *req.CommCost
-	}
-	n := req.Iterations
-	if n == 0 {
-		n = 100
-	}
-	switch {
-	case n < 0 || n > maxIterations:
-		writeJSON(w, http.StatusBadRequest,
-			errorResponse{fmt.Sprintf("iterations %d out of range [1, %d]", n, maxIterations)})
-		return
-	case req.Processors < 0 || req.Processors > maxProcessors:
-		writeJSON(w, http.StatusBadRequest,
-			errorResponse{fmt.Sprintf("processors %d out of range [0, %d]", req.Processors, maxProcessors)})
-		return
-	case k < 0 || k > maxCommCost:
-		writeJSON(w, http.StatusBadRequest,
-			errorResponse{fmt.Sprintf("comm_cost %d out of range [0, %d]", k, maxCommCost)})
-		return
-	}
-	switch {
-	case len(req.Source) > maxSourceBytes:
-		writeJSON(w, http.StatusRequestEntityTooLarge,
-			errorResponse{fmt.Sprintf("source is %d bytes, over the serving cap %d", len(req.Source), maxSourceBytes)})
-		return
-	case strings.Count(req.Source, "\n") >= maxSourceLines:
-		writeJSON(w, http.StatusRequestEntityTooLarge,
-			errorResponse{fmt.Sprintf("source has over %d lines, over the serving cap", maxSourceLines)})
+	if status, err := req.check(); err != nil {
+		writeJSON(w, status, errorResponse{err.Error()})
 		return
 	}
 	// Admission: compile, schedule, and marshal under the in-flight
-	// bound, honoring client cancellation while queued. The slot is
-	// released before the (possibly large, possibly slow) response write
-	// so a stalled reader cannot starve scheduling.
-	select {
-	case s.sem <- struct{}{}:
-	case <-r.Context().Done():
+	// bound. The slot is released before the (possibly large, possibly
+	// slow) response write so a stalled reader cannot starve scheduling.
+	if !s.admit(r) {
 		return
 	}
-	resp, status, err := s.scheduleResponse(req, k, n)
+	resp, status, err := s.scheduleResponse(req)
 	<-s.sem
 	if err != nil {
 		writeJSON(w, status, errorResponse{err.Error()})
@@ -201,20 +376,15 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 
 // scheduleResponse runs the compute section of a schedule request; on
 // failure it returns the HTTP status to report.
-func (s *Server) scheduleResponse(req *ScheduleRequest, k, n int) (*ScheduleResponse, int, error) {
+func (s *Server) scheduleResponse(req *ScheduleRequest) (*ScheduleResponse, int, error) {
 	compiled, err := s.pipe.Compile(req.Source)
 	if err != nil {
 		return nil, http.StatusUnprocessableEntity, err
 	}
-	switch {
-	case compiled.Graph.N() > maxGraphNodes:
-		return nil, http.StatusRequestEntityTooLarge,
-			fmt.Errorf("loop has %d nodes, over the serving cap %d", compiled.Graph.N(), maxGraphNodes)
-	case n*compiled.Graph.N() > maxPlacements:
-		return nil, http.StatusRequestEntityTooLarge,
-			fmt.Errorf("iterations x nodes = %d over the serving cap %d", n*compiled.Graph.N(), maxPlacements)
+	opts, n := req.params()
+	if err := checkGraphCaps(compiled.Graph.N(), n); err != nil {
+		return nil, http.StatusRequestEntityTooLarge, err
 	}
-	opts := core.Options{Processors: req.Processors, CommCost: k, FoldNonCyclic: req.Fold}
 	plan, hit, err := s.pipe.Schedule(compiled.Graph, opts, n)
 	if err != nil {
 		if errors.Is(err, core.ErrNoPattern) {
@@ -253,29 +423,252 @@ func (s *Server) scheduleResponse(req *ScheduleRequest, k, n int) (*ScheduleResp
 	return resp, http.StatusOK, nil
 }
 
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	body, ok := readPost(w, r)
+	if !ok {
+		return
+	}
+	var req BatchRequest
+	if err := decodeStrict(body, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+	switch {
+	case len(req.Items) == 0:
+		writeJSON(w, http.StatusBadRequest, errorResponse{"empty batch: want \"items\""})
+		return
+	case len(req.Items) > maxBatchItems:
+		writeJSON(w, http.StatusRequestEntityTooLarge,
+			errorResponse{fmt.Sprintf("batch has %d items, over the serving cap %d", len(req.Items), maxBatchItems)})
+		return
+	}
+	if !s.admit(r) {
+		return
+	}
+	resp := s.batchResponse(&req)
+	<-s.sem
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// batchResponse validates, compiles and schedules every batch item with
+// per-item error isolation: whatever goes wrong with one item lands in
+// its own result slot and never affects the others.
+func (s *Server) batchResponse(req *BatchRequest) *BatchResponse {
+	resp := &BatchResponse{
+		Count:   len(req.Items),
+		Results: make([]BatchItemResult, len(req.Items)),
+	}
+	var items []BatchItem
+	var idx []int // items[j] corresponds to Results[idx[j]]
+	for i := range req.Items {
+		it := &req.Items[i]
+		out := &resp.Results[i]
+		out.Index = i
+		if strings.TrimSpace(it.Source) == "" {
+			out.Error = "missing \"source\""
+			continue
+		}
+		if _, err := it.check(); err != nil {
+			out.Error = err.Error()
+			continue
+		}
+		opts, n := it.params()
+		compiled, err := s.pipe.Compile(it.Source)
+		if err != nil {
+			out.Error = err.Error()
+			continue
+		}
+		if err := checkGraphCaps(compiled.Graph.N(), n); err != nil {
+			out.Error = err.Error()
+			continue
+		}
+		out.Loop = compiled.Loop.Name
+		out.Nodes = compiled.Graph.N()
+		out.Iterations = n
+		items = append(items, BatchItem{Graph: compiled.Graph, Opts: opts, Iterations: n})
+		idx = append(idx, i)
+	}
+	for j, br := range s.pipe.Batch(items, BatchOptions{Workers: aggregateWorkers}) {
+		out := &resp.Results[idx[j]]
+		if br.Err != nil {
+			out.Error = br.Err.Error()
+			continue
+		}
+		out.GraphHash = br.Plan.GraphHash
+		out.Rate = br.Plan.Rate()
+		out.Makespan = br.Plan.Makespan()
+		out.Procs = br.Plan.Procs()
+		out.CacheHit = br.CacheHit
+	}
+	for i := range resp.Results {
+		if resp.Results[i].Error == "" {
+			resp.Succeeded++
+		} else {
+			resp.Failed++
+		}
+	}
+	return resp
+}
+
+func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
+	body, ok := readPost(w, r)
+	if !ok {
+		return
+	}
+	var req TuneRequest
+	if err := decodeStrict(body, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+	if status, err := checkTuneRequest(&req); err != nil {
+		writeJSON(w, status, errorResponse{err.Error()})
+		return
+	}
+	if !s.admit(r) {
+		return
+	}
+	resp, status, err := s.tuneResponse(&req)
+	<-s.sem
+	if err != nil {
+		writeJSON(w, status, errorResponse{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// checkTuneRequest validates a tune request against the serving caps
+// before any compilation or scheduling work.
+func checkTuneRequest(req *TuneRequest) (int, error) {
+	if strings.TrimSpace(req.Source) == "" {
+		return http.StatusBadRequest, errors.New("missing \"source\"")
+	}
+	if _, err := ParseObjective(req.Objective); err != nil {
+		return http.StatusBadRequest, err
+	}
+	if req.Epsilon != nil && (*req.Epsilon < 0 || *req.Epsilon > 1) {
+		return http.StatusBadRequest, fmt.Errorf("epsilon %v out of range [0, 1]", *req.Epsilon)
+	}
+	_, n, _ := req.params()
+	if n < 0 || n > maxIterations {
+		return http.StatusBadRequest, fmt.Errorf("iterations %d out of range [1, %d]", n, maxIterations)
+	}
+	for _, p := range req.Processors {
+		if p < 0 || p > maxProcessors {
+			return http.StatusBadRequest, fmt.Errorf("processors %d out of range [0, %d]", p, maxProcessors)
+		}
+	}
+	for _, k := range req.CommCosts {
+		if k < 0 || k > maxCommCost {
+			return http.StatusBadRequest, fmt.Errorf("comm_cost %d out of range [0, %d]", k, maxCommCost)
+		}
+	}
+	// The grid is sized as AutoTune will actually run it: an empty axis
+	// takes its default length (at most 8 processor values, 4 comm
+	// costs), so an explicit list on one axis cannot smuggle an
+	// over-cap grid past a 0-length other axis.
+	pl, kl := len(req.Processors), len(req.CommCosts)
+	if pl == 0 {
+		pl = 8
+	}
+	if kl == 0 {
+		kl = 4
+	}
+	if pl*kl > maxTunePoints {
+		return http.StatusRequestEntityTooLarge,
+			fmt.Errorf("tuning grid has %d points, over the serving cap %d", pl*kl, maxTunePoints)
+	}
+	return checkSource(req.Source)
+}
+
+// tuneResponse runs the compute section of a tune request.
+func (s *Server) tuneResponse(req *TuneRequest) (*TuneResponse, int, error) {
+	compiled, err := s.pipe.Compile(req.Source)
+	if err != nil {
+		return nil, http.StatusUnprocessableEntity, err
+	}
+	objective, n, eps := req.params()
+	if err := checkGraphCaps(compiled.Graph.N(), n); err != nil {
+		return nil, http.StatusRequestEntityTooLarge, err
+	}
+	tuned, err := s.pipe.AutoTune(compiled.Graph, n, TuneOptions{
+		Processors: req.Processors,
+		CommCosts:  req.CommCosts,
+		Base:       core.Options{FoldNonCyclic: req.Fold},
+		Objective:  objective,
+		Epsilon:    eps,
+		Workers:    aggregateWorkers,
+	})
+	if err != nil {
+		if errors.Is(err, core.ErrNoPattern) {
+			return nil, http.StatusConflict, err
+		}
+		return nil, http.StatusUnprocessableEntity, err
+	}
+	resp := &TuneResponse{
+		Loop:      compiled.Loop.Name,
+		Nodes:     compiled.Graph.N(),
+		GraphHash: tuned.Best.Plan.GraphHash,
+		Objective: tuned.Objective.String(),
+		Best:      tunePoint(tuned.Best),
+		Score:     tuned.Score,
+		Evaluated: tuned.Evaluated,
+		Results:   make([]TunePointResult, len(tuned.Results)),
+	}
+	for i, tr := range tuned.Results {
+		resp.Results[i] = tunePoint(tr)
+	}
+	return resp, http.StatusOK, nil
+}
+
+// tunePoint converts one sweep result to its wire form.
+func tunePoint(r Result) TunePointResult {
+	out := TunePointResult{
+		Processors: r.Point.Processors,
+		CommCost:   r.Point.CommCost,
+	}
+	if r.Err != nil {
+		out.Error = r.Err.Error()
+		return out
+	}
+	out.Rate = r.Rate
+	out.Procs = r.Procs
+	out.CacheHit = r.CacheHit
+	return out
+}
+
 // parseScheduleRequest accepts either the JSON envelope or raw loop
 // source (anything not starting with '{').
 func parseScheduleRequest(body []byte) (*ScheduleRequest, error) {
-	trimmed := strings.TrimSpace(string(body))
-	if trimmed == "" {
+	trimmed := bytes.TrimSpace(body)
+	if len(trimmed) == 0 {
 		return nil, errors.New("empty request body")
 	}
-	if !strings.HasPrefix(trimmed, "{") {
-		return &ScheduleRequest{Source: trimmed}, nil
+	if trimmed[0] != '{' {
+		return &ScheduleRequest{Source: string(trimmed)}, nil
 	}
 	var req ScheduleRequest
-	dec := json.NewDecoder(strings.NewReader(trimmed))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		return nil, fmt.Errorf("decode request: %w", err)
-	}
-	if dec.More() {
-		return nil, errors.New("trailing content after the request object")
+	if err := decodeStrict(trimmed, &req); err != nil {
+		return nil, err
 	}
 	if strings.TrimSpace(req.Source) == "" {
 		return nil, errors.New("missing \"source\"")
 	}
 	return &req, nil
+}
+
+// decodeStrict unmarshals JSON rejecting unknown fields and trailing
+// content, so client typos fail loudly instead of being ignored. It
+// reads body in place — no copies on the near-cap hot path.
+func decodeStrict(body []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("decode request: %w", err)
+	}
+	if dec.More() {
+		return errors.New("trailing content after the request object")
+	}
+	return nil
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -288,6 +681,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Stats
 		HitRate float64 `json:"hit_rate"`
 	}{stats, stats.HitRate()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
 }
 
 // writeJSON emits compact JSON: schedule replies embed up to hundreds of

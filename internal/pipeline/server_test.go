@@ -166,6 +166,229 @@ func TestServerWorkCaps(t *testing.T) {
 	}
 }
 
+func ptr[T any](v T) *T { return &v }
+
+func postJSON(t *testing.T, srv *Server, path string, body any) (*http.Response, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(string(data)))
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	return rec.Result(), rec.Body.Bytes()
+}
+
+// TestServerBatchIsolation: N items with one invalid source come back as
+// N-1 plan summaries plus one structured error, all in input order.
+func TestServerBatchIsolation(t *testing.T) {
+	srv := NewServer(New(Config{}))
+	resp, data := postJSON(t, srv, "/v1/batch", BatchRequest{Items: []ScheduleRequest{
+		{Source: "loop a(N = 10) {\n A[i] = A[i-1] + U[i]\n}"},
+		{Source: "loop ??? not a loop"},
+		{Source: fig7Source, Processors: 2},
+	}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var out BatchResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Count != 3 || out.Succeeded != 2 || out.Failed != 1 {
+		t.Fatalf("counts = %+v", out)
+	}
+	for i, r := range out.Results {
+		if r.Index != i {
+			t.Fatalf("result %d carries index %d", i, r.Index)
+		}
+	}
+	if out.Results[0].Loop != "a" || out.Results[0].Rate != 1 || out.Results[0].Error != "" {
+		t.Fatalf("item 0 = %+v", out.Results[0])
+	}
+	if out.Results[1].Error == "" || out.Results[1].GraphHash != "" {
+		t.Fatalf("item 1 = %+v", out.Results[1])
+	}
+	if out.Results[2].Loop != "f" || out.Results[2].Rate != 3 || out.Results[2].Procs != 2 {
+		t.Fatalf("item 2 = %+v", out.Results[2])
+	}
+
+	// Batch plans land in the shared cache: scheduling item 2's loop
+	// directly is a hit.
+	body, _ := json.Marshal(ScheduleRequest{Source: fig7Source, Processors: 2})
+	resp, data = postSchedule(t, srv, string(body))
+	var sched ScheduleResponse
+	if err := json.Unmarshal(data, &sched); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || !sched.CacheHit {
+		t.Fatalf("follow-up schedule: status %d hit %v", resp.StatusCode, sched.CacheHit)
+	}
+}
+
+// TestServerBatchCaps: request-level and per-item caps fire before any
+// scheduling work; per-item violations are isolated, not fatal.
+func TestServerBatchCaps(t *testing.T) {
+	srv := NewServer(New(Config{}))
+
+	oversized := BatchRequest{Items: make([]ScheduleRequest, maxBatchItems+1)}
+	for i := range oversized.Items {
+		oversized.Items[i] = ScheduleRequest{Source: "loop a(N=5) {\n A[i] = A[i-1] + U[i]\n}"}
+	}
+	if resp, data := postJSON(t, srv, "/v1/batch", oversized); resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized batch: status %d: %.200s", resp.StatusCode, data)
+	}
+	if s := srv.pipe.Stats(); s.Computes != 0 {
+		t.Fatalf("oversized batch scheduled %d plans", s.Computes)
+	}
+
+	for name, body := range map[string]string{
+		"empty items":   `{"items": []}`,
+		"missing items": `{}`,
+		"unknown field": `{"items": [], "nope": 1}`,
+		"bad json":      `{"items": 12}`,
+	} {
+		req := httptest.NewRequest(http.MethodPost, "/v1/batch", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		if rec.Code != http.StatusBadRequest {
+			t.Fatalf("%s: status %d (%s)", name, rec.Code, rec.Body)
+		}
+	}
+
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/batch", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET batch: status %d", rec.Code)
+	}
+
+	// Per-item cap violations (iterations over cap, oversize product) are
+	// per-item errors; the valid neighbour still schedules.
+	resp, data := postJSON(t, srv, "/v1/batch", BatchRequest{Items: []ScheduleRequest{
+		{Source: "loop a(N=5) {\n A[i] = A[i-1] + U[i]\n}", Iterations: maxIterations + 1},
+		{Source: "loop b(N=5) {\n B[i] = B[i-1] + U[i]\n}"},
+	}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var out BatchResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Results[0].Error == "" || !strings.Contains(out.Results[0].Error, "iterations") {
+		t.Fatalf("item 0 = %+v", out.Results[0])
+	}
+	if out.Results[1].Error != "" || out.Results[1].Loop != "b" {
+		t.Fatalf("item 1 = %+v", out.Results[1])
+	}
+}
+
+func TestServerTune(t *testing.T) {
+	srv := NewServer(New(Config{}))
+	resp, data := postJSON(t, srv, "/v1/tune", TuneRequest{
+		Source:     fig7Source,
+		Processors: []int{1, 2, 3},
+		CommCosts:  []int{2},
+		Objective:  "min_procs",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var out TuneResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Loop != "f" || out.Nodes != 5 || out.Objective != "min_procs" {
+		t.Fatalf("response = %+v", out)
+	}
+	if out.Best.Processors != 2 || out.Best.CommCost != 2 || out.Best.Rate != 3 {
+		t.Fatalf("best = %+v", out.Best)
+	}
+	if out.Evaluated != 3 || len(out.Results) != 3 {
+		t.Fatalf("grid = %d evaluated, %d results", out.Evaluated, len(out.Results))
+	}
+
+	// The tuned winner is in the shared plan cache.
+	body, _ := json.Marshal(ScheduleRequest{Source: fig7Source, Processors: 2})
+	_, data = postSchedule(t, srv, string(body))
+	var sched ScheduleResponse
+	if err := json.Unmarshal(data, &sched); err != nil {
+		t.Fatal(err)
+	}
+	if !sched.CacheHit {
+		t.Fatal("tuned winner not served from cache")
+	}
+}
+
+// TestServerTuneCaps: over-grid and malformed tune requests are rejected
+// before any scheduling work.
+func TestServerTuneCaps(t *testing.T) {
+	srv := NewServer(New(Config{}))
+	wide := make([]int, 32)
+	for i := range wide {
+		wide[i] = i + 1
+	}
+	cases := []struct {
+		name   string
+		req    TuneRequest
+		status int
+	}{
+		{"over-grid", TuneRequest{Source: "x", Processors: wide, CommCosts: []int{1, 2, 3, 4, 5}},
+			http.StatusRequestEntityTooLarge},
+		// An empty axis counts at its default length (4 comm costs here),
+		// so a wide explicit list cannot slip past a 0-length other axis.
+		{"over-grid via default axis", TuneRequest{Source: "x", Processors: append(append([]int{}, wide...), 33)},
+			http.StatusRequestEntityTooLarge},
+		{"missing source", TuneRequest{}, http.StatusBadRequest},
+		{"bad objective", TuneRequest{Source: "x", Objective: "fastest"}, http.StatusBadRequest},
+		{"bad epsilon", TuneRequest{Source: "x", Epsilon: ptr(-0.5)}, http.StatusBadRequest},
+		{"huge iterations", TuneRequest{Source: "x", Iterations: maxIterations + 1}, http.StatusBadRequest},
+		{"huge processor", TuneRequest{Source: "x", Processors: []int{maxProcessors + 1}}, http.StatusBadRequest},
+		{"huge comm cost", TuneRequest{Source: "x", CommCosts: []int{maxCommCost + 1}}, http.StatusBadRequest},
+		{"bad loop", TuneRequest{Source: "loop ???"}, http.StatusUnprocessableEntity},
+	}
+	for _, tc := range cases {
+		resp, data := postJSON(t, srv, "/v1/tune", tc.req)
+		if resp.StatusCode != tc.status {
+			t.Fatalf("%s: status %d, want %d (%.200s)", tc.name, resp.StatusCode, tc.status, data)
+		}
+		var e errorResponse
+		if err := json.Unmarshal(data, &e); err != nil || e.Error == "" {
+			t.Fatalf("%s: error envelope %.200q (%v)", tc.name, data, err)
+		}
+	}
+	if s := srv.pipe.Stats(); s.Computes != 0 {
+		t.Fatalf("rejected tunes scheduled %d plans", s.Computes)
+	}
+
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/tune", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET tune: status %d", rec.Code)
+	}
+}
+
+func TestServerRoutes(t *testing.T) {
+	srv := NewServer(New(Config{}))
+	want := map[Route]bool{
+		{Method: "POST", Path: "/v1/schedule"}: true,
+		{Method: "POST", Path: "/v1/batch"}:    true,
+		{Method: "POST", Path: "/v1/tune"}:     true,
+		{Method: "GET", Path: "/v1/stats"}:     true,
+		{Method: "GET", Path: "/healthz"}:      true,
+	}
+	routes := srv.Routes()
+	if len(routes) != len(want) {
+		t.Fatalf("routes = %v", routes)
+	}
+	for _, r := range routes {
+		if !want[r] {
+			t.Fatalf("unexpected route %+v", r)
+		}
+	}
+}
+
 func TestServerStatsAndHealth(t *testing.T) {
 	srv := NewServer(New(Config{}))
 	for i := 0; i < 3; i++ {

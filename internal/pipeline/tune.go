@@ -1,0 +1,218 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+
+	"mimdloop/internal/core"
+	"mimdloop/internal/graph"
+)
+
+// Objective selects what AutoTune optimizes over the (processors, k) grid.
+type Objective int
+
+const (
+	// ObjectiveMinRate picks the fastest steady state: minimum
+	// cycles/iteration, breaking ties toward fewer occupied processors,
+	// then the smaller comm-cost estimate.
+	ObjectiveMinRate Objective = iota
+	// ObjectiveMinProcs picks the cheapest plan whose rate is within
+	// Epsilon (relative) of the grid's best rate: minimum occupied
+	// processors, breaking ties toward the lower rate, then the smaller
+	// comm-cost estimate.
+	ObjectiveMinProcs
+	// ObjectiveEfficiency maximizes speedup per processor:
+	// (sequential cycles/iteration ÷ rate) ÷ occupied processors. Ties
+	// break toward fewer processors, then the lower rate.
+	ObjectiveEfficiency
+)
+
+// String returns the wire name of the objective ("min_rate", "min_procs",
+// "efficiency").
+func (o Objective) String() string {
+	switch o {
+	case ObjectiveMinRate:
+		return "min_rate"
+	case ObjectiveMinProcs:
+		return "min_procs"
+	case ObjectiveEfficiency:
+		return "efficiency"
+	}
+	return fmt.Sprintf("objective(%d)", int(o))
+}
+
+// ParseObjective is the inverse of Objective.String.
+func ParseObjective(s string) (Objective, error) {
+	switch s {
+	case "", "min_rate":
+		return ObjectiveMinRate, nil
+	case "min_procs":
+		return ObjectiveMinProcs, nil
+	case "efficiency":
+		return ObjectiveEfficiency, nil
+	}
+	return 0, fmt.Errorf("unknown objective %q (want min_rate, min_procs or efficiency)", s)
+}
+
+// TuneOptions configures AutoTune.
+type TuneOptions struct {
+	// Processors are the candidate p values. Empty means 1..min(N, 8)
+	// where N is the graph's node count (p = N is the paper's
+	// "sufficient" allocation, already covered when N <= 8).
+	Processors []int
+	// CommCosts are the candidate comm-cost estimates k. Empty means
+	// {1, 2, 3, 4}, bracketing the paper's experimental range.
+	CommCosts []int
+	// Base is the Options template; every grid point overwrites its
+	// Processors and CommCost fields (same contract as Sweep).
+	Base core.Options
+	// Objective selects the winner. The zero value is ObjectiveMinRate.
+	Objective Objective
+	// Epsilon is the relative rate slack of ObjectiveMinProcs: a point
+	// qualifies when rate <= bestRate * (1 + Epsilon). 0 means exact —
+	// only points achieving the grid's best rate qualify; negative
+	// values are treated as 0. Ignored by the other objectives. (The
+	// HTTP endpoint defaults an *omitted* epsilon to 0.05.)
+	Epsilon float64
+	// Workers bounds the sweep pool. 0 means GOMAXPROCS.
+	Workers int
+}
+
+// TuneResult is the outcome of one AutoTune run.
+type TuneResult struct {
+	// Best is the winning grid point. Best.Plan came through (and now
+	// sits in) the pipeline's plan cache.
+	Best Result
+	// Score is the objective value of Best: cycles/iteration for
+	// ObjectiveMinRate, occupied processors for ObjectiveMinProcs, and
+	// speedup-per-processor for ObjectiveEfficiency.
+	Score float64
+	// Results is the full grid in row-major order (Grid order); points
+	// that failed to schedule carry Err and a nil Plan.
+	Results []Result
+	// Evaluated counts the points that scheduled successfully.
+	Evaluated int
+	// Objective echoes the objective the winner was chosen under.
+	Objective Objective
+}
+
+// AutoTune rides Sweep over a processors × comm-cost grid and returns the
+// best (p, k) plan under opt.Objective. Every evaluated plan flows through
+// the plan cache, so a later Schedule (or a repeat tune) of the winning
+// point is a lookup; points that fail to schedule are skipped rather than
+// aborting the tune. AutoTune fails only when the grid is empty after
+// defaulting or no point schedules at all.
+func (p *Pipeline) AutoTune(g *graph.Graph, n int, opt TuneOptions) (*TuneResult, error) {
+	procs := opt.Processors
+	if len(procs) == 0 {
+		max := g.N()
+		if max > 8 {
+			max = 8
+		}
+		for pp := 1; pp <= max; pp++ {
+			procs = append(procs, pp)
+		}
+	}
+	costs := opt.CommCosts
+	if len(costs) == 0 {
+		costs = []int{1, 2, 3, 4}
+	}
+	if opt.Epsilon < 0 {
+		opt.Epsilon = 0
+	}
+	points := Grid(procs, costs)
+	if len(points) == 0 {
+		return nil, errors.New("pipeline: empty tuning grid")
+	}
+
+	results := p.Sweep(g, points, SweepOptions{
+		Base:       opt.Base,
+		Iterations: n,
+		Workers:    opt.Workers,
+	})
+
+	res := &TuneResult{Results: results, Objective: opt.Objective}
+	var firstErr error
+	bestRate := 0.0
+	for _, r := range results {
+		if r.Err != nil {
+			if firstErr == nil {
+				firstErr = r.Err
+			}
+			continue
+		}
+		if res.Evaluated == 0 || r.Rate < bestRate {
+			bestRate = r.Rate
+		}
+		res.Evaluated++
+	}
+	if res.Evaluated == 0 {
+		return nil, fmt.Errorf("pipeline: no tuning point scheduled: %w", firstErr)
+	}
+
+	seq := float64(g.TotalLatency())
+	first := true
+	for _, r := range results {
+		if r.Err != nil {
+			continue
+		}
+		if opt.Objective == ObjectiveMinProcs && r.Rate > bestRate*(1+opt.Epsilon) {
+			continue
+		}
+		if first || better(opt.Objective, r, res.Best, seq) {
+			res.Best = r
+			first = false
+		}
+	}
+	res.Score = score(opt.Objective, res.Best, seq)
+	return res, nil
+}
+
+// score evaluates one successful result under the objective.
+func score(o Objective, r Result, seq float64) float64 {
+	switch o {
+	case ObjectiveMinProcs:
+		return float64(r.Procs)
+	case ObjectiveEfficiency:
+		if r.Rate == 0 || r.Procs == 0 {
+			return 0
+		}
+		return seq / r.Rate / float64(r.Procs)
+	default:
+		return r.Rate
+	}
+}
+
+// better reports whether a strictly beats b under the objective. Equal
+// points keep the earlier grid entry, so the winner is deterministic and
+// independent of sweep worker count.
+func better(o Objective, a, b Result, seq float64) bool {
+	switch o {
+	case ObjectiveMinProcs:
+		if a.Procs != b.Procs {
+			return a.Procs < b.Procs
+		}
+		if a.Rate != b.Rate {
+			return a.Rate < b.Rate
+		}
+	case ObjectiveEfficiency:
+		sa, sb := score(o, a, seq), score(o, b, seq)
+		if sa != sb {
+			return sa > sb
+		}
+		if a.Procs != b.Procs {
+			return a.Procs < b.Procs
+		}
+		if a.Rate != b.Rate {
+			return a.Rate < b.Rate
+		}
+	default: // ObjectiveMinRate
+		if a.Rate != b.Rate {
+			return a.Rate < b.Rate
+		}
+		if a.Procs != b.Procs {
+			return a.Procs < b.Procs
+		}
+	}
+	return a.Point.CommCost < b.Point.CommCost
+}

@@ -1,0 +1,174 @@
+package pipeline
+
+import (
+	"math"
+	"testing"
+
+	"mimdloop/internal/core"
+	"mimdloop/internal/workload"
+)
+
+// TestAutoTuneMatchesExhaustiveSerial is the acceptance bar: on the
+// Figure 7 workload, AutoTune's winner must achieve exactly the best rate
+// an exhaustive serial sweep (no pipeline, no cache, no pool) finds over
+// the same grid.
+func TestAutoTuneMatchesExhaustiveSerial(t *testing.T) {
+	g := workload.Figure7().Graph
+	procs := []int{1, 2, 3, 4, 5}
+	costs := []int{0, 1, 2, 3, 4}
+
+	best := math.Inf(1)
+	for _, p := range procs {
+		for _, k := range costs {
+			ls, err := core.ScheduleLoop(g, core.Options{Processors: p, CommCost: k}, 100)
+			if err != nil {
+				t.Fatalf("serial p=%d k=%d: %v", p, k, err)
+			}
+			if r := ls.RatePerIteration(); r < best {
+				best = r
+			}
+		}
+	}
+
+	res, err := New(Config{}).AutoTune(g, 100, TuneOptions{Processors: procs, CommCosts: costs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Rate != best {
+		t.Fatalf("AutoTune rate %v != exhaustive serial best %v (point %+v)", res.Best.Rate, best, res.Best.Point)
+	}
+	if res.Evaluated != len(procs)*len(costs) {
+		t.Fatalf("evaluated %d of %d points", res.Evaluated, len(procs)*len(costs))
+	}
+	if res.Score != best {
+		t.Fatalf("min_rate score %v != rate %v", res.Score, best)
+	}
+}
+
+// The winner must not depend on sweep worker count: selection happens in
+// grid order after the sweep, so pool scheduling races cannot leak in.
+func TestAutoTuneDeterministicAcrossWorkers(t *testing.T) {
+	g := workload.Figure7().Graph
+	for _, obj := range []Objective{ObjectiveMinRate, ObjectiveMinProcs, ObjectiveEfficiency} {
+		var points []Point
+		var scores []float64
+		for _, w := range []int{1, 4, 13} {
+			res, err := New(Config{}).AutoTune(g, 100, TuneOptions{Objective: obj, Workers: w})
+			if err != nil {
+				t.Fatalf("%v workers=%d: %v", obj, w, err)
+			}
+			points = append(points, res.Best.Point)
+			scores = append(scores, res.Score)
+		}
+		if points[0] != points[1] || points[1] != points[2] {
+			t.Fatalf("%v: winner depends on workers: %v", obj, points)
+		}
+		if scores[0] != scores[1] || scores[1] != scores[2] {
+			t.Fatalf("%v: score depends on workers: %v", obj, scores)
+		}
+	}
+}
+
+func TestAutoTuneMinProcs(t *testing.T) {
+	g := workload.Figure7().Graph
+	// At k=2: p=1 runs at rate 5 on 1 processor; p>=2 all reach rate 3 on
+	// 2 occupied processors. With zero epsilon (exact), min_procs must
+	// skip the slow 1-processor point and pick the earliest 2-processor
+	// one.
+	res, err := New(Config{}).AutoTune(g, 100, TuneOptions{
+		Processors: []int{1, 2, 3, 4},
+		CommCosts:  []int{2},
+		Objective:  ObjectiveMinProcs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Point != (Point{Processors: 2, CommCost: 2}) {
+		t.Fatalf("best point = %+v", res.Best.Point)
+	}
+	if res.Best.Rate != 3 || res.Best.Procs != 2 || res.Score != 2 {
+		t.Fatalf("best = rate %v procs %d score %v", res.Best.Rate, res.Best.Procs, res.Score)
+	}
+
+	// A wide-open epsilon admits the 1-processor point.
+	res, err = New(Config{}).AutoTune(g, 100, TuneOptions{
+		Processors: []int{1, 2, 3, 4},
+		CommCosts:  []int{2},
+		Objective:  ObjectiveMinProcs,
+		Epsilon:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Procs != 1 {
+		t.Fatalf("epsilon=1 best procs = %d, want 1", res.Best.Procs)
+	}
+}
+
+func TestAutoTuneEfficiency(t *testing.T) {
+	g := workload.Figure7().Graph
+	// Sequential is 5 cycles/iteration. Speedup per processor: p=1 k=2
+	// gives (5/5)/1 = 1.0; p=2 k=2 gives (5/3)/2 ~ 0.83 — the single
+	// processor wins on efficiency even though it is slower.
+	res, err := New(Config{}).AutoTune(g, 100, TuneOptions{
+		Processors: []int{1, 2},
+		CommCosts:  []int{2},
+		Objective:  ObjectiveEfficiency,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Point.Processors != 1 {
+		t.Fatalf("best point = %+v, want p=1", res.Best.Point)
+	}
+	if res.Score != 1 {
+		t.Fatalf("efficiency score = %v, want 1", res.Score)
+	}
+}
+
+func TestAutoTuneDefaultsAndCaching(t *testing.T) {
+	g := workload.Figure7().Graph
+	p := New(Config{})
+	res, err := p.AutoTune(g, 100, TuneOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Default grid: 1..min(5, 8) processors x {1, 2, 3, 4} comm costs.
+	if len(res.Results) != 20 {
+		t.Fatalf("default grid has %d points, want 20", len(res.Results))
+	}
+	// The winner sits in the plan cache: scheduling it again is a hit.
+	opts := core.Options{Processors: res.Best.Point.Processors, CommCost: res.Best.Point.CommCost}
+	_, hit, err := p.Schedule(g, opts, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatal("tuned winner not served from the plan cache")
+	}
+	// A repeat tune over the same grid is all cache hits.
+	res, err = p.AutoTune(g, 100, TuneOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Results {
+		if r.Err == nil && !r.CacheHit {
+			t.Fatalf("repeat tune missed the cache at %+v", r.Point)
+		}
+	}
+}
+
+func TestObjectiveParseRoundTrip(t *testing.T) {
+	for _, obj := range []Objective{ObjectiveMinRate, ObjectiveMinProcs, ObjectiveEfficiency} {
+		got, err := ParseObjective(obj.String())
+		if err != nil || got != obj {
+			t.Fatalf("round trip %v: got %v, %v", obj, got, err)
+		}
+	}
+	if def, err := ParseObjective(""); err != nil || def != ObjectiveMinRate {
+		t.Fatalf("empty objective: %v, %v", def, err)
+	}
+	if _, err := ParseObjective("fastest"); err == nil {
+		t.Fatal("unknown objective accepted")
+	}
+}

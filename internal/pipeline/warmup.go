@@ -1,0 +1,100 @@
+package pipeline
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// ParseCorpus decodes a schedule corpus: a JSON array whose elements are
+// either loop-language source strings (scheduled with default parameters)
+// or /v1/schedule request objects. It is the file format behind
+// `loopsched serve -warmup`.
+func ParseCorpus(data []byte) ([]ScheduleRequest, error) {
+	var raw []json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return nil, fmt.Errorf("corpus: want a JSON array of sources or request objects: %w", err)
+	}
+	reqs := make([]ScheduleRequest, 0, len(raw))
+	for i, el := range raw {
+		trimmed := strings.TrimSpace(string(el))
+		if strings.HasPrefix(trimmed, "\"") {
+			var src string
+			if err := json.Unmarshal(el, &src); err != nil {
+				return nil, fmt.Errorf("corpus entry %d: %w", i, err)
+			}
+			reqs = append(reqs, ScheduleRequest{Source: src})
+			continue
+		}
+		var req ScheduleRequest
+		dec := json.NewDecoder(strings.NewReader(trimmed))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			return nil, fmt.Errorf("corpus entry %d: %w", i, err)
+		}
+		if strings.TrimSpace(req.Source) == "" {
+			return nil, fmt.Errorf("corpus entry %d: missing \"source\"", i)
+		}
+		reqs = append(reqs, req)
+	}
+	return reqs, nil
+}
+
+// WarmupStats summarizes a Warmup pass.
+type WarmupStats struct {
+	// Entries is the corpus size, Warmed the plans now cached, Failed the
+	// entries that did not compile or schedule.
+	Entries int
+	Warmed  int
+	Failed  int
+	// Errors holds one "entry N: ..." message per failed entry.
+	Errors []string
+}
+
+// Warmup pre-populates the plan (and compile) cache from a corpus: every
+// entry is compiled and scheduled through Batch on a bounded pool, with
+// the same parameter defaults *and resource caps* the HTTP endpoints
+// apply — an entry the serving surface would reject with 400/413 is
+// counted as failed instead of burning unbounded startup CPU on a plan
+// no request could ever fetch. Failing entries are reported in the
+// returned stats, never fatal — a warm-up corpus with one stale loop
+// still warms the rest.
+func (p *Pipeline) Warmup(reqs []ScheduleRequest, workers int) WarmupStats {
+	stats := WarmupStats{Entries: len(reqs)}
+	errAt := make([]string, len(reqs))
+	var items []BatchItem
+	var idx []int // items[j] came from reqs[idx[j]]
+	for i := range reqs {
+		r := &reqs[i]
+		if _, err := r.check(); err != nil {
+			errAt[i] = err.Error()
+			continue
+		}
+		opts, n := r.params()
+		c, err := p.Compile(r.Source)
+		if err != nil {
+			errAt[i] = err.Error()
+			continue
+		}
+		if err := checkGraphCaps(c.Graph.N(), n); err != nil {
+			errAt[i] = err.Error()
+			continue
+		}
+		items = append(items, BatchItem{Graph: c.Graph, Opts: opts, Iterations: n})
+		idx = append(idx, i)
+	}
+	for j, res := range p.Batch(items, BatchOptions{Workers: workers}) {
+		if res.Err != nil {
+			errAt[idx[j]] = res.Err.Error()
+		}
+	}
+	for i, msg := range errAt {
+		if msg == "" {
+			stats.Warmed++
+			continue
+		}
+		stats.Failed++
+		stats.Errors = append(stats.Errors, fmt.Sprintf("entry %d: %s", i, msg))
+	}
+	return stats
+}

@@ -22,8 +22,11 @@
 //     if-conversion [AlKe83], and the paper's example workloads;
 //   - wraps the whole flow in a Pipeline whose content-addressed plan cache
 //     makes repeat scheduling a map lookup, with concurrent
-//     machine-parameter sweeps (Pipeline.Sweep) and an HTTP serving mode
-//     (`loopsched serve`, NewPipelineServer).
+//     machine-parameter sweeps (Pipeline.Sweep), sweep-driven (p, k)
+//     auto-tuning under pluggable objectives (AutoTune), batch scheduling
+//     with per-item error isolation (Pipeline.Batch), cache warm-up from a
+//     schedule corpus (Pipeline.Warmup), and an HTTP serving mode
+//     (`loopsched serve`, NewPipelineServer: schedule, batch, tune).
 //
 // Quick start:
 //
@@ -121,11 +124,61 @@ type (
 	PipelineServer = pipeline.Server
 )
 
+// Auto-tuning, batching and warm-up on top of the pipeline.
+type (
+	// TuneObjective selects what AutoTune optimizes: ObjectiveMinRate,
+	// ObjectiveMinProcs or ObjectiveEfficiency.
+	TuneObjective = pipeline.Objective
+	// TuneOptions configures an AutoTune grid search.
+	TuneOptions = pipeline.TuneOptions
+	// TuneResult is the winning point plus the full evaluated grid.
+	TuneResult = pipeline.TuneResult
+	// BatchItem is one loop of a Pipeline.Batch call.
+	BatchItem = pipeline.BatchItem
+	// BatchResult is one item's isolated outcome.
+	BatchResult = pipeline.BatchResult
+	// BatchOptions sizes the batch worker pool.
+	BatchOptions = pipeline.BatchOptions
+	// ScheduleRequest is the HTTP schedule envelope, also one entry of a
+	// warm-up corpus (see ParseCorpus, Pipeline.Warmup).
+	ScheduleRequest = pipeline.ScheduleRequest
+	// WarmupStats summarizes a cache warm-up pass.
+	WarmupStats = pipeline.WarmupStats
+)
+
+// AutoTune objectives.
+const (
+	// ObjectiveMinRate picks the fastest steady state.
+	ObjectiveMinRate = pipeline.ObjectiveMinRate
+	// ObjectiveMinProcs picks the fewest processors within Epsilon of the
+	// best rate.
+	ObjectiveMinProcs = pipeline.ObjectiveMinProcs
+	// ObjectiveEfficiency maximizes speedup per processor.
+	ObjectiveEfficiency = pipeline.ObjectiveEfficiency
+)
+
+// AutoTune explores a processors × comm-cost grid on a fresh pipeline and
+// returns the best (p, k) plan under the configured objective. For
+// repeated tuning (or to share the plan cache with serving traffic), keep
+// a Pipeline and call its AutoTune method instead.
+func AutoTune(g *Graph, n int, opt TuneOptions) (*TuneResult, error) {
+	return pipeline.New(pipeline.Config{}).AutoTune(g, n, opt)
+}
+
+// ParseObjective maps "min_rate", "min_procs" or "efficiency" to its
+// TuneObjective.
+func ParseObjective(s string) (TuneObjective, error) { return pipeline.ParseObjective(s) }
+
+// ParseCorpus decodes a schedule corpus file: a JSON array whose elements
+// are loop sources or schedule-request objects, for Pipeline.Warmup.
+func ParseCorpus(data []byte) ([]ScheduleRequest, error) { return pipeline.ParseCorpus(data) }
+
 // NewPipeline returns an empty pipeline with its own plan cache.
 func NewPipeline(cfg PipelineConfig) *Pipeline { return pipeline.New(cfg) }
 
 // NewPipelineServer wraps a pipeline in an http.Handler exposing
-// POST /v1/schedule, GET /v1/stats and GET /healthz.
+// POST /v1/schedule, POST /v1/batch, POST /v1/tune, GET /v1/stats and
+// GET /healthz (documented in docs/API.md).
 func NewPipelineServer(p *Pipeline) *PipelineServer { return pipeline.NewServer(p) }
 
 // SweepGrid returns the cross product procs x commCosts in row-major
