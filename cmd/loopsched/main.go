@@ -6,11 +6,14 @@
 //
 // It can also run as a scheduling service: `loopsched serve` starts an
 // HTTP server that schedules POSTed loop source through a content-addressed
-// plan cache, so repeated requests for the same loop are answered without
-// rescheduling; `-warmup corpus.json` pre-populates the cache before the
-// listener opens. `loopsched tune` searches a processors × comm-cost grid
-// for the best (p, k) under an objective, and `loopsched batch` schedules
-// many loop files at once with per-file error isolation.
+// plan store, so repeated requests for the same loop are answered without
+// rescheduling; `-warmup corpus.json` pre-populates the store before the
+// listener opens, and `-store DIR` backs the in-memory tier with durable
+// plan records under DIR so a restarted server serves its predecessor's
+// plans. `loopsched tune` searches a processors × comm-cost grid for the
+// best (p, k) under an objective, `loopsched batch` schedules many loop
+// files at once with per-file error isolation, and `loopsched store`
+// inspects or maintains a plan-store directory offline.
 //
 // Usage:
 //
@@ -18,17 +21,20 @@
 //	loopsched -example fig7|lfk18|ewf
 //	loopsched tune [-n iters] [-p list] [-k list] [-objective o] [-epsilon e] [-example name] [file.loop]
 //	loopsched batch [-k cost] [-p procs] [-n iters] [-fold] [-workers w] file.loop...
-//	loopsched serve [-addr :8080] [-cache entries] [-warmup corpus.json]
+//	loopsched serve [-addr :8080] [-cache entries] [-warmup corpus.json] [-store DIR] [-store-bytes n]
+//	loopsched store -dir DIR [-max-bytes n] ls|gc|flush
 //
 // Serving endpoints (full reference in docs/API.md):
 //
-//	POST /v1/schedule   loop source (raw text or {"source": ..., "comm_cost": ...,
-//	                    "processors": ..., "iterations": ..., "fold": ...});
-//	                    replies with the JSON plan and a cache_hit flag
-//	POST /v1/batch      {"items": [...]}: many loops, per-item error isolation
-//	POST /v1/tune       auto-tune (p, k) over a grid under an objective
-//	GET  /v1/stats      plan-cache hit/miss/eviction counters
-//	GET  /healthz       liveness probe
+//	POST   /v1/schedule            loop source (raw text or {"source": ..., "comm_cost": ...,
+//	                               "processors": ..., "iterations": ..., "fold": ...});
+//	                               replies with the JSON plan and a cache_hit flag
+//	POST   /v1/batch               {"items": [...]}: many loops, per-item error isolation
+//	POST   /v1/tune                auto-tune (p, k) over a grid under an objective
+//	GET    /v1/plans/{fingerprint} list the stored plans for one graph
+//	DELETE /v1/plans/{fingerprint} drop the stored plans for one graph
+//	GET    /v1/stats               request counters plus the storage-layer snapshot
+//	GET    /healthz                liveness probe
 package main
 
 import (
@@ -57,6 +63,8 @@ func main() {
 			sub = tune
 		case "batch":
 			sub = batch
+		case "store":
+			sub = storeCmd
 		}
 		if sub != nil {
 			if err := sub(os.Args[2:]); err != nil {
@@ -103,9 +111,11 @@ func parseFlags(fs *flag.FlagSet, args []string) (done bool, err error) {
 func serve(args []string) error {
 	fs := flag.NewFlagSet("loopsched serve", flag.ContinueOnError)
 	var (
-		addr   = fs.String("addr", ":8080", "listen address")
-		cache  = fs.Int("cache", 0, "maximum cached plans and compiled sources (0 = 1024)")
-		warmup = fs.String("warmup", "", "pre-populate the plan cache from this schedule corpus (JSON array of sources or request objects)")
+		addr       = fs.String("addr", ":8080", "listen address")
+		cache      = fs.Int("cache", 0, "maximum in-memory plans and compiled sources (0 = 1024)")
+		warmup     = fs.String("warmup", "", "pre-populate the plan store from this schedule corpus (JSON array of sources or request objects)")
+		storeDir   = fs.String("store", "", "back the in-memory tier with durable plan records under this directory")
+		storeBytes = fs.Int64("store-bytes", 0, "disk-store byte budget before GC (0 = 1 GiB); requires -store")
 	)
 	if done, err := parseFlags(fs, args); done || err != nil {
 		return err
@@ -113,10 +123,11 @@ func serve(args []string) error {
 	if fs.NArg() != 0 {
 		return fmt.Errorf("serve takes no positional arguments, got %v", fs.Args())
 	}
-	pipe, err := newServePipeline(*cache)
+	pipe, err := newServePipeline(*cache, *storeDir, *storeBytes)
 	if err != nil {
 		return err
 	}
+	defer pipe.Close()
 	if *warmup != "" {
 		stats, err := warmupFromFile(pipe, *warmup)
 		if err != nil {
@@ -125,14 +136,13 @@ func serve(args []string) error {
 		for _, msg := range stats.Errors {
 			fmt.Fprintf(os.Stderr, "loopsched: warmup %s\n", msg)
 		}
-		fmt.Printf("loopsched: warmed %d/%d corpus plans (%d failed)\n",
-			stats.Warmed, stats.Entries, stats.Failed)
+		fmt.Printf("loopsched: %s\n", warmupSummary(stats))
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("loopsched: serving on %s (POST /v1/schedule /v1/batch /v1/tune, GET /v1/stats)\n", ln.Addr())
+	fmt.Printf("loopsched: serving on %s (POST /v1/schedule /v1/batch /v1/tune, GET /v1/plans /v1/stats)\n", ln.Addr())
 	srv := &http.Server{
 		Handler:           mimdloop.NewPipelineServer(pipe),
 		ReadHeaderTimeout: 10 * time.Second,
@@ -145,21 +155,98 @@ func serve(args []string) error {
 	return srv.Serve(ln)
 }
 
-// newServePipeline builds the pipeline behind the service.
-func newServePipeline(maxEntries int) (*mimdloop.Pipeline, error) {
+// warmupSummary renders one human line from a warm-up pass, splitting
+// the warmed count into store hits (disk-satisfied ones called out — on
+// a restart with -store these should be nearly all of them) and fresh
+// schedules.
+func warmupSummary(stats mimdloop.WarmupStats) string {
+	return fmt.Sprintf("warmed %d/%d corpus plans (%d from store, %d of those from disk; %d freshly scheduled; %d failed)",
+		stats.Warmed, stats.Entries, stats.FromStore, stats.FromDisk, stats.Scheduled, stats.Failed)
+}
+
+// newServePipeline builds the pipeline behind the service: memory-only
+// by default, memory over a durable disk store with -store.
+func newServePipeline(maxEntries int, storeDir string, storeBytes int64) (*mimdloop.Pipeline, error) {
 	if maxEntries < 0 {
 		return nil, fmt.Errorf("negative cache size %d", maxEntries)
 	}
-	return mimdloop.NewPipeline(mimdloop.PipelineConfig{MaxEntries: maxEntries}), nil
+	cfg := mimdloop.PipelineConfig{MaxEntries: maxEntries}
+	if storeDir == "" {
+		if storeBytes != 0 {
+			return nil, errors.New("-store-bytes requires -store")
+		}
+		return mimdloop.NewPipeline(cfg), nil
+	}
+	if storeBytes < 0 {
+		return nil, fmt.Errorf("negative store byte budget %d", storeBytes)
+	}
+	disk, err := mimdloop.NewDiskStore(mimdloop.DiskStoreConfig{Dir: storeDir, MaxBytes: storeBytes})
+	if err != nil {
+		return nil, err
+	}
+	cfg.Store = mimdloop.NewTieredStore(
+		mimdloop.NewMemStore(mimdloop.MemStoreConfig{MaxEntries: maxEntries}), disk)
+	return mimdloop.NewPipeline(cfg), nil
 }
 
 // newServeHandler builds the service handler around a fresh pipeline.
 func newServeHandler(maxEntries int) (http.Handler, error) {
-	pipe, err := newServePipeline(maxEntries)
+	pipe, err := newServePipeline(maxEntries, "", 0)
 	if err != nil {
 		return nil, err
 	}
 	return mimdloop.NewPipelineServer(pipe), nil
+}
+
+// storeCmd inspects or maintains a plan-store directory offline:
+// `ls` lists the stored plans, `gc` trims to the byte budget, `flush`
+// removes every record. It operates on the same records a `serve -store`
+// process writes; run maintenance against a live server's directory from
+// the server itself (DELETE /v1/plans), not from here.
+func storeCmd(args []string) error {
+	fs := flag.NewFlagSet("loopsched store", flag.ContinueOnError)
+	var (
+		dir      = fs.String("dir", "", "plan store directory (required)")
+		maxBytes = fs.Int64("max-bytes", 0, "byte budget for gc (0 = 1 GiB)")
+	)
+	if done, err := parseFlags(fs, args); done || err != nil {
+		return err
+	}
+	if *dir == "" {
+		return errors.New("usage: loopsched store -dir DIR [-max-bytes n] ls|gc|flush")
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("store wants exactly one action (ls, gc or flush), got %v", fs.Args())
+	}
+	disk, err := mimdloop.NewDiskStore(mimdloop.DiskStoreConfig{Dir: *dir, MaxBytes: *maxBytes})
+	if err != nil {
+		return err
+	}
+	defer disk.Close()
+	switch action := fs.Arg(0); action {
+	case "ls":
+		plans := disk.Plans()
+		fmt.Printf("%-16s %5s %5s %6s %10s %6s %10s\n", "fingerprint", "p", "k", "n", "rate", "procs", "bytes")
+		for _, info := range plans {
+			fmt.Printf("%-16s %5d %5d %6d %10.3g %6d %10d\n",
+				info.GraphHash[:16], info.Options.Processors, info.Options.CommCost,
+				info.Iterations, info.Rate, info.Procs, info.Bytes)
+		}
+		fmt.Printf("%d plans, %d bytes in %s\n", disk.Len(), disk.Bytes(), *dir)
+	case "gc":
+		removed, reclaimed := disk.GC()
+		fmt.Printf("removed %d plans, reclaimed %d bytes (%d plans, %d bytes kept)\n",
+			removed, reclaimed, disk.Len(), disk.Bytes())
+	case "flush":
+		n := disk.Len()
+		if err := disk.Flush(); err != nil {
+			return err
+		}
+		fmt.Printf("removed %d plans from %s\n", n, *dir)
+	default:
+		return fmt.Errorf("unknown store action %q (want ls, gc or flush)", action)
+	}
+	return nil
 }
 
 // warmupFromFile loads a schedule corpus and schedules every entry

@@ -129,7 +129,7 @@ func TestBatchSubcommand(t *testing.T) {
 }
 
 func TestServeWarmup(t *testing.T) {
-	pipe, err := newServePipeline(0)
+	pipe, err := newServePipeline(0, "", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,5 +215,136 @@ func TestPct(t *testing.T) {
 	}
 	if got := pct(0, 5); got != 0 {
 		t.Fatalf("pct zero seq = %v", got)
+	}
+}
+
+// TestServeStorePipeline exercises the durable serving path end to end:
+// a -store pipeline schedules and persists, a second pipeline over the
+// same directory answers the same request as a store hit, and a warm-up
+// replay reports the corpus as disk-satisfied rather than scheduled.
+func TestServeStorePipeline(t *testing.T) {
+	dir := t.TempDir()
+	storeDir := filepath.Join(dir, "plans")
+	corpus := filepath.Join(dir, "corpus.json")
+	body := `[
+		"loop a(N = 10) {\n A[i] = A[i-1] + U[i]\n}",
+		{"source": "loop b(N = 10) {\n B[i] = B[i-1] + V[i]\n}", "processors": 1}
+	]`
+	if err := os.WriteFile(corpus, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	pipe1, err := newServePipeline(0, storeDir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats1, err := warmupFromFile(pipe1, corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats1.Warmed != 2 || stats1.Scheduled != 2 || stats1.FromDisk != 0 {
+		t.Fatalf("cold warmup stats = %+v", stats1)
+	}
+	if err := pipe1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: the same corpus is satisfied from the disk store.
+	pipe2, err := newServePipeline(0, storeDir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pipe2.Close()
+	stats2, err := warmupFromFile(pipe2, corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.Warmed != 2 || stats2.FromStore != 2 || stats2.FromDisk != 2 || stats2.Scheduled != 0 {
+		t.Fatalf("restart warmup stats = %+v", stats2)
+	}
+	if c := pipe2.Stats().Computes; c != 0 {
+		t.Fatalf("restart warmup rescheduled %d plans", c)
+	}
+	summary := warmupSummary(stats2)
+	for _, want := range []string{"warmed 2/2", "2 from store", "2 of those from disk", "0 freshly scheduled"} {
+		if !strings.Contains(summary, want) {
+			t.Fatalf("summary %q missing %q", summary, want)
+		}
+	}
+
+	// The warmed plans serve over HTTP as cache hits.
+	h := mimdloop.NewPipelineServer(pipe2)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/schedule",
+		strings.NewReader("loop a(N = 10) {\n A[i] = A[i-1] + U[i]\n}")))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var resp struct {
+		CacheHit bool `json:"cache_hit"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.CacheHit {
+		t.Fatal("persisted plan not served from the store")
+	}
+}
+
+func TestStoreSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	storeDir := filepath.Join(dir, "plans")
+
+	// Populate the store through a serve-shaped pipeline.
+	pipe, err := newServePipeline(0, storeDir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := mimdloop.MustCompileLoop("loop s(N = 10) {\n A[i] = A[i-1] + U[i]\n}")
+	if _, _, err := pipe.Schedule(c.Graph, mimdloop.Options{CommCost: 2}, 50); err != nil {
+		t.Fatal(err)
+	}
+	if err := pipe.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := storeCmd([]string{"-dir", storeDir, "ls"}); err != nil {
+		t.Fatalf("ls: %v", err)
+	}
+	if err := storeCmd([]string{"-dir", storeDir, "gc"}); err != nil {
+		t.Fatalf("gc: %v", err)
+	}
+	if err := storeCmd([]string{"-dir", storeDir, "flush"}); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	disk, err := mimdloop.NewDiskStore(mimdloop.DiskStoreConfig{Dir: storeDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if disk.Len() != 0 {
+		t.Fatalf("flush left %d plans", disk.Len())
+	}
+
+	// Argument errors.
+	if err := storeCmd([]string{"ls"}); err == nil {
+		t.Fatal("missing -dir accepted")
+	}
+	if err := storeCmd([]string{"-dir", storeDir}); err == nil {
+		t.Fatal("missing action accepted")
+	}
+	if err := storeCmd([]string{"-dir", storeDir, "explode"}); err == nil {
+		t.Fatal("unknown action accepted")
+	}
+	if err := storeCmd([]string{"-dir", storeDir, "ls", "extra"}); err == nil {
+		t.Fatal("extra argument accepted")
+	}
+}
+
+func TestServeStoreArgErrors(t *testing.T) {
+	if _, err := newServePipeline(0, "", 5); err == nil {
+		t.Fatal("-store-bytes without -store accepted")
+	}
+	if _, err := newServePipeline(0, t.TempDir(), -1); err == nil {
+		t.Fatal("negative -store-bytes accepted")
 	}
 }

@@ -12,41 +12,57 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"mimdloop/internal/core"
 	"mimdloop/internal/workload"
 )
 
+// config carries the generator parameters from the flags to run.
+type config struct {
+	seed           int64
+	sched          bool
+	k              int
+	nodes, sd, lcd int
+}
+
 func main() {
-	var (
-		seed  = flag.Int64("seed", 1, "generator seed (paper uses 1..25)")
-		sched = flag.Bool("sched", false, "also schedule the loop and report its steady-state rate")
-		k     = flag.Int("k", 3, "communication cost for -sched")
-		nodes = flag.Int("nodes", 40, "nodes in the base loop")
-		sd    = flag.Int("sd", 20, "simple dependences")
-		lcd   = flag.Int("lcd", 20, "loop-carried dependences")
-	)
+	var cfg config
+	flag.Int64Var(&cfg.seed, "seed", 1, "generator seed (paper uses 1..25)")
+	flag.BoolVar(&cfg.sched, "sched", false, "also schedule the loop and report its steady-state rate")
+	flag.IntVar(&cfg.k, "k", 3, "communication cost for -sched")
+	flag.IntVar(&cfg.nodes, "nodes", 40, "nodes in the base loop")
+	flag.IntVar(&cfg.sd, "sd", 20, "simple dependences")
+	flag.IntVar(&cfg.lcd, "lcd", 20, "loop-carried dependences")
 	flag.Parse()
 
-	spec := workload.PaperSpec
-	spec.Nodes, spec.Simple, spec.LoopCarry = *nodes, *sd, *lcd
-	g, err := workload.Random(spec, *seed)
-	if err != nil {
+	if err := run(cfg, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "randloop:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("// seed %d: cyclic subset with %d nodes, %d edges, %d cycles/iteration sequential\n",
-		*seed, g.N(), len(g.Edges), g.TotalLatency())
-	fmt.Print(g.Format())
+}
 
-	if *sched {
-		multi, err := core.CyclicSchedAll(g, core.Options{CommCost: *k})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "randloop:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("// steady state at k=%d: %.3g cycles/iteration on %d processors\n",
-			*k, multi.RatePerIteration(), multi.Processors)
+// run generates (and optionally schedules) one random workload, writing
+// the listing to w.
+func run(cfg config, w io.Writer) error {
+	spec := workload.PaperSpec
+	spec.Nodes, spec.Simple, spec.LoopCarry = cfg.nodes, cfg.sd, cfg.lcd
+	g, err := workload.Random(spec, cfg.seed)
+	if err != nil {
+		return err
 	}
+	fmt.Fprintf(w, "// seed %d: cyclic subset with %d nodes, %d edges, %d cycles/iteration sequential\n",
+		cfg.seed, g.N(), len(g.Edges), g.TotalLatency())
+	fmt.Fprint(w, g.Format())
+
+	if cfg.sched {
+		multi, err := core.CyclicSchedAll(g, core.Options{CommCost: cfg.k})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "// steady state at k=%d: %.3g cycles/iteration on %d processors\n",
+			cfg.k, multi.RatePerIteration(), multi.Processors)
+	}
+	return nil
 }

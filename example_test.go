@@ -2,6 +2,7 @@ package mimdloop_test
 
 import (
 	"fmt"
+	"os"
 
 	"mimdloop"
 )
@@ -92,4 +93,49 @@ func ExamplePipeline() {
 	// first request cached: false
 	// second request cached: true
 	// rate: 3.0 cycles/iteration on 2 processors
+}
+
+// ExampleNewTieredStore shows restart-durable scheduling: two pipelines
+// over the same store directory, where the second serves the first's
+// plan from disk instead of rescheduling.
+func ExampleNewTieredStore() {
+	dir, err := os.MkdirTemp("", "plans")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	g := mimdloop.Figure7Loop().Graph
+	opts := mimdloop.Options{Processors: 2, CommCost: 2}
+
+	open := func() *mimdloop.Pipeline {
+		disk, err := mimdloop.NewDiskStore(mimdloop.DiskStoreConfig{Dir: dir})
+		if err != nil {
+			panic(err)
+		}
+		return mimdloop.NewPipeline(mimdloop.PipelineConfig{
+			Store: mimdloop.NewTieredStore(mimdloop.NewMemStore(mimdloop.MemStoreConfig{}), disk),
+		})
+	}
+
+	p1 := open()
+	if _, hit, err := p1.Schedule(g, opts, 100); err != nil {
+		panic(err)
+	} else {
+		fmt.Printf("first process served from store: %v\n", hit)
+	}
+	p1.Close()
+
+	p2 := open() // a "restarted" process: cold memory, warm disk
+	plan, hit, err := p2.Schedule(g, opts, 100)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("second process served from store: %v\n", hit)
+	fmt.Printf("rescheduled: %d, rate: %.1f cycles/iteration\n",
+		p2.Stats().Computes, plan.Rate())
+	p2.Close()
+	// Output:
+	// first process served from store: false
+	// second process served from store: true
+	// rescheduled: 0, rate: 3.0 cycles/iteration
 }

@@ -1,0 +1,147 @@
+package pipeline
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"mimdloop/internal/core"
+	"mimdloop/internal/plan"
+	"mimdloop/internal/program"
+)
+
+// The durable plan-record format. A record is one JSON object with a
+// format/version header, the full cache key and its three ingredients
+// (graph fingerprint, options, iterations), the serving summary
+// (rate, processor accounting, pattern), the composed schedule in the
+// internal/plan wire format (graph embedded, byte-for-byte the same JSON
+// Plan.ScheduleJSON serves), and the lowered per-processor programs.
+// Everything the serving surface reads off a Plan round-trips; the
+// scheduler's intermediate state (per-component Cyclic-sched results,
+// classification) deliberately does not — it is re-derivable and only
+// needed to *construct* plans, never to serve them.
+const (
+	planRecordFormat  = "mimdloop/plan"
+	planRecordVersion = 1
+)
+
+// planRecord is the wire form of one persisted plan.
+type planRecord struct {
+	Format  string `json:"format"`
+	Version int    `json:"version"`
+
+	Key        string       `json:"key"`
+	GraphHash  string       `json:"graph_hash"`
+	Options    core.Options `json:"options"`
+	Iterations int          `json:"iterations"`
+
+	Rate     float64 `json:"rate_cycles_per_iteration"`
+	Procs    int     `json:"procs"`
+	Makespan int     `json:"makespan"`
+
+	CyclicProcs    int  `json:"cyclic_procs"`
+	FlowInProcs    int  `json:"flow_in_procs"`
+	FlowOutProcs   int  `json:"flow_out_procs"`
+	Folded         bool `json:"folded"`
+	GreedyFallback bool `json:"greedy_fallback"`
+
+	Pattern *PatternInfo `json:"pattern,omitempty"`
+
+	Schedule json.RawMessage   `json:"schedule"`
+	Programs []program.Program `json:"programs"`
+}
+
+// EncodePlan serializes a plan to the durable record format. The
+// record's key is derived from the plan's own ingredients (PlanKey), so
+// a record can never claim to answer a request its content does not
+// match.
+func EncodePlan(p *Plan) ([]byte, error) {
+	sched, err := p.ScheduleJSON()
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: encode plan schedule: %w", err)
+	}
+	return json.Marshal(&planRecord{
+		Format:         planRecordFormat,
+		Version:        planRecordVersion,
+		Key:            PlanKey(p.GraphHash, p.Opts, p.Iterations),
+		GraphHash:      p.GraphHash,
+		Options:        p.Opts,
+		Iterations:     p.Iterations,
+		Rate:           p.Rate(),
+		Procs:          p.Procs(),
+		Makespan:       p.Makespan(),
+		CyclicProcs:    p.Schedule.CyclicProcs,
+		FlowInProcs:    p.Schedule.FlowInProcs,
+		FlowOutProcs:   p.Schedule.FlowOutProcs,
+		Folded:         p.Schedule.Folded,
+		GreedyFallback: p.Schedule.GreedyFallback,
+		Pattern:        p.Pattern(),
+		Schedule:       sched,
+		Programs:       p.Programs,
+	})
+}
+
+// DecodePlan reverses EncodePlan, structurally validating the record. It
+// returns the plan's full cache key alongside the reconstructed plan.
+//
+// A decoded plan serves identically to the freshly-built original —
+// same accessors, same pattern summary, byte-identical ScheduleJSON —
+// but carries no scheduler intermediate state: Schedule.Multi and
+// Schedule.Class are nil. Consumers that need those re-schedule; the
+// serving surface never does.
+func DecodePlan(data []byte) (key string, p *Plan, err error) {
+	var rec planRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return "", nil, fmt.Errorf("pipeline: decode plan record: %w", err)
+	}
+	if rec.Format != planRecordFormat {
+		return "", nil, fmt.Errorf("pipeline: plan record format %q, want %q", rec.Format, planRecordFormat)
+	}
+	if rec.Version != planRecordVersion {
+		return "", nil, fmt.Errorf("pipeline: plan record version %d, want %d", rec.Version, planRecordVersion)
+	}
+	if rec.Key == "" || rec.GraphHash == "" {
+		return "", nil, errors.New("pipeline: plan record missing key")
+	}
+	full := new(plan.Schedule)
+	if err := json.Unmarshal(rec.Schedule, full); err != nil {
+		return "", nil, fmt.Errorf("pipeline: decode plan record: %w", err)
+	}
+	if got := PlanKey(rec.GraphHash, rec.Options, rec.Iterations); got != rec.Key {
+		return "", nil, fmt.Errorf("pipeline: plan record key %q does not match its ingredients %q", rec.Key, got)
+	}
+	// The embedded schedule must actually be for the claimed graph: the
+	// composed schedule always embeds the scheduled graph, so its
+	// re-derived fingerprint matching GraphHash ties the record's payload
+	// to its key, not just its header. A record whose schedule was edited
+	// under an intact header fails here and gets quarantined upstream.
+	if fp := full.Graph.Fingerprint(); fp != rec.GraphHash {
+		return "", nil, fmt.Errorf("pipeline: plan record graph hashes to %s, header claims %s", fp, rec.GraphHash)
+	}
+	p = &Plan{
+		GraphHash:  rec.GraphHash,
+		Opts:       rec.Options,
+		Iterations: rec.Iterations,
+		Schedule: &core.LoopSchedule{
+			Graph:          full.Graph,
+			Opts:           rec.Options,
+			Full:           full,
+			Iterations:     rec.Iterations,
+			CyclicProcs:    rec.CyclicProcs,
+			FlowInProcs:    rec.FlowInProcs,
+			FlowOutProcs:   rec.FlowOutProcs,
+			Folded:         rec.Folded,
+			GreedyFallback: rec.GreedyFallback,
+		},
+		Programs: rec.Programs,
+		makespan: rec.Makespan,
+		procs:    rec.Procs,
+		rate:     rec.Rate,
+		pattern:  rec.Pattern,
+	}
+	// Seed the memoized wire encoding with the record's own bytes, so a
+	// disk-loaded plan serves byte-identical schedule JSON without ever
+	// re-marshaling.
+	p.schedJSONOnce.Do(func() { p.schedJSON = append([]byte(nil), rec.Schedule...) })
+	return rec.Key, p, nil
+}

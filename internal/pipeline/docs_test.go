@@ -25,7 +25,7 @@ func TestAPIDocCoversRoutes(t *testing.T) {
 	}
 
 	// The codes the handlers can produce (see writeJSON call sites).
-	for _, code := range []int{400, 405, 409, 413, 422} {
+	for _, code := range []int{400, 404, 405, 409, 413, 422, 501} {
 		if !strings.Contains(doc, fmt.Sprintf("%d", code)) {
 			t.Errorf("docs/API.md does not mention status %d", code)
 		}
@@ -39,6 +39,17 @@ func TestAPIDocCoversRoutes(t *testing.T) {
 	} {
 		if !strings.Contains(doc, fragment) {
 			t.Errorf("docs/API.md does not mention %s = %s", name, fragment)
+		}
+	}
+
+	// The stats reference must document the storage-layer block: every
+	// JSON field StoreStats exposes, and each built-in tier kind.
+	for _, fragment := range []string{
+		`"store"`, `"promotes"`, `"tiers"`, `"evictions"`, `"puts"`, `"errors"`,
+		`"memory"`, `"disk"`, `"tiered"`,
+	} {
+		if !strings.Contains(doc, fragment) {
+			t.Errorf("docs/API.md does not document the store stats field %s", fragment)
 		}
 	}
 }

@@ -1,5 +1,5 @@
 // Package pipeline unifies the compile → classify → schedule → lower flow
-// behind one reusable Pipeline value with a content-addressed plan cache.
+// behind one reusable Pipeline value with a content-addressed plan store.
 //
 // Every entry point of the library ultimately runs the same stages: parse
 // loop source (optional), classify the dependence graph, run Cyclic-sched
@@ -8,24 +8,23 @@
 // stages are deterministic pure functions of (graph content, Options,
 // iteration count), so their results are cacheable: a Pipeline hashes the
 // graph (graph.Fingerprint) together with the scheduling options and
-// iteration count, and serves repeat requests from a sharded LRU cache
-// that is safe for any number of concurrent readers. Misses for the same
-// key are collapsed into a single computation (singleflight), so a burst
-// of identical requests costs one schedule.
+// iteration count, and serves repeat requests from a PlanStore — by
+// default an in-process sharded LRU (MemStore), optionally backed by a
+// durable disk tier (internal/store) so plans survive process restarts.
+// Misses for the same key are collapsed into a single computation
+// (singleflight), so a burst of identical requests costs one schedule.
 //
 // On top of plan reuse the package provides Sweep, a worker-pool
 // evaluation of processor-count × communication-cost grids (replacing the
 // serial parameter loops in internal/experiments and cmd/paperbench), and
 // Server, an HTTP front end that schedules POSTed loop source and reports
-// cache statistics (see server.go).
+// store statistics (see server.go).
 package pipeline
 
 import (
 	"container/list"
 	"crypto/sha256"
-	"encoding/json"
 	"fmt"
-	"hash/fnv"
 	"sync"
 	"sync/atomic"
 
@@ -37,23 +36,31 @@ import (
 
 // Config tunes a Pipeline.
 type Config struct {
-	// MaxEntries bounds the number of cached plans across all shards, and
-	// doubles as the entry bound of the parsed-source compile cache.
-	// Values <= 0 mean 1024. Eviction is least-recently-used per shard.
+	// MaxEntries bounds the number of stored plans in the default memory
+	// store, and doubles as the entry bound of the parsed-source compile
+	// cache. Values <= 0 mean 1024. Eviction is least-recently-used per
+	// shard. Ignored (except for the compile cache) when Store is set.
 	MaxEntries int
-	// MaxPlacements bounds the total scheduled placements retained across
-	// all cached plans — an approximate memory bound, since a plan's
-	// footprint is O(placements). Values <= 0 mean 4,000,000. A shard
-	// always keeps at least one plan even if it alone exceeds the budget.
-	MaxPlacements int
+	// MaxBytes bounds the approximate resident plan bytes of the default
+	// memory store. Values <= 0 mean 256 MiB. Ignored when Store is set.
+	MaxBytes int64
 	// DisableCache turns the pipeline into a pass-through that schedules
 	// every request from scratch (useful for measurement baselines).
 	DisableCache bool
+	// Store, when non-nil, replaces the default MemStore as the plan
+	// storage layer — e.g. a store.TieredStore for restart-durable
+	// serving. The pipeline takes ownership: Pipeline.Close closes it.
+	Store PlanStore
 }
 
 // Plan is one fully-constructed scheduling artifact: the composed loop
 // schedule together with its lowered per-processor programs. Plans are
-// shared between cache readers and must be treated as immutable.
+// shared between store readers and must be treated as immutable.
+//
+// A Plan may have been built by this process or decoded from a durable
+// store (see DecodePlan). Both serve identically through the accessors
+// below; only a freshly-built plan additionally carries the scheduler's
+// intermediate state (Schedule.Multi, Schedule.Class).
 type Plan struct {
 	// GraphHash is the content fingerprint of the scheduled graph.
 	GraphHash string
@@ -75,6 +82,11 @@ type Plan struct {
 	procs    int
 	rate     float64
 
+	// pattern summarizes the verified steady state (nil when none); kept
+	// denormalized on the plan so disk-loaded plans — which do not carry
+	// Schedule.Multi — serve the same pattern block as built ones.
+	pattern *PatternInfo
+
 	// schedJSON memoizes the wire encoding of Schedule.Full so serving a
 	// cached plan does not re-marshal the full placement list.
 	schedJSONOnce sync.Once
@@ -86,7 +98,7 @@ type Plan struct {
 // wire format, marshaled once per Plan.
 func (p *Plan) ScheduleJSON() ([]byte, error) {
 	p.schedJSONOnce.Do(func() {
-		p.schedJSON, p.schedJSONErr = json.Marshal(p.Schedule.Full)
+		p.schedJSON, p.schedJSONErr = p.Schedule.Full.MarshalJSON()
 	})
 	return p.schedJSON, p.schedJSONErr
 }
@@ -100,13 +112,26 @@ func (p *Plan) Procs() int { return p.procs }
 // Makespan returns the composed schedule's finishing cycle.
 func (p *Plan) Makespan() int { return p.makespan }
 
-// Stats is a point-in-time snapshot of cache behaviour.
+// Pattern returns the plan's steady-state summary, or nil when no
+// pattern was verified (Schedule.GreedyFallback is then true, or the
+// Cyclic subset spans several components).
+func (p *Plan) Pattern() *PatternInfo { return p.pattern }
+
+// Stats is a point-in-time snapshot of pipeline behaviour. The
+// request-level counters (hits, misses, computes) are the pipeline's
+// own; Store nests the storage layer's per-tier counters.
 type Stats struct {
-	Hits      uint64 `json:"hits"`
-	Misses    uint64 `json:"misses"`
-	Computes  uint64 `json:"computes"` // misses that actually scheduled (rest piggybacked on an in-flight computation)
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+	Computes uint64 `json:"computes"` // misses that actually scheduled (rest piggybacked on an in-flight computation)
+	// Evictions aggregates plans dropped under size pressure across
+	// every store tier.
 	Evictions uint64 `json:"evictions"`
-	Entries   int    `json:"entries"`
+	// Entries mirrors the store's Len.
+	Entries int `json:"entries"`
+	// Store is the storage layer's own snapshot (nested per-tier for a
+	// TieredStore).
+	Store StoreStats `json:"store"`
 }
 
 // HitRate returns hits / (hits + misses), or 0 before any traffic.
@@ -118,20 +143,20 @@ func (s Stats) HitRate() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
-// maxCacheShards caps lock striping; small caches use fewer shards so the
-// configured MaxEntries is honored exactly.
-const maxCacheShards = 16
-
-// Pipeline is a concurrency-safe scheduling front end with a plan cache.
+// Pipeline is a concurrency-safe scheduling front end over a PlanStore.
 // The zero value is not usable; construct with New.
 type Pipeline struct {
-	cfg    Config
-	shards []cacheShard
+	cfg   Config
+	store PlanStore
 
-	hits      atomic.Uint64
-	misses    atomic.Uint64
-	computes  atomic.Uint64
-	evictions atomic.Uint64
+	hits     atomic.Uint64
+	misses   atomic.Uint64
+	computes atomic.Uint64
+
+	// flight collapses concurrent misses for one key into a single
+	// computation. It wraps the store: the winning goroutine builds the
+	// plan, Puts it, and every piggybacked request shares the outcome.
+	flight flightGroup
 
 	// compileMu guards the compile cache: an LRU of parsed loop sources
 	// keyed by source hash (so arbitrarily large request bodies are never
@@ -147,93 +172,82 @@ type compiledEntry struct {
 	c   *loopir.Compiled
 }
 
-// cacheShard is one lock-striped LRU segment of the plan cache.
-type cacheShard struct {
-	mu        sync.Mutex
-	limit     int                      // fixed per-shard entry capacity; shard limits sum to MaxEntries
-	maxWeight int                      // per-shard placement budget; shard budgets sum to MaxPlacements
-	weight    int                      // total placements of completed entries in this shard
-	entries   map[string]*list.Element // key -> element whose Value is *cacheEntry
-	order     *list.List               // front = most recently used
+// flightGroup is a minimal singleflight: one in-flight computation per
+// key, removed as soon as it completes (the completed plan then lives in
+// the store, not here — so failures are naturally never cached).
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
 }
 
-// cacheEntry carries the singleflight state for one key: fn is installed
-// at insertion, and whichever goroutine reaches get() first runs it; every
-// other goroutine for the same key blocks in the Once and shares the
-// outcome.
-type cacheEntry struct {
-	key  string
-	once sync.Once
-	fn   func() (*Plan, error)
-	done atomic.Bool // set after fn completes; distinguishes hits from piggybacks
+type flightCall struct {
+	done chan struct{}
 	plan *Plan
 	err  error
-	// weight is the plan's placement count, charged against the shard
-	// budget once the computation completes (0 while in flight).
-	weight int
 }
 
-func (e *cacheEntry) get() (*Plan, error) {
-	e.once.Do(func() {
-		e.plan, e.err = e.fn()
-		e.fn = nil
-		e.done.Store(true)
-	})
-	return e.plan, e.err
+// do runs fn once per key among concurrent callers; late arrivals block
+// until the in-flight computation completes and share its outcome.
+func (g *flightGroup) do(key string, fn func() (*Plan, error)) (*Plan, error) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*flightCall)
+	}
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return c.plan, c.err
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.plan, c.err = fn()
+	close(c.done)
+
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	return c.plan, c.err
 }
 
-// New returns an empty Pipeline.
+// New returns an empty Pipeline over cfg.Store (or a fresh MemStore).
 func New(cfg Config) *Pipeline {
 	if cfg.MaxEntries <= 0 {
 		cfg.MaxEntries = 1024
 	}
-	if cfg.MaxPlacements <= 0 {
-		cfg.MaxPlacements = 4_000_000
+	st := cfg.Store
+	if st == nil {
+		st = NewMemStore(MemConfig{MaxEntries: cfg.MaxEntries, MaxBytes: cfg.MaxBytes})
 	}
-	n := maxCacheShards
-	if cfg.MaxEntries < n {
-		n = cfg.MaxEntries
-	}
-	p := &Pipeline{
+	return &Pipeline{
 		cfg:       cfg,
-		shards:    make([]cacheShard, n),
+		store:     st,
 		compiled:  make(map[string]*list.Element),
 		compOrder: list.New(),
 	}
-	// Distribute capacity so shard limits sum to exactly MaxEntries, and
-	// likewise for the placement budget.
-	for i := range p.shards {
-		p.shards[i].limit = cfg.MaxEntries / n
-		if i < cfg.MaxEntries%n {
-			p.shards[i].limit++
-		}
-		p.shards[i].maxWeight = cfg.MaxPlacements / n
-		if i < cfg.MaxPlacements%n {
-			p.shards[i].maxWeight++
-		}
-		p.shards[i].entries = make(map[string]*list.Element)
-		p.shards[i].order = list.New()
-	}
-	return p
 }
 
-// planKey derives the full cache key. The whole Options struct is
-// formatted (field names included) so a field added to core.Options later
-// joins the key automatically instead of silently aliasing plans.
-func planKey(hash string, o core.Options, n int) string {
+// Store returns the pipeline's storage layer.
+func (p *Pipeline) Store() PlanStore { return p.store }
+
+// PlanKey derives the canonical store key of a plan from its three
+// ingredients: graph fingerprint, scheduling options, iteration count.
+// The whole Options struct is formatted (field names included) so a
+// field added to core.Options later joins the key automatically instead
+// of silently aliasing plans. Every producer — Schedule, Batch, Sweep,
+// AutoTune, Warmup — and every PlanStore uses exactly this derivation;
+// EncodePlan embeds it in durable records and DecodePlan re-derives it
+// to detect tampered or aliased records.
+func PlanKey(hash string, o core.Options, n int) string {
 	return fmt.Sprintf("%s|%+v|n%d", hash, o, n)
 }
 
-func (p *Pipeline) shard(key string) *cacheShard {
-	h := fnv.New32a()
-	h.Write([]byte(key))
-	return &p.shards[h.Sum32()%uint32(len(p.shards))]
-}
-
 // Schedule runs the full pipeline on g for n iterations, serving from the
-// plan cache when an identical request (same graph content, options and
-// iteration count) was seen before. The boolean reports whether the plan
-// came from the cache.
+// plan store when an identical request (same graph content, options and
+// iteration count) was seen before — by this process, or, with a durable
+// store, by an earlier one. The boolean reports whether the plan came
+// from the store.
 func (p *Pipeline) Schedule(g *graph.Graph, opts core.Options, n int) (*Plan, bool, error) {
 	hash := g.Fingerprint()
 	if p.cfg.DisableCache {
@@ -242,97 +256,29 @@ func (p *Pipeline) Schedule(g *graph.Graph, opts core.Options, n int) (*Plan, bo
 		p.computes.Add(1)
 		return plan, false, err
 	}
-	key := planKey(hash, opts, n)
-	sh := p.shard(key)
-
-	sh.mu.Lock()
-	if el, ok := sh.entries[key]; ok {
-		sh.order.MoveToFront(el)
-		e := el.Value.(*cacheEntry)
-		sh.mu.Unlock()
-		// The entry may still be in flight: get() then waits for the
-		// shared computation. Only a completed entry counts as a hit —
-		// a piggybacked request waited the full scheduling latency, so
-		// reporting it as a hit would flatter the cache counters.
-		wasDone := e.done.Load()
-		plan, err := e.get()
-		if err != nil {
-			p.misses.Add(1)
-			return nil, false, err
-		}
-		if !wasDone {
-			p.misses.Add(1)
-			return plan, false, nil
-		}
+	key := PlanKey(hash, opts, n)
+	if plan, ok := p.store.Get(key); ok {
 		p.hits.Add(1)
 		return plan, true, nil
 	}
-	e := &cacheEntry{key: key}
-	e.fn = func() (*Plan, error) {
+	// Miss: compute (or piggyback on an identical in-flight computation)
+	// and write the result through the store. Either way the request
+	// waited the full scheduling latency, so both count as misses —
+	// reporting piggybacks as hits would flatter the counters.
+	plan, err := p.flight.do(key, func() (*Plan, error) {
 		p.computes.Add(1)
-		return build(g, hash, opts, n)
-	}
-	el := sh.order.PushFront(e)
-	sh.entries[key] = el
-	evicted := sh.evictLocked()
-	sh.mu.Unlock()
-	p.misses.Add(1)
-	p.evictions.Add(evicted)
-
-	plan, err := e.get()
-	if err != nil {
-		// Do not cache failures: drop the entry so a later (possibly
-		// fixed) request recomputes.
-		sh.mu.Lock()
-		if cur, ok := sh.entries[e.key]; ok && cur == el {
-			sh.order.Remove(el)
-			delete(sh.entries, e.key)
+		plan, err := build(g, hash, opts, n)
+		if err != nil {
+			return nil, err
 		}
-		sh.mu.Unlock()
+		p.store.Put(key, plan)
+		return plan, nil
+	})
+	p.misses.Add(1)
+	if err != nil {
 		return nil, false, err
 	}
-	// Charge the finished plan against the shard's placement budget and
-	// trim (only if the entry is still cached — eviction may have raced
-	// the computation). A plan that alone exceeds the budget is served
-	// but not cached: keeping it would drain every warm entry in the
-	// shard without ever fitting.
-	w := len(plan.Schedule.Full.Placements)
-	if w < 1 {
-		w = 1
-	}
-	sh.mu.Lock()
-	var trimmed uint64
-	if cur, ok := sh.entries[e.key]; ok && cur == el {
-		if w > sh.maxWeight {
-			sh.order.Remove(el)
-			delete(sh.entries, e.key)
-			trimmed = 1
-		} else {
-			e.weight = w
-			sh.weight += w
-			trimmed = sh.evictLocked()
-		}
-	}
-	sh.mu.Unlock()
-	p.evictions.Add(trimmed)
 	return plan, false, nil
-}
-
-// evictLocked trims the shard to its entry capacity and placement budget
-// (always keeping at least one entry) and returns how many were dropped.
-// Caller holds sh.mu.
-func (sh *cacheShard) evictLocked() uint64 {
-	var n uint64
-	for sh.order.Len() > sh.limit ||
-		(sh.weight > sh.maxWeight && sh.order.Len() > 1) {
-		el := sh.order.Back()
-		e := el.Value.(*cacheEntry)
-		sh.order.Remove(el)
-		delete(sh.entries, e.key)
-		sh.weight -= e.weight
-		n++
-	}
-	return n
 }
 
 // build runs the uncached pipeline stages: schedule, then lower.
@@ -345,7 +291,7 @@ func build(g *graph.Graph, hash string, opts core.Options, n int) (*Plan, error)
 	if err != nil {
 		return nil, err
 	}
-	return &Plan{
+	p := &Plan{
 		GraphHash:  hash,
 		Opts:       opts,
 		Iterations: n,
@@ -354,12 +300,21 @@ func build(g *graph.Graph, hash string, opts core.Options, n int) (*Plan, error)
 		makespan:   ls.Full.Makespan(),
 		procs:      ls.Full.ProcsUsed(),
 		rate:       ls.RatePerIteration(),
-	}, nil
+	}
+	if pat := ls.Pattern(); pat != nil {
+		p.pattern = &PatternInfo{
+			Cycles:    pat.Cycles(),
+			IterShift: pat.IterShift,
+			Rate:      pat.RatePerIteration(),
+			Forced:    pat.Forced,
+		}
+	}
+	return p, nil
 }
 
 // CompileAndSchedule parses loop-language source (memoizing compilation by
 // source content), then schedules the compiled graph through the plan
-// cache.
+// store.
 func (p *Pipeline) CompileAndSchedule(src string, opts core.Options, n int) (*loopir.Compiled, *Plan, bool, error) {
 	c, err := p.Compile(src)
 	if err != nil {
@@ -409,35 +364,31 @@ func (p *Pipeline) Compile(src string) (*loopir.Compiled, error) {
 	return c, nil
 }
 
-// Stats snapshots the cache counters.
+// Stats snapshots the pipeline counters and the store's own snapshot.
 func (p *Pipeline) Stats() Stats {
-	s := Stats{
+	st := p.store.Stats()
+	return Stats{
 		Hits:      p.hits.Load(),
 		Misses:    p.misses.Load(),
 		Computes:  p.computes.Load(),
-		Evictions: p.evictions.Load(),
+		Evictions: st.TotalEvictions(),
+		Entries:   st.Entries,
+		Store:     st,
 	}
-	for i := range p.shards {
-		sh := &p.shards[i]
-		sh.mu.Lock()
-		s.Entries += sh.order.Len()
-		sh.mu.Unlock()
-	}
-	return s
 }
 
-// Flush empties the plan and compile caches.
-func (p *Pipeline) Flush() {
-	for i := range p.shards {
-		sh := &p.shards[i]
-		sh.mu.Lock()
-		sh.entries = make(map[string]*list.Element)
-		sh.order.Init()
-		sh.weight = 0
-		sh.mu.Unlock()
-	}
+// Flush empties the plan store and the compile cache. With a durable
+// store this removes the persisted plans too — it is the programmatic
+// form of `loopsched store flush`, not a cache drop.
+func (p *Pipeline) Flush() error {
+	err := p.store.Flush()
 	p.compileMu.Lock()
 	p.compiled = make(map[string]*list.Element)
 	p.compOrder.Init()
 	p.compileMu.Unlock()
+	return err
 }
+
+// Close releases the plan store (closing durable tiers). The pipeline
+// must not be used afterwards.
+func (p *Pipeline) Close() error { return p.store.Close() }

@@ -166,14 +166,27 @@ func TestScheduleJSONMemoized(t *testing.T) {
 	}
 }
 
-// TestPlacementBudgetBoundsMemory checks the size-weighted eviction: many
-// large plans cannot accumulate past the placement budget even when the
+// fig7PlanBytes builds one Figure 7 plan at n iterations off to the side
+// and reports its budget weight, so byte-bound tests track planBytes
+// instead of hard-coding its constants.
+func fig7PlanBytes(t *testing.T, n int) int64 {
+	t.Helper()
+	plan, _, err := New(Config{DisableCache: true}).Schedule(workload.Figure7().Graph, fig7Opts, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return planBytes(plan)
+}
+
+// TestByteBudgetBoundsMemory checks the size-weighted eviction: many
+// large plans cannot accumulate past the byte budget even when the
 // entry-count limit would admit them.
-func TestPlacementBudgetBoundsMemory(t *testing.T) {
-	// Each Figure 7 plan at n iterations holds 5n placements. A per-shard
-	// budget of 600 fits any single plan of n <= 120 but never two, so
-	// entries stay at one per shard at most.
-	p := New(Config{MaxEntries: 1024, MaxPlacements: maxCacheShards * 600})
+func TestByteBudgetBoundsMemory(t *testing.T) {
+	// A per-shard budget of 1.25× the largest plan fits any single plan
+	// of n < 120 but never two (weights scale ~linearly with n, and
+	// 2 × w(90) > 1.25 × w(119)), so entries stay at one per shard.
+	w := fig7PlanBytes(t, 119)
+	p := New(Config{MaxEntries: 1024, MaxBytes: maxMemShards * (w + w/4)})
 	g := workload.Figure7().Graph
 	for n := 90; n < 120; n++ {
 		if _, _, err := p.Schedule(g, fig7Opts, n); err != nil {
@@ -181,11 +194,14 @@ func TestPlacementBudgetBoundsMemory(t *testing.T) {
 		}
 	}
 	s := p.Stats()
-	if s.Entries > maxCacheShards {
+	if s.Entries > maxMemShards {
 		t.Fatalf("entries = %d, want <= one per shard under a tiny budget", s.Entries)
 	}
 	if s.Evictions == 0 {
 		t.Fatal("no evictions recorded")
+	}
+	if s.Store.Bytes > maxMemShards*(w+w/4) {
+		t.Fatalf("store bytes %d over budget", s.Store.Bytes)
 	}
 	// The cache still serves: the most recent request is retained.
 	if _, hit, err := p.Schedule(g, fig7Opts, 119); err != nil || !hit {
@@ -197,7 +213,9 @@ func TestPlacementBudgetBoundsMemory(t *testing.T) {
 // budget is served but never cached — it must not drain warm entries to
 // make room it can never fit in.
 func TestOversizedPlanNotCached(t *testing.T) {
-	p := New(Config{MaxEntries: 1024, MaxPlacements: 16})
+	// MaxEntries 1024 spreads MaxBytes over 16 shards, so a budget of
+	// half one plan leaves every shard far below a single plan's weight.
+	p := New(Config{MaxEntries: 1024, MaxBytes: fig7PlanBytes(t, 100) / 2})
 	g := workload.Figure7().Graph
 	for i := 0; i < 2; i++ {
 		plan, hit, err := p.Schedule(g, fig7Opts, 100)

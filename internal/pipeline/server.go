@@ -264,11 +264,13 @@ type Route struct {
 
 // Server exposes a Pipeline over HTTP:
 //
-//	POST /v1/schedule  schedule loop source, returning the JSON plan
-//	POST /v1/batch     schedule many loops, per-item error isolation
-//	POST /v1/tune      auto-tune (processors, k) over a grid
-//	GET  /v1/stats     cache-hit statistics
-//	GET  /healthz      liveness probe
+//	POST   /v1/schedule             schedule loop source, returning the JSON plan
+//	POST   /v1/batch                schedule many loops, per-item error isolation
+//	POST   /v1/tune                 auto-tune (processors, k) over a grid
+//	GET    /v1/plans/{fingerprint}  list the stored plans for one graph
+//	DELETE /v1/plans/{fingerprint}  drop the stored plans for one graph
+//	GET    /v1/stats                store and hit-rate statistics
+//	GET    /healthz                 liveness probe
 type Server struct {
 	pipe   *Pipeline
 	mux    *http.ServeMux
@@ -300,6 +302,19 @@ func NewServer(p *Pipeline) *Server {
 	} {
 		s.routes = append(s.routes, Route{Method: rt.method, Path: rt.path})
 		s.mux.HandleFunc(rt.path, rt.handler)
+	}
+	// The plan routes carry a path parameter and differ by method, so
+	// they register with method patterns (the mux then answers a stray
+	// method on the path with its own 405).
+	for _, rt := range []struct {
+		method  string
+		handler http.HandlerFunc
+	}{
+		{http.MethodGet, s.handlePlansGet},
+		{http.MethodDelete, s.handlePlansDelete},
+	} {
+		s.routes = append(s.routes, Route{Method: rt.method, Path: "/v1/plans/{fingerprint}"})
+		s.mux.HandleFunc(rt.method+" /v1/plans/{fingerprint}", rt.handler)
 	}
 	return s
 }
@@ -411,14 +426,9 @@ func (s *Server) scheduleResponse(req *ScheduleRequest) (*ScheduleResponse, int,
 		GreedyFallback: plan.Schedule.GreedyFallback,
 		CacheHit:       hit,
 		Schedule:       sched,
-	}
-	if pat := plan.Schedule.Pattern(); pat != nil {
-		resp.Pattern = &PatternInfo{
-			Cycles:    pat.Cycles(),
-			IterShift: pat.IterShift,
-			Rate:      pat.RatePerIteration(),
-			Forced:    pat.Forced,
-		}
+		// The pattern summary is denormalized onto the plan so plans
+		// loaded from a durable store serve the same block.
+		Pattern: plan.Pattern(),
 	}
 	return resp, http.StatusOK, nil
 }
@@ -669,6 +679,90 @@ func decodeStrict(body []byte, v any) error {
 		return errors.New("trailing content after the request object")
 	}
 	return nil
+}
+
+// PlansResponse is the GET /v1/plans/{fingerprint} reply.
+type PlansResponse struct {
+	GraphHash string     `json:"graph_hash"`
+	Count     int        `json:"count"`
+	Plans     []PlanInfo `json:"plans"`
+}
+
+// PlansDeleteResponse is the DELETE /v1/plans/{fingerprint} reply.
+type PlansDeleteResponse struct {
+	GraphHash string `json:"graph_hash"`
+	Deleted   int    `json:"deleted"`
+}
+
+// checkFingerprint validates the path parameter: graph fingerprints are
+// lowercase hex SHA-256 (see graph.Fingerprint), so anything else can be
+// rejected before touching the store.
+func checkFingerprint(fp string) error {
+	if len(fp) != 64 {
+		return fmt.Errorf("fingerprint %q is not a 64-character sha256 hex digest", fp)
+	}
+	for _, c := range fp {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return fmt.Errorf("fingerprint %q is not lowercase hex", fp)
+		}
+	}
+	return nil
+}
+
+// storedPlans lists the store's plans for one graph fingerprint. The
+// boolean reports whether the store supports enumeration at all.
+func (s *Server) storedPlans(fp string) ([]PlanInfo, bool) {
+	lister, ok := s.pipe.Store().(PlanLister)
+	if !ok {
+		return nil, false
+	}
+	var out []PlanInfo
+	for _, info := range lister.Plans() {
+		if info.GraphHash == fp {
+			out = append(out, info)
+		}
+	}
+	return out, true
+}
+
+func (s *Server) handlePlansGet(w http.ResponseWriter, r *http.Request) {
+	fp := r.PathValue("fingerprint")
+	if err := checkFingerprint(fp); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+	plans, ok := s.storedPlans(fp)
+	if !ok {
+		writeJSON(w, http.StatusNotImplemented, errorResponse{"the configured plan store cannot enumerate plans"})
+		return
+	}
+	if len(plans) == 0 {
+		writeJSON(w, http.StatusNotFound, errorResponse{"no stored plans for fingerprint " + fp})
+		return
+	}
+	writeJSON(w, http.StatusOK, PlansResponse{GraphHash: fp, Count: len(plans), Plans: plans})
+}
+
+func (s *Server) handlePlansDelete(w http.ResponseWriter, r *http.Request) {
+	fp := r.PathValue("fingerprint")
+	if err := checkFingerprint(fp); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+	plans, ok := s.storedPlans(fp)
+	if !ok {
+		writeJSON(w, http.StatusNotImplemented, errorResponse{"the configured plan store cannot enumerate plans"})
+		return
+	}
+	if len(plans) == 0 {
+		writeJSON(w, http.StatusNotFound, errorResponse{"no stored plans for fingerprint " + fp})
+		return
+	}
+	st := s.pipe.Store()
+	for _, info := range plans {
+		st.Delete(info.Key)
+	}
+	writeJSON(w, http.StatusOK, PlansDeleteResponse{GraphHash: fp, Deleted: len(plans)})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -372,11 +372,13 @@ func TestServerTuneCaps(t *testing.T) {
 func TestServerRoutes(t *testing.T) {
 	srv := NewServer(New(Config{}))
 	want := map[Route]bool{
-		{Method: "POST", Path: "/v1/schedule"}: true,
-		{Method: "POST", Path: "/v1/batch"}:    true,
-		{Method: "POST", Path: "/v1/tune"}:     true,
-		{Method: "GET", Path: "/v1/stats"}:     true,
-		{Method: "GET", Path: "/healthz"}:      true,
+		{Method: "POST", Path: "/v1/schedule"}:              true,
+		{Method: "POST", Path: "/v1/batch"}:                 true,
+		{Method: "POST", Path: "/v1/tune"}:                  true,
+		{Method: "GET", Path: "/v1/stats"}:                  true,
+		{Method: "GET", Path: "/healthz"}:                   true,
+		{Method: "GET", Path: "/v1/plans/{fingerprint}"}:    true,
+		{Method: "DELETE", Path: "/v1/plans/{fingerprint}"}: true,
 	}
 	routes := srv.Routes()
 	if len(routes) != len(want) {
@@ -427,5 +429,127 @@ func TestServerStatsAndHealth(t *testing.T) {
 	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
 	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "ok") {
 		t.Fatalf("healthz: %d %q", rec.Code, rec.Body)
+	}
+}
+
+// TestServerPlansEndpoints drives the stored-plan routes: schedule two
+// parameterizations of one loop, list them by fingerprint, delete them,
+// and confirm the next request reschedules.
+func TestServerPlansEndpoints(t *testing.T) {
+	srv := NewServer(New(Config{}))
+
+	var hash string
+	for _, body := range []string{
+		fmt.Sprintf(`{"source": %q, "processors": 2}`, fig7Source),
+		fmt.Sprintf(`{"source": %q, "processors": 3}`, fig7Source),
+	} {
+		resp, data := postSchedule(t, srv, body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("schedule: status %d: %s", resp.StatusCode, data)
+		}
+		var out ScheduleResponse
+		if err := json.Unmarshal(data, &out); err != nil {
+			t.Fatal(err)
+		}
+		hash = out.GraphHash
+	}
+
+	// GET lists both stored parameterizations.
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/plans/"+hash, nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET plans: status %d: %s", rec.Code, rec.Body)
+	}
+	var listed PlansResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &listed); err != nil {
+		t.Fatal(err)
+	}
+	if listed.GraphHash != hash || listed.Count != 2 || len(listed.Plans) != 2 {
+		t.Fatalf("plans = %+v", listed)
+	}
+	procs := map[int]bool{}
+	for _, info := range listed.Plans {
+		if info.GraphHash != hash || info.Iterations != 100 || info.Rate <= 0 || info.Bytes <= 0 {
+			t.Fatalf("plan info = %+v", info)
+		}
+		procs[info.Options.Processors] = true
+	}
+	if !procs[2] || !procs[3] {
+		t.Fatalf("listed parameterizations = %v", procs)
+	}
+
+	// Bad fingerprints are rejected before the store is consulted.
+	for _, fp := range []string{"zzzz", strings.Repeat("A", 64), strings.Repeat("a", 63)} {
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/plans/"+fp, nil))
+		if rec.Code != http.StatusBadRequest {
+			t.Fatalf("fingerprint %q: status %d", fp, rec.Code)
+		}
+	}
+
+	// An unknown (but well-formed) fingerprint is a 404.
+	unknown := strings.Repeat("0", 64)
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/plans/"+unknown, nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown fingerprint: status %d", rec.Code)
+	}
+
+	// DELETE drops both plans…
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodDelete, "/v1/plans/"+hash, nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("DELETE plans: status %d: %s", rec.Code, rec.Body)
+	}
+	var deleted PlansDeleteResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &deleted); err != nil {
+		t.Fatal(err)
+	}
+	if deleted.Deleted != 2 {
+		t.Fatalf("deleted = %+v", deleted)
+	}
+	if s := srv.pipe.Stats(); s.Entries != 0 {
+		t.Fatalf("entries after delete = %d", s.Entries)
+	}
+	// …so a repeat DELETE is a 404 and the next schedule is a fresh miss.
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodDelete, "/v1/plans/"+hash, nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("repeat DELETE: status %d", rec.Code)
+	}
+	resp, data := postSchedule(t, srv, fmt.Sprintf(`{"source": %q, "processors": 2}`, fig7Source))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("re-schedule: status %d", resp.StatusCode)
+	}
+	var out ScheduleResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.CacheHit {
+		t.Fatal("deleted plan still served from the store")
+	}
+}
+
+// TestServerStatsStoreBlock checks /v1/stats carries the storage-layer
+// snapshot.
+func TestServerStatsStoreBlock(t *testing.T) {
+	srv := NewServer(New(Config{}))
+	if resp, data := postSchedule(t, srv, fig7Source); resp.StatusCode != http.StatusOK {
+		t.Fatalf("schedule: status %d: %s", resp.StatusCode, data)
+	}
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/stats", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats: status %d", rec.Code)
+	}
+	var stats struct {
+		Stats
+		HitRate float64 `json:"hit_rate"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Store.Kind != "memory" || stats.Store.Puts != 1 || stats.Store.Entries != 1 {
+		t.Fatalf("store block = %+v", stats.Store)
 	}
 }

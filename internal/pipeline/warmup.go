@@ -47,6 +47,16 @@ type WarmupStats struct {
 	Entries int
 	Warmed  int
 	Failed  int
+	// Scheduled counts the warmed entries that were freshly computed;
+	// FromStore counts those already present in the plan store (from an
+	// earlier corpus entry compiling to the same graph, or — with a
+	// durable store — persisted by an earlier process). FromDisk is the
+	// subset of FromStore answered by a disk tier: on a cold restart with
+	// `serve -store`, FromDisk ≈ FromStore and Scheduled ≈ 0, which is
+	// the whole point of persisting plans.
+	Scheduled int
+	FromStore int
+	FromDisk  int
 	// Errors holds one "entry N: ..." message per failed entry.
 	Errors []string
 }
@@ -83,11 +93,22 @@ func (p *Pipeline) Warmup(reqs []ScheduleRequest, workers int) WarmupStats {
 		items = append(items, BatchItem{Graph: c.Graph, Opts: opts, Iterations: n})
 		idx = append(idx, i)
 	}
+	// The disk-tier attribution diffs the store's own counters around the
+	// batch. Warmup runs at process start, before any serving traffic, so
+	// the delta is the warmup's alone.
+	diskBefore, _ := p.store.Stats().Tier("disk")
 	for j, res := range p.Batch(items, BatchOptions{Workers: workers}) {
-		if res.Err != nil {
+		switch {
+		case res.Err != nil:
 			errAt[idx[j]] = res.Err.Error()
+		case res.CacheHit:
+			stats.FromStore++
+		default:
+			stats.Scheduled++
 		}
 	}
+	diskAfter, _ := p.store.Stats().Tier("disk")
+	stats.FromDisk = int(diskAfter.Hits - diskBefore.Hits)
 	for i, msg := range errAt {
 		if msg == "" {
 			stats.Warmed++

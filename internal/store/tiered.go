@@ -1,0 +1,140 @@
+package store
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"mimdloop/internal/pipeline"
+)
+
+// TieredStore composes two PlanStores into one: a fast upper tier that
+// absorbs the hot path and a durable lower tier that survives restarts.
+// Reads check the upper tier first and promote lower-tier hits upward;
+// writes go through to both tiers (write-through, not write-back — a
+// plan is durable the moment Put returns, so there is nothing to lose on
+// a crash and no dirty state to reconcile). The design follows the
+// classic sharded/write-through cache composition: all cross-tier
+// coordination is per-call, the tiers never know about each other, and
+// the only added state is three counters.
+type TieredStore struct {
+	upper, lower pipeline.PlanStore
+
+	hits     atomic.Uint64
+	misses   atomic.Uint64
+	puts     atomic.Uint64
+	promotes atomic.Uint64
+
+	// deletes versions the delete history: Get skips promotion when a
+	// Delete intervened between its upper-tier miss and its lower-tier
+	// hit, so an explicitly deleted plan is not immediately resurrected
+	// into the memory tier by a racing reader. (The residual window —
+	// a Delete beginning after the version check — is benign: plans are
+	// deterministic pure values, the durable tier stays deleted, and the
+	// stale memory entry ages out by LRU.)
+	deletes atomic.Uint64
+}
+
+// NewTiered composes upper (fast, typically a pipeline.MemStore) over
+// lower (durable, typically a DiskStore). The TieredStore takes
+// ownership of both: Close closes them.
+func NewTiered(upper, lower pipeline.PlanStore) *TieredStore {
+	return &TieredStore{upper: upper, lower: lower}
+}
+
+// Get serves from the upper tier when possible; a lower-tier hit is
+// promoted into the upper tier so the next request for the same key is
+// a memory lookup.
+func (t *TieredStore) Get(key string) (*pipeline.Plan, bool) {
+	if p, ok := t.upper.Get(key); ok {
+		t.hits.Add(1)
+		return p, true
+	}
+	version := t.deletes.Load()
+	p, ok := t.lower.Get(key)
+	if !ok {
+		t.misses.Add(1)
+		return nil, false
+	}
+	if t.deletes.Load() == version {
+		t.upper.Put(key, p)
+		t.promotes.Add(1)
+	}
+	t.hits.Add(1)
+	return p, true
+}
+
+// Put writes through to both tiers.
+func (t *TieredStore) Put(key string, p *pipeline.Plan) {
+	t.puts.Add(1)
+	t.upper.Put(key, p)
+	t.lower.Put(key, p)
+}
+
+// Delete removes key from both tiers.
+func (t *TieredStore) Delete(key string) {
+	t.deletes.Add(1)
+	t.upper.Delete(key)
+	t.lower.Delete(key)
+}
+
+// Len reports the larger tier's count. Write-through keeps the upper
+// tier a subset of the lower one (up to each tier's own evictions), so
+// the maximum approximates the distinct-plan count without enumerating
+// either tier.
+func (t *TieredStore) Len() int {
+	u, l := t.upper.Len(), t.lower.Len()
+	if u > l {
+		return u
+	}
+	return l
+}
+
+// Bytes sums the tiers: they retain on different media, so their
+// footprints add rather than alias.
+func (t *TieredStore) Bytes() int64 { return t.upper.Bytes() + t.lower.Bytes() }
+
+// Flush empties both tiers.
+func (t *TieredStore) Flush() error {
+	return errors.Join(t.upper.Flush(), t.lower.Flush())
+}
+
+// Close closes both tiers.
+func (t *TieredStore) Close() error {
+	return errors.Join(t.upper.Close(), t.lower.Close())
+}
+
+// Stats reports the tiered counters with each tier nested, upper first.
+func (t *TieredStore) Stats() pipeline.StoreStats {
+	upper, lower := t.upper.Stats(), t.lower.Stats()
+	return pipeline.StoreStats{
+		Kind:     "tiered",
+		Hits:     t.hits.Load(),
+		Misses:   t.misses.Load(),
+		Puts:     t.puts.Load(),
+		Promotes: t.promotes.Load(),
+		Entries:  t.Len(),
+		Bytes:    upper.Bytes + lower.Bytes,
+		Tiers:    []pipeline.StoreStats{upper, lower},
+	}
+}
+
+// Plans enumerates the distinct plans across both tiers, preferring the
+// lower (durable, complete) tier's row when a key appears in both.
+func (t *TieredStore) Plans() []pipeline.PlanInfo {
+	var out []pipeline.PlanInfo
+	seen := make(map[string]bool)
+	if lister, ok := t.lower.(pipeline.PlanLister); ok {
+		for _, info := range lister.Plans() {
+			out = append(out, info)
+			seen[info.Key] = true
+		}
+	}
+	if lister, ok := t.upper.(pipeline.PlanLister); ok {
+		for _, info := range lister.Plans() {
+			if !seen[info.Key] {
+				out = append(out, info)
+			}
+		}
+	}
+	return out
+}

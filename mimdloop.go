@@ -20,13 +20,19 @@
 //   - provides the DOACROSS iteration-pipelining baseline [Cytron86], a
 //     miniature loop-language front end with dependence analysis and
 //     if-conversion [AlKe83], and the paper's example workloads;
-//   - wraps the whole flow in a Pipeline whose content-addressed plan cache
+//   - wraps the whole flow in a Pipeline whose content-addressed plan store
 //     makes repeat scheduling a map lookup, with concurrent
 //     machine-parameter sweeps (Pipeline.Sweep), sweep-driven (p, k)
 //     auto-tuning under pluggable objectives (AutoTune), batch scheduling
 //     with per-item error isolation (Pipeline.Batch), cache warm-up from a
 //     schedule corpus (Pipeline.Warmup), and an HTTP serving mode
-//     (`loopsched serve`, NewPipelineServer: schedule, batch, tune).
+//     (`loopsched serve`, NewPipelineServer: schedule, batch, tune, stored
+//     plans);
+//   - persists plans behind a pluggable PlanStore: the default in-memory
+//     sharded LRU (NewMemStore), a durable content-addressed DiskStore
+//     (NewDiskStore), and a write-through TieredStore (NewTieredStore)
+//     that lets a restarted process serve its predecessor's plans — and
+//     AutoTune winners — without rescheduling (`loopsched serve -store`).
 //
 // Quick start:
 //
@@ -53,6 +59,7 @@ import (
 	"mimdloop/internal/pipeline"
 	"mimdloop/internal/plan"
 	"mimdloop/internal/program"
+	"mimdloop/internal/store"
 	"mimdloop/internal/textfmt"
 	"mimdloop/internal/workload"
 )
@@ -105,13 +112,15 @@ type (
 // Pipeline: cached scheduling, concurrent parameter sweeps, serving.
 type (
 	// Pipeline is a concurrency-safe scheduling front end whose
-	// content-addressed plan cache makes repeat scheduling a lookup.
+	// content-addressed plan store makes repeat scheduling a lookup.
 	Pipeline = pipeline.Pipeline
-	// PipelineConfig tunes cache capacity.
+	// PipelineConfig tunes store capacity (and, via Store, plugs in a
+	// custom storage layer such as a TieredStore).
 	PipelineConfig = pipeline.Config
-	// PipelineStats snapshots cache hit/miss/eviction counters.
+	// PipelineStats snapshots request counters plus the storage layer's
+	// nested per-tier snapshot.
 	PipelineStats = pipeline.Stats
-	// Plan is one cached artifact: a LoopSchedule plus its lowered
+	// Plan is one stored artifact: a LoopSchedule plus its lowered
 	// per-processor programs. Plans are shared and must not be mutated.
 	Plan = pipeline.Plan
 	// SweepPoint is one (processors, comm cost) grid cell.
@@ -123,6 +132,60 @@ type (
 	// PipelineServer serves schedules over HTTP (see NewPipelineServer).
 	PipelineServer = pipeline.Server
 )
+
+// Plan storage: the pluggable persistence layer behind a Pipeline.
+type (
+	// PlanStore is the storage interface: Get/Put/Delete keyed plans,
+	// size accounting, Flush, Close, Stats.
+	PlanStore = pipeline.PlanStore
+	// PlanLister is the optional enumeration interface behind
+	// GET /v1/plans and `loopsched store ls`; all built-in stores
+	// implement it.
+	PlanLister = pipeline.PlanLister
+	// PlanInfo is one stored plan's summary row.
+	PlanInfo = pipeline.PlanInfo
+	// PlanStoreStats is one store's counter snapshot (nested per tier
+	// for a TieredStore).
+	PlanStoreStats = pipeline.StoreStats
+	// MemStore is the in-memory sharded LRU store (the default).
+	MemStore = pipeline.MemStore
+	// MemStoreConfig bounds a MemStore by entries and bytes.
+	MemStoreConfig = pipeline.MemConfig
+	// DiskStore persists plans as content-addressed JSON records under a
+	// directory: atomic writes, corrupt-record quarantine, size-bounded
+	// GC.
+	DiskStore = store.DiskStore
+	// DiskStoreConfig locates and bounds a DiskStore.
+	DiskStoreConfig = store.DiskConfig
+	// TieredStore write-throughs a fast upper tier over a durable lower
+	// tier, promoting on lower-tier hits.
+	TieredStore = store.TieredStore
+)
+
+// NewMemStore returns an empty in-memory plan store.
+func NewMemStore(cfg MemStoreConfig) *MemStore { return pipeline.NewMemStore(cfg) }
+
+// NewDiskStore opens (creating if needed) a durable plan store over
+// cfg.Dir, indexing any plan records already present so a new process
+// serves its predecessor's plans.
+func NewDiskStore(cfg DiskStoreConfig) (*DiskStore, error) { return store.Open(cfg) }
+
+// NewTieredStore composes upper (fast, typically a MemStore) over lower
+// (durable, typically a DiskStore). Use it as PipelineConfig.Store for
+// restart-durable serving:
+//
+//	disk, _ := mimdloop.NewDiskStore(mimdloop.DiskStoreConfig{Dir: "plans"})
+//	p := mimdloop.NewPipeline(mimdloop.PipelineConfig{
+//	    Store: mimdloop.NewTieredStore(mimdloop.NewMemStore(mimdloop.MemStoreConfig{}), disk),
+//	})
+//	defer p.Close()
+func NewTieredStore(upper, lower PlanStore) *TieredStore { return store.NewTiered(upper, lower) }
+
+// PlanKey derives the canonical store key of a plan from its
+// ingredients: graph fingerprint, scheduling options, iteration count.
+func PlanKey(fingerprint string, opts Options, iterations int) string {
+	return pipeline.PlanKey(fingerprint, opts, iterations)
+}
 
 // Auto-tuning, batching and warm-up on top of the pipeline.
 type (
