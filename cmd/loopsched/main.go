@@ -19,7 +19,8 @@
 //
 //	loopsched [-k cost] [-p procs] [-n iters] [-fold] [-gantt cycles] file.loop
 //	loopsched -example fig7|lfk18|ewf
-//	loopsched tune [-n iters] [-p list] [-k list] [-objective o] [-epsilon e] [-example name] [file.loop]
+//	loopsched tune [-n iters] [-p list] [-k list] [-objective o] [-epsilon e]
+//	               [-measured [-trials r] [-fluct mm] [-seed s]] [-example name] [file.loop]
 //	loopsched batch [-k cost] [-p procs] [-n iters] [-fold] [-workers w] file.loop...
 //	loopsched serve [-addr :8080] [-cache entries] [-warmup corpus.json] [-store DIR] [-store-bytes n]
 //	loopsched store -dir DIR [-max-bytes n] ls|gc|flush
@@ -264,7 +265,11 @@ func warmupFromFile(pipe *mimdloop.Pipeline, path string) (mimdloop.WarmupStats,
 }
 
 // tune searches a processors × comm-cost grid for the best (p, k) under
-// an objective and prints the evaluated grid plus the winner.
+// an objective and prints the evaluated grid plus the winner. With
+// -measured the grid is ranked by measured Sp from repeated seeded
+// trials on the simulated machine instead of the scheduled rate, and the
+// winner is compared against the static ranking's choice under the same
+// measurement.
 func tune(args []string) error {
 	fs := flag.NewFlagSet("loopsched tune", flag.ContinueOnError)
 	var (
@@ -275,6 +280,10 @@ func tune(args []string) error {
 		epsilon   = fs.Float64("epsilon", 0.05, "min_procs relative rate slack")
 		workers   = fs.Int("workers", 0, "sweep worker-pool size (0 = GOMAXPROCS)")
 		example   = fs.String("example", "", "tune a built-in workload: fig7, lfk18, ewf")
+		measured  = fs.Bool("measured", false, "rank grid points by measured Sp on the simulated machine")
+		trials    = fs.Int("trials", 5, "simulation trials per grid point (with -measured)")
+		fluct     = fs.Int("fluct", 3, "communication fluctuation mm: extra delay in [0, mm-1] (with -measured)")
+		seed      = fs.Int64("seed", 1, "fluctuation seed (with -measured)")
 	)
 	if done, err := parseFlags(fs, args); done || err != nil {
 		return err
@@ -295,32 +304,68 @@ func tune(args []string) error {
 	if err != nil {
 		return fmt.Errorf("-k: %w", err)
 	}
-	res, err := mimdloop.AutoTune(compiled.Graph, *iters, mimdloop.TuneOptions{
+	opt := mimdloop.TuneOptions{
 		Processors: procs,
 		CommCosts:  costs,
 		Objective:  obj,
 		Epsilon:    *epsilon,
 		Workers:    *workers,
-	})
+	}
+	var ev *mimdloop.MeasuredEvaluator
+	if *measured {
+		ev = mimdloop.NewMeasuredEvaluator(*trials, *fluct, *seed)
+		opt.Evaluator = ev
+	}
+	pipe := mimdloop.NewPipeline(mimdloop.PipelineConfig{})
+	res, err := pipe.AutoTune(compiled.Graph, *iters, opt)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("loop %s: %d nodes, tuning %d grid points (%d scheduled), objective %s\n\n",
-		compiled.Loop.Name, compiled.Graph.N(), len(res.Results), res.Evaluated, res.Objective)
-	fmt.Printf("%5s %5s %12s %8s\n", "p", "k", "rate", "procs")
+	fmt.Printf("loop %s: %d nodes, tuning %d grid points (%d scheduled), objective %s, evaluator %s\n\n",
+		compiled.Loop.Name, compiled.Graph.N(), len(res.Results), res.Evaluated, res.Objective, res.Evaluator)
+	header := fmt.Sprintf("%5s %5s %12s %8s", "p", "k", "rate", "procs")
+	if *measured {
+		header += fmt.Sprintf(" %8s %16s", "Sp", "[min, max]")
+	}
+	fmt.Println(header)
 	for _, r := range res.Results {
 		if r.Err != nil {
 			fmt.Printf("%5d %5d %12s %8s  (%v)\n", r.Point.Processors, r.Point.CommCost, "-", "-", r.Err)
 			continue
 		}
-		marker := ""
-		if r.Point == res.Best.Point {
-			marker = "  <-- best"
+		line := fmt.Sprintf("%5d %5d %12.3g %8d", r.Point.Processors, r.Point.CommCost, r.Rate, r.Procs)
+		if m := r.Score.Measured; m != nil {
+			line += fmt.Sprintf(" %7.1f%% [%5.1f%%, %5.1f%%]", m.SpMean, m.SpMin, m.SpMax)
 		}
-		fmt.Printf("%5d %5d %12.3g %8d%s\n", r.Point.Processors, r.Point.CommCost, r.Rate, r.Procs, marker)
+		if r.Point == res.Best.Point {
+			line += "  <-- best"
+		}
+		fmt.Println(line)
 	}
 	fmt.Printf("\nbest: p=%d k=%d -> %.3g cycles/iteration on %d processors (score %.3g)\n",
 		res.Best.Point.Processors, res.Best.Point.CommCost, res.Best.Rate, res.Best.Procs, res.Score)
+	if !*measured {
+		return nil
+	}
+
+	// Compare against the static ranking's winner under the same
+	// measurement: the gap is what measuring (rather than trusting the
+	// compile-time cost model) buys on this loop.
+	best := res.Best.Score.Measured
+	fmt.Printf("measured: Sp %.1f%% mean over %d trials (fluct mm=%d, seed %d), utilization %.0f%%\n",
+		best.SpMean, best.Trials, best.Fluct, best.Seed, 100*best.Utilization)
+	opt.Evaluator = nil
+	staticRes, err := pipe.AutoTune(compiled.Graph, *iters, opt)
+	if err != nil {
+		return err
+	}
+	staticScore, err := pipe.Evaluate(ev, staticRes.Best.Plan)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("static ranking would pick p=%d k=%d: measured Sp %.1f%% (%+.1f points vs measured ranking)\n",
+		staticRes.Best.Point.Processors, staticRes.Best.Point.CommCost,
+		staticScore.Measured.SpMean, staticScore.Measured.SpMean-best.SpMean)
 	return nil
 }
 

@@ -101,6 +101,18 @@ func TestTuneSubcommand(t *testing.T) {
 	}
 }
 
+func TestTuneMeasuredSubcommand(t *testing.T) {
+	// The acceptance path: measured ranking on the Figure 7 loop with
+	// seeded trials under fluctuation, including the static comparison.
+	if err := tune([]string{"-example", "fig7", "-measured", "-trials", "5", "-fluct", "3", "-seed", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	// Measured tuning composes with the other objectives.
+	if err := tune([]string{"-example", "fig7", "-measured", "-trials", "2", "-objective", "min_procs", "-p", "1,2", "-k", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestBatchSubcommand(t *testing.T) {
 	dir := t.TempDir()
 	good := filepath.Join(dir, "good.loop")

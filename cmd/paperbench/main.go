@@ -5,10 +5,11 @@
 //
 //	paperbench            # everything
 //	paperbench -fig 7     # one figure (1, 3, 7, 8, 9, 11, 12)
-//	paperbench -table 1a  # Table 1(a), 1b, or 1t (auto-tuned variant)
+//	paperbench -table 1a  # Table 1(a), 1b, 1t (auto-tuned) or 1m (measured tuning)
 //	paperbench -ablations # design-choice ablations
 //	paperbench -sweep     # concurrent processors x comm-cost sweep (Figure 7 loop)
 //	paperbench -workers 8 # worker-pool size for Table 1 and the sweep
+//	paperbench -table 1m -quick  # CI-sized smoke run of the measured-tuning table
 package main
 
 import (
@@ -28,15 +29,20 @@ import (
 func main() {
 	var (
 		fig       = flag.Int("fig", 0, "regenerate one figure (1, 3, 7, 8, 9, 11, 12)")
-		table     = flag.String("table", "", "regenerate a table: 1a, 1b, or 1t (sweep-tuned (p, k) variant)")
+		table     = flag.String("table", "", "regenerate a table: 1a, 1b, 1t (sweep-tuned (p, k) variant) or 1m (measured-ranking variant)")
 		ablations = flag.Bool("ablations", false, "run the design-choice ablations")
 		sweep     = flag.Bool("sweep", false, "sweep processors x comm cost on the Figure 7 loop")
 		iters     = flag.Int("n", 100, "iterations per measurement")
 		loops     = flag.Int("loops", 25, "random loops for Table 1")
+		trials    = flag.Int("trials", 5, "simulation trials per grid point for -table 1m")
 		workers   = flag.Int("workers", 0, "worker-pool size for Table 1 and -sweep (0 = GOMAXPROCS)")
+		quick     = flag.Bool("quick", false, "CI-sized run: fewer loops, iterations and trials")
 	)
 	flag.Parse()
 
+	if *quick {
+		*loops, *iters, *trials = 5, 40, 3
+	}
 	all := *fig == 0 && *table == "" && !*ablations && !*sweep
 	var err error
 	switch {
@@ -45,7 +51,7 @@ func main() {
 	case *fig != 0:
 		err = runFigure(*fig, *iters)
 	case *table != "":
-		err = runTable(*table, *iters, *loops, *workers)
+		err = runTable(*table, *iters, *loops, *trials, *workers)
 	case *ablations:
 		err = runAblations(*iters)
 	case *sweep:
@@ -209,7 +215,7 @@ func printFig7Details() error {
 	return nil
 }
 
-func runTable(name string, iters, loops, workers int) error {
+func runTable(name string, iters, loops, trials, workers int) error {
 	if name == "1t" {
 		res, err := experiments.Table1Tuned(loops, iters, workers)
 		if err != nil {
@@ -219,8 +225,17 @@ func runTable(name string, iters, loops, workers int) error {
 		fmt.Print(res.Format())
 		return nil
 	}
+	if name == "1m" {
+		res, err := experiments.Table1Measured(loops, iters, trials, workers)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Table 1 (measured tuning): static-ranked vs measured-ranked winners ==")
+		fmt.Print(res.Format())
+		return nil
+	}
 	if name != "1a" && name != "1b" {
-		return fmt.Errorf("unknown table %q (have 1a, 1b, 1t)", name)
+		return fmt.Errorf("unknown table %q (have 1a, 1b, 1t, 1m)", name)
 	}
 	res, err := experiments.Table1Workers(loops, iters, workers)
 	if err != nil {

@@ -48,6 +48,30 @@ func ExampleAutoTune() {
 	// best: p=2 k=2 -> 3.0 cycles/iteration on 2 processors
 }
 
+// ExampleNewMeasuredEvaluator tunes the Figure 7 loop by measured Sp:
+// every grid point is executed on the simulated MIMD machine for 5
+// seeded trials under communication fluctuation (mm = 3), and the
+// objective ranks what the machine actually delivered instead of the
+// compile-time scheduled rate.
+func ExampleNewMeasuredEvaluator() {
+	g := mimdloop.Figure7Loop().Graph
+	res, err := mimdloop.AutoTune(g, 100, mimdloop.TuneOptions{
+		Processors: []int{1, 2, 3, 4},
+		CommCosts:  []int{1, 2},
+		Evaluator:  mimdloop.NewMeasuredEvaluator(5, 3, 1),
+	})
+	if err != nil {
+		panic(err)
+	}
+	m := res.Best.Score.Measured
+	fmt.Printf("evaluator: %s\n", res.Evaluator)
+	fmt.Printf("best: p=%d k=%d, measured Sp %.1f%% over %d trials\n",
+		res.Best.Point.Processors, res.Best.Point.CommCost, m.SpMean, m.Trials)
+	// Output:
+	// evaluator: measured
+	// best: p=2 k=1, measured Sp 33.7% over 5 trials
+}
+
 // ExamplePipeline_batch schedules several loops at once with per-item
 // error isolation: the broken loop reports its own error while its
 // neighbours still come back with plans.

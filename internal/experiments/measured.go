@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mimdloop/internal/machine"
+	"mimdloop/internal/metrics"
+	"mimdloop/internal/pipeline"
+	"mimdloop/internal/workload"
+)
+
+// MeasuredRow is one random loop of the measured-tuning Table 1 variant:
+// the (p, k) winner picked by ranking the grid on the *scheduled* rate
+// (static, what PR 2 shipped) next to the winner picked by ranking on
+// *measured* Sp over repeated seeded trials on the simulated machine —
+// both then judged by the same measured yardstick.
+type MeasuredRow struct {
+	Loop  int // paper's loop number, 0-based seed-1
+	Nodes int
+	// StaticPoint / MeasuredPoint are the winning grid cells under each
+	// ranking.
+	StaticPoint   pipeline.Point
+	MeasuredPoint pipeline.Point
+	// StaticSp / MeasuredSp are the mean measured Sp of each winner over
+	// the same trials; MeasuredSp >= StaticSp by construction (the
+	// measured ranking optimizes exactly this quantity).
+	StaticSp   float64
+	MeasuredSp float64
+	// StaticSpread / MeasuredSpread are max-min Sp over the trials.
+	StaticSpread   float64
+	MeasuredSpread float64
+	// Agree reports both rankings picked the same grid cell.
+	Agree bool
+}
+
+// Table1MeasuredResult aggregates the measured-tuning experiment.
+type Table1MeasuredResult struct {
+	Rows []MeasuredRow
+	// Trials and Fluct echo the measurement protocol.
+	Trials int
+	Fluct  int
+	// StaticMean / MeasuredMean are mean measured Sp of the two rankings'
+	// winners; Gain is their difference (what measuring buys, in Sp
+	// percentage points).
+	StaticMean   float64
+	MeasuredMean float64
+	Gain         float64
+	// Agreements counts loops where both rankings picked the same cell.
+	Agreements int
+}
+
+// Table1Measured runs the measured-tuning variant of the Section 4
+// experiment: for each random loop the same (p, k) grid is auto-tuned
+// twice under the min-rate objective — once ranking by the static
+// scheduled rate, once by measured Sp from `trials` seeded simulations
+// under fluctuation mm on a machine whose true communication cost is 3 —
+// and both winners are then measured with identical trials. The gap
+// between the two means is exactly the value of evaluating on the
+// simulated machine instead of trusting the compile-time cost model
+// (cf. Baghdadi et al., arXiv:1111.6756, on static-only cost models
+// mispredicting the best variant). Loops run concurrently on up to
+// `workers` pool workers; every measurement is deterministic per loop.
+func Table1Measured(count, iters, trials, workers int) (*Table1MeasuredResult, error) {
+	if count < 1 || count > 25 {
+		return nil, fmt.Errorf("experiments: table 1 loop count %d, want 1..25", count)
+	}
+	if iters == 0 {
+		iters = 100
+	}
+	if trials == 0 {
+		trials = 5
+	}
+	res := &Table1MeasuredResult{
+		Rows:   make([]MeasuredRow, count),
+		Trials: trials,
+		Fluct:  measuredMM,
+	}
+	pipe := pipeline.New(pipeline.Config{})
+	errs := make([]error, count)
+	pipeline.RunPool(count, workers, func(i int) {
+		res.Rows[i], errs[i] = measuredRow(pipe, int64(i+1), iters, trials)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	var static, measured []float64
+	for _, row := range res.Rows {
+		static = append(static, row.StaticSp)
+		measured = append(measured, row.MeasuredSp)
+		if row.Agree {
+			res.Agreements++
+		}
+	}
+	res.StaticMean = metrics.Mean(static)
+	res.MeasuredMean = metrics.Mean(measured)
+	res.Gain = res.MeasuredMean - res.StaticMean
+	return res, nil
+}
+
+// measuredRow tunes one random loop under both rankings and scores both
+// winners with the same measured evaluator. The inner sweeps run
+// serially (Workers: 1) because loops are already evaluated in parallel
+// by the caller.
+func measuredRow(pipe *pipeline.Pipeline, seed int64, iters, trials int) (MeasuredRow, error) {
+	const trueCost = 3
+	var row MeasuredRow
+	g, err := workload.Random(workload.PaperSpec, seed)
+	if err != nil {
+		return row, err
+	}
+	row = MeasuredRow{Loop: int(seed - 1), Nodes: g.N()}
+
+	// The measured evaluator pins the machine's true communication cost
+	// to 3 whatever estimate k a grid cell scheduled with, and perturbs
+	// each message by [0, mm-1]; each trial reruns under a derived seed.
+	ev := &pipeline.MeasuredEvaluator{
+		Trials: trials,
+		Fluct:  measuredMM,
+		Seed:   seed,
+		Base:   machine.Config{Override: true, OverrideCost: trueCost},
+	}
+	grid := tunedGrid // same (p, k) search space as Table1Tuned
+	grid.Objective = pipeline.ObjectiveMinRate
+	grid.Workers = 1
+
+	static, err := pipe.AutoTune(g, iters, grid)
+	if err != nil {
+		return row, fmt.Errorf("experiments: loop %d static tune: %w", seed-1, err)
+	}
+	grid.Evaluator = ev
+	measured, err := pipe.AutoTune(g, iters, grid)
+	if err != nil {
+		return row, fmt.Errorf("experiments: loop %d measured tune: %w", seed-1, err)
+	}
+
+	row.StaticPoint = static.Best.Point
+	row.MeasuredPoint = measured.Best.Point
+	row.Agree = row.StaticPoint == row.MeasuredPoint
+
+	// Judge both winners by the same yardstick.
+	staticScore, err := pipe.Evaluate(ev, static.Best.Plan)
+	if err != nil {
+		return row, fmt.Errorf("experiments: loop %d static winner eval: %w", seed-1, err)
+	}
+	row.StaticSp = staticScore.Measured.SpMean
+	row.StaticSpread = staticScore.Measured.SpMax - staticScore.Measured.SpMin
+	m := measured.Best.Score.Measured
+	row.MeasuredSp = m.SpMean
+	row.MeasuredSpread = m.SpMax - m.SpMin
+	return row, nil
+}
+
+// measuredMM is the fluctuation amplitude of the experiment (Table 1's
+// middle setting, mm = 3).
+const measuredMM = 3
+
+// Format renders the comparison: both winners and their measured Sp.
+func (r *Table1MeasuredResult) Format() string {
+	t := &metrics.Table{Header: []string{
+		"loop", "static p,k", "Sp", "spread", "measured p,k", "Sp", "spread", "agree",
+	}}
+	point := func(p pipeline.Point) string {
+		return fmt.Sprintf("%d,%d", p.Processors, p.CommCost)
+	}
+	for _, row := range r.Rows {
+		agree := ""
+		if row.Agree {
+			agree = "="
+		}
+		t.AddRow(
+			fmt.Sprint(row.Loop),
+			point(row.StaticPoint), metrics.F1(row.StaticSp), metrics.F1(row.StaticSpread),
+			point(row.MeasuredPoint), metrics.F1(row.MeasuredSp), metrics.F1(row.MeasuredSpread),
+			agree,
+		)
+	}
+	t.AddRow("mean", "", metrics.F1(r.StaticMean), "", "", metrics.F1(r.MeasuredMean), "", "")
+	return t.String() + fmt.Sprintf(
+		"measured ranking (%d trials, mm=%d) gains %+.1f Sp points over static ranking; %d/%d winners agree\n",
+		r.Trials, r.Fluct, r.Gain, r.Agreements, len(r.Rows))
+}

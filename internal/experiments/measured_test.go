@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable1MeasuredInvariants(t *testing.T) {
+	res, err := Table1Measured(4, 50, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 || res.Trials != 3 || res.Fluct != 3 {
+		t.Fatalf("result shape: %+v", res)
+	}
+	for _, row := range res.Rows {
+		// The measured ranking optimizes measured Sp, so its winner can
+		// never measure below the static-ranked winner — the acceptance
+		// inequality of the experiment.
+		if row.MeasuredSp < row.StaticSp {
+			t.Errorf("loop %d: measured winner Sp %.2f < static winner Sp %.2f",
+				row.Loop, row.MeasuredSp, row.StaticSp)
+		}
+		if row.Agree != (row.StaticPoint == row.MeasuredPoint) {
+			t.Errorf("loop %d: agree flag inconsistent", row.Loop)
+		}
+		if row.Agree && row.MeasuredSp != row.StaticSp {
+			t.Errorf("loop %d: same winner, different Sp: %.2f vs %.2f",
+				row.Loop, row.MeasuredSp, row.StaticSp)
+		}
+		if row.StaticSpread < 0 || row.MeasuredSpread < 0 {
+			t.Errorf("loop %d: negative spread", row.Loop)
+		}
+	}
+	if res.Gain != res.MeasuredMean-res.StaticMean {
+		t.Fatalf("gain %.3f != %.3f - %.3f", res.Gain, res.MeasuredMean, res.StaticMean)
+	}
+	if res.Gain < 0 {
+		t.Fatalf("measured ranking lost to static ranking: gain %.3f", res.Gain)
+	}
+	out := res.Format()
+	for _, want := range []string{"static p,k", "measured p,k", "mean", "mm=3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+// Table1Measured is deterministic: worker count changes wall-clock only.
+func TestTable1MeasuredDeterministicAcrossWorkers(t *testing.T) {
+	a, err := Table1Measured(3, 40, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Table1Measured(3, 40, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Rows {
+		if a.Rows[i] != b.Rows[i] {
+			t.Fatalf("row %d differs across worker counts: %+v vs %+v", i, a.Rows[i], b.Rows[i])
+		}
+	}
+}

@@ -16,11 +16,51 @@ import (
 	"mimdloop/internal/program"
 )
 
+// FluctModel is the machine's communication-cost fluctuation: each
+// message's run-time latency is its compile-time cost plus an extra delay
+// in [0, MM-1], the paper's mm parameter. The extra is derived by hashing
+// the message identity together with Seed, so it is a pure function of
+// (model, message): independent of execution interleaving, identical on
+// every replay, and free of shared mutable state — concurrent simulations
+// (and concurrent trials of one plan) never contend on a global random
+// stream. Distinct seeds select distinct deterministic delay assignments,
+// which is what makes repeated-trial measurement (RunTrials) meaningful.
+type FluctModel struct {
+	// MM bounds the extra delay: each message is slowed by a value in
+	// [0, MM-1]. Values <= 1 mean no fluctuation.
+	MM int
+	// Seed selects the delay assignment.
+	Seed int64
+}
+
+// Delay returns the model's extra latency for one message. It is
+// deterministic per (model, key) and safe for concurrent use.
+func (m FluctModel) Delay(key program.MsgKey) int {
+	if m.MM <= 1 {
+		return 0
+	}
+	h := fnv.New64a()
+	var buf [40]byte
+	put := func(off int, v int64) {
+		for i := 0; i < 8; i++ {
+			buf[off+i] = byte(v >> (8 * i))
+		}
+	}
+	put(0, m.Seed)
+	put(8, int64(key.Node))
+	put(16, int64(key.Iter))
+	put(24, int64(key.From))
+	put(32, int64(key.To))
+	h.Write(buf[:])
+	return int(h.Sum64() % uint64(m.MM))
+}
+
 // Config controls run-time communication behaviour.
 type Config struct {
 	// Fluct is the paper's mm: each message's latency is its compile-time
 	// cost plus a deterministic pseudo-random extra in [0, mm-1]. Values
-	// <= 1 mean no fluctuation.
+	// <= 1 mean no fluctuation. Fluct and Seed together form the run's
+	// FluctModel.
 	Fluct int
 	// Seed selects the fluctuation stream.
 	Seed int64
@@ -71,6 +111,7 @@ func Run(g *graph.Graph, progs []program.Program, cfg Config) (*Stats, error) {
 	if cfg.Fluct < 0 {
 		return nil, fmt.Errorf("machine: negative fluctuation %d", cfg.Fluct)
 	}
+	model := FluctModel{MM: cfg.Fluct, Seed: cfg.Seed}
 	n := len(progs)
 	arrivals := make(map[program.MsgKey]int)
 	lastOnLink := make(map[[2]int]int)
@@ -96,7 +137,7 @@ func Run(g *graph.Graph, progs []program.Program, cfg Config) (*Stats, error) {
 					if cfg.Override {
 						cost = cfg.OverrideCost
 					}
-					delay := cost + fluct(cfg, key)
+					delay := cost + model.Delay(key)
 					arr := clock[p] + delay
 					if cfg.LinkFIFO {
 						link := [2]int{p, in.Peer}
@@ -143,29 +184,6 @@ func Run(g *graph.Graph, progs []program.Program, cfg Config) (*Stats, error) {
 		}
 	}
 	return stats, nil
-}
-
-// fluct derives the deterministic per-message extra delay in [0, mm-1].
-// Hashing the message identity (rather than drawing from a shared stream)
-// makes the delay independent of execution interleaving.
-func fluct(cfg Config, key program.MsgKey) int {
-	if cfg.Fluct <= 1 {
-		return 0
-	}
-	h := fnv.New64a()
-	var buf [40]byte
-	put := func(off int, v int64) {
-		for i := 0; i < 8; i++ {
-			buf[off+i] = byte(v >> (8 * i))
-		}
-	}
-	put(0, cfg.Seed)
-	put(8, int64(key.Node))
-	put(16, int64(key.Iter))
-	put(24, int64(key.From))
-	put(32, int64(key.To))
-	h.Write(buf[:])
-	return int(h.Sum64() % uint64(cfg.Fluct))
 }
 
 func deadlockError(progs []program.Program, pc []int) error {

@@ -1,0 +1,139 @@
+package machine
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"mimdloop/internal/program"
+)
+
+func TestFluctModelDeterministicPerMessage(t *testing.T) {
+	m := FluctModel{MM: 5, Seed: 7}
+	key := program.MsgKey{Node: 1, Iter: 2, From: 0, To: 1}
+	first := m.Delay(key)
+	for i := 0; i < 10; i++ {
+		if got := m.Delay(key); got != first {
+			t.Fatalf("delay changed across calls: %d then %d", first, got)
+		}
+	}
+	if first < 0 || first >= 5 {
+		t.Fatalf("delay %d outside [0, 4]", first)
+	}
+	if (FluctModel{MM: 1, Seed: 7}).Delay(key) != 0 {
+		t.Fatal("mm=1 must mean no fluctuation")
+	}
+	if (FluctModel{MM: 0, Seed: 7}).Delay(key) != 0 {
+		t.Fatal("mm=0 must mean no fluctuation")
+	}
+	// Distinct seeds must (for some message) assign distinct delays,
+	// otherwise trials would all measure the same run.
+	varies := false
+	for n := 0; n < 32 && !varies; n++ {
+		k := program.MsgKey{Node: n, Iter: n, From: 0, To: 1}
+		if (FluctModel{MM: 5, Seed: 1}).Delay(k) != (FluctModel{MM: 5, Seed: 2}).Delay(k) {
+			varies = true
+		}
+	}
+	if !varies {
+		t.Fatal("seeds 1 and 2 assign identical delays to 32 messages")
+	}
+}
+
+func TestTrialSeedDerivation(t *testing.T) {
+	if TrialSeed(42, 0) != 42 {
+		t.Fatal("trial 0 must use the base seed unchanged")
+	}
+	seen := map[int64]bool{}
+	for trial := 0; trial < 16; trial++ {
+		s := TrialSeed(42, trial)
+		if seen[s] {
+			t.Fatalf("trial seed %d repeats within 16 trials", s)
+		}
+		seen[s] = true
+		if s != TrialSeed(42, trial) {
+			t.Fatalf("trial %d seed not deterministic", trial)
+		}
+	}
+}
+
+func TestRunTrialsAggregates(t *testing.T) {
+	g := figure7(t)
+	progs, static := fig7Programs(t, 2)
+
+	// One fluctuation-free trial is exactly one plain Run.
+	one, err := RunTrials(g, progs, Config{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := Run(g, progs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.MakespanMin != single.Makespan || one.MakespanMax != single.Makespan ||
+		one.MakespanMean != float64(single.Makespan) {
+		t.Fatalf("1 trial fluct=0: %+v != single run makespan %d", one, single.Makespan)
+	}
+	if one.MakespanMax > static {
+		t.Fatalf("self-timed run %d beyond static makespan %d", one.MakespanMax, static)
+	}
+	if one.Messages != single.Messages {
+		t.Fatalf("messages %d != %d", one.Messages, single.Messages)
+	}
+	if one.Utilization <= 0 || one.Utilization > 1 {
+		t.Fatalf("utilization %v outside (0, 1]", one.Utilization)
+	}
+
+	// Under fluctuation the spread is ordered and repeatable.
+	ts, err := RunTrials(g, progs, Config{Fluct: 5, Seed: 3}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.MakespanMin > int(ts.MakespanMean) || float64(ts.MakespanMax) < ts.MakespanMean {
+		t.Fatalf("spread out of order: %+v", ts)
+	}
+	if ts.MakespanMin < single.Makespan {
+		t.Fatalf("fluctuation sped execution up: %d < %d", ts.MakespanMin, single.Makespan)
+	}
+	again, err := RunTrials(g, progs, Config{Fluct: 5, Seed: 3}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ts, again) {
+		t.Fatalf("repeat run differs: %+v vs %+v", ts, again)
+	}
+
+	if _, err := RunTrials(g, progs, Config{}, 0); err == nil {
+		t.Fatal("0 trials accepted")
+	}
+}
+
+// Concurrent trial runs share no state: this test exists to fail under
+// -race if the fluctuation path ever grows a shared random stream.
+func TestRunTrialsConcurrent(t *testing.T) {
+	g := figure7(t)
+	progs, _ := fig7Programs(t, 2)
+	want, err := RunTrials(g, progs, Config{Fluct: 5, Seed: 9}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	got := make([]*TrialStats, 8)
+	errs := make([]error, 8)
+	for i := range got {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i], errs[i] = RunTrials(g, progs, Config{Fluct: 5, Seed: 9}, 4)
+		}(i)
+	}
+	wg.Wait()
+	for i := range got {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if !reflect.DeepEqual(got[i], want) {
+			t.Fatalf("concurrent run %d differs: %+v vs %+v", i, got[i], want)
+		}
+	}
+}

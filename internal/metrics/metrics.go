@@ -11,10 +11,17 @@ import (
 // where s and p are sequential and parallel execution times. Negative
 // values mean the parallel execution was slower.
 func PercentParallelism(seq, par int) float64 {
+	return PercentParallelismF(seq, float64(par))
+}
+
+// PercentParallelismF is PercentParallelism for a fractional parallel
+// time — e.g. a mean makespan over repeated trials. Both spellings share
+// this one formula.
+func PercentParallelismF(seq int, par float64) float64 {
 	if seq <= 0 {
 		return 0
 	}
-	return float64(seq-par) / float64(seq) * 100
+	return (float64(seq) - par) / float64(seq) * 100
 }
 
 // ClampZero reports a percentage the way the paper's tables do: a scheduler

@@ -89,3 +89,39 @@ func BenchmarkSweepConcurrent(b *testing.B) {
 		}
 	}
 }
+
+// The tune-latency guard pair: static tuning reads plan summaries only,
+// measured tuning additionally runs trials on the simulated machine, so
+// the measured/static gap is the price of measurement per tune. Run with
+// -benchtime=1x in CI so regressions in either path fail loudly; compare
+// the two to size eval caps (the serving trial budget assumes a measured
+// point costs a small multiple of a static one).
+var tuneGrid = TuneOptions{Processors: []int{1, 2, 3, 4}, CommCosts: []int{1, 2, 3}}
+
+// BenchmarkAutoTuneStatic is the PR 2 tuning path: grid scheduling plus
+// scheduled-rate ranking, warm cache after the first iteration.
+func BenchmarkAutoTuneStatic(b *testing.B) {
+	g := workload.Figure7().Graph
+	p := New(Config{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.AutoTune(g, 100, tuneGrid); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAutoTuneMeasured is the same grid ranked by measured Sp over
+// 5 seeded trials per point.
+func BenchmarkAutoTuneMeasured(b *testing.B) {
+	g := workload.Figure7().Graph
+	p := New(Config{})
+	opt := tuneGrid
+	opt.Evaluator = &MeasuredEvaluator{Trials: 5, Fluct: 3, Seed: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.AutoTune(g, 100, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -20,9 +20,23 @@ import (
 // scheduler's intermediate state (per-component Cyclic-sched results,
 // classification) deliberately does not — it is re-derivable and only
 // needed to *construct* plans, never to serve them.
+//
+// Version history:
+//
+//	1 — the PR 3 format: key, ingredients, serving summary, schedule,
+//	    programs.
+//	2 — adds the optional "measured" block (MeasuredStats): the plan's
+//	    most recent measured evaluation on the simulated machine.
+//	    Version-1 records still decode (they simply carry no
+//	    measurement); version-2 records without a measurement are
+//	    byte-compatible with version 1 apart from the header.
 const (
 	planRecordFormat  = "mimdloop/plan"
-	planRecordVersion = 1
+	planRecordVersion = 2
+
+	// planRecordMinVersion is the oldest record version DecodePlan still
+	// accepts.
+	planRecordMinVersion = 1
 )
 
 // planRecord is the wire form of one persisted plan.
@@ -46,6 +60,10 @@ type planRecord struct {
 	GreedyFallback bool `json:"greedy_fallback"`
 
 	Pattern *PatternInfo `json:"pattern,omitempty"`
+
+	// Measured is the plan's last measured evaluation (version >= 2;
+	// omitted when the plan was only ever scored statically).
+	Measured *MeasuredStats `json:"measured,omitempty"`
 
 	Schedule json.RawMessage   `json:"schedule"`
 	Programs []program.Program `json:"programs"`
@@ -76,6 +94,7 @@ func EncodePlan(p *Plan) ([]byte, error) {
 		Folded:         p.Schedule.Folded,
 		GreedyFallback: p.Schedule.GreedyFallback,
 		Pattern:        p.Pattern(),
+		Measured:       p.Measured(),
 		Schedule:       sched,
 		Programs:       p.Programs,
 	})
@@ -97,8 +116,9 @@ func DecodePlan(data []byte) (key string, p *Plan, err error) {
 	if rec.Format != planRecordFormat {
 		return "", nil, fmt.Errorf("pipeline: plan record format %q, want %q", rec.Format, planRecordFormat)
 	}
-	if rec.Version != planRecordVersion {
-		return "", nil, fmt.Errorf("pipeline: plan record version %d, want %d", rec.Version, planRecordVersion)
+	if rec.Version < planRecordMinVersion || rec.Version > planRecordVersion {
+		return "", nil, fmt.Errorf("pipeline: plan record version %d, want %d..%d",
+			rec.Version, planRecordMinVersion, planRecordVersion)
 	}
 	if rec.Key == "" || rec.GraphHash == "" {
 		return "", nil, errors.New("pipeline: plan record missing key")
@@ -138,6 +158,9 @@ func DecodePlan(data []byte) (key string, p *Plan, err error) {
 		procs:    rec.Procs,
 		rate:     rec.Rate,
 		pattern:  rec.Pattern,
+	}
+	if rec.Measured != nil {
+		p.SetMeasured(rec.Measured)
 	}
 	// Seed the memoized wire encoding with the record's own bytes, so a
 	// disk-loaded plan serves byte-identical schedule JSON without ever

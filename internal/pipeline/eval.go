@@ -1,0 +1,208 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"mimdloop/internal/machine"
+	"mimdloop/internal/metrics"
+)
+
+// Evaluator scores a plan's "goodness". Every consumer of plan quality —
+// Sweep, AutoTune objectives, batch summaries, the HTTP tune endpoint,
+// the experiments — goes through this interface instead of reading the
+// scheduled rate directly, so how a plan is judged is a pluggable policy:
+//
+//   - StaticEvaluator reports the compile-time scheduled rate (the
+//     paper's cycles/iteration from the verified pattern) — free, exact
+//     for the cost model, blind to communication fluctuation.
+//   - MeasuredEvaluator lowers the plan to per-processor programs and
+//     executes them on the simulated MIMD machine for R seeded trials
+//     under a fluctuation model, reporting what actually happens when the
+//     communication estimate is wrong (the paper's Table 1 protocol).
+//
+// Evaluators must be pure per (evaluator value, plan): deterministic and
+// safe for concurrent use, which is what lets Sweep fan evaluations out
+// on a worker pool without changing results.
+type Evaluator interface {
+	// Name is the evaluator's wire name ("static", "measured"), echoed in
+	// tune replies and stats.
+	Name() string
+	// Evaluate scores one plan. Implementations must not mutate the plan
+	// beyond Plan.SetMeasured.
+	Evaluate(p *Plan) (Score, error)
+}
+
+// Score is one evaluator's verdict on a plan. Rate is the quantity
+// AutoTune objectives rank by: for StaticEvaluator it equals Plan.Rate()
+// exactly; for MeasuredEvaluator it is the mean simulated makespan per
+// iteration, so tuning optimizes measured Sp rather than the scheduled
+// rate (Sp and Rate are inverse views of the same measurement: lower
+// measured rate ⇔ higher measured Sp).
+type Score struct {
+	// Rate is cycles/iteration under this evaluator.
+	Rate float64
+	// Procs is the processors the plan occupies (same for all evaluators).
+	Procs int
+	// Measured carries the trial spread for evaluators that executed the
+	// plan; nil for static scoring.
+	Measured *MeasuredStats
+}
+
+// MeasuredStats is the wire form of a measured evaluation: the machine
+// parameters it ran under and the Sp/makespan spread over the trials.
+// It is embedded in tune replies, `?simulate=1` schedule replies, and
+// version-2 plan records.
+type MeasuredStats struct {
+	// Trials, Fluct and Seed echo the evaluation parameters, making the
+	// stats self-describing wherever they are persisted.
+	Trials int   `json:"trials"`
+	Fluct  int   `json:"fluct"`
+	Seed   int64 `json:"seed"`
+	// Sp spread: percentage parallelism vs the sequential schedule,
+	// clamped at 0 like the paper's tables. SpMin corresponds to the
+	// worst (largest) makespan.
+	SpMin  float64 `json:"sp_min"`
+	SpMean float64 `json:"sp_mean"`
+	SpMax  float64 `json:"sp_max"`
+	// Makespan spread over the trials, in cycles.
+	MakespanMin  int     `json:"makespan_min"`
+	MakespanMax  int     `json:"makespan_max"`
+	MakespanMean float64 `json:"makespan_mean"`
+	// Utilization is mean busy/(makespan×procs) over the trials.
+	Utilization float64 `json:"utilization"`
+}
+
+// StaticEvaluator scores plans by their compile-time scheduled rate —
+// the exact math Sweep and AutoTune used before evaluators existed,
+// extracted behind the interface and test-pinned to produce identical
+// results.
+type StaticEvaluator struct{}
+
+// Name implements Evaluator.
+func (StaticEvaluator) Name() string { return "static" }
+
+// Evaluate implements Evaluator.
+func (StaticEvaluator) Evaluate(p *Plan) (Score, error) {
+	return Score{Rate: p.Rate(), Procs: p.Procs()}, nil
+}
+
+// MeasuredEvaluator scores plans by executing their lowered programs on
+// the simulated MIMD machine (internal/machine) for Trials repeated runs
+// under a seeded fluctuation model. The returned Score.Rate is the mean
+// measured makespan per iteration, so AutoTune under any objective ranks
+// by what the machine actually did — including communication-cost
+// fluctuation the static cost model cannot see. Evaluations are
+// deterministic per (evaluator, plan) and safe to run concurrently.
+type MeasuredEvaluator struct {
+	// Trials is the number of seeded runs to aggregate. 0 means 5.
+	Trials int
+	// Fluct is the paper's mm: per-message extra delay in [0, mm-1].
+	Fluct int
+	// Seed selects the fluctuation streams (trial t runs under
+	// machine.TrialSeed(Seed, t)).
+	Seed int64
+	// Base supplies the remaining machine settings (LinkFIFO, Override);
+	// its Fluct and Seed fields are overwritten by the evaluator's own.
+	Base machine.Config
+	// Transient marks a probe: the plan is measured and the score
+	// reported, but the plan is not annotated and nothing is persisted.
+	// The /v1/schedule?simulate=1 path sets it so an ad-hoc 1-trial
+	// probe never overwrites a tune's stored measurement.
+	Transient bool
+}
+
+// DefaultEvalTrials is the trial count a measured evaluation runs when
+// none is given — here, in the HTTP eval block, and in the CLI.
+const DefaultEvalTrials = 5
+
+// NewMeasuredEvaluator returns a measured evaluator running `trials`
+// seeded simulations per plan with fluctuation mm.
+func NewMeasuredEvaluator(trials, fluct int, seed int64) *MeasuredEvaluator {
+	return &MeasuredEvaluator{Trials: trials, Fluct: fluct, Seed: seed}
+}
+
+// Name implements Evaluator.
+func (e *MeasuredEvaluator) Name() string { return "measured" }
+
+// Evaluate implements Evaluator: it runs the plan's programs through
+// machine.RunTrials and converts the makespan spread to Sp against the
+// sequential schedule of the plan's own graph and iteration count. The
+// stats are also attached to the plan (Plan.Measured), so durable stores
+// persist the last measurement alongside the schedule (plan codec v2).
+func (e *MeasuredEvaluator) Evaluate(p *Plan) (Score, error) {
+	trials := e.Trials
+	if trials == 0 {
+		trials = DefaultEvalTrials
+	}
+	// Without fluctuation every trial is bit-identical (FluctModel is the
+	// only per-trial variation), so one run measures them all — the
+	// spread collapses and the stats honestly report the single trial.
+	if e.Fluct <= 1 {
+		trials = 1
+	}
+	g := p.Schedule.Graph
+	cfg := e.Base
+	cfg.Fluct = e.Fluct
+	cfg.Seed = e.Seed
+	ts, err := machine.RunTrials(g, p.Programs, cfg, trials)
+	if err != nil {
+		return Score{}, fmt.Errorf("pipeline: measured evaluation: %w", err)
+	}
+	if p.Iterations <= 0 {
+		return Score{}, fmt.Errorf("pipeline: measured evaluation of a %d-iteration plan", p.Iterations)
+	}
+	seq := p.Iterations * g.TotalLatency()
+	ms := &MeasuredStats{
+		Trials:       ts.Trials,
+		Fluct:        e.Fluct,
+		Seed:         e.Seed,
+		SpMin:        metrics.ClampZero(metrics.PercentParallelism(seq, ts.MakespanMax)),
+		SpMean:       metrics.ClampZero(metrics.PercentParallelismF(seq, ts.MakespanMean)),
+		SpMax:        metrics.ClampZero(metrics.PercentParallelism(seq, ts.MakespanMin)),
+		MakespanMin:  ts.MakespanMin,
+		MakespanMax:  ts.MakespanMax,
+		MakespanMean: ts.MakespanMean,
+		Utilization:  ts.Utilization,
+	}
+	if !e.Transient {
+		p.SetMeasured(ms)
+	}
+	return Score{
+		Rate:     ts.MakespanMean / float64(p.Iterations),
+		Procs:    p.Procs(),
+		Measured: ms,
+	}, nil
+}
+
+// Evaluate scores plan under ev (nil means StaticEvaluator), counting
+// the evaluation — and, for measured evaluators, its trials — in the
+// pipeline's Stats. All pipeline consumers (Sweep, AutoTune, the HTTP
+// server's tune/simulate/batch paths) evaluate through here, so the
+// counters are a complete picture of scoring activity.
+func (p *Pipeline) Evaluate(ev Evaluator, plan *Plan) (Score, error) {
+	if ev == nil {
+		ev = StaticEvaluator{}
+	}
+	prev := plan.Measured()
+	score, err := ev.Evaluate(plan)
+	if err != nil {
+		return score, err
+	}
+	if score.Measured != nil {
+		p.measuredEvals.Add(1)
+		p.evalTrials.Add(uint64(score.Measured.Trials))
+		// Re-put the plan when the evaluation annotated it (transient
+		// probes do not), so durable tiers rewrite its record with the
+		// measurement: the original Put ran at compute time, before any
+		// evaluation, so without this write-through the codec's v2
+		// measured block would never reach disk. Repeat evaluations are
+		// deterministic, so an unchanged annotation skips the rewrite
+		// (with a disk tier each Put is an fsync'd file).
+		if m := plan.Measured(); m != nil && !p.cfg.DisableCache && (prev == nil || *prev != *m) {
+			p.store.Put(PlanKey(plan.GraphHash, plan.Opts, plan.Iterations), plan)
+		}
+	} else {
+		p.staticEvals.Add(1)
+	}
+	return score, nil
+}

@@ -1,0 +1,376 @@
+package pipeline
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"mimdloop/internal/machine"
+	"mimdloop/internal/workload"
+)
+
+// TestStaticEvaluatorPinsScheduledRate pins the extraction: scoring
+// through StaticEvaluator is byte-identical to reading the plan's
+// scheduled rate and processor count directly, at every Figure-7 grid
+// point.
+func TestStaticEvaluatorPinsScheduledRate(t *testing.T) {
+	g := workload.Figure7().Graph
+	p := New(Config{})
+	for _, r := range p.Sweep(g, Grid([]int{1, 2, 3, 4}, []int{0, 1, 2, 3}), SweepOptions{}) {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		if r.Score.Rate != r.Plan.Rate() || r.Score.Procs != r.Plan.Procs() {
+			t.Fatalf("point %+v: static score %+v != plan rate %v procs %d",
+				r.Point, r.Score, r.Plan.Rate(), r.Plan.Procs())
+		}
+		if r.Score.Measured != nil {
+			t.Fatalf("point %+v: static score carries measured stats", r.Point)
+		}
+		if r.Rate != r.Score.Rate {
+			t.Fatalf("point %+v: Result.Rate %v != static score %v", r.Point, r.Rate, r.Score.Rate)
+		}
+	}
+}
+
+// TestMeasuredFluct0RanksLikeStatic is the property test of the issue:
+// with no fluctuation and a single trial, the measured evaluator must
+// rank every Figure-7 grid point identically to the static evaluator —
+// AutoTune under every objective picks the same winner from the same
+// grid, and per point the measured makespan never contradicts the static
+// ordering that tuning relies on.
+func TestMeasuredFluct0RanksLikeStatic(t *testing.T) {
+	g := workload.Figure7().Graph
+	procs := []int{1, 2, 3, 4, 5}
+	costs := []int{0, 1, 2, 3, 4}
+	for _, obj := range []Objective{ObjectiveMinRate, ObjectiveMinProcs, ObjectiveEfficiency} {
+		static, err := New(Config{}).AutoTune(g, 100, TuneOptions{
+			Processors: procs, CommCosts: costs, Objective: obj,
+		})
+		if err != nil {
+			t.Fatalf("%v static: %v", obj, err)
+		}
+		measured, err := New(Config{}).AutoTune(g, 100, TuneOptions{
+			Processors: procs, CommCosts: costs, Objective: obj,
+			Evaluator: &MeasuredEvaluator{Trials: 1, Fluct: 0},
+		})
+		if err != nil {
+			t.Fatalf("%v measured: %v", obj, err)
+		}
+		if static.Best.Point != measured.Best.Point {
+			t.Errorf("%v: static winner %+v != fluct-free measured winner %+v",
+				obj, static.Best.Point, measured.Best.Point)
+		}
+		if measured.Evaluator != "measured" || static.Evaluator != "static" {
+			t.Errorf("evaluator echo: %q / %q", static.Evaluator, measured.Evaluator)
+		}
+		// Point by point, the fluctuation-free measured rate is bounded by
+		// the static rate (the machine is self-timed: it can beat the
+		// static schedule, never lose to it) and the measured block is
+		// filled.
+		for i, mr := range measured.Results {
+			sr := static.Results[i]
+			if mr.Err != nil || sr.Err != nil {
+				t.Fatalf("point %+v: err %v / %v", mr.Point, mr.Err, sr.Err)
+			}
+			if mr.Score.Measured == nil || mr.Score.Measured.Trials != 1 {
+				t.Fatalf("point %+v: measured stats missing: %+v", mr.Point, mr.Score)
+			}
+			if mr.SimMakespan != mr.Score.Measured.MakespanMin || mr.Score.Measured.MakespanMin != mr.Score.Measured.MakespanMax {
+				t.Fatalf("point %+v: single fluct-free trial has spread: %+v", mr.Point, mr.Score.Measured)
+			}
+			if mr.SimMakespan > mr.Plan.Makespan() {
+				t.Fatalf("point %+v: measured makespan %d beyond static %d",
+					mr.Point, mr.SimMakespan, mr.Plan.Makespan())
+			}
+			if mr.Rate != sr.Rate {
+				t.Fatalf("point %+v: static Rate drifted under measured evaluation: %v vs %v",
+					mr.Point, mr.Rate, sr.Rate)
+			}
+		}
+	}
+}
+
+// TestMeasuredWinnerBeatsStaticWinner is the acceptance criterion: under
+// fluctuation (>= 5 seeded trials, fluct > 0), the measured-ranked
+// winner's measured Sp must be at least the measured Sp of the
+// static-ranked winner on the Figure-7 loop.
+func TestMeasuredWinnerBeatsStaticWinner(t *testing.T) {
+	g := workload.Figure7().Graph
+	procs := []int{1, 2, 3, 4, 5}
+	costs := []int{0, 1, 2, 3, 4}
+	ev := &MeasuredEvaluator{Trials: 5, Fluct: 3, Seed: 1}
+
+	pipe := New(Config{})
+	static, err := pipe.AutoTune(g, 100, TuneOptions{Processors: procs, CommCosts: costs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	measured, err := pipe.AutoTune(g, 100, TuneOptions{
+		Processors: procs, CommCosts: costs, Evaluator: ev,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Score the static winner with the same measured evaluator.
+	staticScore, err := pipe.Evaluate(ev, static.Best.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := measured.Best.Score.Measured
+	if got == nil || got.Trials != 5 {
+		t.Fatalf("measured winner carries no 5-trial stats: %+v", measured.Best.Score)
+	}
+	if got.SpMean < staticScore.Measured.SpMean {
+		t.Fatalf("measured-ranked winner Sp %.2f%% < static-ranked winner Sp %.2f%%",
+			got.SpMean, staticScore.Measured.SpMean)
+	}
+	if got.SpMin > got.SpMean || got.SpMean > got.SpMax {
+		t.Fatalf("Sp spread out of order: %+v", got)
+	}
+}
+
+// TestSimulateSweepStillWorks pins the pre-Evaluator Simulate spelling:
+// it must behave as a 1-trial measured evaluation with the provided
+// machine config.
+func TestSimulateSweepStillWorks(t *testing.T) {
+	g := workload.Figure7().Graph
+	points := Grid([]int{2, 3}, []int{2, 3})
+	sim := New(Config{}).Sweep(g, points, SweepOptions{
+		Simulate:      true,
+		MachineConfig: machine.Config{Fluct: 3, Seed: 7},
+	})
+	ev := New(Config{}).Sweep(g, points, SweepOptions{
+		Evaluator: &MeasuredEvaluator{Trials: 1, Fluct: 3, Seed: 7},
+	})
+	for i := range sim {
+		if sim[i].Err != nil || ev[i].Err != nil {
+			t.Fatal(sim[i].Err, ev[i].Err)
+		}
+		if sim[i].SimMakespan != ev[i].SimMakespan || sim[i].Sp != ev[i].Sp {
+			t.Fatalf("point %+v: Simulate %d/%v != evaluator %d/%v",
+				sim[i].Point, sim[i].SimMakespan, sim[i].Sp, ev[i].SimMakespan, ev[i].Sp)
+		}
+		// Like the pre-Evaluator path it replaces, Simulate reads
+		// measurements without annotating the plans it touched.
+		if sim[i].Plan.Measured() != nil {
+			t.Fatalf("point %+v: Simulate sweep annotated the plan", sim[i].Point)
+		}
+	}
+}
+
+// TestEvaluatorCounters checks Stats.Evals: static and measured
+// evaluations (and their trials) are counted across Sweep and AutoTune.
+func TestEvaluatorCounters(t *testing.T) {
+	g := workload.Figure7().Graph
+	p := New(Config{})
+	points := Grid([]int{2, 3}, []int{2})
+	if r := p.Sweep(g, points, SweepOptions{}); r[0].Err != nil || r[1].Err != nil {
+		t.Fatal(r[0].Err, r[1].Err)
+	}
+	st := p.Stats()
+	if st.Evals.Static != 2 || st.Evals.Measured != 0 || st.Evals.Trials != 0 {
+		t.Fatalf("after static sweep: %+v", st.Evals)
+	}
+	if r := p.Sweep(g, points, SweepOptions{Evaluator: &MeasuredEvaluator{Trials: 3, Fluct: 2, Seed: 1}}); r[0].Err != nil {
+		t.Fatal(r[0].Err)
+	}
+	st = p.Stats()
+	if st.Evals.Static != 2 || st.Evals.Measured != 2 || st.Evals.Trials != 6 {
+		t.Fatalf("after measured sweep: %+v", st.Evals)
+	}
+}
+
+// TestMeasuredFluctFreeCollapsesTrials: with fluct <= 1 every trial is
+// bit-identical, so the evaluator runs (and reports, and counts) one.
+func TestMeasuredFluctFreeCollapsesTrials(t *testing.T) {
+	g := workload.Figure7().Graph
+	p := New(Config{})
+	plan, _, err := p.Schedule(g, fig7Opts, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	score, err := p.Evaluate(&MeasuredEvaluator{Trials: 8, Fluct: 0}, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score.Measured.Trials != 1 {
+		t.Fatalf("fluct-free evaluation ran %d trials, want 1", score.Measured.Trials)
+	}
+	if st := p.Stats(); st.Evals.Trials != 1 {
+		t.Fatalf("counted %d trials, want 1", st.Evals.Trials)
+	}
+}
+
+// TestMeasuredEvaluationReputsAnnotatedPlan: the plan's original store
+// Put happens at compute time, before any evaluation, so Evaluate must
+// write the annotated plan through again — that re-put is what carries
+// the measurement into durable tiers (codec v2).
+func TestMeasuredEvaluationReputsAnnotatedPlan(t *testing.T) {
+	g := workload.Figure7().Graph
+	p := New(Config{})
+	plan, _, err := p.Schedule(g, fig7Opts, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	puts := p.Store().Stats().Puts
+	if _, err := p.Evaluate(StaticEvaluator{}, plan); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Store().Stats().Puts; got != puts {
+		t.Fatalf("static evaluation wrote the store: %d puts, was %d", got, puts)
+	}
+	if _, err := p.Evaluate(&MeasuredEvaluator{Trials: 2, Fluct: 3, Seed: 1}, plan); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Store().Stats().Puts; got != puts+1 {
+		t.Fatalf("measured evaluation did not re-put the plan: %d puts, was %d", got, puts)
+	}
+	// A repeat of the identical (deterministic) evaluation changes
+	// nothing and must not rewrite the store again.
+	if _, err := p.Evaluate(&MeasuredEvaluator{Trials: 2, Fluct: 3, Seed: 1}, plan); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Store().Stats().Puts; got != puts+1 {
+		t.Fatalf("unchanged annotation re-put the plan: %d puts, want %d", got, puts+1)
+	}
+	// A different measurement does.
+	if _, err := p.Evaluate(&MeasuredEvaluator{Trials: 2, Fluct: 3, Seed: 2}, plan); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Store().Stats().Puts; got != puts+2 {
+		t.Fatalf("changed annotation not re-put: %d puts, want %d", got, puts+2)
+	}
+	// The stored plan now carries the measurement, so a durable tier
+	// would encode a v2 record with the measured block.
+	stored, ok := p.Store().Get(PlanKey(plan.GraphHash, plan.Opts, plan.Iterations))
+	if !ok || stored.Measured() == nil {
+		t.Fatalf("stored plan lost the annotation (ok=%v)", ok)
+	}
+}
+
+// TestTransientEvaluationLeavesPlanAlone: a transient probe (the
+// ?simulate=1 path) reports its measurement but neither annotates the
+// plan nor rewrites the store — an ad-hoc probe must never clobber a
+// tune's persisted measurement.
+func TestTransientEvaluationLeavesPlanAlone(t *testing.T) {
+	g := workload.Figure7().Graph
+	p := New(Config{})
+	plan, _, err := p.Schedule(g, fig7Opts, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A deliberate tune-style measurement annotates the plan first.
+	if _, err := p.Evaluate(&MeasuredEvaluator{Trials: 4, Fluct: 3, Seed: 1}, plan); err != nil {
+		t.Fatal(err)
+	}
+	want := plan.Measured()
+	puts := p.Store().Stats().Puts
+
+	score, err := p.Evaluate(&MeasuredEvaluator{Trials: 1, Fluct: 0, Transient: true}, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score.Measured == nil || score.Measured.Trials != 1 {
+		t.Fatalf("transient probe returned no measurement: %+v", score)
+	}
+	if plan.Measured() != want {
+		t.Fatalf("transient probe overwrote the annotation: %+v", plan.Measured())
+	}
+	if got := p.Store().Stats().Puts; got != puts {
+		t.Fatalf("transient probe rewrote the store: %d puts, was %d", got, puts)
+	}
+	if st := p.Stats(); st.Evals.Measured != 2 {
+		t.Fatalf("transient probe not counted: %+v", st.Evals)
+	}
+}
+
+// TestPlanCodecV2MeasuredRoundTrip: a plan annotated with a measured
+// evaluation persists it through encode/decode, and the decoded plan
+// re-encodes byte-identically.
+func TestPlanCodecV2MeasuredRoundTrip(t *testing.T) {
+	g := workload.Figure7().Graph
+	p := New(Config{})
+	plan, _, err := p.Schedule(g, fig7Opts, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Evaluate(&MeasuredEvaluator{Trials: 4, Fluct: 3, Seed: 9}, plan); err != nil {
+		t.Fatal(err)
+	}
+	if plan.Measured() == nil {
+		t.Fatal("measured evaluation did not annotate the plan")
+	}
+	data, err := EncodePlan(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(data, []byte(`"version":2`)) || !bytes.Contains(data, []byte(`"measured"`)) {
+		t.Fatalf("record is not a measured v2 record: %s", data[:120])
+	}
+	key, got, err := DecodePlan(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != PlanKey(plan.GraphHash, plan.Opts, plan.Iterations) {
+		t.Fatalf("key %q", key)
+	}
+	if *got.Measured() != *plan.Measured() {
+		t.Fatalf("measured stats did not round-trip: %+v vs %+v", got.Measured(), plan.Measured())
+	}
+	data2, err := EncodePlan(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Fatal("re-encoded v2 record not byte-identical")
+	}
+}
+
+// TestPlanCodecDecodesV1 pins backward compatibility: a version-1 record
+// (the PR 3 format, no measured block) must still decode and serve.
+func TestPlanCodecDecodesV1(t *testing.T) {
+	g := workload.Figure7().Graph
+	plan, _, err := New(Config{}).Schedule(g, fig7Opts, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodePlan(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the header to version 1. The plan was never measured, so
+	// the rest of the record is exactly the PR 3 format.
+	var rec map[string]json.RawMessage
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if _, hasMeasured := rec["measured"]; hasMeasured {
+		t.Fatal("unmeasured plan encoded a measured block")
+	}
+	v1 := bytes.Replace(data, []byte(`"version":2`), []byte(`"version":1`), 1)
+	key, got, err := DecodePlan(v1)
+	if err != nil {
+		t.Fatalf("v1 record no longer decodes: %v", err)
+	}
+	if key != PlanKey(plan.GraphHash, plan.Opts, plan.Iterations) {
+		t.Fatalf("v1 key %q", key)
+	}
+	if got.Measured() != nil {
+		t.Fatal("v1 record grew measured stats from nowhere")
+	}
+	if got.Rate() != plan.Rate() || got.Procs() != plan.Procs() || got.Makespan() != plan.Makespan() {
+		t.Fatal("v1 serving summary differs")
+	}
+	js1, err := plan.ScheduleJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	js2, err := got.ScheduleJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(js1, js2) {
+		t.Fatal("v1 schedule JSON not byte-identical")
+	}
+}

@@ -92,7 +92,23 @@ type Plan struct {
 	schedJSONOnce sync.Once
 	schedJSON     []byte
 	schedJSONErr  error
+
+	// measured is the most recent measured evaluation of this plan (nil
+	// until a MeasuredEvaluator runs it). It is an annotation, not part
+	// of the plan's identity: the cache key ignores it, and version-2
+	// plan records persist it so a reloaded plan remembers its last
+	// measurement. Atomic because plans are shared between concurrent
+	// evaluations.
+	measured atomic.Pointer[MeasuredStats]
 }
+
+// Measured returns the plan's most recent measured evaluation, or nil if
+// it has only ever been scored statically.
+func (p *Plan) Measured() *MeasuredStats { return p.measured.Load() }
+
+// SetMeasured attaches a measured evaluation to the plan. The stats must
+// not be mutated afterwards (they are shared with concurrent readers).
+func (p *Plan) SetMeasured(ms *MeasuredStats) { p.measured.Store(ms) }
 
 // ScheduleJSON returns the plan's composed schedule in the internal/plan
 // wire format, marshaled once per Plan.
@@ -132,6 +148,18 @@ type Stats struct {
 	// Store is the storage layer's own snapshot (nested per-tier for a
 	// TieredStore).
 	Store StoreStats `json:"store"`
+	// Evals counts plan evaluations by evaluator kind.
+	Evals EvalStats `json:"evals"`
+}
+
+// EvalStats counts how plans were scored: Static and Measured are
+// evaluator invocations (every Sweep/AutoTune grid point, batch summary
+// and simulate request is one), Trials the simulated machine runs the
+// measured evaluations cost.
+type EvalStats struct {
+	Static   uint64 `json:"static"`
+	Measured uint64 `json:"measured"`
+	Trials   uint64 `json:"trials"`
 }
 
 // HitRate returns hits / (hits + misses), or 0 before any traffic.
@@ -152,6 +180,10 @@ type Pipeline struct {
 	hits     atomic.Uint64
 	misses   atomic.Uint64
 	computes atomic.Uint64
+
+	staticEvals   atomic.Uint64
+	measuredEvals atomic.Uint64
+	evalTrials    atomic.Uint64
 
 	// flight collapses concurrent misses for one key into a single
 	// computation. It wraps the store: the winning goroutine builds the
@@ -374,6 +406,11 @@ func (p *Pipeline) Stats() Stats {
 		Evictions: st.TotalEvictions(),
 		Entries:   st.Entries,
 		Store:     st,
+		Evals: EvalStats{
+			Static:   p.staticEvals.Load(),
+			Measured: p.measuredEvals.Load(),
+			Trials:   p.evalTrials.Load(),
+		},
 	}
 }
 

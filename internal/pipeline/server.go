@@ -7,7 +7,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"runtime"
+	"strconv"
 	"strings"
 
 	"mimdloop/internal/core"
@@ -50,6 +52,18 @@ const (
 	maxBatchItems = 64
 	maxTunePoints = 128
 
+	// Measured-evaluation caps. Each trial is one full simulated-machine
+	// run of a plan — O(iterations × nodes) work again on top of
+	// scheduling — so the trial count is capped per request and the
+	// total simulation budget of a tune (grid points × trials, the grid
+	// sized as AutoTune will actually run it) is capped alongside the
+	// grid cap: a request can spend its 128 points statically, or fewer
+	// points measured more thoroughly, but never 128 × 32 simulations.
+	// Fluctuation amplitude is capped like the comm cost it perturbs.
+	maxEvalTrials     = 32
+	maxTuneTrialCells = 1024 // grid points × trials ceiling
+	maxEvalFluct      = maxCommCost
+
 	// aggregateWorkers bounds the internal pool of one batch or tune
 	// computation, so an admitted aggregate request cannot fan out to
 	// unbounded parallel scheduling on its own.
@@ -91,18 +105,35 @@ func (r *ScheduleRequest) params() (core.Options, int) {
 // serving caps; on failure the int is the HTTP status to report.
 func (r *ScheduleRequest) check() (int, error) {
 	opts, n := r.params()
-	switch {
-	case n < 0 || n > maxIterations:
-		return http.StatusBadRequest,
-			fmt.Errorf("iterations %d out of range [1, %d]", n, maxIterations)
-	case opts.Processors < 0 || opts.Processors > maxProcessors:
-		return http.StatusBadRequest,
-			fmt.Errorf("processors %d out of range [0, %d]", opts.Processors, maxProcessors)
-	case opts.CommCost < 0 || opts.CommCost > maxCommCost:
-		return http.StatusBadRequest,
-			fmt.Errorf("comm_cost %d out of range [0, %d]", opts.CommCost, maxCommCost)
+	if status, err := checkScheduleParams(n, []int{opts.Processors}, []int{opts.CommCost}); err != nil {
+		return status, err
 	}
 	return checkSource(r.Source)
+}
+
+// checkScheduleParams is the one scalar-range validator behind every
+// scheduling endpoint: iterations plus any number of candidate processor
+// budgets and comm-cost estimates (single-valued for schedule and batch
+// items, whole grid axes for tune). On failure the int is the HTTP
+// status to report.
+func checkScheduleParams(n int, procs, costs []int) (int, error) {
+	if n < 0 || n > maxIterations {
+		return http.StatusBadRequest,
+			fmt.Errorf("iterations %d out of range [1, %d]", n, maxIterations)
+	}
+	for _, p := range procs {
+		if p < 0 || p > maxProcessors {
+			return http.StatusBadRequest,
+				fmt.Errorf("processors %d out of range [0, %d]", p, maxProcessors)
+		}
+	}
+	for _, k := range costs {
+		if k < 0 || k > maxCommCost {
+			return http.StatusBadRequest,
+				fmt.Errorf("comm_cost %d out of range [0, %d]", k, maxCommCost)
+		}
+	}
+	return http.StatusOK, nil
 }
 
 // checkSource applies the pre-parse caps.
@@ -149,6 +180,10 @@ type ScheduleResponse struct {
 
 	// CacheHit reports the plan was served without rescheduling.
 	CacheHit bool `json:"cache_hit"`
+
+	// Simulated is the measured evaluation requested with ?simulate=1
+	// (omitted otherwise).
+	Simulated *MeasuredStats `json:"simulated,omitempty"`
 
 	// Schedule is the composed schedule in the internal/plan wire format
 	// (graph embedded, so the reply is self-contained).
@@ -212,6 +247,74 @@ type TuneRequest struct {
 	Epsilon *float64 `json:"epsilon"`
 	// Fold applies the folding heuristic at every point.
 	Fold bool `json:"fold"`
+	// Eval selects how grid points are scored. Omitted means static (the
+	// scheduled rate).
+	Eval *EvalRequest `json:"eval"`
+}
+
+// EvalRequest is the `eval` block of a tune request: which evaluator
+// scores the grid, and — for measured evaluation — the trial count and
+// fluctuation model.
+type EvalRequest struct {
+	// Mode is "static" (default) or "measured".
+	Mode string `json:"mode"`
+	// Trials per grid point for measured evaluation. 0 means 5.
+	Trials int `json:"trials"`
+	// Fluct is the paper's mm: per-message extra delay in [0, mm-1].
+	Fluct int `json:"fluct"`
+	// Seed selects the fluctuation streams.
+	Seed int64 `json:"seed"`
+}
+
+// evaluator resolves the block (nil = static) to the Evaluator AutoTune
+// runs. Callers must have validated it via checkEvalRequest first.
+func (r *EvalRequest) evaluator() Evaluator {
+	if t := r.trials(); t > 0 {
+		return &MeasuredEvaluator{Trials: t, Fluct: r.Fluct, Seed: r.Seed}
+	}
+	return StaticEvaluator{}
+}
+
+// trials returns the per-point simulation cost of the block (0 when
+// static: no machine runs at all), applying the evaluator's default and
+// its fluctuation-free collapse so the admission budget prices exactly
+// what will run.
+func (r *EvalRequest) trials() int {
+	if r == nil || r.Mode != "measured" {
+		return 0
+	}
+	if r.Fluct <= 1 {
+		// MeasuredEvaluator runs one trial when every trial would be
+		// identical; bill what it runs.
+		return 1
+	}
+	if r.Trials == 0 {
+		return DefaultEvalTrials
+	}
+	return r.Trials
+}
+
+// checkEvalRequest validates an eval block against the serving caps.
+func checkEvalRequest(r *EvalRequest) (int, error) {
+	if r == nil {
+		return http.StatusOK, nil
+	}
+	switch r.Mode {
+	case "", "static", "measured":
+	default:
+		return http.StatusBadRequest,
+			fmt.Errorf("unknown eval mode %q (want static or measured)", r.Mode)
+	}
+	if r.Trials < 0 || r.Trials > maxEvalTrials {
+		return http.StatusBadRequest,
+			fmt.Errorf("eval trials %d out of range [1, %d] (0 means the default %d)",
+				r.Trials, maxEvalTrials, DefaultEvalTrials)
+	}
+	if r.Fluct < 0 || r.Fluct > maxEvalFluct {
+		return http.StatusBadRequest,
+			fmt.Errorf("eval fluct %d out of range [0, %d]", r.Fluct, maxEvalFluct)
+	}
+	return http.StatusOK, nil
 }
 
 // params resolves the tune request's defaulted parameters. Callers must
@@ -229,14 +332,17 @@ func (r *TuneRequest) params() (Objective, int, float64) {
 	return obj, n, eps
 }
 
-// TunePointResult is one grid cell of a TuneResponse.
+// TunePointResult is one grid cell of a TuneResponse. Rate is always the
+// scheduled (static) rate; Measured carries the trial spread when the
+// tune ran under a measured evaluator.
 type TunePointResult struct {
-	Processors int     `json:"processors"`
-	CommCost   int     `json:"comm_cost"`
-	Rate       float64 `json:"rate_cycles_per_iteration,omitempty"`
-	Procs      int     `json:"procs,omitempty"`
-	CacheHit   bool    `json:"cache_hit,omitempty"`
-	Error      string  `json:"error,omitempty"`
+	Processors int            `json:"processors"`
+	CommCost   int            `json:"comm_cost"`
+	Rate       float64        `json:"rate_cycles_per_iteration,omitempty"`
+	Procs      int            `json:"procs,omitempty"`
+	CacheHit   bool           `json:"cache_hit,omitempty"`
+	Measured   *MeasuredStats `json:"measured,omitempty"`
+	Error      string         `json:"error,omitempty"`
 }
 
 // TuneResponse is the POST /v1/tune reply.
@@ -245,6 +351,7 @@ type TuneResponse struct {
 	Nodes     int               `json:"nodes"`
 	GraphHash string            `json:"graph_hash"`
 	Objective string            `json:"objective"`
+	Evaluator string            `json:"evaluator"`
 	Best      TunePointResult   `json:"best"`
 	Score     float64           `json:"score"`
 	Evaluated int               `json:"evaluated"`
@@ -374,13 +481,18 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, status, errorResponse{err.Error()})
 		return
 	}
+	sim, err := parseSimulateQuery(r.URL.Query())
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
 	// Admission: compile, schedule, and marshal under the in-flight
 	// bound. The slot is released before the (possibly large, possibly
 	// slow) response write so a stalled reader cannot starve scheduling.
 	if !s.admit(r) {
 		return
 	}
-	resp, status, err := s.scheduleResponse(req)
+	resp, status, err := s.scheduleResponse(req, sim)
 	<-s.sem
 	if err != nil {
 		writeJSON(w, status, errorResponse{err.Error()})
@@ -389,9 +501,54 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// parseSimulateQuery reads the ?simulate=1 parameters of /v1/schedule:
+// simulate turns measured evaluation of the served plan on, and trials
+// (default 1, capped like a tune's eval block), fluct and seed shape it.
+// nil means no simulation was requested.
+func parseSimulateQuery(q url.Values) (*MeasuredEvaluator, error) {
+	switch q.Get("simulate") {
+	case "", "0", "false":
+		return nil, nil
+	case "1", "true":
+	default:
+		return nil, fmt.Errorf("simulate=%q (want 1 or 0)", q.Get("simulate"))
+	}
+	// The probe is an EvalRequest so the tune eval block's validator
+	// enforces the caps — one validator, one set of error messages.
+	req := EvalRequest{Mode: "measured"}
+	for name, dst := range map[string]*int{"trials": &req.Trials, "fluct": &req.Fluct} {
+		if s := q.Get(name); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil {
+				return nil, fmt.Errorf("%s=%q is not an integer", name, s)
+			}
+			*dst = v
+		}
+	}
+	if s := q.Get("seed"); s != "" {
+		seed, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("seed=%q is not an integer", s)
+		}
+		req.Seed = seed
+	}
+	if req.Trials == 0 {
+		req.Trials = 1 // a probe defaults to a single trial, not the tune default
+	}
+	if _, err := checkEvalRequest(&req); err != nil {
+		return nil, err
+	}
+	// Transient: a simulate probe reports its measurement but never
+	// annotates the plan or rewrites stored records — the reply is the
+	// only place the numbers land.
+	ev := req.evaluator().(*MeasuredEvaluator)
+	ev.Transient = true
+	return ev, nil
+}
+
 // scheduleResponse runs the compute section of a schedule request; on
 // failure it returns the HTTP status to report.
-func (s *Server) scheduleResponse(req *ScheduleRequest) (*ScheduleResponse, int, error) {
+func (s *Server) scheduleResponse(req *ScheduleRequest, sim *MeasuredEvaluator) (*ScheduleResponse, int, error) {
 	compiled, err := s.pipe.Compile(req.Source)
 	if err != nil {
 		return nil, http.StatusUnprocessableEntity, err
@@ -406,6 +563,15 @@ func (s *Server) scheduleResponse(req *ScheduleRequest) (*ScheduleResponse, int,
 			return nil, http.StatusConflict, err
 		}
 		return nil, http.StatusUnprocessableEntity, err
+	}
+
+	var measured *MeasuredStats
+	if sim != nil {
+		score, err := s.pipe.Evaluate(sim, plan)
+		if err != nil {
+			return nil, http.StatusUnprocessableEntity, err
+		}
+		measured = score.Measured
 	}
 
 	sched, err := plan.ScheduleJSON()
@@ -425,6 +591,7 @@ func (s *Server) scheduleResponse(req *ScheduleRequest) (*ScheduleResponse, int,
 		Folded:         plan.Schedule.Folded,
 		GreedyFallback: plan.Schedule.GreedyFallback,
 		CacheHit:       hit,
+		Simulated:      measured,
 		Schedule:       sched,
 		// The pattern summary is denormalized onto the plan so plans
 		// loaded from a durable store serve the same block.
@@ -504,10 +671,15 @@ func (s *Server) batchResponse(req *BatchRequest) *BatchResponse {
 			out.Error = br.Err.Error()
 			continue
 		}
+		// Summaries are scored through the evaluator abstraction like
+		// every other consumer of plan goodness (static here: batch
+		// replies stay cheap, and static scoring cannot fail), so
+		// Stats.Evals sees batch traffic too.
+		score, _ := s.pipe.Evaluate(nil, br.Plan)
 		out.GraphHash = br.Plan.GraphHash
-		out.Rate = br.Plan.Rate()
+		out.Rate = score.Rate
 		out.Makespan = br.Plan.Makespan()
-		out.Procs = br.Plan.Procs()
+		out.Procs = score.Procs
 		out.CacheHit = br.CacheHit
 	}
 	for i := range resp.Results {
@@ -559,18 +731,11 @@ func checkTuneRequest(req *TuneRequest) (int, error) {
 		return http.StatusBadRequest, fmt.Errorf("epsilon %v out of range [0, 1]", *req.Epsilon)
 	}
 	_, n, _ := req.params()
-	if n < 0 || n > maxIterations {
-		return http.StatusBadRequest, fmt.Errorf("iterations %d out of range [1, %d]", n, maxIterations)
+	if status, err := checkScheduleParams(n, req.Processors, req.CommCosts); err != nil {
+		return status, err
 	}
-	for _, p := range req.Processors {
-		if p < 0 || p > maxProcessors {
-			return http.StatusBadRequest, fmt.Errorf("processors %d out of range [0, %d]", p, maxProcessors)
-		}
-	}
-	for _, k := range req.CommCosts {
-		if k < 0 || k > maxCommCost {
-			return http.StatusBadRequest, fmt.Errorf("comm_cost %d out of range [0, %d]", k, maxCommCost)
-		}
+	if status, err := checkEvalRequest(req.Eval); err != nil {
+		return status, err
 	}
 	// The grid is sized as AutoTune will actually run it: an empty axis
 	// takes its default length (at most 8 processor values, 4 comm
@@ -586,6 +751,13 @@ func checkTuneRequest(req *TuneRequest) (int, error) {
 	if pl*kl > maxTunePoints {
 		return http.StatusRequestEntityTooLarge,
 			fmt.Errorf("tuning grid has %d points, over the serving cap %d", pl*kl, maxTunePoints)
+	}
+	// The trial budget counts against the same grid sizing: points ×
+	// trials bounds the total simulated-machine runs a tune can demand.
+	if cells := pl * kl * req.Eval.trials(); cells > maxTuneTrialCells {
+		return http.StatusRequestEntityTooLarge,
+			fmt.Errorf("tune costs %d simulation trials (points x trials), over the serving cap %d",
+				cells, maxTuneTrialCells)
 	}
 	return checkSource(req.Source)
 }
@@ -607,6 +779,7 @@ func (s *Server) tuneResponse(req *TuneRequest) (*TuneResponse, int, error) {
 		Objective:  objective,
 		Epsilon:    eps,
 		Workers:    aggregateWorkers,
+		Evaluator:  req.Eval.evaluator(),
 	})
 	if err != nil {
 		if errors.Is(err, core.ErrNoPattern) {
@@ -619,6 +792,7 @@ func (s *Server) tuneResponse(req *TuneRequest) (*TuneResponse, int, error) {
 		Nodes:     compiled.Graph.N(),
 		GraphHash: tuned.Best.Plan.GraphHash,
 		Objective: tuned.Objective.String(),
+		Evaluator: tuned.Evaluator,
 		Best:      tunePoint(tuned.Best),
 		Score:     tuned.Score,
 		Evaluated: tuned.Evaluated,
@@ -643,6 +817,7 @@ func tunePoint(r Result) TunePointResult {
 	out.Rate = r.Rate
 	out.Procs = r.Procs
 	out.CacheHit = r.CacheHit
+	out.Measured = r.Score.Measured
 	return out
 }
 

@@ -4,7 +4,6 @@ import (
 	"mimdloop/internal/core"
 	"mimdloop/internal/graph"
 	"mimdloop/internal/machine"
-	"mimdloop/internal/metrics"
 )
 
 // Point is one cell of a machine-parameter grid: a processor budget for
@@ -36,52 +35,86 @@ type SweepOptions struct {
 	// Workers bounds pool size. 0 means GOMAXPROCS; 1 recovers the old
 	// serial behaviour exactly.
 	Workers int
+	// Evaluator scores every scheduled point. nil means StaticEvaluator
+	// (the scheduled rate; zero simulation cost). A MeasuredEvaluator
+	// makes the sweep execute each plan on the simulated machine.
+	Evaluator Evaluator
 	// Simulate additionally executes each plan on the deterministic
-	// simulated machine, filling SimMakespan and Sp.
+	// simulated machine, filling SimMakespan and Sp. It is the
+	// pre-Evaluator spelling of a 1-trial measured evaluation and is
+	// ignored when Evaluator is set.
 	Simulate bool
 	// MachineConfig is the simulated-machine setup used when Simulate is
 	// set (fluctuation, seed, overrides).
 	MachineConfig machine.Config
 }
 
+// evaluator resolves the options to the evaluator Sweep actually runs.
+func (o *SweepOptions) evaluator() Evaluator {
+	if o.Evaluator != nil {
+		return o.Evaluator
+	}
+	if o.Simulate {
+		// Transient like the pre-Evaluator path it replaces: a Simulate
+		// sweep reads measurements into its results without annotating
+		// plans or rewriting stored records.
+		return &MeasuredEvaluator{
+			Trials:    1,
+			Fluct:     o.MachineConfig.Fluct,
+			Seed:      o.MachineConfig.Seed,
+			Base:      o.MachineConfig,
+			Transient: true,
+		}
+	}
+	return StaticEvaluator{}
+}
+
 // Result is the outcome at one grid point. Err is nil exactly when Plan
-// is non-nil: scheduling or (when requested) simulation failures leave
-// only Point and Err set.
+// is non-nil: scheduling or evaluation failures leave only Point and Err
+// set.
 type Result struct {
 	Point Point
 	Plan  *Plan
 	Err   error
 
-	// Rate is the steady-state cycles/iteration of the plan.
+	// Rate is the steady-state scheduled cycles/iteration of the plan
+	// (the static rate, whatever evaluator scored the point).
 	Rate float64
 	// Procs is the total processors occupied (Cyclic + Flow fringes).
 	Procs int
 	// CacheHit reports the plan came from the pipeline's cache.
 	CacheHit bool
 
+	// Score is the evaluator's verdict: Score.Rate equals Rate under
+	// StaticEvaluator and the mean measured cycles/iteration under
+	// MeasuredEvaluator (Score.Measured then carries the trial spread).
+	Score Score
+
 	// SimMakespan and Sp (percentage parallelism vs the sequential
-	// schedule) are filled when SweepOptions.Simulate is set.
+	// schedule) are filled by measured evaluations; SimMakespan is the
+	// mean over the trials (exact for a single trial).
 	SimMakespan int
 	Sp          float64
 }
 
 // Sweep schedules g at every grid point concurrently on a bounded worker
-// pool, reusing the plan cache across points and across calls. Results
-// are returned in the same order as points, so concurrent evaluation is
-// observationally identical to the serial loops it replaces.
+// pool, reusing the plan cache across points and across calls, and scores
+// each point through the configured Evaluator. Results are returned in
+// the same order as points, so concurrent evaluation is observationally
+// identical to the serial loops it replaces.
 func (p *Pipeline) Sweep(g *graph.Graph, points []Point, opt SweepOptions) []Result {
 	if opt.Iterations == 0 {
 		opt.Iterations = 100
 	}
+	ev := opt.evaluator()
 	results := make([]Result, len(points))
-	seq := opt.Iterations * g.TotalLatency()
 	RunPool(len(points), opt.Workers, func(i int) {
-		results[i] = p.evalPoint(g, points[i], opt, seq)
+		results[i] = p.evalPoint(g, points[i], opt, ev)
 	})
 	return results
 }
 
-func (p *Pipeline) evalPoint(g *graph.Graph, pt Point, opt SweepOptions, seq int) Result {
+func (p *Pipeline) evalPoint(g *graph.Graph, pt Point, opt SweepOptions, ev Evaluator) Result {
 	opts := opt.Base
 	opts.Processors = pt.Processors
 	opts.CommCost = pt.CommCost
@@ -91,17 +124,18 @@ func (p *Pipeline) evalPoint(g *graph.Graph, pt Point, opt SweepOptions, seq int
 		res.Err = err
 		return res
 	}
+	score, err := p.Evaluate(ev, plan)
+	if err != nil {
+		return Result{Point: pt, Err: err}
+	}
 	res.Plan = plan
 	res.CacheHit = hit
 	res.Rate = plan.Rate()
 	res.Procs = plan.Procs()
-	if opt.Simulate {
-		stats, err := machine.Run(g, plan.Programs, opt.MachineConfig)
-		if err != nil {
-			return Result{Point: pt, Err: err}
-		}
-		res.SimMakespan = stats.Makespan
-		res.Sp = metrics.ClampZero(metrics.PercentParallelism(seq, stats.Makespan))
+	res.Score = score
+	if m := score.Measured; m != nil {
+		res.SimMakespan = int(m.MakespanMean + 0.5)
+		res.Sp = m.SpMean
 	}
 	return res
 }

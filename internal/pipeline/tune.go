@@ -76,6 +76,13 @@ type TuneOptions struct {
 	Epsilon float64
 	// Workers bounds the sweep pool. 0 means GOMAXPROCS.
 	Workers int
+	// Evaluator scores every grid point; the objective then ranks the
+	// evaluator's rates. nil means StaticEvaluator — today's scheduled
+	// rate, byte-identical to tuning before evaluators existed. A
+	// MeasuredEvaluator makes AutoTune optimize measured Sp on the
+	// simulated machine under communication fluctuation instead of the
+	// compile-time estimate.
+	Evaluator Evaluator
 }
 
 // TuneResult is the outcome of one AutoTune run.
@@ -94,14 +101,20 @@ type TuneResult struct {
 	Evaluated int
 	// Objective echoes the objective the winner was chosen under.
 	Objective Objective
+	// Evaluator names the evaluator the grid was scored with ("static",
+	// "measured").
+	Evaluator string
 }
 
-// AutoTune rides Sweep over a processors × comm-cost grid and returns the
-// best (p, k) plan under opt.Objective. Every evaluated plan flows through
-// the plan cache, so a later Schedule (or a repeat tune) of the winning
-// point is a lookup; points that fail to schedule are skipped rather than
-// aborting the tune. AutoTune fails only when the grid is empty after
-// defaulting or no point schedules at all.
+// AutoTune rides Sweep over a processors × comm-cost grid, scores every
+// point through opt.Evaluator, and returns the best (p, k) plan under
+// opt.Objective. Every evaluated plan flows through the plan cache, so a
+// later Schedule (or a repeat tune) of the winning point is a lookup;
+// points that fail to schedule or evaluate are skipped rather than
+// aborting the tune. Selection runs after the sweep, in grid order, so
+// the winner is deterministic whatever the worker count. AutoTune fails
+// only when the grid is empty after defaulting or no point schedules at
+// all.
 func (p *Pipeline) AutoTune(g *graph.Graph, n int, opt TuneOptions) (*TuneResult, error) {
 	procs := opt.Processors
 	if len(procs) == 0 {
@@ -125,13 +138,18 @@ func (p *Pipeline) AutoTune(g *graph.Graph, n int, opt TuneOptions) (*TuneResult
 		return nil, errors.New("pipeline: empty tuning grid")
 	}
 
+	ev := opt.Evaluator
+	if ev == nil {
+		ev = StaticEvaluator{}
+	}
 	results := p.Sweep(g, points, SweepOptions{
 		Base:       opt.Base,
 		Iterations: n,
 		Workers:    opt.Workers,
+		Evaluator:  ev,
 	})
 
-	res := &TuneResult{Results: results, Objective: opt.Objective}
+	res := &TuneResult{Results: results, Objective: opt.Objective, Evaluator: ev.Name()}
 	var firstErr error
 	bestRate := 0.0
 	for _, r := range results {
@@ -141,8 +159,8 @@ func (p *Pipeline) AutoTune(g *graph.Graph, n int, opt TuneOptions) (*TuneResult
 			}
 			continue
 		}
-		if res.Evaluated == 0 || r.Rate < bestRate {
-			bestRate = r.Rate
+		if res.Evaluated == 0 || r.Score.Rate < bestRate {
+			bestRate = r.Score.Rate
 		}
 		res.Evaluated++
 	}
@@ -156,7 +174,7 @@ func (p *Pipeline) AutoTune(g *graph.Graph, n int, opt TuneOptions) (*TuneResult
 		if r.Err != nil {
 			continue
 		}
-		if opt.Objective == ObjectiveMinProcs && r.Rate > bestRate*(1+opt.Epsilon) {
+		if opt.Objective == ObjectiveMinProcs && r.Score.Rate > bestRate*(1+opt.Epsilon) {
 			continue
 		}
 		if first || better(opt.Objective, r, res.Best, seq) {
@@ -168,18 +186,20 @@ func (p *Pipeline) AutoTune(g *graph.Graph, n int, opt TuneOptions) (*TuneResult
 	return res, nil
 }
 
-// score evaluates one successful result under the objective.
+// score evaluates one successful result under the objective, ranking by
+// the evaluator's verdict (Result.Score): the scheduled rate under
+// StaticEvaluator, the mean measured rate under MeasuredEvaluator.
 func score(o Objective, r Result, seq float64) float64 {
 	switch o {
 	case ObjectiveMinProcs:
-		return float64(r.Procs)
+		return float64(r.Score.Procs)
 	case ObjectiveEfficiency:
-		if r.Rate == 0 || r.Procs == 0 {
+		if r.Score.Rate == 0 || r.Score.Procs == 0 {
 			return 0
 		}
-		return seq / r.Rate / float64(r.Procs)
+		return seq / r.Score.Rate / float64(r.Score.Procs)
 	default:
-		return r.Rate
+		return r.Score.Rate
 	}
 }
 
@@ -189,29 +209,29 @@ func score(o Objective, r Result, seq float64) float64 {
 func better(o Objective, a, b Result, seq float64) bool {
 	switch o {
 	case ObjectiveMinProcs:
-		if a.Procs != b.Procs {
-			return a.Procs < b.Procs
+		if a.Score.Procs != b.Score.Procs {
+			return a.Score.Procs < b.Score.Procs
 		}
-		if a.Rate != b.Rate {
-			return a.Rate < b.Rate
+		if a.Score.Rate != b.Score.Rate {
+			return a.Score.Rate < b.Score.Rate
 		}
 	case ObjectiveEfficiency:
 		sa, sb := score(o, a, seq), score(o, b, seq)
 		if sa != sb {
 			return sa > sb
 		}
-		if a.Procs != b.Procs {
-			return a.Procs < b.Procs
+		if a.Score.Procs != b.Score.Procs {
+			return a.Score.Procs < b.Score.Procs
 		}
-		if a.Rate != b.Rate {
-			return a.Rate < b.Rate
+		if a.Score.Rate != b.Score.Rate {
+			return a.Score.Rate < b.Score.Rate
 		}
 	default: // ObjectiveMinRate
-		if a.Rate != b.Rate {
-			return a.Rate < b.Rate
+		if a.Score.Rate != b.Score.Rate {
+			return a.Score.Rate < b.Score.Rate
 		}
-		if a.Procs != b.Procs {
-			return a.Procs < b.Procs
+		if a.Score.Procs != b.Score.Procs {
+			return a.Score.Procs < b.Score.Procs
 		}
 	}
 	return a.Point.CommCost < b.Point.CommCost

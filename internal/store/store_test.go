@@ -378,3 +378,52 @@ func TestRestartServesFromDiskWithoutRescheduling(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestMeasuredAnnotationPersists: a measured evaluation re-puts the
+// annotated plan through the tiered store, so the on-disk v2 record
+// carries the measured block and a restarted process reloads it.
+func TestMeasuredAnnotationPersists(t *testing.T) {
+	dir := t.TempDir()
+	disk, err := Open(DiskConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pipeline.New(pipeline.Config{
+		Store: NewTiered(pipeline.NewMemStore(pipeline.MemConfig{}), disk),
+	})
+	g := workload.Figure7().Graph
+	res, err := p.AutoTune(g, 50, pipeline.TuneOptions{
+		Processors: []int{2},
+		CommCosts:  []int{2},
+		Evaluator:  &pipeline.MeasuredEvaluator{Trials: 3, Fluct: 3, Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := res.Best.Score.Measured
+	if want == nil {
+		t.Fatal("tune returned no measured score")
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh store over the same directory serves the measurement.
+	disk2, err := Open(DiskConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disk2.Close()
+	key := pipeline.PlanKey(g.Fingerprint(), core.Options{Processors: 2, CommCost: 2}, 50)
+	plan, ok := disk2.Get(key)
+	if !ok {
+		t.Fatal("tuned plan not on disk")
+	}
+	got := plan.Measured()
+	if got == nil {
+		t.Fatal("reloaded plan lost its measured annotation")
+	}
+	if *got != *want {
+		t.Fatalf("measured annotation drifted across restart: %+v vs %+v", got, want)
+	}
+}

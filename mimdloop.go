@@ -23,7 +23,10 @@
 //   - wraps the whole flow in a Pipeline whose content-addressed plan store
 //     makes repeat scheduling a map lookup, with concurrent
 //     machine-parameter sweeps (Pipeline.Sweep), sweep-driven (p, k)
-//     auto-tuning under pluggable objectives (AutoTune), batch scheduling
+//     auto-tuning under pluggable objectives (AutoTune) and pluggable plan
+//     scoring (Evaluator: the static scheduled rate, or measured Sp over
+//     repeated seeded trials on the simulated machine —
+//     NewMeasuredEvaluator), batch scheduling
 //     with per-item error isolation (Pipeline.Batch), cache warm-up from a
 //     schedule corpus (Pipeline.Warmup), and an HTTP serving mode
 //     (`loopsched serve`, NewPipelineServer: schedule, batch, tune, stored
@@ -185,6 +188,55 @@ func NewTieredStore(upper, lower PlanStore) *TieredStore { return store.NewTiere
 // ingredients: graph fingerprint, scheduling options, iteration count.
 func PlanKey(fingerprint string, opts Options, iterations int) string {
 	return pipeline.PlanKey(fingerprint, opts, iterations)
+}
+
+// Plan evaluation: the pluggable scoring layer behind Sweep and AutoTune.
+type (
+	// Evaluator scores a plan's goodness; Sweep, AutoTune and the tune
+	// endpoint rank grid points through it.
+	Evaluator = pipeline.Evaluator
+	// EvalScore is one evaluator's verdict (rate, processors, optional
+	// measured trial spread).
+	EvalScore = pipeline.Score
+	// MeasuredStats is the Sp/makespan spread of a measured evaluation,
+	// as persisted in version-2 plan records and tune replies.
+	MeasuredStats = pipeline.MeasuredStats
+	// StaticEvaluator scores by the compile-time scheduled rate (the
+	// default everywhere).
+	StaticEvaluator = pipeline.StaticEvaluator
+	// MeasuredEvaluator scores by executing plans on the simulated MIMD
+	// machine for repeated seeded trials under communication fluctuation.
+	MeasuredEvaluator = pipeline.MeasuredEvaluator
+	// EvalStats counts evaluator activity in PipelineStats.
+	EvalStats = pipeline.EvalStats
+	// TuneRequest is the POST /v1/tune envelope; its Eval block selects
+	// the evaluator.
+	TuneRequest = pipeline.TuneRequest
+	// EvalRequest is the eval block of a TuneRequest.
+	EvalRequest = pipeline.EvalRequest
+	// FluctModel is the machine's seeded, per-message-deterministic
+	// communication-fluctuation model.
+	FluctModel = machine.FluctModel
+	// TrialStats aggregates repeated simulated runs (see SimulateTrials).
+	TrialStats = machine.TrialStats
+)
+
+// NewMeasuredEvaluator returns an Evaluator running `trials` seeded
+// simulations per plan with fluctuation mm, for TuneOptions.Evaluator or
+// SweepOptions.Evaluator:
+//
+//	res, _ := mimdloop.AutoTune(g, 100, mimdloop.TuneOptions{
+//	    Evaluator: mimdloop.NewMeasuredEvaluator(5, 3, 1),
+//	})
+func NewMeasuredEvaluator(trials, fluct int, seed int64) *MeasuredEvaluator {
+	return pipeline.NewMeasuredEvaluator(trials, fluct, seed)
+}
+
+// SimulateTrials executes programs on the simulated machine `trials`
+// times under deterministically derived per-trial seeds and aggregates
+// the makespan/utilization spread.
+func SimulateTrials(g *Graph, progs []Program, cfg MachineConfig, trials int) (*TrialStats, error) {
+	return machine.RunTrials(g, progs, cfg, trials)
 }
 
 // Auto-tuning, batching and warm-up on top of the pipeline.
