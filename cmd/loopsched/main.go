@@ -11,16 +11,20 @@
 // listener opens, and `-store DIR` backs the in-memory tier with durable
 // plan records under DIR so a restarted server serves its predecessor's
 // plans. `loopsched tune` searches a processors × comm-cost grid for the
-// best (p, k) under an objective, `loopsched batch` schedules many loop
-// files at once with per-file error isolation, and `loopsched store`
-// inspects or maintains a plan-store directory offline.
+// best (p, k) under an objective — optionally ranked by measured trials
+// on an execution backend (`-measured`, `-backend gort` for the real
+// goroutine runtime) and by a spread statistic (`-objective worst`) —
+// `loopsched batch` schedules many loop files at once with per-file
+// error isolation, and `loopsched store` inspects or maintains a
+// plan-store directory offline.
 //
 // Usage:
 //
 //	loopsched [-k cost] [-p procs] [-n iters] [-fold] [-gantt cycles] file.loop
 //	loopsched -example fig7|lfk18|ewf
 //	loopsched tune [-n iters] [-p list] [-k list] [-objective o] [-epsilon e]
-//	               [-measured [-trials r] [-fluct mm] [-seed s]] [-example name] [file.loop]
+//	               [-measured [-backend sim|gort] [-trials r] [-fluct mm] [-seed s]]
+//	               [-example name] [file.loop]
 //	loopsched batch [-k cost] [-p procs] [-n iters] [-fold] [-workers w] file.loop...
 //	loopsched serve [-addr :8080] [-cache entries] [-warmup corpus.json] [-store DIR] [-store-bytes n]
 //	loopsched store -dir DIR [-max-bytes n] ls|gc|flush
@@ -266,24 +270,29 @@ func warmupFromFile(pipe *mimdloop.Pipeline, path string) (mimdloop.WarmupStats,
 
 // tune searches a processors × comm-cost grid for the best (p, k) under
 // an objective and prints the evaluated grid plus the winner. With
-// -measured the grid is ranked by measured Sp from repeated seeded
-// trials on the simulated machine instead of the scheduled rate, and the
-// winner is compared against the static ranking's choice under the same
-// measurement.
+// -measured the grid is ranked by measured Sp from repeated trials on an
+// execution backend instead of the scheduled rate — the deterministic
+// simulated machine by default, the real goroutine runtime with
+// `-backend gort` — and the winner is compared against the static
+// ranking's choice under the same measurement. -objective also accepts
+// the spread statistics mean, worst and p95, which rank the measured
+// distribution's tail instead of its center (`loopsched tune -backend
+// gort -objective worst`).
 func tune(args []string) error {
 	fs := flag.NewFlagSet("loopsched tune", flag.ContinueOnError)
 	var (
 		iters     = fs.Int("n", 100, "iterations to schedule per grid point")
 		procsCSV  = fs.String("p", "", "comma-separated processor budgets (default 1..min(nodes, 8))")
 		costsCSV  = fs.String("k", "", "comma-separated comm-cost estimates (default 1,2,3,4)")
-		objective = fs.String("objective", "min_rate", "tuning objective: min_rate, min_procs or efficiency")
+		objective = fs.String("objective", "min_rate", "tuning objective: min_rate, min_procs or efficiency; or a measured spread statistic: mean, worst, p95")
 		epsilon   = fs.Float64("epsilon", 0.05, "min_procs relative rate slack")
 		workers   = fs.Int("workers", 0, "sweep worker-pool size (0 = GOMAXPROCS)")
 		example   = fs.String("example", "", "tune a built-in workload: fig7, lfk18, ewf")
-		measured  = fs.Bool("measured", false, "rank grid points by measured Sp on the simulated machine")
-		trials    = fs.Int("trials", 5, "simulation trials per grid point (with -measured)")
-		fluct     = fs.Int("fluct", 3, "communication fluctuation mm: extra delay in [0, mm-1] (with -measured)")
-		seed      = fs.Int64("seed", 1, "fluctuation seed (with -measured)")
+		measured  = fs.Bool("measured", false, "rank grid points by measured Sp on an execution backend")
+		backend   = fs.String("backend", "", "execution backend for measured ranking: sim (simulated machine, default) or gort (real goroutine runtime); implies -measured")
+		trials    = fs.Int("trials", 5, "trials per grid point (with -measured)")
+		fluct     = fs.Int("fluct", 3, "communication fluctuation mm: extra delay in [0, mm-1] (sim backend only)")
+		seed      = fs.Int64("seed", 1, "fluctuation seed (sim backend only)")
 	)
 	if done, err := parseFlags(fs, args); done || err != nil {
 		return err
@@ -292,9 +301,32 @@ func tune(args []string) error {
 	if err != nil {
 		return err
 	}
-	obj, err := mimdloop.ParseObjective(*objective)
+	// -objective accepts both vocabularies: a tune objective
+	// (min_rate/min_procs/efficiency), or a measured spread statistic
+	// (mean/worst/p95) — the latter implies measured min-rate tuning
+	// ranked by that statistic.
+	evalObj := mimdloop.EvalMean
+	obj, objErr := mimdloop.ParseObjective(*objective)
+	if objErr != nil {
+		eo, evalErr := mimdloop.ParseEvalObjective(*objective)
+		if evalErr != nil {
+			return fmt.Errorf("-objective %q: want min_rate, min_procs, efficiency, mean, worst or p95", *objective)
+		}
+		evalObj, obj = eo, mimdloop.ObjectiveMinRate
+		*measured = true
+	}
+	if *backend != "" {
+		*measured = true
+	}
+	be, err := mimdloop.ExecBackendFor(*backend)
 	if err != nil {
-		return err
+		return fmt.Errorf("-backend: %w", err)
+	}
+	if be.Name() == "gort" {
+		// The goroutine runtime has no fluctuation model; its noise is
+		// physical. Zero the sim-only parameter instead of silently
+		// recording a meaningless mm in the annotation.
+		*fluct = 0
 	}
 	procs, err := parseIntList(*procsCSV)
 	if err != nil {
@@ -313,7 +345,13 @@ func tune(args []string) error {
 	}
 	var ev *mimdloop.MeasuredEvaluator
 	if *measured {
-		ev = mimdloop.NewMeasuredEvaluator(*trials, *fluct, *seed)
+		ev = &mimdloop.MeasuredEvaluator{
+			Trials:    *trials,
+			Fluct:     *fluct,
+			Seed:      *seed,
+			Backend:   be,
+			Objective: evalObj,
+		}
 		opt.Evaluator = ev
 	}
 	pipe := mimdloop.NewPipeline(mimdloop.PipelineConfig{})
@@ -321,8 +359,12 @@ func tune(args []string) error {
 	if err != nil {
 		return err
 	}
+	evaluator := res.Evaluator
+	if res.Backend != "" {
+		evaluator += fmt.Sprintf(" (%s backend, %s statistic)", res.Backend, evalObj)
+	}
 	fmt.Printf("loop %s: %d nodes, tuning %d grid points (%d scheduled), objective %s, evaluator %s\n\n",
-		compiled.Loop.Name, compiled.Graph.N(), len(res.Results), res.Evaluated, res.Objective, res.Evaluator)
+		compiled.Loop.Name, compiled.Graph.N(), len(res.Results), res.Evaluated, res.Objective, evaluator)
 	header := fmt.Sprintf("%5s %5s %12s %8s", "p", "k", "rate", "procs")
 	if *measured {
 		header += fmt.Sprintf(" %8s %16s", "Sp", "[min, max]")
@@ -352,8 +394,13 @@ func tune(args []string) error {
 	// measurement: the gap is what measuring (rather than trusting the
 	// compile-time cost model) buys on this loop.
 	best := res.Best.Score.Measured
-	fmt.Printf("measured: Sp %.1f%% mean over %d trials (fluct mm=%d, seed %d), utilization %.0f%%\n",
-		best.SpMean, best.Trials, best.Fluct, best.Seed, 100*best.Utilization)
+	if best.Backend == "gort" {
+		fmt.Printf("measured: Sp %.1f%% mean over %d wall-clock trials on the %s backend (p95 %.1f%%, worst %.1f%%)\n",
+			best.SpMean, best.Trials, best.Backend, best.SpP95, best.SpMin)
+	} else {
+		fmt.Printf("measured: Sp %.1f%% mean over %d trials (fluct mm=%d, seed %d), utilization %.0f%%\n",
+			best.SpMean, best.Trials, best.Fluct, best.Seed, 100*best.Utilization)
+	}
 	opt.Evaluator = nil
 	staticRes, err := pipe.AutoTune(compiled.Graph, *iters, opt)
 	if err != nil {

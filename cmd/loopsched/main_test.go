@@ -113,6 +113,24 @@ func TestTuneMeasuredSubcommand(t *testing.T) {
 	}
 }
 
+func TestTuneGortBackend(t *testing.T) {
+	// The issue's spelling: -backend gort implies -measured, and
+	// -objective accepts spread statistics (worst ranks the measured
+	// tail under min-rate tuning).
+	if err := tune([]string{"-example", "fig7", "-backend", "gort", "-objective", "worst",
+		"-trials", "2", "-p", "1,2", "-k", "2", "-n", "40"}); err != nil {
+		t.Fatal(err)
+	}
+	// The sim backend takes the spread statistics too.
+	if err := tune([]string{"-example", "fig7", "-measured", "-objective", "p95",
+		"-trials", "4", "-fluct", "3", "-p", "1,2", "-k", "2", "-n", "40"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tune([]string{"-example", "fig7", "-backend", "fpga"}); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+}
+
 func TestBatchSubcommand(t *testing.T) {
 	dir := t.TempDir()
 	good := filepath.Join(dir, "good.loop")

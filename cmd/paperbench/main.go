@@ -5,11 +5,13 @@
 //
 //	paperbench            # everything
 //	paperbench -fig 7     # one figure (1, 3, 7, 8, 9, 11, 12)
-//	paperbench -table 1a  # Table 1(a), 1b, 1t (auto-tuned) or 1m (measured tuning)
+//	paperbench -table 1a  # Table 1(a), 1b, 1t (auto-tuned), 1m (measured tuning)
+//	                      # or 1g (goroutine-runtime tuning)
 //	paperbench -ablations # design-choice ablations
 //	paperbench -sweep     # concurrent processors x comm-cost sweep (Figure 7 loop)
 //	paperbench -workers 8 # worker-pool size for Table 1 and the sweep
 //	paperbench -table 1m -quick  # CI-sized smoke run of the measured-tuning table
+//	paperbench -table 1g -quick  # CI-sized smoke run of the goroutine-backend table
 package main
 
 import (
@@ -29,7 +31,7 @@ import (
 func main() {
 	var (
 		fig       = flag.Int("fig", 0, "regenerate one figure (1, 3, 7, 8, 9, 11, 12)")
-		table     = flag.String("table", "", "regenerate a table: 1a, 1b, 1t (sweep-tuned (p, k) variant) or 1m (measured-ranking variant)")
+		table     = flag.String("table", "", "regenerate a table: 1a, 1b, 1t (sweep-tuned (p, k) variant), 1m (measured-ranking variant) or 1g (goroutine-runtime ranking)")
 		ablations = flag.Bool("ablations", false, "run the design-choice ablations")
 		sweep     = flag.Bool("sweep", false, "sweep processors x comm cost on the Figure 7 loop")
 		iters     = flag.Int("n", 100, "iterations per measurement")
@@ -234,8 +236,17 @@ func runTable(name string, iters, loops, trials, workers int) error {
 		fmt.Print(res.Format())
 		return nil
 	}
+	if name == "1g" {
+		res, err := experiments.Table1Goroutine(loops, iters, trials)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Table 1 (goroutine runtime): simulator-ranked vs goroutine-ranked winners ==")
+		fmt.Print(res.Format())
+		return nil
+	}
 	if name != "1a" && name != "1b" {
-		return fmt.Errorf("unknown table %q (have 1a, 1b, 1t, 1m)", name)
+		return fmt.Errorf("unknown table %q (have 1a, 1b, 1t, 1m, 1g)", name)
 	}
 	res, err := experiments.Table1Workers(loops, iters, workers)
 	if err != nil {

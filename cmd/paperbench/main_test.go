@@ -24,6 +24,9 @@ func TestRunTables(t *testing.T) {
 	if err := runTable("1m", 30, 2, 2, 0); err != nil {
 		t.Fatal(err)
 	}
+	if err := runTable("1g", 20, 2, 1, 0); err != nil {
+		t.Fatal(err)
+	}
 	if err := runTable("2x", 30, 3, 0, 0); err == nil {
 		t.Fatal("unknown table accepted")
 	}

@@ -1,0 +1,168 @@
+// Package exec is the pluggable execution layer behind plan evaluation:
+// a Backend runs a plan's lowered per-processor programs repeatedly and
+// reports the distribution of finishing times, so everything above it —
+// the measured Evaluator, AutoTune, the HTTP tune endpoint, the
+// experiments — can rank plans against more than one execution model
+// without knowing how any of them runs.
+//
+// Two backends ship:
+//
+//   - Sim executes programs on the discrete-event simulated MIMD machine
+//     (internal/machine) under a seeded communication-fluctuation model:
+//     deterministic, cheap, cycle-accurate for the paper's cost model.
+//   - Goroutine ("gort") executes programs for real on the
+//     goroutine-per-processor runtime (internal/mimdrt), timing each
+//     trial's wall clock and cross-checking computed values against the
+//     sequential interpretation: noisy, burns real CPU, but measures
+//     actual asynchronous hardware rather than a model of it.
+//
+// Backends report makespans in their own native units (Sim: cycles,
+// Goroutine: nanoseconds) alongside a sequential baseline in the same
+// units, so percentage parallelism (Sp) is computable uniformly while
+// raw makespans are never compared across backends.
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"mimdloop/internal/graph"
+	"mimdloop/internal/program"
+)
+
+// TrialConfig shapes one RunTrials call. Trials is the number of
+// repeated executions a backend should aggregate (already resolved by
+// the caller through EffectiveTrials); Fluct and Seed select the sim
+// backend's communication-fluctuation model and are ignored by backends
+// whose variation is physical rather than modeled; Machine carries the
+// remaining simulated-machine settings (LinkFIFO, Override) for the sim
+// backend.
+type TrialConfig struct {
+	// Trials is the number of runs to aggregate (>= 1).
+	Trials int
+	// Fluct is the paper's mm: per-message extra delay in [0, mm-1]
+	// (sim backend only).
+	Fluct int
+	// Seed selects the fluctuation streams (sim backend only).
+	Seed int64
+	// Machine supplies the remaining simulated-machine settings; its
+	// Fluct and Seed fields are overwritten by the fields above.
+	Machine MachineConfig
+}
+
+// TrialStats is the outcome of one RunTrials call: the per-trial
+// makespan samples in the backend's native units, the sequential
+// baseline in the same units, and whatever extra accounting the backend
+// can offer. Keeping the raw samples (rather than a pre-digested
+// min/mean/max) is what lets callers rank by spread-aware statistics —
+// worst case and p95 as well as the mean.
+type TrialStats struct {
+	// Backend is the producing backend's wire name ("sim", "gort").
+	Backend string
+	// Trials is the number of samples aggregated (== len(Makespans)).
+	Trials int
+	// Makespans are the per-trial finishing times in run order, in the
+	// backend's native units (sim: cycles, gort: wall-clock nanoseconds).
+	Makespans []float64
+	// Sequential is the one-processor baseline in the same units, the
+	// "s" of the percentage-parallelism metric.
+	Sequential float64
+	// Utilization is mean busy/(makespan × procs) over the trials; 0
+	// when the backend cannot account it (gort).
+	Utilization float64
+	// Messages is the per-trial cross-processor message count.
+	Messages int
+}
+
+// Min returns the smallest makespan sample (0 for no samples).
+func (ts *TrialStats) Min() float64 {
+	if len(ts.Makespans) == 0 {
+		return 0
+	}
+	m := ts.Makespans[0]
+	for _, v := range ts.Makespans[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the largest makespan sample (0 for no samples).
+func (ts *TrialStats) Max() float64 {
+	m := 0.0
+	for _, v := range ts.Makespans {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Mean returns the arithmetic mean of the makespan samples.
+func (ts *TrialStats) Mean() float64 {
+	if len(ts.Makespans) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range ts.Makespans {
+		sum += v
+	}
+	return sum / float64(len(ts.Makespans))
+}
+
+// P95 returns the nearest-rank 95th percentile of the makespan samples:
+// the smallest sample at or above which 95% of the distribution sits.
+// For small trial counts this degrades gracefully (n = 1 returns the
+// sample, n < 20 returns the maximum; at n = 20 the rank-19 sample —
+// the second-largest — is the first to cover 95%).
+func (ts *TrialStats) P95() float64 {
+	n := len(ts.Makespans)
+	if n == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), ts.Makespans...)
+	sort.Float64s(sorted)
+	rank := (95*n + 99) / 100 // ceil(0.95 n), nearest-rank definition
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// Backend executes lowered programs repeatedly and reports the trial
+// spread. Implementations must be safe for concurrent use: RunTrials is
+// fanned out across sweep workers with no shared mutable state.
+type Backend interface {
+	// Name is the backend's wire name, recorded in measured annotations
+	// so a persisted measurement always says which execution model
+	// produced it.
+	Name() string
+	// Deterministic reports whether identical (programs, config) inputs
+	// reproduce identical stats. The sim backend is; the goroutine
+	// backend measures wall clock and is not.
+	Deterministic() bool
+	// EffectiveTrials resolves how many trials a request for `trials`
+	// under fluctuation mm will actually run. The sim backend collapses
+	// fluctuation-free repeats to one (every trial would be
+	// bit-identical); the goroutine backend never collapses (real
+	// executions always differ). Callers bill and run exactly this
+	// number, so library, CLI and HTTP traffic all share one semantics.
+	EffectiveTrials(trials, fluct int) int
+	// RunTrials executes progs over g `cfg.Trials` times and aggregates
+	// the spread. iterations is the scheduled iteration count, used for
+	// the sequential baseline.
+	RunTrials(g *graph.Graph, progs []program.Program, iterations int, cfg TrialConfig) (*TrialStats, error)
+}
+
+// ForName resolves a backend wire name ("" and "sim" mean the simulated
+// machine, "gort" the goroutine runtime).
+func ForName(name string) (Backend, error) {
+	switch name {
+	case "", "sim":
+		return Sim{}, nil
+	case "gort":
+		return Goroutine{}, nil
+	}
+	return nil, fmt.Errorf("exec: unknown backend %q (want sim or gort)", name)
+}

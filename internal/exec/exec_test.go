@@ -1,0 +1,169 @@
+package exec
+
+import (
+	"math"
+	"testing"
+
+	"mimdloop/internal/core"
+	"mimdloop/internal/graph"
+	"mimdloop/internal/machine"
+	"mimdloop/internal/program"
+	"mimdloop/internal/workload"
+)
+
+// fig7Programs lowers the Figure 7 loop at the paper's (p=2, k=2) point.
+func fig7Programs(t testing.TB, iters int) (*graph.Graph, []program.Program) {
+	t.Helper()
+	g := workload.Figure7().Graph
+	ls, err := core.ScheduleLoop(g, core.Options{Processors: 2, CommCost: 2}, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs, err := program.Build(ls.Full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, progs
+}
+
+// TestSimBackendPinsMachineTrials pins the extraction: the sim backend's
+// trial stats must be byte-for-byte the seeded machine.RunTrials
+// protocol — same samples, same digest, same message count.
+func TestSimBackendPinsMachineTrials(t *testing.T) {
+	g, progs := fig7Programs(t, 50)
+	cfg := TrialConfig{Trials: 5, Fluct: 3, Seed: 7}
+	ts, err := Sim{}.RunTrials(g, progs, 50, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := machine.RunTrials(g, progs, machine.Config{Fluct: 3, Seed: 7}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Backend != "sim" || ts.Trials != want.Trials || ts.Messages != want.Messages {
+		t.Fatalf("sim stats header drifted: %+v vs %+v", ts, want)
+	}
+	if len(ts.Makespans) != len(want.Makespans) {
+		t.Fatalf("sample count %d, want %d", len(ts.Makespans), len(want.Makespans))
+	}
+	for i, m := range want.Makespans {
+		if ts.Makespans[i] != float64(m) {
+			t.Fatalf("trial %d makespan %v, machine ran %d", i, ts.Makespans[i], m)
+		}
+	}
+	if ts.Min() != float64(want.MakespanMin) || ts.Max() != float64(want.MakespanMax) ||
+		ts.Mean() != want.MakespanMean || ts.Utilization != want.Utilization {
+		t.Fatalf("digest drifted: %+v vs %+v", ts, want)
+	}
+	if ts.Sequential != float64(50*g.TotalLatency()) {
+		t.Fatalf("sequential baseline %v, want %d", ts.Sequential, 50*g.TotalLatency())
+	}
+}
+
+// TestTrialStatsP95 pins the nearest-rank percentile on known samples.
+func TestTrialStatsP95(t *testing.T) {
+	for _, tc := range []struct {
+		samples []float64
+		want    float64
+	}{
+		{[]float64{7}, 7},
+		{[]float64{3, 1, 2}, 3},       // n <= 20: p95 is the max
+		{[]float64{5, 4, 3, 2, 1}, 5}, //
+		{manySamples(100), 95},        // exact rank: ceil(95) = 95th sorted sample
+		// n = 100 with an outlier in the top 5%: p95 excludes it — the
+		// robustness over EvalWorst that makes the p95 objective useful.
+		{append(manySamples(99), 1000), 95},
+	} {
+		ts := &TrialStats{Makespans: tc.samples}
+		if got := ts.P95(); got != tc.want {
+			t.Errorf("P95(%d samples) = %v, want %v", len(tc.samples), got, tc.want)
+		}
+	}
+}
+
+func manySamples(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(i + 1)
+	}
+	return out
+}
+
+// TestEffectiveTrials pins the collapse rules: the sim backend runs one
+// trial when fluctuation is off (every trial would be bit-identical);
+// the goroutine backend never collapses.
+func TestEffectiveTrials(t *testing.T) {
+	for _, tc := range []struct {
+		be            Backend
+		trials, fluct int
+		want          int
+	}{
+		{Sim{}, 8, 0, 1},
+		{Sim{}, 8, 1, 1},
+		{Sim{}, 8, 2, 8},
+		{Goroutine{}, 8, 0, 8},
+		{Goroutine{}, 8, 3, 8},
+	} {
+		if got := tc.be.EffectiveTrials(tc.trials, tc.fluct); got != tc.want {
+			t.Errorf("%s.EffectiveTrials(%d, %d) = %d, want %d",
+				tc.be.Name(), tc.trials, tc.fluct, got, tc.want)
+		}
+	}
+	if !(Sim{}).Deterministic() || (Goroutine{}).Deterministic() {
+		t.Error("determinism metadata drifted")
+	}
+}
+
+// TestGoroutineBackendFigure7 is the acceptance pin: the gort backend
+// executes the Figure 7 loop's programs for real, value-checks them
+// against the sequential interpretation, and reports a finite, positive
+// wall-clock distribution with a finite Sp-convertible baseline.
+func TestGoroutineBackendFigure7(t *testing.T) {
+	g, progs := fig7Programs(t, 60)
+	ts, err := Goroutine{}.RunTrials(g, progs, 60, TrialConfig{Trials: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Backend != "gort" || ts.Trials != 3 || len(ts.Makespans) != 3 {
+		t.Fatalf("stats header: %+v", ts)
+	}
+	for i, m := range ts.Makespans {
+		if m <= 0 || math.IsInf(m, 0) || math.IsNaN(m) {
+			t.Fatalf("trial %d wall-clock %v ns", i, m)
+		}
+	}
+	if ts.Sequential <= 0 || math.IsInf(ts.Sequential, 0) {
+		t.Fatalf("sequential baseline %v ns", ts.Sequential)
+	}
+	if ts.Messages <= 0 {
+		t.Fatalf("no cross-processor messages counted: %+v", ts)
+	}
+	if ts.Min() > ts.P95() || ts.P95() > ts.Max() {
+		t.Fatalf("spread out of order: min %v p95 %v max %v", ts.Min(), ts.P95(), ts.Max())
+	}
+}
+
+// TestGoroutineBackendRejectsBadInput: trial and iteration counts are
+// validated before any goroutine spawns.
+func TestGoroutineBackendRejectsBadInput(t *testing.T) {
+	g, progs := fig7Programs(t, 10)
+	if _, err := (Goroutine{}).RunTrials(g, progs, 10, TrialConfig{Trials: 0}); err == nil {
+		t.Fatal("zero trials accepted")
+	}
+	if _, err := (Goroutine{}).RunTrials(g, progs, 0, TrialConfig{Trials: 1}); err == nil {
+		t.Fatal("zero iterations accepted")
+	}
+}
+
+// TestBackendForName pins the wire-name registry.
+func TestBackendForName(t *testing.T) {
+	for name, want := range map[string]string{"": "sim", "sim": "sim", "gort": "gort"} {
+		be, err := ForName(name)
+		if err != nil || be.Name() != want {
+			t.Errorf("ForName(%q) = %v, %v", name, be, err)
+		}
+	}
+	if _, err := ForName("fpga"); err == nil {
+		t.Error("unknown backend accepted")
+	}
+}

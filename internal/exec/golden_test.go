@@ -1,0 +1,69 @@
+package exec
+
+import (
+	"math"
+	"testing"
+
+	"mimdloop/internal/core"
+	"mimdloop/internal/machine"
+	"mimdloop/internal/mimdrt"
+	"mimdloop/internal/program"
+	"mimdloop/internal/workload"
+)
+
+// TestGoldenGortMatchesSequentialOnRandomSuite is the golden equivalence
+// test over the paper's seeded random workload suite: for each random
+// loop, the exact program set the sim backend times must (a) execute on
+// the goroutine runtime computing instance values identical to
+// mimdrt.Sequential — the gort backend's own cross-check, exercised here
+// end to end — and (b) run deadlock-free on the simulated machine, so
+// both backends agree the programs are well-formed. Values are also
+// compared explicitly (not just through the backend's internal check) so
+// a regression in the check itself cannot hide a mis-execution.
+func TestGoldenGortMatchesSequentialOnRandomSuite(t *testing.T) {
+	const iters = 24
+	for seed := int64(1); seed <= 6; seed++ {
+		g, err := workload.Random(workload.PaperSpec, seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		ls, err := core.ScheduleLoop(g, core.Options{CommCost: 3}, iters)
+		if err != nil {
+			t.Fatalf("seed %d: schedule: %v", seed, err)
+		}
+		progs, err := program.Build(ls.Full)
+		if err != nil {
+			t.Fatalf("seed %d: lower: %v", seed, err)
+		}
+
+		// (a) Goroutine execution computes the sequential values.
+		got, err := mimdrt.Run(g, progs, mimdrt.MixSemantics{})
+		if err != nil {
+			t.Fatalf("seed %d: gort run: %v", seed, err)
+		}
+		want := mimdrt.Sequential(g, mimdrt.MixSemantics{}, iters)
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: %d values, sequential computed %d", seed, len(got), len(want))
+		}
+		for id, w := range want {
+			if v := got[id]; math.Abs(v-w) > 1e-9*math.Max(1, math.Abs(w)) {
+				t.Fatalf("seed %d: instance %+v = %v, sequential %v", seed, id, v, w)
+			}
+		}
+
+		// The backend harness agrees (its internal cross-check passes and
+		// it reports the full trial spread).
+		ts, err := Goroutine{}.RunTrials(g, progs, iters, TrialConfig{Trials: 2})
+		if err != nil {
+			t.Fatalf("seed %d: gort backend: %v", seed, err)
+		}
+		if ts.Trials != 2 || len(ts.Makespans) != 2 {
+			t.Fatalf("seed %d: trial spread %+v", seed, ts)
+		}
+
+		// (b) The sim backend runs the same programs deadlock-free.
+		if _, err := machine.Run(g, progs, machine.Config{}); err != nil {
+			t.Fatalf("seed %d: sim run: %v", seed, err)
+		}
+	}
+}

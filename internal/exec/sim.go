@@ -1,0 +1,63 @@
+package exec
+
+import (
+	"mimdloop/internal/graph"
+	"mimdloop/internal/machine"
+	"mimdloop/internal/program"
+)
+
+// MachineConfig re-exports the simulated machine's configuration so
+// backend callers configure trials without importing internal/machine.
+type MachineConfig = machine.Config
+
+// Sim executes programs on the discrete-event simulated MIMD machine of
+// internal/machine: each trial reruns the same programs under a
+// deterministically derived fluctuation seed (machine.TrialSeed), so the
+// spread reflects robustness to the communication estimate being wrong,
+// not random noise. This is exactly the seeded trial protocol the
+// measured evaluator ran before the backend layer existed, pinned
+// byte-for-byte: Sim delegates to machine.RunTrials unchanged.
+type Sim struct{}
+
+// Name implements Backend.
+func (Sim) Name() string { return "sim" }
+
+// Deterministic implements Backend: identical configs replay identical
+// stats.
+func (Sim) Deterministic() bool { return true }
+
+// EffectiveTrials implements Backend: without fluctuation (mm <= 1)
+// every trial is bit-identical — FluctModel is the only per-trial
+// variation — so one run measures them all and the request collapses to
+// a single trial.
+func (Sim) EffectiveTrials(trials, fluct int) int {
+	if fluct <= 1 {
+		return 1
+	}
+	return trials
+}
+
+// RunTrials implements Backend. Makespans are cycles; the sequential
+// baseline is the one-processor schedule length, iterations × total
+// body latency.
+func (Sim) RunTrials(g *graph.Graph, progs []program.Program, iterations int, cfg TrialConfig) (*TrialStats, error) {
+	mc := cfg.Machine
+	mc.Fluct = cfg.Fluct
+	mc.Seed = cfg.Seed
+	ts, err := machine.RunTrials(g, progs, mc, cfg.Trials)
+	if err != nil {
+		return nil, err
+	}
+	out := &TrialStats{
+		Backend:     "sim",
+		Trials:      ts.Trials,
+		Makespans:   make([]float64, len(ts.Makespans)),
+		Sequential:  float64(iterations * g.TotalLatency()),
+		Utilization: ts.Utilization,
+		Messages:    ts.Messages,
+	}
+	for i, m := range ts.Makespans {
+		out.Makespans[i] = float64(m)
+	}
+	return out, nil
+}

@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mimdloop/internal/exec"
+	"mimdloop/internal/metrics"
+	"mimdloop/internal/pipeline"
+	"mimdloop/internal/workload"
+)
+
+// GoroutineRow is one random loop of the goroutine-backend Table 1
+// variant: the (p, k) winner picked by ranking the grid on the
+// deterministic simulated machine next to the winner picked by ranking
+// on real goroutine execution — both then judged by the same goroutine
+// yardstick, wall-clock nanoseconds per iteration.
+type GoroutineRow struct {
+	Loop  int // paper's loop number, 0-based seed-1
+	Nodes int
+	// SimPoint / GortPoint are the winning grid cells under each ranking.
+	SimPoint  pipeline.Point
+	GortPoint pipeline.Point
+	// SimNs / GortNs are each winner's mean wall-clock nanoseconds per
+	// iteration when executed on the goroutine runtime.
+	SimNs  float64
+	GortNs float64
+	// SimSp / GortSp are each winner's mean wall-clock Sp against the
+	// timed sequential interpretation (often 0 on small loops: channel
+	// synchronization per value dwarfs MixSemantics compute).
+	SimSp  float64
+	GortSp float64
+	// Agree reports both rankings picked the same grid cell.
+	Agree bool
+}
+
+// Table1GoroutineResult aggregates the goroutine-backend experiment.
+type Table1GoroutineResult struct {
+	Rows []GoroutineRow
+	// Trials echoes the per-point goroutine trial count.
+	Trials int
+	// SimNsMean / GortNsMean are mean wall-clock ns/iteration of the two
+	// rankings' winners under the goroutine yardstick; Gain is the
+	// relative improvement of ranking on the real runtime, in percent.
+	SimNsMean  float64
+	GortNsMean float64
+	Gain       float64
+	// Agreements counts loops where both rankings picked the same cell.
+	Agreements int
+}
+
+// Table1Goroutine runs the goroutine-backend variant of the Section 4
+// experiment: for each random loop the same (p, k) grid is auto-tuned
+// twice under the min-rate objective — once ranked by measured Sp on
+// the simulated machine (deterministic seeded trials, the Table 1m
+// protocol), once ranked by wall-clock time on the real
+// goroutine-per-processor runtime — and both winners are then timed on
+// the goroutine runtime. The gap between the two means is what ranking
+// against real asynchronous execution buys over ranking against the
+// simulator's model of it; unlike the 1m table the numbers are honest
+// wall-clock samples, so loops run *serially* (a pool would time
+// interference, not plans) and repeat runs vary.
+func Table1Goroutine(count, iters, trials int) (*Table1GoroutineResult, error) {
+	if count < 1 || count > 25 {
+		return nil, fmt.Errorf("experiments: table 1 loop count %d, want 1..25", count)
+	}
+	if iters == 0 {
+		iters = 100
+	}
+	if trials == 0 {
+		trials = 3
+	}
+	res := &Table1GoroutineResult{
+		Rows:   make([]GoroutineRow, count),
+		Trials: trials,
+	}
+	pipe := pipeline.New(pipeline.Config{})
+	for i := 0; i < count; i++ {
+		row, err := goroutineRow(pipe, int64(i+1), iters, trials)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows[i] = row
+	}
+	var sim, gort []float64
+	for _, row := range res.Rows {
+		sim = append(sim, row.SimNs)
+		gort = append(gort, row.GortNs)
+		if row.Agree {
+			res.Agreements++
+		}
+	}
+	res.SimNsMean = metrics.Mean(sim)
+	res.GortNsMean = metrics.Mean(gort)
+	if res.SimNsMean > 0 {
+		res.Gain = (res.SimNsMean - res.GortNsMean) / res.SimNsMean * 100
+	}
+	return res, nil
+}
+
+// goroutineRow tunes one random loop under both rankings and times both
+// winners on the goroutine runtime. The grid is deliberately smaller
+// than the 1m table's (real executions are not free) but brackets the
+// same trade-off: a few processor budgets around the Cyclic width, comm
+// estimates around the machine's presumed cost.
+func goroutineRow(pipe *pipeline.Pipeline, seed int64, iters, trials int) (GoroutineRow, error) {
+	var row GoroutineRow
+	g, err := workload.Random(workload.PaperSpec, seed)
+	if err != nil {
+		return row, err
+	}
+	row = GoroutineRow{Loop: int(seed - 1), Nodes: g.N()}
+
+	grid := pipeline.TuneOptions{
+		Processors: []int{2, 4, 8},
+		CommCosts:  []int{2, 3},
+		Objective:  pipeline.ObjectiveMinRate,
+		Workers:    1,
+	}
+	grid.Evaluator = &pipeline.MeasuredEvaluator{Trials: trials, Fluct: measuredMM, Seed: seed}
+	sim, err := pipe.AutoTune(g, iters, grid)
+	if err != nil {
+		return row, fmt.Errorf("experiments: loop %d sim tune: %w", seed-1, err)
+	}
+	gortEv := &pipeline.MeasuredEvaluator{Trials: trials, Backend: exec.Goroutine{}}
+	grid.Evaluator = gortEv
+	gort, err := pipe.AutoTune(g, iters, grid)
+	if err != nil {
+		return row, fmt.Errorf("experiments: loop %d gort tune: %w", seed-1, err)
+	}
+
+	row.SimPoint = sim.Best.Point
+	row.GortPoint = gort.Best.Point
+	row.Agree = row.SimPoint == row.GortPoint
+
+	// Judge both winners by the same goroutine yardstick.
+	simScore, err := pipe.Evaluate(gortEv, sim.Best.Plan)
+	if err != nil {
+		return row, fmt.Errorf("experiments: loop %d sim winner on gort: %w", seed-1, err)
+	}
+	row.SimNs = simScore.Rate
+	row.SimSp = simScore.Measured.SpMean
+	gortScore, err := pipe.Evaluate(gortEv, gort.Best.Plan)
+	if err != nil {
+		return row, fmt.Errorf("experiments: loop %d gort winner re-eval: %w", seed-1, err)
+	}
+	row.GortNs = gortScore.Rate
+	row.GortSp = gortScore.Measured.SpMean
+	return row, nil
+}
+
+// Format renders the comparison: both winners and their wall-clock
+// cost per iteration on the goroutine runtime.
+func (r *Table1GoroutineResult) Format() string {
+	t := &metrics.Table{Header: []string{
+		"loop", "sim p,k", "ns/iter", "Sp", "gort p,k", "ns/iter", "Sp", "agree",
+	}}
+	point := func(p pipeline.Point) string {
+		return fmt.Sprintf("%d,%d", p.Processors, p.CommCost)
+	}
+	for _, row := range r.Rows {
+		agree := ""
+		if row.Agree {
+			agree = "="
+		}
+		t.AddRow(
+			fmt.Sprint(row.Loop),
+			point(row.SimPoint), fmt.Sprintf("%.0f", row.SimNs), metrics.F1(row.SimSp),
+			point(row.GortPoint), fmt.Sprintf("%.0f", row.GortNs), metrics.F1(row.GortSp),
+			agree,
+		)
+	}
+	t.AddRow("mean", "", fmt.Sprintf("%.0f", r.SimNsMean), "",
+		"", fmt.Sprintf("%.0f", r.GortNsMean), "", "")
+	return t.String() + fmt.Sprintf(
+		"goroutine ranking (%d wall-clock trials/point) is %+.1f%% vs simulator ranking on the goroutine runtime; %d/%d winners agree\n",
+		r.Trials, r.Gain, r.Agreements, len(r.Rows))
+}

@@ -27,6 +27,10 @@ type TrialStats struct {
 	// Messages is the per-trial message count (identical every trial:
 	// fluctuation changes timing, never routing).
 	Messages int `json:"messages"`
+	// Makespans are the per-trial samples in run order. Min/Mean/Max
+	// above digest them; callers ranking by other statistics (p95,
+	// spread) read the raw distribution.
+	Makespans []int `json:"makespans,omitempty"`
 }
 
 // TrialSeed derives trial t's fluctuation seed from the base seed. Trial
@@ -56,7 +60,7 @@ func RunTrials(g *graph.Graph, progs []program.Program, cfg Config, trials int) 
 	if trials < 1 {
 		return nil, fmt.Errorf("machine: trial count %d, want >= 1", trials)
 	}
-	ts := &TrialStats{Trials: trials}
+	ts := &TrialStats{Trials: trials, Makespans: make([]int, 0, trials)}
 	sumMakespan, sumUtil := 0, 0.0
 	for t := 0; t < trials; t++ {
 		c := cfg
@@ -65,6 +69,7 @@ func RunTrials(g *graph.Graph, progs []program.Program, cfg Config, trials int) 
 		if err != nil {
 			return nil, fmt.Errorf("machine: trial %d: %w", t, err)
 		}
+		ts.Makespans = append(ts.Makespans, stats.Makespan)
 		if t == 0 || stats.Makespan < ts.MakespanMin {
 			ts.MakespanMin = stats.Makespan
 		}

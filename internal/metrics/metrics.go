@@ -15,13 +15,20 @@ func PercentParallelism(seq, par int) float64 {
 }
 
 // PercentParallelismF is PercentParallelism for a fractional parallel
-// time — e.g. a mean makespan over repeated trials. Both spellings share
-// this one formula.
+// time — e.g. a mean makespan over repeated trials.
 func PercentParallelismF(seq int, par float64) float64 {
+	return PercentParallelismFloat(float64(seq), par)
+}
+
+// PercentParallelismFloat is the metric for fully fractional times —
+// e.g. wall-clock nanoseconds from the goroutine execution backend. All
+// three spellings share this one formula (integer baselines convert
+// exactly: schedule lengths are far below 2^53).
+func PercentParallelismFloat(seq, par float64) float64 {
 	if seq <= 0 {
 		return 0
 	}
-	return (float64(seq) - par) / float64(seq) * 100
+	return (seq - par) / seq * 100
 }
 
 // ClampZero reports a percentage the way the paper's tables do: a scheduler

@@ -34,15 +34,13 @@ type message struct {
 	val        float64
 }
 
-// Run executes the programs concurrently and returns every computed value
-// keyed by instance. It returns an error if any processor needs a value it
-// never computed or received (an invalid program), closing down cleanly.
-func Run(g *graph.Graph, progs []program.Program, sem Semantics) (map[graph.InstanceID]float64, error) {
+// buildLinks allocates the channel matrix for one program set: a channel
+// per directed pair, buffered to the exact number of messages the link
+// carries in one run. Sends then never block, which both mirrors the
+// paper's fully-overlapped communication and rules out buffer-pressure
+// deadlocks by construction.
+func buildLinks(progs []program.Program) [][]chan message {
 	n := len(progs)
-	// Channel per directed pair, buffered to the exact number of messages
-	// the link will carry: sends then never block, which both mirrors the
-	// paper's fully-overlapped communication and rules out buffer-pressure
-	// deadlocks by construction.
 	linkCount := make(map[[2]int]int)
 	for _, prog := range progs {
 		for _, in := range prog.Instrs {
@@ -64,7 +62,18 @@ func Run(g *graph.Graph, progs []program.Program, sem Semantics) (map[graph.Inst
 			}
 		}
 	}
+	return chans
+}
 
+// Run executes the programs concurrently and returns every computed value
+// keyed by instance. It returns an error if any processor needs a value it
+// never computed or received (an invalid program), closing down cleanly.
+// For repeated executions of the same programs — a trial harness timing
+// run after run — use a Runner, which keeps the processor goroutines and
+// link channels alive across runs.
+func Run(g *graph.Graph, progs []program.Program, sem Semantics) (map[graph.InstanceID]float64, error) {
+	n := len(progs)
+	chans := buildLinks(progs)
 	results := make([]map[graph.InstanceID]float64, n)
 	errs := make([]error, n)
 	var wg sync.WaitGroup
@@ -72,7 +81,7 @@ func Run(g *graph.Graph, progs []program.Program, sem Semantics) (map[graph.Inst
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
-			results[p], errs[p] = runProc(g, progs[p], sem, chans, p)
+			results[p], errs[p] = runProc(g, progs[p], sem, chans, p, nil)
 		}(p)
 	}
 	wg.Wait()
@@ -96,6 +105,7 @@ func runProc(
 	sem Semantics,
 	chans [][]chan message,
 	self int,
+	abort <-chan struct{},
 ) (map[graph.InstanceID]float64, error) {
 	local := make(map[graph.InstanceID]float64) // everything known on this PE
 	computed := make(map[graph.InstanceID]float64)
@@ -134,17 +144,26 @@ func runProc(
 				break
 			}
 			// Drain the link until the wanted tag shows up, keeping
-			// everything read (later receives may want it).
+			// everything read (later receives may want it). A nil abort
+			// channel blocks forever on its case, so Run's behaviour is
+			// unchanged; a Runner passes its quit channel so a processor
+			// blocked on a peer that died can be released.
+		drain:
 			for {
-				m, ok := <-chans[in.Peer][self]
-				if !ok {
-					return nil, fmt.Errorf("recv (%s, iter %d): link from PE%d closed",
+				select {
+				case m, ok := <-chans[in.Peer][self]:
+					if !ok {
+						return nil, fmt.Errorf("recv (%s, iter %d): link from PE%d closed",
+							g.Nodes[in.Node].Name, in.Iter, in.Peer)
+					}
+					id := graph.InstanceID{Node: m.node, Iter: m.iter}
+					local[id] = m.val
+					if id == want {
+						break drain
+					}
+				case <-abort:
+					return nil, fmt.Errorf("recv (%s, iter %d): runner closed while waiting on PE%d",
 						g.Nodes[in.Node].Name, in.Iter, in.Peer)
-				}
-				id := graph.InstanceID{Node: m.node, Iter: m.iter}
-				local[id] = m.val
-				if id == want {
-					break
 				}
 			}
 		}

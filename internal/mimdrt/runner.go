@@ -1,0 +1,142 @@
+package mimdrt
+
+import (
+	"errors"
+	"fmt"
+
+	"mimdloop/internal/graph"
+	"mimdloop/internal/program"
+)
+
+// Runner executes one program set repeatedly, reusing the per-processor
+// goroutines and the link channels across runs. A timed trial harness
+// (the exec package's goroutine backend) calls Run once per trial; the
+// expensive setup — one goroutine per processor, one exactly-buffered
+// channel per directed pair — happens once in NewRunner, so repeated
+// trials measure execution, not allocation and goroutine spawning.
+//
+// A Runner is single-client: Run must not be called concurrently with
+// itself. Close releases the worker goroutines; after a failed run the
+// Runner is dead (the link channels may hold stale messages from the
+// aborted pass) and every subsequent Run returns the original error.
+type Runner struct {
+	g     *graph.Graph
+	progs []program.Program
+	sem   Semantics
+
+	chans [][]chan message
+	start []chan struct{}
+	// done carries one outcome per processor per pass, in completion
+	// order — collection must not assume processor order, because a
+	// processor blocked on a failed peer only unblocks once the failure
+	// has been observed and quit closed.
+	done chan procOutcome
+	quit chan struct{}
+
+	dead   error
+	closed bool
+}
+
+type procOutcome struct {
+	proc int
+	vals map[graph.InstanceID]float64
+	err  error
+}
+
+// NewRunner builds the channel matrix and parks one worker goroutine per
+// processor, ready to execute the programs on demand.
+func NewRunner(g *graph.Graph, progs []program.Program, sem Semantics) *Runner {
+	n := len(progs)
+	r := &Runner{
+		g:     g,
+		progs: progs,
+		sem:   sem,
+		chans: buildLinks(progs),
+		start: make([]chan struct{}, n),
+		done:  make(chan procOutcome, n),
+		quit:  make(chan struct{}),
+	}
+	for p := 0; p < n; p++ {
+		r.start[p] = make(chan struct{})
+		go func(p int) {
+			for {
+				select {
+				case <-r.quit:
+					return
+				case <-r.start[p]:
+					vals, err := runProc(r.g, r.progs[p], r.sem, r.chans, p, r.quit)
+					r.done <- procOutcome{proc: p, vals: vals, err: err}
+				}
+			}
+		}(p)
+	}
+	return r
+}
+
+// Run executes one full pass of the programs on the parked workers and
+// returns every computed value keyed by instance — the same contract as
+// the package-level Run, minus the per-call setup.
+func (r *Runner) Run() (map[graph.InstanceID]float64, error) {
+	if r.closed {
+		return nil, errors.New("mimdrt: runner is closed")
+	}
+	if r.dead != nil {
+		return nil, fmt.Errorf("mimdrt: runner is dead after a failed run: %w", r.dead)
+	}
+	for p := range r.start {
+		r.start[p] <- struct{}{}
+	}
+	merged := make(map[graph.InstanceID]float64)
+	var firstErr error
+	for i := 0; i < len(r.start); i++ {
+		out := <-r.done
+		if out.err != nil {
+			if firstErr == nil {
+				// Releasing quit immediately unblocks peers stalled on
+				// the failed processor's messages, so the remaining
+				// outcomes always arrive.
+				firstErr = fmt.Errorf("mimdrt: PE%d: %w", out.proc, out.err)
+				r.dead = firstErr
+				close(r.quit)
+			}
+			continue
+		}
+		for k, v := range out.vals {
+			merged[k] = v
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	// A valid pass consumes every message a receiver wants, but a link
+	// may still hold sends no later receive drained; clear them so the
+	// next pass starts from empty buffers.
+	for i := range r.chans {
+		for _, ch := range r.chans[i] {
+			if ch == nil {
+				continue
+			}
+			for {
+				select {
+				case <-ch:
+				default:
+					goto next
+				}
+			}
+		next:
+		}
+	}
+	return merged, nil
+}
+
+// Close releases the worker goroutines. It is idempotent and safe after
+// a failed run (the failure already released them).
+func (r *Runner) Close() {
+	if r.closed {
+		return
+	}
+	r.closed = true
+	if r.dead == nil {
+		close(r.quit)
+	}
+}

@@ -1,0 +1,100 @@
+package mimdrt
+
+import (
+	"testing"
+
+	"mimdloop/internal/core"
+	"mimdloop/internal/program"
+)
+
+// TestRunnerReusesWorkersAcrossTrials: repeated Runner.Run calls on one
+// program set all compute the sequential values — the link buffers and
+// worker goroutines carry no state between passes.
+func TestRunnerReusesWorkersAcrossTrials(t *testing.T) {
+	g := figure7(t)
+	res, err := core.CyclicSched(g, core.Options{Processors: 2, CommCost: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 30
+	s, err := res.Expand(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs, err := program.Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Sequential(g, MixSemantics{}, n)
+	r := NewRunner(g, progs, MixSemantics{})
+	defer r.Close()
+	for trial := 0; trial < 5; trial++ {
+		got, err := r.Run()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		valuesEqual(t, got, want)
+	}
+}
+
+// TestRunnerMatchesRun: one Runner pass is the package-level Run.
+func TestRunnerMatchesRun(t *testing.T) {
+	g := figure7(t)
+	res, err := core.CyclicSched(g, core.Options{Processors: 3, CommCost: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := res.Expand(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs, err := program.Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Run(g, progs, MixSemantics{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(g, progs, MixSemantics{})
+	defer r.Close()
+	got, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	valuesEqual(t, got, want)
+}
+
+// TestRunnerDiesCleanlyOnInvalidProgram: a failed pass reports its
+// error, releases every worker (even ones blocked on the failed peer's
+// messages), and marks the runner dead for subsequent passes.
+func TestRunnerDiesCleanlyOnInvalidProgram(t *testing.T) {
+	g := figure7(t)
+	// PE1 waits forever for a message PE0 never sends; PE0 fails
+	// immediately on a compute with an unavailable operand.
+	progs := []program.Program{
+		{Proc: 0, Instrs: []program.Instr{{Kind: program.OpCompute, Node: 1, Iter: 0}}},
+		{Proc: 1, Instrs: []program.Instr{{Kind: program.OpRecv, Node: 0, Iter: 0, Peer: 0}}},
+	}
+	r := NewRunner(g, progs, MixSemantics{})
+	defer r.Close()
+	if _, err := r.Run(); err == nil {
+		t.Fatal("invalid program accepted")
+	}
+	if _, err := r.Run(); err == nil {
+		t.Fatal("dead runner accepted another pass")
+	}
+}
+
+// TestRunnerClosedRejectsRun: Close is idempotent and a closed runner
+// refuses to run.
+func TestRunnerClosedRejectsRun(t *testing.T) {
+	g := figure7(t)
+	progs := []program.Program{{Proc: 0}}
+	r := NewRunner(g, progs, MixSemantics{})
+	r.Close()
+	r.Close()
+	if _, err := r.Run(); err == nil {
+		t.Fatal("closed runner accepted a pass")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"testing"
 
+	"mimdloop/internal/exec"
 	"mimdloop/internal/workload"
 )
 
@@ -118,6 +119,25 @@ func BenchmarkAutoTuneMeasured(b *testing.B) {
 	p := New(Config{})
 	opt := tuneGrid
 	opt.Evaluator = &MeasuredEvaluator{Trials: 5, Fluct: 3, Seed: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.AutoTune(g, 100, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAutoTuneGort is the same grid ranked on the real goroutine
+// runtime (3 wall-clock trials per point). Compare against
+// BenchmarkAutoTuneMeasured: the gap is the price of real execution per
+// tune, which is what the gort serving caps (trials ≤ 8, points ×
+// trials ≤ 64) are sized around — a cost regression here means those
+// caps no longer bound what they claim to.
+func BenchmarkAutoTuneGort(b *testing.B) {
+	g := workload.Figure7().Graph
+	p := New(Config{})
+	opt := tuneGrid
+	opt.Evaluator = &MeasuredEvaluator{Trials: 3, Backend: exec.Goroutine{}}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := p.AutoTune(g, 100, opt); err != nil {

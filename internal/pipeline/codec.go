@@ -27,12 +27,16 @@ import (
 //	    programs.
 //	2 — adds the optional "measured" block (MeasuredStats): the plan's
 //	    most recent measured evaluation on the simulated machine.
-//	    Version-1 records still decode (they simply carry no
-//	    measurement); version-2 records without a measurement are
-//	    byte-compatible with version 1 apart from the header.
+//	3 — replaces "measured" with "measured_by": one self-describing
+//	    MeasuredStats per execution backend (sim, gort), sorted by
+//	    backend name, so annotations from different backends coexist
+//	    instead of overwriting each other. Version-1 and -2 records
+//	    still decode (a v2 "measured" block is adopted as the sim
+//	    backend's annotation); version-3 records without a measurement
+//	    are byte-compatible with version 1 apart from the header.
 const (
 	planRecordFormat  = "mimdloop/plan"
-	planRecordVersion = 2
+	planRecordVersion = 3
 
 	// planRecordMinVersion is the oldest record version DecodePlan still
 	// accepts.
@@ -61,9 +65,13 @@ type planRecord struct {
 
 	Pattern *PatternInfo `json:"pattern,omitempty"`
 
-	// Measured is the plan's last measured evaluation (version >= 2;
-	// omitted when the plan was only ever scored statically).
+	// Measured is the version-2 single-annotation block, decoded for
+	// backward compatibility and never encoded at version 3.
 	Measured *MeasuredStats `json:"measured,omitempty"`
+	// MeasuredBy is the plan's last measured evaluation per execution
+	// backend, sorted by backend name (version >= 3; omitted when the
+	// plan was only ever scored statically).
+	MeasuredBy []*MeasuredStats `json:"measured_by,omitempty"`
 
 	Schedule json.RawMessage   `json:"schedule"`
 	Programs []program.Program `json:"programs"`
@@ -94,7 +102,7 @@ func EncodePlan(p *Plan) ([]byte, error) {
 		Folded:         p.Schedule.Folded,
 		GreedyFallback: p.Schedule.GreedyFallback,
 		Pattern:        p.Pattern(),
-		Measured:       p.Measured(),
+		MeasuredBy:     p.MeasuredAll(),
 		Schedule:       sched,
 		Programs:       p.Programs,
 	})
@@ -159,8 +167,15 @@ func DecodePlan(data []byte) (key string, p *Plan, err error) {
 		rate:     rec.Rate,
 		pattern:  rec.Pattern,
 	}
+	// Version-2 records carry one "measured" block; SetMeasured adopts
+	// its empty Backend as "sim" — the only backend that existed then.
 	if rec.Measured != nil {
 		p.SetMeasured(rec.Measured)
+	}
+	for _, ms := range rec.MeasuredBy {
+		if ms != nil {
+			p.SetMeasured(ms)
+		}
 	}
 	// Seed the memoized wire encoding with the record's own bytes, so a
 	// disk-loaded plan serves byte-identical schedule JSON without ever

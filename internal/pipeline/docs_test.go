@@ -33,24 +33,28 @@ func TestAPIDocCoversRoutes(t *testing.T) {
 
 	// The caps table must track the constants.
 	for name, fragment := range map[string]string{
-		"maxBatchItems":     fmt.Sprintf("%d", maxBatchItems),
-		"maxTunePoints":     fmt.Sprintf("%d", maxTunePoints),
-		"maxGraphNodes":     fmt.Sprintf("%d", maxGraphNodes),
-		"maxEvalTrials":     fmt.Sprintf("%d", maxEvalTrials),
-		"maxTuneTrialCells": fmt.Sprintf("%d", maxTuneTrialCells),
+		"maxBatchItems":         fmt.Sprintf("%d", maxBatchItems),
+		"maxTunePoints":         fmt.Sprintf("%d", maxTunePoints),
+		"maxGraphNodes":         fmt.Sprintf("%d", maxGraphNodes),
+		"maxEvalTrials":         fmt.Sprintf("%d", maxEvalTrials),
+		"maxTuneTrialCells":     fmt.Sprintf("%d", maxTuneTrialCells),
+		"maxGortEvalTrials":     fmt.Sprintf("trials ≤ %d", maxGortEvalTrials),
+		"maxGortTuneTrialCells": fmt.Sprintf("trials ≤ %d", maxGortTuneTrialCells),
 	} {
 		if !strings.Contains(doc, fragment) {
-			t.Errorf("docs/API.md does not mention %s = %s", name, fragment)
+			t.Errorf("docs/API.md does not mention %s (fragment %q)", name, fragment)
 		}
 	}
 
-	// The evaluator surface: the tune eval block, the schedule simulate
-	// query, every JSON field of the measured-stats block, and the
-	// evaluator counters in stats.
+	// The evaluator surface: the tune eval block, the execution-backend
+	// and spread-objective selectors, the schedule simulate query, every
+	// JSON field of the measured-stats block, and the evaluator counters
+	// in stats.
 	for _, fragment := range []string{
 		"`eval`", `"mode": "measured"`, "?simulate=1", "`trials`", "`fluct`", "`seed`",
-		`"sp_min"`, `"sp_mean"`, `"sp_max"`,
-		`"makespan_min"`, `"makespan_max"`, `"makespan_mean"`, `"utilization"`,
+		"`backend`", "`objective`", `"backend": "gort"`, "gort", "`worst`", "`p95`",
+		`"sp_min"`, `"sp_mean"`, `"sp_p95"`, `"sp_max"`,
+		`"makespan_min"`, `"makespan_max"`, `"makespan_mean"`, `"makespan_p95"`, `"utilization"`,
 		`"evals"`, `"simulated"`, `"measured"`, `"evaluator"`, `"trials"`,
 	} {
 		if !strings.Contains(doc, fragment) {

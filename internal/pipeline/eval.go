@@ -3,6 +3,7 @@ package pipeline
 import (
 	"fmt"
 
+	"mimdloop/internal/exec"
 	"mimdloop/internal/machine"
 	"mimdloop/internal/metrics"
 )
@@ -16,13 +17,16 @@ import (
 //     paper's cycles/iteration from the verified pattern) — free, exact
 //     for the cost model, blind to communication fluctuation.
 //   - MeasuredEvaluator lowers the plan to per-processor programs and
-//     executes them on the simulated MIMD machine for R seeded trials
-//     under a fluctuation model, reporting what actually happens when the
-//     communication estimate is wrong (the paper's Table 1 protocol).
+//     executes them on a pluggable exec.Backend for R trials — the
+//     deterministic simulated MIMD machine under a seeded fluctuation
+//     model ("sim", the paper's Table 1 protocol), or the real
+//     goroutine-per-processor runtime timed on the wall clock ("gort").
 //
-// Evaluators must be pure per (evaluator value, plan): deterministic and
-// safe for concurrent use, which is what lets Sweep fan evaluations out
-// on a worker pool without changing results.
+// Static and sim-backend evaluators are pure per (evaluator value, plan):
+// deterministic and safe for concurrent use, which is what lets Sweep fan
+// evaluations out on a worker pool without changing results. The gort
+// backend is safe for concurrent use but measures wall-clock time, so its
+// scores are honest samples rather than replayable constants.
 type Evaluator interface {
 	// Name is the evaluator's wire name ("static", "measured"), echoed in
 	// tune replies and stats.
@@ -34,12 +38,16 @@ type Evaluator interface {
 
 // Score is one evaluator's verdict on a plan. Rate is the quantity
 // AutoTune objectives rank by: for StaticEvaluator it equals Plan.Rate()
-// exactly; for MeasuredEvaluator it is the mean simulated makespan per
-// iteration, so tuning optimizes measured Sp rather than the scheduled
-// rate (Sp and Rate are inverse views of the same measurement: lower
-// measured rate ⇔ higher measured Sp).
+// exactly; for MeasuredEvaluator it is the selected statistic of the
+// measured makespan distribution per iteration (mean by default, worst
+// or p95 under a spread-aware EvalObjective), so tuning optimizes
+// measured Sp rather than the scheduled rate (Sp and Rate are inverse
+// views of the same measurement: lower measured rate ⇔ higher measured
+// Sp).
 type Score struct {
-	// Rate is cycles/iteration under this evaluator.
+	// Rate is cycles/iteration under this evaluator (backend-native
+	// units per iteration for measured scores: cycles for sim,
+	// nanoseconds for gort).
 	Rate float64
 	// Procs is the processors the plan occupies (same for all evaluators).
 	Procs int
@@ -48,28 +56,87 @@ type Score struct {
 	Measured *MeasuredStats
 }
 
-// MeasuredStats is the wire form of a measured evaluation: the machine
-// parameters it ran under and the Sp/makespan spread over the trials.
-// It is embedded in tune replies, `?simulate=1` schedule replies, and
-// version-2 plan records.
+// MeasuredStats is the wire form of a measured evaluation: which backend
+// ran it, the parameters it ran under and the Sp/makespan spread over
+// the trials. It is embedded in tune replies, `?simulate=1` schedule
+// replies, and version-3 plan records. Makespans are in the backend's
+// native units (sim: cycles, gort: wall-clock nanoseconds); Sp is
+// unit-free and comparable across backends.
 type MeasuredStats struct {
+	// Backend identifies the execution model that produced the stats
+	// ("sim", "gort"). Empty in records written before the backend layer
+	// existed; DecodePlan normalizes those to "sim", the only backend
+	// that could have produced them.
+	Backend string `json:"backend,omitempty"`
 	// Trials, Fluct and Seed echo the evaluation parameters, making the
-	// stats self-describing wherever they are persisted.
+	// stats self-describing wherever they are persisted. Fluct and Seed
+	// are sim-backend concepts; the gort backend's variation is physical.
 	Trials int   `json:"trials"`
 	Fluct  int   `json:"fluct"`
 	Seed   int64 `json:"seed"`
 	// Sp spread: percentage parallelism vs the sequential schedule,
 	// clamped at 0 like the paper's tables. SpMin corresponds to the
-	// worst (largest) makespan.
+	// worst (largest) makespan; SpP95 to the nearest-rank 95th-percentile
+	// makespan (the near-worst tail the p95 objective ranks by).
 	SpMin  float64 `json:"sp_min"`
 	SpMean float64 `json:"sp_mean"`
+	SpP95  float64 `json:"sp_p95"`
 	SpMax  float64 `json:"sp_max"`
-	// Makespan spread over the trials, in cycles.
+	// Makespan spread over the trials, in the backend's native units.
 	MakespanMin  int     `json:"makespan_min"`
 	MakespanMax  int     `json:"makespan_max"`
 	MakespanMean float64 `json:"makespan_mean"`
-	// Utilization is mean busy/(makespan×procs) over the trials.
+	MakespanP95  float64 `json:"makespan_p95"`
+	// Utilization is mean busy/(makespan×procs) over the trials; 0 when
+	// the backend cannot account it (gort).
 	Utilization float64 `json:"utilization"`
+}
+
+// EvalObjective selects which statistic of the measured makespan
+// distribution a MeasuredEvaluator reports as its Score.Rate — and
+// therefore what AutoTune optimizes when tuning measured. The spread
+// matters because two plans with equal mean Sp can differ wildly in how
+// badly their worst trials degrade (cf. the run-it-both-ways validation
+// stance of McKenney, arXiv:1701.00854).
+type EvalObjective int
+
+const (
+	// EvalMean ranks by the mean makespan — the PR 4 behaviour, and the
+	// default.
+	EvalMean EvalObjective = iota
+	// EvalWorst ranks by the worst (largest) trial makespan: optimize
+	// what the unluckiest run delivers.
+	EvalWorst
+	// EvalP95 ranks by the nearest-rank 95th-percentile makespan: the
+	// tail-latency view; robust to a single outlier trial.
+	EvalP95
+)
+
+// String returns the wire name of the objective ("mean", "worst", "p95").
+func (o EvalObjective) String() string {
+	switch o {
+	case EvalMean:
+		return "mean"
+	case EvalWorst:
+		return "worst"
+	case EvalP95:
+		return "p95"
+	}
+	return fmt.Sprintf("eval_objective(%d)", int(o))
+}
+
+// ParseEvalObjective is the inverse of EvalObjective.String; "" means
+// EvalMean.
+func ParseEvalObjective(s string) (EvalObjective, error) {
+	switch s {
+	case "", "mean":
+		return EvalMean, nil
+	case "worst":
+		return EvalWorst, nil
+	case "p95":
+		return EvalP95, nil
+	}
+	return 0, fmt.Errorf("unknown eval objective %q (want mean, worst or p95)", s)
 }
 
 // StaticEvaluator scores plans by their compile-time scheduled rate —
@@ -87,23 +154,36 @@ func (StaticEvaluator) Evaluate(p *Plan) (Score, error) {
 }
 
 // MeasuredEvaluator scores plans by executing their lowered programs on
-// the simulated MIMD machine (internal/machine) for Trials repeated runs
-// under a seeded fluctuation model. The returned Score.Rate is the mean
-// measured makespan per iteration, so AutoTune under any objective ranks
-// by what the machine actually did — including communication-cost
-// fluctuation the static cost model cannot see. Evaluations are
-// deterministic per (evaluator, plan) and safe to run concurrently.
+// an exec.Backend for Trials repeated runs. With the default sim backend
+// the trials run on the simulated MIMD machine under a seeded
+// fluctuation model — deterministic per (evaluator, plan) and safe to
+// run concurrently. With the gort backend they run for real on the
+// goroutine-per-processor runtime, timed on the wall clock and
+// value-checked against the sequential interpretation. The returned
+// Score.Rate is the Objective's statistic of the measured makespan
+// distribution per iteration, so AutoTune under any objective ranks by
+// what the chosen execution model actually did.
 type MeasuredEvaluator struct {
-	// Trials is the number of seeded runs to aggregate. 0 means 5.
+	// Trials is the number of runs to aggregate. 0 means 5. The backend
+	// may collapse the count (the sim backend runs one trial when
+	// fluctuation is off — every trial would be bit-identical).
 	Trials int
-	// Fluct is the paper's mm: per-message extra delay in [0, mm-1].
+	// Fluct is the paper's mm: per-message extra delay in [0, mm-1]
+	// (sim backend only).
 	Fluct int
-	// Seed selects the fluctuation streams (trial t runs under
-	// machine.TrialSeed(Seed, t)).
+	// Seed selects the fluctuation streams (sim backend only; trial t
+	// runs under machine.TrialSeed(Seed, t)).
 	Seed int64
-	// Base supplies the remaining machine settings (LinkFIFO, Override);
-	// its Fluct and Seed fields are overwritten by the evaluator's own.
+	// Base supplies the remaining machine settings (LinkFIFO, Override)
+	// for the sim backend; its Fluct and Seed fields are overwritten by
+	// the evaluator's own.
 	Base machine.Config
+	// Backend selects the execution model. nil means exec.Sim — the
+	// simulated machine, byte-for-byte the pre-backend behaviour.
+	Backend exec.Backend
+	// Objective selects the distribution statistic Score.Rate reports:
+	// mean (default), worst, or p95.
+	Objective EvalObjective
 	// Transient marks a probe: the plan is measured and the score
 	// reported, but the plan is not annotated and nothing is persisted.
 	// The /v1/schedule?simulate=1 path sets it so an ad-hoc 1-trial
@@ -116,7 +196,7 @@ type MeasuredEvaluator struct {
 const DefaultEvalTrials = 5
 
 // NewMeasuredEvaluator returns a measured evaluator running `trials`
-// seeded simulations per plan with fluctuation mm.
+// seeded simulations per plan with fluctuation mm on the sim backend.
 func NewMeasuredEvaluator(trials, fluct int, seed int64) *MeasuredEvaluator {
 	return &MeasuredEvaluator{Trials: trials, Fluct: fluct, Seed: seed}
 }
@@ -124,51 +204,90 @@ func NewMeasuredEvaluator(trials, fluct int, seed int64) *MeasuredEvaluator {
 // Name implements Evaluator.
 func (e *MeasuredEvaluator) Name() string { return "measured" }
 
-// Evaluate implements Evaluator: it runs the plan's programs through
-// machine.RunTrials and converts the makespan spread to Sp against the
-// sequential schedule of the plan's own graph and iteration count. The
-// stats are also attached to the plan (Plan.Measured), so durable stores
-// persist the last measurement alongside the schedule (plan codec v2).
-func (e *MeasuredEvaluator) Evaluate(p *Plan) (Score, error) {
+// backend resolves the evaluator's execution model (nil = sim).
+func (e *MeasuredEvaluator) backend() exec.Backend {
+	if e.Backend != nil {
+		return e.Backend
+	}
+	return exec.Sim{}
+}
+
+// BackendName returns the wire name of the evaluator's execution model.
+func (e *MeasuredEvaluator) BackendName() string { return e.backend().Name() }
+
+// Deterministic reports whether repeated evaluations replay identical
+// scores — the backend's own determinism. Sweep serializes evaluation
+// when this is false, so wall-clock measurements never time each other's
+// CPU contention.
+func (e *MeasuredEvaluator) Deterministic() bool { return e.backend().Deterministic() }
+
+// EffectiveTrials resolves the trial count the evaluation will actually
+// run (and should be billed at): the default applied, then the backend's
+// collapse rule — the sim backend runs a single trial when fluctuation
+// is off, since every trial would be bit-identical. This is the one
+// place the collapse lives; library, CLI and HTTP callers all share it.
+func (e *MeasuredEvaluator) EffectiveTrials() int {
 	trials := e.Trials
 	if trials == 0 {
 		trials = DefaultEvalTrials
 	}
-	// Without fluctuation every trial is bit-identical (FluctModel is the
-	// only per-trial variation), so one run measures them all — the
-	// spread collapses and the stats honestly report the single trial.
-	if e.Fluct <= 1 {
-		trials = 1
-	}
-	g := p.Schedule.Graph
-	cfg := e.Base
-	cfg.Fluct = e.Fluct
-	cfg.Seed = e.Seed
-	ts, err := machine.RunTrials(g, p.Programs, cfg, trials)
-	if err != nil {
-		return Score{}, fmt.Errorf("pipeline: measured evaluation: %w", err)
-	}
+	return e.backend().EffectiveTrials(trials, e.Fluct)
+}
+
+// Evaluate implements Evaluator: it runs the plan's programs through the
+// backend's trial harness and converts the makespan spread to Sp against
+// the backend's own sequential baseline (the sequential schedule length
+// for sim, a timed sequential interpretation for gort). The stats are
+// also attached to the plan under the backend's name (Plan.SetMeasured),
+// so durable stores persist the last measurement per backend alongside
+// the schedule (plan codec v3) — a gort measurement never overwrites a
+// sim one, or vice versa.
+func (e *MeasuredEvaluator) Evaluate(p *Plan) (Score, error) {
 	if p.Iterations <= 0 {
 		return Score{}, fmt.Errorf("pipeline: measured evaluation of a %d-iteration plan", p.Iterations)
 	}
-	seq := p.Iterations * g.TotalLatency()
+	be := e.backend()
+	cfg := exec.TrialConfig{
+		Trials:  e.EffectiveTrials(),
+		Fluct:   e.Fluct,
+		Seed:    e.Seed,
+		Machine: e.Base,
+	}
+	ts, err := be.RunTrials(p.Schedule.Graph, p.Programs, p.Iterations, cfg)
+	if err != nil {
+		return Score{}, fmt.Errorf("pipeline: measured evaluation: %w", err)
+	}
+	seq := ts.Sequential
+	sp := func(par float64) float64 {
+		return metrics.ClampZero(metrics.PercentParallelismFloat(seq, par))
+	}
 	ms := &MeasuredStats{
+		Backend:      ts.Backend,
 		Trials:       ts.Trials,
 		Fluct:        e.Fluct,
 		Seed:         e.Seed,
-		SpMin:        metrics.ClampZero(metrics.PercentParallelism(seq, ts.MakespanMax)),
-		SpMean:       metrics.ClampZero(metrics.PercentParallelismF(seq, ts.MakespanMean)),
-		SpMax:        metrics.ClampZero(metrics.PercentParallelism(seq, ts.MakespanMin)),
-		MakespanMin:  ts.MakespanMin,
-		MakespanMax:  ts.MakespanMax,
-		MakespanMean: ts.MakespanMean,
+		SpMin:        sp(ts.Max()),
+		SpMean:       sp(ts.Mean()),
+		SpP95:        sp(ts.P95()),
+		SpMax:        sp(ts.Min()),
+		MakespanMin:  int(ts.Min()),
+		MakespanMax:  int(ts.Max()),
+		MakespanMean: ts.Mean(),
+		MakespanP95:  ts.P95(),
 		Utilization:  ts.Utilization,
 	}
 	if !e.Transient {
 		p.SetMeasured(ms)
 	}
+	ranked := ts.Mean()
+	switch e.Objective {
+	case EvalWorst:
+		ranked = ts.Max()
+	case EvalP95:
+		ranked = ts.P95()
+	}
 	return Score{
-		Rate:     ts.MakespanMean / float64(p.Iterations),
+		Rate:     ranked / float64(p.Iterations),
 		Procs:    p.Procs(),
 		Measured: ms,
 	}, nil
@@ -183,7 +302,10 @@ func (p *Pipeline) Evaluate(ev Evaluator, plan *Plan) (Score, error) {
 	if ev == nil {
 		ev = StaticEvaluator{}
 	}
-	prev := plan.Measured()
+	var prev *MeasuredStats
+	if me, ok := ev.(*MeasuredEvaluator); ok {
+		prev = plan.MeasuredBy(me.BackendName())
+	}
 	score, err := ev.Evaluate(plan)
 	if err != nil {
 		return score, err
@@ -194,11 +316,11 @@ func (p *Pipeline) Evaluate(ev Evaluator, plan *Plan) (Score, error) {
 		// Re-put the plan when the evaluation annotated it (transient
 		// probes do not), so durable tiers rewrite its record with the
 		// measurement: the original Put ran at compute time, before any
-		// evaluation, so without this write-through the codec's v2
-		// measured block would never reach disk. Repeat evaluations are
+		// evaluation, so without this write-through the codec's measured
+		// block would never reach disk. Sim evaluations are
 		// deterministic, so an unchanged annotation skips the rewrite
 		// (with a disk tier each Put is an fsync'd file).
-		if m := plan.Measured(); m != nil && !p.cfg.DisableCache && (prev == nil || *prev != *m) {
+		if m := plan.MeasuredBy(score.Measured.Backend); m != nil && !p.cfg.DisableCache && (prev == nil || *prev != *m) {
 			p.store.Put(PlanKey(plan.GraphHash, plan.Opts, plan.Iterations), plan)
 		}
 	} else {

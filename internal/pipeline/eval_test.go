@@ -3,9 +3,15 @@ package pipeline
 import (
 	"bytes"
 	"encoding/json"
+	"math"
+	"sync"
 	"testing"
+	"time"
 
+	"mimdloop/internal/exec"
+	"mimdloop/internal/graph"
 	"mimdloop/internal/machine"
+	"mimdloop/internal/program"
 	"mimdloop/internal/workload"
 )
 
@@ -285,10 +291,11 @@ func TestTransientEvaluationLeavesPlanAlone(t *testing.T) {
 	}
 }
 
-// TestPlanCodecV2MeasuredRoundTrip: a plan annotated with a measured
-// evaluation persists it through encode/decode, and the decoded plan
-// re-encodes byte-identically.
-func TestPlanCodecV2MeasuredRoundTrip(t *testing.T) {
+// TestPlanCodecV3MeasuredRoundTrip: a plan annotated with measured
+// evaluations from both backends persists them through encode/decode —
+// neither overwrites the other — and the decoded plan re-encodes
+// byte-identically.
+func TestPlanCodecV3MeasuredRoundTrip(t *testing.T) {
 	g := workload.Figure7().Graph
 	p := New(Config{})
 	plan, _, err := p.Schedule(g, fig7Opts, 10)
@@ -301,12 +308,19 @@ func TestPlanCodecV2MeasuredRoundTrip(t *testing.T) {
 	if plan.Measured() == nil {
 		t.Fatal("measured evaluation did not annotate the plan")
 	}
+	// A second backend's annotation coexists with the simulator's
+	// (hand-built so the codec test stays free of wall-clock noise).
+	plan.SetMeasured(&MeasuredStats{
+		Backend: "gort", Trials: 2,
+		SpMin: 10, SpMean: 12, SpP95: 10, SpMax: 14,
+		MakespanMin: 4000, MakespanMax: 5000, MakespanMean: 4500, MakespanP95: 5000,
+	})
 	data, err := EncodePlan(plan)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Contains(data, []byte(`"version":2`)) || !bytes.Contains(data, []byte(`"measured"`)) {
-		t.Fatalf("record is not a measured v2 record: %s", data[:120])
+	if !bytes.Contains(data, []byte(`"version":3`)) || !bytes.Contains(data, []byte(`"measured_by"`)) {
+		t.Fatalf("record is not a measured v3 record: %s", data[:120])
 	}
 	key, got, err := DecodePlan(data)
 	if err != nil {
@@ -315,15 +329,280 @@ func TestPlanCodecV2MeasuredRoundTrip(t *testing.T) {
 	if key != PlanKey(plan.GraphHash, plan.Opts, plan.Iterations) {
 		t.Fatalf("key %q", key)
 	}
-	if *got.Measured() != *plan.Measured() {
-		t.Fatalf("measured stats did not round-trip: %+v vs %+v", got.Measured(), plan.Measured())
+	if *got.MeasuredBy("sim") != *plan.MeasuredBy("sim") {
+		t.Fatalf("sim stats did not round-trip: %+v vs %+v", got.MeasuredBy("sim"), plan.MeasuredBy("sim"))
+	}
+	if *got.MeasuredBy("gort") != *plan.MeasuredBy("gort") {
+		t.Fatalf("gort stats did not round-trip: %+v vs %+v", got.MeasuredBy("gort"), plan.MeasuredBy("gort"))
 	}
 	data2, err := EncodePlan(got)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(data, data2) {
-		t.Fatal("re-encoded v2 record not byte-identical")
+		t.Fatal("re-encoded v3 record not byte-identical")
+	}
+}
+
+// TestPlanCodecDecodesV2 pins backward compatibility with the PR 4
+// format: a version-2 record's single "measured" block (which predates
+// backend identity) must decode as the sim backend's annotation.
+func TestPlanCodecDecodesV2(t *testing.T) {
+	g := workload.Figure7().Graph
+	p := New(Config{})
+	plan, _, err := p.Schedule(g, fig7Opts, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Evaluate(&MeasuredEvaluator{Trials: 4, Fluct: 3, Seed: 9}, plan); err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodePlan(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the v3 record into its v2 shape: version header 2, the
+	// measured_by array replaced by its single element under "measured",
+	// with the (then nonexistent) backend and p95 fields dropped.
+	var rec map[string]json.RawMessage
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatal(err)
+	}
+	var measured []map[string]json.RawMessage
+	if err := json.Unmarshal(rec["measured_by"], &measured); err != nil {
+		t.Fatal(err)
+	}
+	if len(measured) != 1 {
+		t.Fatalf("expected one annotation, got %d", len(measured))
+	}
+	delete(measured[0], "backend")
+	delete(measured[0], "sp_p95")
+	delete(measured[0], "makespan_p95")
+	single, err := json.Marshal(measured[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	delete(rec, "measured_by")
+	rec["measured"] = single
+	rec["version"] = json.RawMessage("2")
+	v2, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, got, err := DecodePlan(v2)
+	if err != nil {
+		t.Fatalf("v2 record no longer decodes: %v", err)
+	}
+	ms := got.MeasuredBy("sim")
+	if ms == nil {
+		t.Fatal("v2 measured block not adopted as the sim backend's annotation")
+	}
+	want := plan.MeasuredBy("sim")
+	if ms.Backend != "sim" || ms.Trials != want.Trials || ms.SpMean != want.SpMean ||
+		ms.MakespanMean != want.MakespanMean {
+		t.Fatalf("v2 annotation drifted: %+v vs %+v", ms, want)
+	}
+	if got.MeasuredBy("gort") != nil {
+		t.Fatal("v2 record grew a gort annotation from nowhere")
+	}
+}
+
+// TestGortEvaluatorFigure7 is the acceptance pin for the goroutine
+// backend: a measured evaluation on gort executes the Figure 7 plan for
+// real (value-checked against the sequential interpretation inside the
+// backend), reports a finite measured Sp and a positive wall-clock rate,
+// and annotates the plan under the backend's own identity — without
+// touching the simulator's annotation.
+func TestGortEvaluatorFigure7(t *testing.T) {
+	g := workload.Figure7().Graph
+	p := New(Config{})
+	plan, _, err := p.Schedule(g, fig7Opts, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A sim measurement first, so cross-backend isolation is observable.
+	if _, err := p.Evaluate(&MeasuredEvaluator{Trials: 3, Fluct: 3, Seed: 1}, plan); err != nil {
+		t.Fatal(err)
+	}
+	simStats := plan.MeasuredBy("sim")
+	if simStats == nil || simStats.Backend != "sim" {
+		t.Fatalf("sim annotation missing: %+v", simStats)
+	}
+
+	gort := &MeasuredEvaluator{Trials: 2, Backend: exec.Goroutine{}}
+	score, err := p.Evaluate(gort, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score.Rate <= 0 || math.IsInf(score.Rate, 0) || math.IsNaN(score.Rate) {
+		t.Fatalf("gort rate %v ns/iteration", score.Rate)
+	}
+	m := score.Measured
+	if m == nil || m.Backend != "gort" || m.Trials != 2 {
+		t.Fatalf("gort measured block %+v", m)
+	}
+	for _, sp := range []float64{m.SpMin, m.SpMean, m.SpP95, m.SpMax} {
+		if math.IsInf(sp, 0) || math.IsNaN(sp) {
+			t.Fatalf("gort Sp not finite: %+v", m)
+		}
+	}
+	if m.MakespanMin <= 0 || m.MakespanMax < m.MakespanMin {
+		t.Fatalf("gort makespan spread %+v", m)
+	}
+	if got := plan.MeasuredBy("gort"); got != m {
+		t.Fatalf("gort annotation %+v, want the evaluation's stats", got)
+	}
+	if got := plan.MeasuredBy("sim"); got != simStats {
+		t.Fatalf("gort evaluation overwrote the sim annotation: %+v", got)
+	}
+	if st := p.Stats(); st.Evals.Measured != 2 || st.Evals.Trials != 5 {
+		t.Fatalf("counters after sim+gort evals: %+v", st.Evals)
+	}
+}
+
+// TestSpreadObjectivesRankStatistics: the evaluator's Objective selects
+// which distribution statistic becomes Score.Rate — mean (default),
+// worst, or p95 — while the annotated stats stay identical.
+func TestSpreadObjectivesRankStatistics(t *testing.T) {
+	g := workload.Figure7().Graph
+	p := New(Config{})
+	plan, _, err := p.Schedule(g, fig7Opts, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := MeasuredEvaluator{Trials: 8, Fluct: 4, Seed: 3}
+	rates := map[EvalObjective]float64{}
+	var stats *MeasuredStats
+	for _, obj := range []EvalObjective{EvalMean, EvalWorst, EvalP95} {
+		ev := base
+		ev.Objective = obj
+		score, err := p.Evaluate(&ev, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rates[obj] = score.Rate
+		if stats == nil {
+			stats = score.Measured
+		} else if *score.Measured != *stats {
+			t.Fatalf("objective %v changed the measured stats: %+v vs %+v", obj, score.Measured, stats)
+		}
+	}
+	n := float64(plan.Iterations)
+	if rates[EvalMean] != stats.MakespanMean/n {
+		t.Errorf("mean rate %v, want %v", rates[EvalMean], stats.MakespanMean/n)
+	}
+	if rates[EvalWorst] != float64(stats.MakespanMax)/n {
+		t.Errorf("worst rate %v, want %v", rates[EvalWorst], float64(stats.MakespanMax)/n)
+	}
+	if rates[EvalP95] != stats.MakespanP95/n {
+		t.Errorf("p95 rate %v, want %v", rates[EvalP95], stats.MakespanP95/n)
+	}
+	if rates[EvalWorst] < rates[EvalP95] || rates[EvalWorst] < rates[EvalMean] {
+		t.Errorf("worst must bound the other statistics: %+v", rates)
+	}
+	if stats.SpMin > stats.SpP95 || stats.SpP95 > stats.SpMax {
+		t.Errorf("Sp spread out of order: %+v", stats)
+	}
+	// AutoTune consumes the spread-aware rate through the ordinary
+	// objective machinery — a worst-case tune runs end to end and its
+	// winner minimizes the worst measured makespan over the grid.
+	res, err := p.AutoTune(g, 50, TuneOptions{
+		Processors: []int{1, 2, 3}, CommCosts: []int{1, 2, 3},
+		Evaluator: &MeasuredEvaluator{Trials: 5, Fluct: 4, Seed: 3, Objective: EvalWorst},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Backend != "sim" || res.Evaluator != "measured" {
+		t.Fatalf("tune echo: evaluator %q backend %q", res.Evaluator, res.Backend)
+	}
+	for _, r := range res.Results {
+		if r.Err == nil && r.Score.Rate < res.Best.Score.Rate {
+			t.Fatalf("point %+v beats the worst-case winner: %v < %v", r.Point, r.Score.Rate, res.Best.Score.Rate)
+		}
+	}
+}
+
+// noisyBackend is a fake non-deterministic backend that records how many
+// RunTrials calls overlap, for pinning sweep serialization.
+type noisyBackend struct {
+	mu       sync.Mutex
+	cur, max int
+}
+
+func (b *noisyBackend) Name() string                      { return "noisy" }
+func (b *noisyBackend) Deterministic() bool               { return false }
+func (b *noisyBackend) EffectiveTrials(trials, _ int) int { return trials }
+func (b *noisyBackend) RunTrials(g *graph.Graph, progs []program.Program, iterations int, cfg exec.TrialConfig) (*exec.TrialStats, error) {
+	b.mu.Lock()
+	b.cur++
+	if b.cur > b.max {
+		b.max = b.cur
+	}
+	b.mu.Unlock()
+	time.Sleep(2 * time.Millisecond) // widen any overlap window
+	b.mu.Lock()
+	b.cur--
+	b.mu.Unlock()
+	return &exec.TrialStats{
+		Backend:    "noisy",
+		Trials:     cfg.Trials,
+		Makespans:  []float64{100},
+		Sequential: float64(iterations * g.TotalLatency()),
+	}, nil
+}
+
+// TestSweepSerializesNonDeterministicBackends: a sweep scored by a
+// wall-clock backend must never time two grid points concurrently —
+// parallel timed runs would measure cross-point CPU interference, not
+// plan quality — whatever worker count was requested.
+func TestSweepSerializesNonDeterministicBackends(t *testing.T) {
+	g := workload.Figure7().Graph
+	be := &noisyBackend{}
+	res := New(Config{}).Sweep(g, Grid([]int{1, 2, 3}, []int{1, 2}), SweepOptions{
+		Workers:   8,
+		Evaluator: &MeasuredEvaluator{Trials: 1, Backend: be},
+	})
+	for _, r := range res {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	if be.max != 1 {
+		t.Fatalf("%d wall-clock evaluations overlapped, want serial execution", be.max)
+	}
+}
+
+// TestEffectiveTrialsSharedBilling is the regression test for moving the
+// fluct<=1 collapse out of server validation: the evaluator/backend
+// layer owns it, so the library evaluator, the CLI (which constructs the
+// same evaluator) and the HTTP eval block all resolve the same counts.
+func TestEffectiveTrialsSharedBilling(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		ev   MeasuredEvaluator
+		req  EvalRequest
+		want int
+	}{
+		{"sim fluct-free collapses", MeasuredEvaluator{Trials: 8, Fluct: 0},
+			EvalRequest{Mode: "measured", Trials: 8, Fluct: 0}, 1},
+		{"sim fluct 1 collapses", MeasuredEvaluator{Trials: 8, Fluct: 1},
+			EvalRequest{Mode: "measured", Trials: 8, Fluct: 1}, 1},
+		{"sim fluctuating runs all", MeasuredEvaluator{Trials: 8, Fluct: 3},
+			EvalRequest{Mode: "measured", Trials: 8, Fluct: 3}, 8},
+		{"sim default", MeasuredEvaluator{Fluct: 3},
+			EvalRequest{Mode: "measured", Fluct: 3}, DefaultEvalTrials},
+		{"gort never collapses", MeasuredEvaluator{Trials: 4, Backend: exec.Goroutine{}},
+			EvalRequest{Mode: "measured", Trials: 4, Backend: "gort"}, 4},
+		{"gort default", MeasuredEvaluator{Backend: exec.Goroutine{}},
+			EvalRequest{Mode: "measured", Backend: "gort"}, DefaultEvalTrials},
+	} {
+		if got := tc.ev.EffectiveTrials(); got != tc.want {
+			t.Errorf("%s: evaluator resolves %d trials, want %d", tc.name, got, tc.want)
+		}
+		if got := tc.req.trials(); got != tc.want {
+			t.Errorf("%s: server bills %d trials, want %d", tc.name, got, tc.want)
+		}
 	}
 }
 
@@ -345,10 +624,10 @@ func TestPlanCodecDecodesV1(t *testing.T) {
 	if err := json.Unmarshal(data, &rec); err != nil {
 		t.Fatal(err)
 	}
-	if _, hasMeasured := rec["measured"]; hasMeasured {
+	if _, hasMeasured := rec["measured_by"]; hasMeasured {
 		t.Fatal("unmeasured plan encoded a measured block")
 	}
-	v1 := bytes.Replace(data, []byte(`"version":2`), []byte(`"version":1`), 1)
+	v1 := bytes.Replace(data, []byte(`"version":3`), []byte(`"version":1`), 1)
 	key, got, err := DecodePlan(v1)
 	if err != nil {
 		t.Fatalf("v1 record no longer decodes: %v", err)

@@ -25,6 +25,7 @@ import (
 	"container/list"
 	"crypto/sha256"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -93,22 +94,58 @@ type Plan struct {
 	schedJSON     []byte
 	schedJSONErr  error
 
-	// measured is the most recent measured evaluation of this plan (nil
-	// until a MeasuredEvaluator runs it). It is an annotation, not part
-	// of the plan's identity: the cache key ignores it, and version-2
-	// plan records persist it so a reloaded plan remembers its last
-	// measurement. Atomic because plans are shared between concurrent
-	// evaluations.
-	measured atomic.Pointer[MeasuredStats]
+	// measured holds the most recent measured evaluation per execution
+	// backend (empty until a MeasuredEvaluator runs the plan). It is an
+	// annotation, not part of the plan's identity: the cache key ignores
+	// it, and version-3 plan records persist it so a reloaded plan
+	// remembers its last measurement on each backend. Keyed by backend
+	// name so a gort measurement never overwrites a sim one; guarded by
+	// a mutex because plans are shared between concurrent evaluations.
+	measuredMu sync.RWMutex
+	measured   map[string]*MeasuredStats
 }
 
-// Measured returns the plan's most recent measured evaluation, or nil if
-// it has only ever been scored statically.
-func (p *Plan) Measured() *MeasuredStats { return p.measured.Load() }
+// Measured returns the plan's most recent simulated-machine (sim
+// backend) evaluation, or nil if none ran. For other backends use
+// MeasuredBy; for every annotation use MeasuredAll.
+func (p *Plan) Measured() *MeasuredStats { return p.MeasuredBy("sim") }
 
-// SetMeasured attaches a measured evaluation to the plan. The stats must
+// MeasuredBy returns the plan's most recent measured evaluation on the
+// named backend, or nil.
+func (p *Plan) MeasuredBy(backend string) *MeasuredStats {
+	p.measuredMu.RLock()
+	defer p.measuredMu.RUnlock()
+	return p.measured[backend]
+}
+
+// MeasuredAll returns every backend's annotation, sorted by backend name
+// so consumers (the plan codec above all) see a deterministic order.
+func (p *Plan) MeasuredAll() []*MeasuredStats {
+	p.measuredMu.RLock()
+	out := make([]*MeasuredStats, 0, len(p.measured))
+	for _, ms := range p.measured {
+		out = append(out, ms)
+	}
+	p.measuredMu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Backend < out[j].Backend })
+	return out
+}
+
+// SetMeasured attaches a measured evaluation to the plan under its
+// backend's name (an empty Backend means "sim": records from before the
+// backend layer could only have come from the simulator). The stats must
 // not be mutated afterwards (they are shared with concurrent readers).
-func (p *Plan) SetMeasured(ms *MeasuredStats) { p.measured.Store(ms) }
+func (p *Plan) SetMeasured(ms *MeasuredStats) {
+	if ms.Backend == "" {
+		ms.Backend = "sim"
+	}
+	p.measuredMu.Lock()
+	if p.measured == nil {
+		p.measured = make(map[string]*MeasuredStats, 1)
+	}
+	p.measured[ms.Backend] = ms
+	p.measuredMu.Unlock()
+}
 
 // ScheduleJSON returns the plan's composed schedule in the internal/plan
 // wire format, marshaled once per Plan.

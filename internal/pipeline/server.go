@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"mimdloop/internal/core"
+	"mimdloop/internal/exec"
 )
 
 // maxRequestBody bounds a request body on every POST route. Loop sources
@@ -63,6 +64,14 @@ const (
 	maxEvalTrials     = 32
 	maxTuneTrialCells = 1024 // grid points × trials ceiling
 	maxEvalFluct      = maxCommCost
+
+	// Goroutine-backend caps, much tighter than the simulator's: a gort
+	// trial spawns real goroutines and burns wall-clock CPU on the
+	// serving host (it cannot be compressed by simulation shortcuts), so
+	// an unauthenticated request gets a handful of real executions, not
+	// a thousand.
+	maxGortEvalTrials     = 8
+	maxGortTuneTrialCells = 64 // grid points × trials ceiling, gort backend
 
 	// aggregateWorkers bounds the internal pool of one batch or tune
 	// computation, so an admitted aggregate request cannot fan out to
@@ -253,45 +262,62 @@ type TuneRequest struct {
 }
 
 // EvalRequest is the `eval` block of a tune request: which evaluator
-// scores the grid, and — for measured evaluation — the trial count and
-// fluctuation model.
+// scores the grid, which execution backend runs it, and — for measured
+// evaluation — the trial count, distribution objective and fluctuation
+// model.
 type EvalRequest struct {
 	// Mode is "static" (default) or "measured".
 	Mode string `json:"mode"`
+	// Backend selects the execution model of a measured evaluation:
+	// "sim" (default, the deterministic simulated machine) or "gort"
+	// (the real goroutine runtime, timed on the wall clock).
+	Backend string `json:"backend"`
+	// Objective selects the distribution statistic the grid is ranked
+	// by: "mean" (default), "worst" or "p95".
+	Objective string `json:"objective"`
 	// Trials per grid point for measured evaluation. 0 means 5.
 	Trials int `json:"trials"`
-	// Fluct is the paper's mm: per-message extra delay in [0, mm-1].
+	// Fluct is the paper's mm: per-message extra delay in [0, mm-1]
+	// (sim backend only).
 	Fluct int `json:"fluct"`
-	// Seed selects the fluctuation streams.
+	// Seed selects the fluctuation streams (sim backend only).
 	Seed int64 `json:"seed"`
+}
+
+// measuredEvaluator resolves the block to the measured evaluator it
+// describes. Callers must have validated it via checkEvalRequest first.
+func (r *EvalRequest) measuredEvaluator() *MeasuredEvaluator {
+	be, _ := exec.ForName(r.Backend)
+	obj, _ := ParseEvalObjective(r.Objective)
+	return &MeasuredEvaluator{
+		Trials:    r.Trials,
+		Fluct:     r.Fluct,
+		Seed:      r.Seed,
+		Backend:   be,
+		Objective: obj,
+	}
 }
 
 // evaluator resolves the block (nil = static) to the Evaluator AutoTune
 // runs. Callers must have validated it via checkEvalRequest first.
 func (r *EvalRequest) evaluator() Evaluator {
-	if t := r.trials(); t > 0 {
-		return &MeasuredEvaluator{Trials: t, Fluct: r.Fluct, Seed: r.Seed}
+	if r.trials() > 0 {
+		return r.measuredEvaluator()
 	}
 	return StaticEvaluator{}
 }
 
-// trials returns the per-point simulation cost of the block (0 when
-// static: no machine runs at all), applying the evaluator's default and
-// its fluctuation-free collapse so the admission budget prices exactly
-// what will run.
+// trials returns the per-point execution cost of the block (0 when
+// static: no runs at all). The count is resolved by the evaluator/
+// backend layer itself — default trials, then the backend's collapse
+// rule (the sim backend runs one trial when fluctuation is off) — so
+// the admission budget prices exactly what will run, with the same
+// semantics library and CLI callers get.
 func (r *EvalRequest) trials() int {
 	if r == nil || r.Mode != "measured" {
 		return 0
 	}
-	if r.Fluct <= 1 {
-		// MeasuredEvaluator runs one trial when every trial would be
-		// identical; bill what it runs.
-		return 1
-	}
-	if r.Trials == 0 {
-		return DefaultEvalTrials
-	}
-	return r.Trials
+	return r.measuredEvaluator().EffectiveTrials()
 }
 
 // checkEvalRequest validates an eval block against the serving caps.
@@ -305,6 +331,13 @@ func checkEvalRequest(r *EvalRequest) (int, error) {
 		return http.StatusBadRequest,
 			fmt.Errorf("unknown eval mode %q (want static or measured)", r.Mode)
 	}
+	if _, err := exec.ForName(r.Backend); err != nil {
+		return http.StatusBadRequest,
+			fmt.Errorf("unknown eval backend %q (want sim or gort)", r.Backend)
+	}
+	if _, err := ParseEvalObjective(r.Objective); err != nil {
+		return http.StatusBadRequest, fmt.Errorf("eval objective: %w", err)
+	}
 	if r.Trials < 0 || r.Trials > maxEvalTrials {
 		return http.StatusBadRequest,
 			fmt.Errorf("eval trials %d out of range [1, %d] (0 means the default %d)",
@@ -313,6 +346,18 @@ func checkEvalRequest(r *EvalRequest) (int, error) {
 	if r.Fluct < 0 || r.Fluct > maxEvalFluct {
 		return http.StatusBadRequest,
 			fmt.Errorf("eval fluct %d out of range [0, %d]", r.Fluct, maxEvalFluct)
+	}
+	if r.Backend == "gort" {
+		// The goroutine runtime burns real CPU per trial and has no
+		// fluctuation model to seed — its noise is physical.
+		if r.Trials > maxGortEvalTrials {
+			return http.StatusBadRequest,
+				fmt.Errorf("eval trials %d over the gort backend cap %d", r.Trials, maxGortEvalTrials)
+		}
+		if r.Fluct != 0 {
+			return http.StatusBadRequest,
+				fmt.Errorf("eval fluct is a sim-backend parameter; omit it with backend gort")
+		}
 	}
 	return http.StatusOK, nil
 }
@@ -352,6 +397,7 @@ type TuneResponse struct {
 	GraphHash string            `json:"graph_hash"`
 	Objective string            `json:"objective"`
 	Evaluator string            `json:"evaluator"`
+	Backend   string            `json:"backend,omitempty"`
 	Best      TunePointResult   `json:"best"`
 	Score     float64           `json:"score"`
 	Evaluated int               `json:"evaluated"`
@@ -503,8 +549,9 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 
 // parseSimulateQuery reads the ?simulate=1 parameters of /v1/schedule:
 // simulate turns measured evaluation of the served plan on, and trials
-// (default 1, capped like a tune's eval block), fluct and seed shape it.
-// nil means no simulation was requested.
+// (default 1, capped like a tune's eval block), backend (sim or gort),
+// objective (mean/worst/p95), fluct and seed shape it. nil means no
+// simulation was requested.
 func parseSimulateQuery(q url.Values) (*MeasuredEvaluator, error) {
 	switch q.Get("simulate") {
 	case "", "0", "false":
@@ -515,7 +562,11 @@ func parseSimulateQuery(q url.Values) (*MeasuredEvaluator, error) {
 	}
 	// The probe is an EvalRequest so the tune eval block's validator
 	// enforces the caps — one validator, one set of error messages.
-	req := EvalRequest{Mode: "measured"}
+	req := EvalRequest{
+		Mode:      "measured",
+		Backend:   q.Get("backend"),
+		Objective: q.Get("objective"),
+	}
 	for name, dst := range map[string]*int{"trials": &req.Trials, "fluct": &req.Fluct} {
 		if s := q.Get(name); s != "" {
 			v, err := strconv.Atoi(s)
@@ -541,7 +592,7 @@ func parseSimulateQuery(q url.Values) (*MeasuredEvaluator, error) {
 	// Transient: a simulate probe reports its measurement but never
 	// annotates the plan or rewrites stored records — the reply is the
 	// only place the numbers land.
-	ev := req.evaluator().(*MeasuredEvaluator)
+	ev := req.measuredEvaluator()
 	ev.Transient = true
 	return ev, nil
 }
@@ -753,8 +804,17 @@ func checkTuneRequest(req *TuneRequest) (int, error) {
 			fmt.Errorf("tuning grid has %d points, over the serving cap %d", pl*kl, maxTunePoints)
 	}
 	// The trial budget counts against the same grid sizing: points ×
-	// trials bounds the total simulated-machine runs a tune can demand.
-	if cells := pl * kl * req.Eval.trials(); cells > maxTuneTrialCells {
+	// trials bounds the total execution-backend runs a tune can demand.
+	// The gort budget is far tighter than the simulator's — each cell is
+	// a real goroutine execution on the serving host.
+	cells := pl * kl * req.Eval.trials()
+	if req.Eval != nil && req.Eval.Backend == "gort" {
+		if cells > maxGortTuneTrialCells {
+			return http.StatusRequestEntityTooLarge,
+				fmt.Errorf("tune costs %d goroutine-runtime trials (points x trials), over the serving cap %d",
+					cells, maxGortTuneTrialCells)
+		}
+	} else if cells > maxTuneTrialCells {
 		return http.StatusRequestEntityTooLarge,
 			fmt.Errorf("tune costs %d simulation trials (points x trials), over the serving cap %d",
 				cells, maxTuneTrialCells)
@@ -793,6 +853,7 @@ func (s *Server) tuneResponse(req *TuneRequest) (*TuneResponse, int, error) {
 		GraphHash: tuned.Best.Plan.GraphHash,
 		Objective: tuned.Objective.String(),
 		Evaluator: tuned.Evaluator,
+		Backend:   tuned.Backend,
 		Best:      tunePoint(tuned.Best),
 		Score:     tuned.Score,
 		Evaluated: tuned.Evaluated,

@@ -116,6 +116,141 @@ func TestServerTuneEvalCaps(t *testing.T) {
 	}
 }
 
+// TestServerTuneGortBackend is the end-to-end acceptance pin: a tune
+// with eval.backend=gort ranks the grid on the real goroutine runtime,
+// echoes the backend identity, returns a winner whose measured block
+// carries it — and the annotation persists through the plan store.
+func TestServerTuneGortBackend(t *testing.T) {
+	pipe := New(Config{})
+	srv := NewServer(pipe)
+	resp, data := postJSON(t, srv, "/v1/tune", TuneRequest{
+		Source:     fig7Source,
+		Processors: []int{1, 2},
+		CommCosts:  []int{2},
+		Eval:       &EvalRequest{Mode: "measured", Backend: "gort", Objective: "worst", Trials: 2},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var out TuneResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("decode: %v\n%s", err, data)
+	}
+	if out.Evaluator != "measured" || out.Backend != "gort" {
+		t.Fatalf("echo: evaluator %q backend %q", out.Evaluator, out.Backend)
+	}
+	if out.Best.Measured == nil || out.Best.Measured.Backend != "gort" || out.Best.Measured.Trials != 2 {
+		t.Fatalf("winner's measured block: %+v", out.Best.Measured)
+	}
+	for _, r := range out.Results {
+		if r.Error != "" {
+			t.Fatalf("point %+v failed: %s", r, r.Error)
+		}
+		if r.Measured == nil || r.Measured.Backend != "gort" {
+			t.Fatalf("point p=%d k=%d measured block: %+v", r.Processors, r.CommCost, r.Measured)
+		}
+		if r.Measured.MakespanMin <= 0 {
+			t.Fatalf("implausible wall-clock makespan: %+v", r.Measured)
+		}
+	}
+	// The annotation reached the plan store under the backend's name.
+	lister := pipe.Store().(PlanLister)
+	annotated := 0
+	for _, info := range lister.Plans() {
+		plan, ok := pipe.Store().Get(info.Key)
+		if !ok {
+			t.Fatalf("stored plan %q vanished", info.Key)
+		}
+		if m := plan.MeasuredBy("gort"); m != nil {
+			annotated++
+			if m.Backend != "gort" {
+				t.Fatalf("stored annotation backend %q", m.Backend)
+			}
+		}
+	}
+	if annotated != len(out.Results) {
+		t.Fatalf("%d stored plans carry the gort annotation, want %d", annotated, len(out.Results))
+	}
+}
+
+// TestServerGortCaps: the goroutine backend's tighter serving caps and
+// parameter rules reject before any real execution.
+func TestServerGortCaps(t *testing.T) {
+	srv := NewServer(New(Config{}))
+	for _, tc := range []struct {
+		name   string
+		req    TuneRequest
+		status int
+	}{
+		{"unknown backend",
+			TuneRequest{Source: fig7Source, Processors: []int{2}, CommCosts: []int{2},
+				Eval: &EvalRequest{Mode: "measured", Backend: "fpga"}},
+			http.StatusBadRequest},
+		{"unknown objective",
+			TuneRequest{Source: fig7Source, Processors: []int{2}, CommCosts: []int{2},
+				Eval: &EvalRequest{Mode: "measured", Objective: "median"}},
+			http.StatusBadRequest},
+		{"gort trials over cap",
+			TuneRequest{Source: fig7Source, Processors: []int{2}, CommCosts: []int{2},
+				Eval: &EvalRequest{Mode: "measured", Backend: "gort", Trials: maxGortEvalTrials + 1}},
+			http.StatusBadRequest},
+		{"gort rejects fluct",
+			TuneRequest{Source: fig7Source, Processors: []int{2}, CommCosts: []int{2},
+				Eval: &EvalRequest{Mode: "measured", Backend: "gort", Fluct: 3}},
+			http.StatusBadRequest},
+		{"gort trial budget",
+			// 24 points x 3 trials = 72 > 64, admissible on the sim budget.
+			TuneRequest{Source: fig7Source,
+				Processors: []int{1, 2, 3, 4, 5, 1, 2, 3}, CommCosts: []int{1, 2, 3},
+				Eval: &EvalRequest{Mode: "measured", Backend: "gort", Trials: 3}},
+			http.StatusRequestEntityTooLarge},
+		{"same budget fine on sim",
+			TuneRequest{Source: fig7Source,
+				Processors: []int{1, 2, 3, 4, 5, 1, 2, 3}, CommCosts: []int{1, 2, 3},
+				Eval: &EvalRequest{Mode: "measured", Fluct: 3, Trials: 3}},
+			http.StatusOK},
+	} {
+		resp, data := postJSON(t, srv, "/v1/tune", tc.req)
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status %d want %d: %s", tc.name, resp.StatusCode, tc.status, data)
+		}
+	}
+}
+
+// TestServerScheduleSimulateGort: the ?simulate=1 probe runs on the
+// goroutine backend when asked, reporting wall-clock stats without
+// annotating the served plan.
+func TestServerScheduleSimulateGort(t *testing.T) {
+	pipe := New(Config{})
+	srv := NewServer(pipe)
+	body, err := json.Marshal(ScheduleRequest{Source: fig7Source, Processors: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost,
+		"/v1/schedule?simulate=1&backend=gort&objective=worst&trials=2", strings.NewReader(string(body)))
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.Bytes())
+	}
+	var out ScheduleResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	sim := out.Simulated
+	if sim == nil || sim.Backend != "gort" || sim.Trials != 2 || sim.MakespanMin <= 0 {
+		t.Fatalf("simulated block %+v", sim)
+	}
+	// Transient: the probe never annotated the stored plan.
+	for _, info := range pipe.Store().(PlanLister).Plans() {
+		plan, _ := pipe.Store().Get(info.Key)
+		if plan != nil && plan.MeasuredBy("gort") != nil {
+			t.Fatal("gort probe annotated the stored plan")
+		}
+	}
+}
+
 func TestServerScheduleSimulate(t *testing.T) {
 	srv := NewServer(New(Config{}))
 	body, err := json.Marshal(ScheduleRequest{Source: fig7Source, Processors: 2})

@@ -102,13 +102,23 @@ type Result struct {
 // each point through the configured Evaluator. Results are returned in
 // the same order as points, so concurrent evaluation is observationally
 // identical to the serial loops it replaces.
+//
+// When the evaluator measures wall-clock time (a MeasuredEvaluator on a
+// non-deterministic backend such as gort), the pool collapses to one
+// worker whatever Workers says: concurrently timed points contend for
+// the same CPUs, so a parallel sweep would rank cross-point interference
+// rather than plan quality.
 func (p *Pipeline) Sweep(g *graph.Graph, points []Point, opt SweepOptions) []Result {
 	if opt.Iterations == 0 {
 		opt.Iterations = 100
 	}
 	ev := opt.evaluator()
+	workers := opt.Workers
+	if d, ok := ev.(interface{ Deterministic() bool }); ok && !d.Deterministic() {
+		workers = 1
+	}
 	results := make([]Result, len(points))
-	RunPool(len(points), opt.Workers, func(i int) {
+	RunPool(len(points), workers, func(i int) {
 		results[i] = p.evalPoint(g, points[i], opt, ev)
 	})
 	return results

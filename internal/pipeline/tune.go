@@ -104,6 +104,9 @@ type TuneResult struct {
 	// Evaluator names the evaluator the grid was scored with ("static",
 	// "measured").
 	Evaluator string
+	// Backend names the execution backend a measured evaluator ran on
+	// ("sim", "gort"); empty for static scoring.
+	Backend string
 }
 
 // AutoTune rides Sweep over a processors × comm-cost grid, scores every
@@ -150,6 +153,9 @@ func (p *Pipeline) AutoTune(g *graph.Graph, n int, opt TuneOptions) (*TuneResult
 	})
 
 	res := &TuneResult{Results: results, Objective: opt.Objective, Evaluator: ev.Name()}
+	if bn, ok := ev.(interface{ BackendName() string }); ok {
+		res.Backend = bn.BackendName()
+	}
 	var firstErr error
 	bestRate := 0.0
 	for _, r := range results {

@@ -13,10 +13,12 @@
 //     a modulo-scheduling fallback when the transient is chaotic);
 //   - schedules the Flow-in and Flow-out fringes on extra processors so they
 //     never delay the cyclic core;
-//   - lowers schedules to per-processor COMPUTE/SEND/RECV programs, runs
-//     them on a deterministic simulated multiprocessor with communication
-//     fluctuation (the paper's Table 1 experiment), and executes them for
-//     real on goroutine-per-processor hardware with channel messaging;
+//   - lowers schedules to per-processor COMPUTE/SEND/RECV programs and
+//     runs them behind a pluggable execution Backend: a deterministic
+//     simulated multiprocessor with communication fluctuation (the
+//     paper's Table 1 experiment) and real goroutine-per-processor
+//     hardware with channel messaging, both driving the same repeated-
+//     trial harness (SimBackend, GoroutineBackend);
 //   - provides the DOACROSS iteration-pipelining baseline [Cytron86], a
 //     miniature loop-language front end with dependence analysis and
 //     if-conversion [AlKe83], and the paper's example workloads;
@@ -25,8 +27,9 @@
 //     machine-parameter sweeps (Pipeline.Sweep), sweep-driven (p, k)
 //     auto-tuning under pluggable objectives (AutoTune) and pluggable plan
 //     scoring (Evaluator: the static scheduled rate, or measured Sp over
-//     repeated seeded trials on the simulated machine —
-//     NewMeasuredEvaluator), batch scheduling
+//     repeated trials on an execution backend — simulated or real — with
+//     spread-aware mean/worst/p95 ranking; NewMeasuredEvaluator), batch
+//     scheduling
 //     with per-item error isolation (Pipeline.Batch), cache warm-up from a
 //     schedule corpus (Pipeline.Warmup), and an HTTP serving mode
 //     (`loopsched serve`, NewPipelineServer: schedule, batch, tune, stored
@@ -55,6 +58,7 @@ import (
 	"mimdloop/internal/classify"
 	"mimdloop/internal/core"
 	"mimdloop/internal/doacross"
+	"mimdloop/internal/exec"
 	"mimdloop/internal/graph"
 	"mimdloop/internal/loopir"
 	"mimdloop/internal/machine"
@@ -198,21 +202,28 @@ type (
 	// EvalScore is one evaluator's verdict (rate, processors, optional
 	// measured trial spread).
 	EvalScore = pipeline.Score
-	// MeasuredStats is the Sp/makespan spread of a measured evaluation,
-	// as persisted in version-2 plan records and tune replies.
+	// MeasuredStats is the Sp/makespan spread of a measured evaluation —
+	// tagged with the backend that produced it — as persisted in
+	// version-3 plan records and tune replies.
 	MeasuredStats = pipeline.MeasuredStats
 	// StaticEvaluator scores by the compile-time scheduled rate (the
 	// default everywhere).
 	StaticEvaluator = pipeline.StaticEvaluator
-	// MeasuredEvaluator scores by executing plans on the simulated MIMD
-	// machine for repeated seeded trials under communication fluctuation.
+	// MeasuredEvaluator scores by executing plans on an ExecBackend for
+	// repeated trials: the simulated MIMD machine under seeded
+	// communication fluctuation (default), or the real goroutine runtime
+	// timed on the wall clock.
 	MeasuredEvaluator = pipeline.MeasuredEvaluator
+	// EvalObjective selects the distribution statistic a measured
+	// evaluation ranks by: EvalMean, EvalWorst or EvalP95.
+	EvalObjective = pipeline.EvalObjective
 	// EvalStats counts evaluator activity in PipelineStats.
 	EvalStats = pipeline.EvalStats
 	// TuneRequest is the POST /v1/tune envelope; its Eval block selects
 	// the evaluator.
 	TuneRequest = pipeline.TuneRequest
-	// EvalRequest is the eval block of a TuneRequest.
+	// EvalRequest is the eval block of a TuneRequest (mode, backend,
+	// objective, trials, fluctuation).
 	EvalRequest = pipeline.EvalRequest
 	// FluctModel is the machine's seeded, per-message-deterministic
 	// communication-fluctuation model.
@@ -221,9 +232,59 @@ type (
 	TrialStats = machine.TrialStats
 )
 
+// Spread-aware evaluation objectives.
+const (
+	// EvalMean ranks plans by their mean measured makespan (the default).
+	EvalMean = pipeline.EvalMean
+	// EvalWorst ranks by the worst trial.
+	EvalWorst = pipeline.EvalWorst
+	// EvalP95 ranks by the nearest-rank 95th-percentile trial.
+	EvalP95 = pipeline.EvalP95
+)
+
+// ParseEvalObjective maps "mean", "worst" or "p95" to its EvalObjective.
+func ParseEvalObjective(s string) (EvalObjective, error) { return pipeline.ParseEvalObjective(s) }
+
+// Execution backends: the pluggable layer measured evaluation runs on.
+type (
+	// ExecBackend runs lowered programs repeatedly and reports the trial
+	// spread; plug one into MeasuredEvaluator.Backend.
+	ExecBackend = exec.Backend
+	// ExecTrialConfig shapes one ExecBackend.RunTrials call.
+	ExecTrialConfig = exec.TrialConfig
+	// ExecTrialStats is a backend's raw trial distribution (makespans in
+	// backend-native units plus a sequential baseline).
+	ExecTrialStats = exec.TrialStats
+)
+
+// SimBackend returns the deterministic simulated-machine backend
+// ("sim"): seeded fluctuation trials on internal/machine, cheap and
+// exactly replayable. It is the default when MeasuredEvaluator.Backend
+// is nil.
+func SimBackend() ExecBackend { return exec.Sim{} }
+
+// GoroutineBackend returns the real-execution backend ("gort"): each
+// trial runs the programs on goroutine-per-processor hardware with
+// channel messaging, timed on the wall clock and value-checked against
+// the sequential interpretation. Honest but noisy, and it burns real
+// CPU per trial:
+//
+//	res, _ := mimdloop.AutoTune(g, 100, mimdloop.TuneOptions{
+//	    Evaluator: &mimdloop.MeasuredEvaluator{
+//	        Trials:    3,
+//	        Backend:   mimdloop.GoroutineBackend(),
+//	        Objective: mimdloop.EvalWorst,
+//	    },
+//	})
+func GoroutineBackend() ExecBackend { return exec.Goroutine{} }
+
+// ExecBackendFor resolves a backend wire name: "" or "sim" for the
+// simulated machine, "gort" for the goroutine runtime.
+func ExecBackendFor(name string) (ExecBackend, error) { return exec.ForName(name) }
+
 // NewMeasuredEvaluator returns an Evaluator running `trials` seeded
-// simulations per plan with fluctuation mm, for TuneOptions.Evaluator or
-// SweepOptions.Evaluator:
+// simulations per plan with fluctuation mm on the sim backend, for
+// TuneOptions.Evaluator or SweepOptions.Evaluator:
 //
 //	res, _ := mimdloop.AutoTune(g, 100, mimdloop.TuneOptions{
 //	    Evaluator: mimdloop.NewMeasuredEvaluator(5, 3, 1),

@@ -143,6 +143,49 @@ func TestPublicExecuteSequentialMatchesMixSemantics(t *testing.T) {
 	}
 }
 
+func TestPublicExecBackends(t *testing.T) {
+	for name, be := range map[string]mimdloop.ExecBackend{
+		"sim": mimdloop.SimBackend(), "gort": mimdloop.GoroutineBackend(),
+	} {
+		if be.Name() != name {
+			t.Fatalf("backend %q names itself %q", name, be.Name())
+		}
+		got, err := mimdloop.ExecBackendFor(name)
+		if err != nil || got.Name() != name {
+			t.Fatalf("ExecBackendFor(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := mimdloop.ExecBackendFor("tpu"); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+	if obj, err := mimdloop.ParseEvalObjective("worst"); err != nil || obj != mimdloop.EvalWorst {
+		t.Fatalf("ParseEvalObjective: %v, %v", obj, err)
+	}
+
+	// A goroutine-backend measured tune through the public API: the
+	// winner carries wall-clock stats tagged with the backend identity.
+	g := mimdloop.Figure7Loop().Graph
+	res, err := mimdloop.AutoTune(g, 40, mimdloop.TuneOptions{
+		Processors: []int{1, 2},
+		CommCosts:  []int{2},
+		Evaluator: &mimdloop.MeasuredEvaluator{
+			Trials:    2,
+			Backend:   mimdloop.GoroutineBackend(),
+			Objective: mimdloop.EvalWorst,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Backend != "gort" {
+		t.Fatalf("tune backend echo %q", res.Backend)
+	}
+	m := res.Best.Score.Measured
+	if m == nil || m.Backend != "gort" || m.Trials != 2 || m.MakespanMin <= 0 {
+		t.Fatalf("winner's measured stats: %+v", m)
+	}
+}
+
 func TestPseudocodeWithoutPattern(t *testing.T) {
 	// DOALL loop: no pattern, Pseudocode reports ErrNoPattern.
 	c, err := mimdloop.CompileLoop(`loop d(N=4) { A[i] = U[i] }`)
