@@ -28,6 +28,7 @@
 //	loopsched batch [-k cost] [-p procs] [-n iters] [-fold] [-workers w] file.loop...
 //	loopsched serve [-addr :8080] [-cache entries] [-warmup corpus.json] [-store DIR] [-store-bytes n]
 //	loopsched store -dir DIR [-max-bytes n] ls|gc|flush
+//	loopsched bench [-addr URL] [-workers w] [-quick] [-json report.json]
 //
 // Serving endpoints (full reference in docs/API.md):
 //
@@ -51,11 +52,13 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
 
 	"mimdloop"
+	"mimdloop/internal/loadgen"
 )
 
 func main() {
@@ -70,6 +73,8 @@ func main() {
 			sub = batch
 		case "store":
 			sub = storeCmd
+		case "bench":
+			sub = benchCmd
 		}
 		if sub != nil {
 			if err := sub(os.Args[2:]); err != nil {
@@ -121,6 +126,7 @@ func serve(args []string) error {
 		warmup     = fs.String("warmup", "", "pre-populate the plan store from this schedule corpus (JSON array of sources or request objects)")
 		storeDir   = fs.String("store", "", "back the in-memory tier with durable plan records under this directory")
 		storeBytes = fs.Int64("store-bytes", 0, "disk-store byte budget before GC (0 = 1 GiB); requires -store")
+		slots      = fs.Int("slots", 0, "concurrent compute slots for schedule/batch/tune work (0 = 4 x GOMAXPROCS)")
 	)
 	if done, err := parseFlags(fs, args); done || err != nil {
 		return err
@@ -143,13 +149,18 @@ func serve(args []string) error {
 		}
 		fmt.Printf("loopsched: %s\n", warmupSummary(stats))
 	}
+	if *slots < 0 {
+		return fmt.Errorf("negative compute slots %d", *slots)
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("loopsched: serving on %s (POST /v1/schedule /v1/batch /v1/tune, GET /v1/plans /v1/stats)\n", ln.Addr())
+	handler := mimdloop.NewPipelineServerWith(pipe, mimdloop.PipelineServerConfig{ComputeSlots: *slots})
+	fmt.Printf("loopsched: serving on %s (POST /v1/schedule /v1/batch /v1/tune, GET /v1/plans /v1/stats; GOMAXPROCS=%d, %d compute slots)\n",
+		ln.Addr(), runtime.GOMAXPROCS(0), handler.ComputeSlots())
 	srv := &http.Server{
-		Handler:           mimdloop.NewPipelineServer(pipe),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		// The write deadline covers handler compute plus the body write;
@@ -201,6 +212,53 @@ func newServeHandler(maxEntries int) (http.Handler, error) {
 		return nil, err
 	}
 	return mimdloop.NewPipelineServer(pipe), nil
+}
+
+// benchCmd replays the trajectory phases of `paperbench -json` against
+// a live `loopsched serve` instance: cold schedules, cache hits, tuning
+// on both backends, batch throughput, and the concurrent load mix — the
+// same loadgen phases, so a live deployment's numbers are directly
+// comparable to the committed BENCH_*.json files (same schema; persist
+// with -json).
+func benchCmd(args []string) error {
+	fs := flag.NewFlagSet("loopsched bench", flag.ContinueOnError)
+	var (
+		addr    = fs.String("addr", "http://127.0.0.1:8080", "base URL of a running loopsched serve")
+		workers = fs.Int("workers", 0, "concurrent load workers (0 = GOMAXPROCS)")
+		quick   = fs.Bool("quick", false, "CI-sized phase counts")
+		out     = fs.String("json", "", "also write the trajectory report to this file")
+	)
+	if done, err := parseFlags(fs, args); done || err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("bench takes no positional arguments, got %v", fs.Args())
+	}
+	// The cold phase needs plan keys the server has never seen. Against
+	// a long-lived server a fixed iteration base would be warm from the
+	// previous bench run, so derive one from the clock (keeping every
+	// sample under the serving iteration cap).
+	base := 200 + int(time.Now().Unix()%9500)
+	rep, err := loadgen.Bench(*addr, nil, loadgen.Options{
+		Quick:        *quick,
+		Workers:      *workers,
+		ColdIterBase: base,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("bench against %s (%s schema v%d)\n%s", *addr, loadgen.Format, loadgen.Version, rep.Summary())
+	if *out != "" {
+		data, err := rep.Encode()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("report written to %s\n", *out)
+	}
+	return nil
 }
 
 // storeCmd inspects or maintains a plan-store directory offline:

@@ -12,18 +12,23 @@
 //	paperbench -workers 8 # worker-pool size for Table 1 and the sweep
 //	paperbench -table 1m -quick  # CI-sized smoke run of the measured-tuning table
 //	paperbench -table 1g -quick  # CI-sized smoke run of the goroutine-backend table
+//	paperbench -json BENCH_7.json -quick           # persist a serving trajectory point
+//	paperbench -json BENCH_7.json -against BENCH_6.json  # ... and gate on the previous one
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http/httptest"
 	"os"
 
 	"mimdloop"
 	"mimdloop/internal/classify"
 	"mimdloop/internal/core"
 	"mimdloop/internal/experiments"
+	"mimdloop/internal/loadgen"
 	"mimdloop/internal/metrics"
+	"mimdloop/internal/pipeline"
 	"mimdloop/internal/textfmt"
 	"mimdloop/internal/workload"
 )
@@ -39,15 +44,23 @@ func main() {
 		trials    = flag.Int("trials", 5, "simulation trials per grid point for -table 1m")
 		workers   = flag.Int("workers", 0, "worker-pool size for Table 1 and -sweep (0 = GOMAXPROCS)")
 		quick     = flag.Bool("quick", false, "CI-sized run: fewer loops, iterations and trials")
+		jsonOut   = flag.String("json", "", "run the serving benchmark phases against an in-process server and write the trajectory report (BENCH_<n>.json) to this file")
+		against   = flag.String("against", "", "previous BENCH_*.json to gate the -json run against (missing file seeds the trajectory)")
 	)
 	flag.Parse()
 
 	if *quick {
 		*loops, *iters, *trials = 5, 40, 3
 	}
-	all := *fig == 0 && *table == "" && !*ablations && !*sweep
+	if *against != "" && *jsonOut == "" {
+		fmt.Fprintln(os.Stderr, "paperbench: -against requires -json")
+		os.Exit(1)
+	}
+	all := *fig == 0 && *table == "" && !*ablations && !*sweep && *jsonOut == ""
 	var err error
 	switch {
+	case *jsonOut != "":
+		err = runBenchJSON(*jsonOut, *against, *quick, *workers)
 	case all:
 		err = runAll(*iters, *loops, *workers)
 	case *fig != 0:
@@ -63,6 +76,63 @@ func main() {
 		fmt.Fprintln(os.Stderr, "paperbench:", err)
 		os.Exit(1)
 	}
+}
+
+// runBenchJSON measures the serving trajectory against an in-process
+// server and persists it as a BENCH_*.json file; with -against it gates
+// the run on the previous trajectory point (warn past 25% cache-hit p50
+// regression, fail past 200% — a lost fast lane regresses the HTTP hit
+// path well past 3x, so the fail bar tolerates machine noise without
+// letting a real regression through).
+func runBenchJSON(out, against string, quick bool, workers int) error {
+	ts := httptest.NewServer(pipeline.NewServer(pipeline.New(pipeline.Config{})))
+	defer ts.Close()
+	rep, err := loadgen.Bench(ts.URL, ts.Client(), loadgen.Options{Quick: quick, Workers: workers})
+	if err != nil {
+		return err
+	}
+	data, err := rep.Encode()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("== Serving trajectory (%s schema v%d) ==\n%s", loadgen.Format, loadgen.Version, rep.Summary())
+	fmt.Printf("report written to %s\n", out)
+
+	if against == "" {
+		return nil
+	}
+	prev, err := os.ReadFile(against)
+	if os.IsNotExist(err) {
+		fmt.Printf("no previous trajectory at %s: this run seeds it\n", against)
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	prevRep, err := loadgen.Decode(prev)
+	if err != nil {
+		return fmt.Errorf("%s: %w", against, err)
+	}
+	delta, err := loadgen.CompareHit(prevRep, rep)
+	if err != nil {
+		// Schema or mode changed between the two points: the trajectory
+		// restarts here rather than comparing unlike runs.
+		fmt.Printf("trajectory restarts: %v\n", err)
+		return nil
+	}
+	fmt.Printf("cache-hit p50 vs %s: %+.1f%%\n", against, delta*100)
+	switch {
+	case delta > loadgen.FailHitRegression:
+		return fmt.Errorf("cache-hit p50 regressed %.0f%% vs %s (fail threshold %.0f%%)",
+			delta*100, against, loadgen.FailHitRegression*100)
+	case delta > loadgen.WarnHitRegression:
+		fmt.Printf("WARNING: cache-hit p50 regressed %.0f%% vs %s (warn threshold %.0f%%, fail at %.0f%%)\n",
+			delta*100, against, loadgen.WarnHitRegression*100, loadgen.FailHitRegression*100)
+	}
+	return nil
 }
 
 func runAll(iters, loops, workers int) error {

@@ -1,0 +1,195 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"time"
+
+	"mimdloop/internal/workload"
+)
+
+// Options sizes a Bench run.
+type Options struct {
+	// Quick selects the CI-sized phase counts.
+	Quick bool
+	// Workers for the load phase (0 = GOMAXPROCS).
+	Workers int
+	// ColdIterBase offsets the iteration counts used by the cold phase.
+	// Each cold sample schedules the Figure 7 loop for a distinct
+	// iteration count — a distinct plan key, hence a guaranteed cache
+	// miss against a fresh server. Against a long-lived server that has
+	// already been benched, pass a new base (loopsched bench derives one
+	// from the clock) so the keys are again unseen. 0 means 101.
+	ColdIterBase int
+}
+
+// phase sizes: {full, quick}.
+var (
+	coldSamples  = [2]int{30, 8}
+	hitSamples   = [2]int{2000, 300}
+	tuneSamples  = [2]int{10, 3}
+	gortSamples  = [2]int{5, 2}
+	batchReqs    = [2]int{100, 20}
+	loadRequests = [2]int{2000, 200}
+)
+
+func pick(v [2]int, quick bool) int {
+	if quick {
+		return v[1]
+	}
+	return v[0]
+}
+
+// Bench runs the six trajectory phases against the server at baseURL
+// and returns the Report to persist. The server only needs the standard
+// /v1 routes; the same call measures an in-process httptest server
+// (paperbench -json) or a live deployment (loopsched bench).
+func Bench(baseURL string, client *http.Client, opt Options) (*Report, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	rep := &Report{
+		Format:     Format,
+		Version:    Version,
+		Quick:      opt.Quick,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+
+	// Phase 1: cold schedules — one unseen plan key per sample.
+	base := opt.ColdIterBase
+	if base <= 0 {
+		base = 101
+	}
+	cold := make([]time.Duration, 0, pick(coldSamples, opt.Quick))
+	for i := 0; i < cap(cold); i++ {
+		body := []byte(fmt.Sprintf(`{"source": %q, "processors": 2, "iterations": %d}`,
+			workload.Figure7Source, base+i))
+		d, err := timedPost(client, baseURL+"/v1/schedule", body)
+		if err != nil {
+			return nil, fmt.Errorf("cold phase: %w", err)
+		}
+		cold = append(cold, d)
+	}
+	rep.Cold = summarize(cold)
+
+	// Phase 2: cache hits — the same request over and over, first one
+	// discarded as the warmer.
+	hitBody := []byte(fmt.Sprintf(`{"source": %q, "processors": 2}`, workload.Figure7Source))
+	if _, err := timedPost(client, baseURL+"/v1/schedule", hitBody); err != nil {
+		return nil, fmt.Errorf("hit warmup: %w", err)
+	}
+	hits := make([]time.Duration, 0, pick(hitSamples, opt.Quick))
+	for i := 0; i < cap(hits); i++ {
+		d, err := timedPost(client, baseURL+"/v1/schedule", hitBody)
+		if err != nil {
+			return nil, fmt.Errorf("hit phase: %w", err)
+		}
+		hits = append(hits, d)
+	}
+	rep.Hit = summarize(hits)
+
+	// Phases 3 and 4: measured tuning on each backend over a small
+	// 2-point grid (well inside the gort serving caps).
+	for _, be := range []struct {
+		backend string
+		eval    string // fluct/seed are sim-only parameters
+		samples int
+		out     *Latency
+	}{
+		{"sim", `{"mode": "measured", "backend": "sim", "trials": 3, "fluct": 2, "seed": 1}`,
+			pick(tuneSamples, opt.Quick), &rep.TuneSim},
+		{"gort", `{"mode": "measured", "backend": "gort", "trials": 3}`,
+			pick(gortSamples, opt.Quick), &rep.TuneGort},
+	} {
+		body := []byte(fmt.Sprintf(
+			`{"source": %q, "processors": [2, 3], "comm_costs": [2], "iterations": 40, "eval": %s}`,
+			workload.Figure7Source, be.eval))
+		samples := make([]time.Duration, 0, be.samples)
+		for i := 0; i < be.samples; i++ {
+			d, err := timedPost(client, baseURL+"/v1/tune", body)
+			if err != nil {
+				return nil, fmt.Errorf("tune %s phase: %w", be.backend, err)
+			}
+			samples = append(samples, d)
+		}
+		*be.out = summarize(samples)
+	}
+
+	// Phase 5: batch throughput — the standard 6-loop mix per request.
+	reqs := pick(batchReqs, opt.Quick)
+	t0 := time.Now()
+	for i := 0; i < reqs; i++ {
+		if _, err := timedPost(client, baseURL+"/v1/batch", batchBody); err != nil {
+			return nil, fmt.Errorf("batch phase: %w", err)
+		}
+	}
+	wall := time.Since(t0)
+	loops := reqs * len(scheduleBodies)
+	rep.Batch = Throughput{
+		Requests:    reqs,
+		Loops:       loops,
+		WallNS:      int64(wall),
+		LoopsPerSec: float64(loops) / wall.Seconds(),
+	}
+
+	// Phase 6: concurrent mixed load.
+	runner := &Runner{
+		BaseURL:  baseURL,
+		Client:   client,
+		Workers:  workers,
+		Requests: pick(loadRequests, opt.Quick),
+	}
+	load, err := runner.Run()
+	if err != nil {
+		return nil, fmt.Errorf("load phase: %w", err)
+	}
+	if load.Errors > 0 {
+		return nil, fmt.Errorf("load phase: %d of %d requests failed", load.Errors, load.Requests)
+	}
+	rep.Load = load
+	return rep, nil
+}
+
+// timedPost posts one request and returns its wall-clock latency; a
+// non-200 status is an error (phases send only valid requests).
+func timedPost(client *http.Client, url string, body []byte) (time.Duration, error) {
+	t0 := time.Now()
+	status, err := post(client, url, body)
+	d := time.Since(t0)
+	if err != nil {
+		return 0, err
+	}
+	if status != http.StatusOK {
+		return 0, fmt.Errorf("POST %s: status %d", url, status)
+	}
+	return d, nil
+}
+
+// Encode renders the report as the canonical indented JSON committed to
+// BENCH_*.json files (trailing newline included, so files are
+// POSIX-clean and `git diff` stays quiet about EOF).
+func (r *Report) Encode() ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// Decode parses a trajectory file and checks it is ours.
+func Decode(data []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, err
+	}
+	if r.Format != Format {
+		return nil, fmt.Errorf("not a %s file (format %q)", Format, r.Format)
+	}
+	return &r, nil
+}

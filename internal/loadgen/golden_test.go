@@ -1,0 +1,142 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"os"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// keyPaths flattens decoded JSON into sorted dotted key paths
+// ("cache_hit.p50_ns", ...). Arrays contribute their element paths
+// without indices, so the comparison is purely structural.
+func keyPaths(prefix string, v any, out map[string]bool) {
+	switch t := v.(type) {
+	case map[string]any:
+		for k, sub := range t {
+			p := k
+			if prefix != "" {
+				p = prefix + "." + k
+			}
+			out[p] = true
+			keyPaths(p, sub, out)
+		}
+	case []any:
+		for _, sub := range t {
+			keyPaths(prefix, sub, out)
+		}
+	}
+}
+
+func sortedPaths(data []byte, t *testing.T) []string {
+	t.Helper()
+	var v any
+	if err := json.Unmarshal(data, &v); err != nil {
+		t.Fatal(err)
+	}
+	set := make(map[string]bool)
+	keyPaths("", v, set)
+	var out []string
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestBenchSchemaGolden pins the BENCH_*.json wire format to the
+// committed fixture: the key set of a freshly marshaled Report must
+// equal the fixture's key set exactly, and the fixture must decode with
+// the current Format and Version. Trajectory files across PRs are only
+// diffable if this holds.
+//
+// If this test fails because you changed the schema on purpose: bump
+// Version in report.go, regenerate the fixture as
+// testdata/bench_v<N>.json (marshal a fully-populated Report), update
+// the path below, and note the break in docs/API.md — older BENCH_*.json
+// files stop being comparable at that point.
+func TestBenchSchemaGolden(t *testing.T) {
+	const fixture = "testdata/bench_v1.json"
+	data, err := os.ReadFile(fixture)
+	if err != nil {
+		t.Fatalf("missing golden fixture: %v", err)
+	}
+
+	rep, err := Decode(data)
+	if err != nil {
+		t.Fatalf("fixture does not decode as a trajectory file: %v", err)
+	}
+	if rep.Version != Version {
+		t.Fatalf("fixture is schema version %d but the code is version %d: regenerate testdata/bench_v%d.json and update this test",
+			rep.Version, Version, Version)
+	}
+
+	// Round-trip the decoded fixture through the current structs: any
+	// field the structs dropped or renamed changes the key set.
+	current, err := rep.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, got := sortedPaths(data, t), sortedPaths(current, t)
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("BENCH schema changed.\nfixture keys: %v\ncurrent keys: %v\n"+
+			"If intentional: bump Version in report.go, regenerate testdata/bench_v%d.json, and update docs/API.md.",
+			want, got, Version+1)
+	}
+}
+
+// TestBenchSchemaFixtureComplete guards the fixture itself: every field
+// must be populated (non-zero), so "all fields present" cannot be
+// satisfied by a fixture that accidentally lost sections.
+func TestBenchSchemaFixtureComplete(t *testing.T) {
+	data, err := os.ReadFile("testdata/bench_v1.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var walk func(prefix string, v reflect.Value)
+	walk = func(prefix string, v reflect.Value) {
+		for i := 0; i < v.NumField(); i++ {
+			f, ft := v.Field(i), v.Type().Field(i)
+			name := prefix + ft.Name
+			if f.Kind() == reflect.Struct {
+				walk(name+".", f)
+				continue
+			}
+			if f.IsZero() && ft.Name != "Quick" { // false is a fine Quick value
+				t.Errorf("fixture field %s is zero; populate it so the golden covers every field", name)
+			}
+		}
+	}
+	walk("", reflect.ValueOf(*rep))
+}
+
+// TestCompareHit covers the trajectory gate paperbench -against uses.
+func TestCompareHit(t *testing.T) {
+	mk := func(p50 int64) *Report {
+		return &Report{Format: Format, Version: Version, Hit: Latency{Samples: 10, P50NS: p50}}
+	}
+	if d, err := CompareHit(mk(1000), mk(1300)); err != nil || d < 0.29 || d > 0.31 {
+		t.Fatalf("delta = %v, %v; want 0.30", d, err)
+	}
+	if d, err := CompareHit(mk(1000), mk(900)); err != nil || d > -0.09 || d < -0.11 {
+		t.Fatalf("delta = %v, %v; want -0.10", d, err)
+	}
+	bad := mk(1000)
+	bad.Version = Version + 1
+	if _, err := CompareHit(mk(1000), bad); err == nil {
+		t.Fatal("version mismatch must not be comparable")
+	}
+	quick := mk(1000)
+	quick.Quick = true
+	if _, err := CompareHit(mk(1000), quick); err == nil {
+		t.Fatal("quick vs full must not be comparable")
+	}
+	if _, err := CompareHit(&Report{Format: Format, Version: Version}, mk(10)); err == nil {
+		t.Fatal("empty previous report must not be comparable")
+	}
+}

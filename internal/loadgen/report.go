@@ -1,0 +1,170 @@
+// Package loadgen measures the serving stack and persists the results
+// as the repo's benchmark trajectory (the committed BENCH_*.json files).
+//
+// The package has two halves. Report (this file) is the versioned wire
+// schema every trajectory file conforms to: six sections — cold schedule
+// latency, cache-hit latency, tune latency per backend (sim and gort),
+// batch throughput, and a concurrent HTTP load phase — all expressed in
+// integer nanoseconds so files diff cleanly across PRs. Runner
+// (runner.go) is the concurrent load generator behind the last section,
+// and Bench (bench.go) drives all six phases over plain HTTP so the same
+// code measures an in-process httptest server (paperbench -json) and a
+// live deployment (loopsched bench).
+//
+// The schema is guarded by a golden-fixture test (golden_test.go): any
+// field added, removed or renamed fails the test until Version is
+// bumped and the fixture regenerated, so a BENCH_7.json is always
+// diffable against BENCH_6.json or self-describes why it is not.
+package loadgen
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Format and Version identify the trajectory schema. Bump Version (and
+// regenerate testdata/bench_v1.json's successor) whenever a field is
+// added, removed or renamed in Report or any section struct.
+const (
+	Format  = "mimdloop/bench"
+	Version = 1
+)
+
+// Report is one trajectory point: everything a BENCH_<n>.json file
+// holds. Sections deliberately avoid omitempty so every file carries
+// the full key set and files stay structurally diffable.
+type Report struct {
+	// Format is always the Format constant; Version the schema version.
+	Format  string `json:"format"`
+	Version int    `json:"version"`
+	// Quick records whether this was a CI-sized run; quick numbers are
+	// comparable only to other quick numbers.
+	Quick bool `json:"quick"`
+	// GoMaxProcs is the parallelism the run had available.
+	GoMaxProcs int `json:"gomaxprocs"`
+
+	// Cold is the uncached /v1/schedule path: compile + classify +
+	// Cyclic-sched + compose + lower per request.
+	Cold Latency `json:"cold_schedule"`
+	// Hit is the warm /v1/schedule path: plan-cache lookup plus the
+	// pre-rendered response body.
+	Hit Latency `json:"cache_hit"`
+	// TuneSim and TuneGort are /v1/tune with a measured evaluator on
+	// the simulated machine and the goroutine runtime respectively.
+	TuneSim  Latency `json:"tune_sim"`
+	TuneGort Latency `json:"tune_gort"`
+	// Batch is /v1/batch throughput in loops scheduled per second.
+	Batch Throughput `json:"batch"`
+	// Load is the concurrent mixed-endpoint phase.
+	Load LoadStats `json:"http_load"`
+}
+
+// Latency summarises one phase's per-request latency distribution.
+type Latency struct {
+	Samples int   `json:"samples"`
+	MeanNS  int64 `json:"mean_ns"`
+	P50NS   int64 `json:"p50_ns"`
+	P95NS   int64 `json:"p95_ns"`
+	P99NS   int64 `json:"p99_ns"`
+	MinNS   int64 `json:"min_ns"`
+	MaxNS   int64 `json:"max_ns"`
+}
+
+// Throughput summarises the batch phase.
+type Throughput struct {
+	Requests    int     `json:"requests"`
+	Loops       int     `json:"loops"`
+	WallNS      int64   `json:"wall_ns"`
+	LoopsPerSec float64 `json:"loops_per_sec"`
+}
+
+// LoadStats summarises the concurrent load phase.
+type LoadStats struct {
+	Workers   int     `json:"workers"`
+	Requests  int64   `json:"requests"`
+	Errors    int64   `json:"errors"`
+	WallNS    int64   `json:"wall_ns"`
+	ReqPerSec float64 `json:"req_per_sec"`
+	Latency   Latency `json:"latency"`
+}
+
+// summarize folds raw per-request durations into a Latency section.
+func summarize(samples []time.Duration) Latency {
+	if len(samples) == 0 {
+		return Latency{}
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum int64
+	for _, d := range sorted {
+		sum += int64(d)
+	}
+	pct := func(p float64) int64 {
+		i := int(p * float64(len(sorted)-1))
+		return int64(sorted[i])
+	}
+	return Latency{
+		Samples: len(sorted),
+		MeanNS:  sum / int64(len(sorted)),
+		P50NS:   pct(0.50),
+		P95NS:   pct(0.95),
+		P99NS:   pct(0.99),
+		MinNS:   int64(sorted[0]),
+		MaxNS:   int64(sorted[len(sorted)-1]),
+	}
+}
+
+// CompareHit reports the relative change of cache-hit p50 latency from
+// prev to cur: 0.25 means cur is 25% slower. paperbench -against uses
+// this as the trajectory gate (warn past WarnHitRegression, fail past
+// FailHitRegression). An error means the reports are not comparable.
+func CompareHit(prev, cur *Report) (float64, error) {
+	switch {
+	case prev.Format != Format || cur.Format != Format:
+		return 0, fmt.Errorf("format mismatch: %q vs %q (want %q)", prev.Format, cur.Format, Format)
+	case prev.Version != cur.Version:
+		return 0, fmt.Errorf("schema version changed (%d -> %d); trajectory restarts at the new version", prev.Version, cur.Version)
+	case prev.Quick != cur.Quick:
+		return 0, fmt.Errorf("quick=%v run is not comparable to quick=%v", cur.Quick, prev.Quick)
+	case prev.Hit.P50NS <= 0:
+		return 0, fmt.Errorf("previous report has no cache-hit samples")
+	}
+	return float64(cur.Hit.P50NS-prev.Hit.P50NS) / float64(prev.Hit.P50NS), nil
+}
+
+// Summary renders the report as the human lines paperbench and
+// `loopsched bench` print next to the persisted JSON.
+func (r *Report) Summary() string {
+	mode := "full"
+	if r.Quick {
+		mode = "quick"
+	}
+	d := func(ns int64) time.Duration { return time.Duration(ns).Round(time.Microsecond) }
+	return fmt.Sprintf(
+		"mode %s, GOMAXPROCS %d\n"+
+			"cold schedule   p50 %-10v (%d samples)\n"+
+			"cache hit       p50 %-10v p99 %v (%d samples)\n"+
+			"tune sim        p50 %-10v (%d samples)\n"+
+			"tune gort       p50 %-10v (%d samples)\n"+
+			"batch           %.0f loops/s (%d loops)\n"+
+			"http load       %.0f req/s, p50 %v p95 %v p99 %v (%d workers, %d requests, %d errors)\n",
+		mode, r.GoMaxProcs,
+		d(r.Cold.P50NS), r.Cold.Samples,
+		d(r.Hit.P50NS), d(r.Hit.P99NS), r.Hit.Samples,
+		d(r.TuneSim.P50NS), r.TuneSim.Samples,
+		d(r.TuneGort.P50NS), r.TuneGort.Samples,
+		r.Batch.LoopsPerSec, r.Batch.Loops,
+		r.Load.ReqPerSec, d(r.Load.Latency.P50NS), d(r.Load.Latency.P95NS), d(r.Load.Latency.P99NS),
+		r.Load.Workers, r.Load.Requests, r.Load.Errors)
+}
+
+// Regression thresholds for CompareHit: past Warn the run prints a
+// warning, past Fail it exits non-zero. Quick-mode p50s on shared CI
+// runners jitter under 2x run-to-run, while losing the fast lane (a
+// re-encode back in the hit path) regresses the HTTP hit p50 well past
+// 3x — so Fail sits between the two.
+const (
+	WarnHitRegression = 0.25
+	FailHitRegression = 2.00
+)

@@ -1,0 +1,163 @@
+package loadgen
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mimdloop/internal/workload"
+)
+
+// Runner drives a fixed number of mixed requests (/v1/schedule plus a
+// /v1/batch every batchEvery-th request) at a server from Workers
+// concurrent goroutines. Counters are updated atomically as requests
+// complete, so a concurrent observer — the race test, a progress
+// printer — can call Snapshot mid-run and always see monotone values.
+type Runner struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Client defaults to http.DefaultClient.
+	Client *http.Client
+	// Workers defaults to 4.
+	Workers int
+	// Requests is the total request count across workers (default 200).
+	Requests int
+
+	requests atomic.Int64
+	errors   atomic.Int64
+}
+
+// batchEvery spaces the batch requests through the mix: every eighth
+// request is a 6-loop /v1/batch, the rest are single /v1/schedule posts.
+const batchEvery = 8
+
+// Snapshot is a consistent-enough view of the counters for liveness
+// checks; each field is individually monotone over the run.
+type Snapshot struct {
+	Requests int64
+	Errors   int64
+}
+
+// Snapshot reads the counters. Safe to call concurrently with Run.
+func (r *Runner) Snapshot() Snapshot {
+	return Snapshot{Requests: r.requests.Load(), Errors: r.errors.Load()}
+}
+
+// scheduleBodies is the request mix: three real workloads at small
+// processor budgets, so a warm server answers most of them from cache —
+// deliberately, since steady-state serving is what the load phase rates.
+var scheduleBodies = func() [][]byte {
+	var out [][]byte
+	for _, src := range []string{
+		workload.Figure7Source,
+		workload.Livermore18Source,
+		workload.EllipticSource,
+	} {
+		for _, procs := range []int{2, 3} {
+			out = append(out, []byte(fmt.Sprintf(`{"source": %q, "processors": %d}`, src, procs)))
+		}
+	}
+	return out
+}()
+
+// batchBody schedules all six mix entries in one /v1/batch request.
+var batchBody = func() []byte {
+	var b bytes.Buffer
+	b.WriteString(`{"items": [`)
+	for i, item := range scheduleBodies {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.Write(item)
+	}
+	b.WriteString(`]}`)
+	return b.Bytes()
+}()
+
+// Run issues the configured number of requests and reports the phase's
+// load statistics. The error is non-nil only for harness failures
+// (unreachable server before the run starts); per-request failures are
+// counted in LoadStats.Errors instead.
+func (r *Runner) Run() (LoadStats, error) {
+	client := r.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	workers := r.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	total := r.Requests
+	if total <= 0 {
+		total = 200
+	}
+
+	// Fail fast on a dead server rather than recording N dial errors.
+	if _, err := post(client, r.BaseURL+"/v1/schedule", scheduleBodies[0]); err != nil {
+		return LoadStats{}, fmt.Errorf("server unreachable: %w", err)
+	}
+
+	var (
+		next      atomic.Int64 // request sequence numbers
+		wg        sync.WaitGroup
+		latencies = make([][]time.Duration, workers)
+	)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				seq := next.Add(1) - 1
+				if seq >= int64(total) {
+					return
+				}
+				url, body := r.BaseURL+"/v1/schedule", scheduleBodies[seq%int64(len(scheduleBodies))]
+				if seq%batchEvery == batchEvery-1 {
+					url, body = r.BaseURL+"/v1/batch", batchBody
+				}
+				t0 := time.Now()
+				status, err := post(client, url, body)
+				d := time.Since(t0)
+				r.requests.Add(1)
+				if err != nil || status != http.StatusOK {
+					r.errors.Add(1)
+					continue
+				}
+				latencies[w] = append(latencies[w], d)
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	var all []time.Duration
+	for _, ls := range latencies {
+		all = append(all, ls...)
+	}
+	n := r.requests.Load()
+	return LoadStats{
+		Workers:   workers,
+		Requests:  n,
+		Errors:    r.errors.Load(),
+		WallNS:    int64(wall),
+		ReqPerSec: float64(n) / wall.Seconds(),
+		Latency:   summarize(all),
+	}, nil
+}
+
+// post issues one JSON POST and fully drains the response so the
+// transport can reuse the connection.
+func post(client *http.Client, url string, body []byte) (int, error) {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}

@@ -1,0 +1,95 @@
+package loadgen
+
+import (
+	"math"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"mimdloop/internal/pipeline"
+)
+
+// TestRunnerConcurrentLoad hammers a real in-process server from 8
+// workers while a watcher polls Snapshot, asserting (under -race, which
+// CI runs for this package):
+//   - zero request errors over the whole run,
+//   - both counters are monotone as observed mid-run,
+//   - the reported req/s is internally consistent with the wall clock.
+func TestRunnerConcurrentLoad(t *testing.T) {
+	ts := httptest.NewServer(pipeline.NewServer(pipeline.New(pipeline.Config{})))
+	defer ts.Close()
+
+	const requests = 320
+	r := &Runner{BaseURL: ts.URL, Client: ts.Client(), Workers: 8, Requests: requests}
+
+	done := make(chan LoadStats, 1)
+	go func() {
+		stats, err := r.Run()
+		if err != nil {
+			t.Error(err)
+		}
+		done <- stats
+	}()
+
+	// Watch the counters while workers run: every observation must be
+	// >= the previous one.
+	var prev Snapshot
+	watching := true
+	for watching {
+		select {
+		case stats := <-done:
+			done <- stats
+			watching = false
+		default:
+			s := r.Snapshot()
+			if s.Requests < prev.Requests || s.Errors < prev.Errors {
+				t.Fatalf("counters went backwards: %+v after %+v", s, prev)
+			}
+			prev = s
+			time.Sleep(time.Millisecond)
+		}
+	}
+	stats := <-done
+
+	if stats.Errors != 0 {
+		t.Fatalf("%d of %d requests failed", stats.Errors, stats.Requests)
+	}
+	if stats.Requests != requests {
+		t.Fatalf("ran %d requests, want %d", stats.Requests, requests)
+	}
+	if got := r.Snapshot(); got.Requests != requests || got.Errors != 0 {
+		t.Fatalf("final snapshot %+v disagrees with stats %+v", got, stats)
+	}
+	if stats.Latency.Samples != requests {
+		t.Fatalf("recorded %d latencies for %d successful requests", stats.Latency.Samples, requests)
+	}
+
+	// req/s must be what the counters and wall clock imply.
+	implied := float64(stats.Requests) / (time.Duration(stats.WallNS).Seconds())
+	if math.Abs(stats.ReqPerSec-implied)/implied > 1e-6 {
+		t.Fatalf("req_per_sec %.3f inconsistent with %d requests over %v",
+			stats.ReqPerSec, stats.Requests, time.Duration(stats.WallNS))
+	}
+	if stats.WallNS <= 0 {
+		t.Fatal("non-positive wall time")
+	}
+}
+
+// TestSummarize pins the percentile convention (nearest-rank on the
+// sorted samples) so Latency sections mean the same thing in every
+// BENCH_*.json.
+func TestSummarize(t *testing.T) {
+	var samples []time.Duration
+	for i := 1; i <= 100; i++ {
+		samples = append(samples, time.Duration(i)*time.Microsecond)
+	}
+	l := summarize(samples)
+	want := Latency{Samples: 100, MeanNS: 50500,
+		P50NS: 50000, P95NS: 95000, P99NS: 99000, MinNS: 1000, MaxNS: 100000}
+	if l != want {
+		t.Fatalf("summarize = %+v, want %+v", l, want)
+	}
+	if z := summarize(nil); z != (Latency{}) {
+		t.Fatalf("summarize(nil) = %+v, want zero", z)
+	}
+}

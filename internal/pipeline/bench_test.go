@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"net/http"
 	"runtime"
 	"testing"
 
@@ -143,5 +144,25 @@ func BenchmarkAutoTuneGort(b *testing.B) {
 		if _, err := p.AutoTune(g, 100, opt); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkServeCacheHit drives the full HTTP serving path —
+// request parse, cache lookup, pre-rendered body write — for a
+// cache-hit /v1/schedule request. Run with -benchmem: together with
+// TestScheduleCacheHitAllocs this pins the fast lane (pre-PR 6 the same
+// path re-marshaled the response at ~127 µs and 22 allocs per request).
+func BenchmarkServeCacheHit(b *testing.B) {
+	srv := NewServer(New(Config{}))
+	body, rd, req := hitRequest(b, srv)
+	w := &discardResponseWriter{h: make(http.Header)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rd.Reset(body)
+		srv.ServeHTTP(w, req)
+	}
+	if w.status != http.StatusOK {
+		b.Fatalf("status %d", w.status)
 	}
 }

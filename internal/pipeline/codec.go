@@ -34,6 +34,13 @@ import (
 //	    still decode (a v2 "measured" block is adopted as the sim
 //	    backend's annotation); version-3 records without a measurement
 //	    are byte-compatible with version 1 apart from the header.
+//
+// Decoded annotations are not codec-internal state: the server includes
+// them in /v1/schedule replies as the "measured_by" field, and restoring
+// them via SetMeasured advances the plan's measured generation — which
+// keys the pre-rendered cache-hit response body (Plan.HitResponseBody),
+// so a disk-restored measurement invalidates any stale hit body exactly
+// like a fresh one.
 const (
 	planRecordFormat  = "mimdloop/plan"
 	planRecordVersion = 3

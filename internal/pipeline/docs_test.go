@@ -5,6 +5,8 @@ import (
 	"os"
 	"strings"
 	"testing"
+
+	"mimdloop/internal/loadgen"
 )
 
 // TestAPIDocCoversRoutes pins docs/API.md to the server: every route the
@@ -70,6 +72,43 @@ func TestAPIDocCoversRoutes(t *testing.T) {
 	} {
 		if !strings.Contains(doc, fragment) {
 			t.Errorf("docs/API.md does not document the store stats field %s", fragment)
+		}
+	}
+
+	// The serving fast-lane and trajectory surface: the measured_by
+	// reply field, the slots configuration, the bench subcommand, and
+	// every section of the BENCH_*.json schema (internal/loadgen pins
+	// the schema itself with a golden fixture; this pins the reference).
+	for _, fragment := range []string{
+		"`measured_by`", "-slots", "loopsched bench", loadgen.Format,
+		`"cold_schedule"`, `"cache_hit"`, `"tune_sim"`, `"tune_gort"`,
+		`"batch"`, `"http_load"`, `"p50_ns"`, `"p95_ns"`, `"p99_ns"`,
+		`"req_per_sec"`, `"loops_per_sec"`, "-against",
+	} {
+		if !strings.Contains(doc, fragment) {
+			t.Errorf("docs/API.md does not document the bench/fast-lane fragment %s", fragment)
+		}
+	}
+}
+
+// TestArchitectureDocCoversFastLane pins the "Serving fast lane" section
+// of docs/ARCHITECTURE.md to the mechanisms it documents: the per-plan
+// pre-rendered hit body and its invalidation, the pooled encoder, and
+// the tests and trajectory files that guard them.
+func TestArchitectureDocCoversFastLane(t *testing.T) {
+	data, err := os.ReadFile("../../docs/ARCHITECTURE.md")
+	if err != nil {
+		t.Fatalf("docs/ARCHITECTURE.md must exist: %v", err)
+	}
+	doc := string(data)
+	for _, fragment := range []string{
+		"## Serving fast lane", "Pre-rendered hit bodies", "HitResponseBody",
+		"measured-annotation generation", "sync.Pool",
+		"TestScheduleCacheHitAllocs", "AllocsPerRun", "BenchmarkServeCacheHit",
+		"BENCH_", "loadgen", "loopsched bench",
+	} {
+		if !strings.Contains(doc, fragment) {
+			t.Errorf("docs/ARCHITECTURE.md does not cover the fast-lane fragment %q", fragment)
 		}
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 
 	"mimdloop/internal/core"
 	"mimdloop/internal/exec"
@@ -193,6 +194,14 @@ type ScheduleResponse struct {
 	// Simulated is the measured evaluation requested with ?simulate=1
 	// (omitted otherwise).
 	Simulated *MeasuredStats `json:"simulated,omitempty"`
+
+	// MeasuredBy carries the plan's persisted measured annotations, one
+	// per execution backend in backend-name order (omitted when the plan
+	// was only ever scored statically). Unlike Simulated — a transient
+	// probe's result — these are the measurements tunes and simulate
+	// requests attached to the stored plan, the same block plan records
+	// persist (codec v3).
+	MeasuredBy []*MeasuredStats `json:"measured_by,omitempty"`
 
 	// Schedule is the composed schedule in the internal/plan wire format
 	// (graph embedded, so the reply is self-contained).
@@ -436,12 +445,36 @@ type Server struct {
 	sem chan struct{}
 }
 
-// NewServer wraps p in an http.Handler.
-func NewServer(p *Pipeline) *Server {
+// ServerConfig tunes the serving layer; the zero value is the default
+// configuration NewServer applies.
+type ServerConfig struct {
+	// ComputeSlots bounds concurrent schedule/batch/tune computations
+	// (the admission semaphore ahead of every compute section). Values
+	// <= 0 mean 4 × GOMAXPROCS: enough concurrency for cache misses to
+	// saturate the cores — scheduling is CPU-bound, so slots beyond a
+	// small multiple of the processor count only add queue memory — while
+	// cache hits never block on it for long (the fast lane holds a slot
+	// only for a store lookup and a memoized-body fetch).
+	ComputeSlots int
+}
+
+// slots resolves the admission bound.
+func (c ServerConfig) slots() int {
+	if c.ComputeSlots > 0 {
+		return c.ComputeSlots
+	}
+	return 4 * runtime.GOMAXPROCS(0)
+}
+
+// NewServer wraps p in an http.Handler with the default configuration.
+func NewServer(p *Pipeline) *Server { return NewServerWith(p, ServerConfig{}) }
+
+// NewServerWith wraps p in an http.Handler configured by cfg.
+func NewServerWith(p *Pipeline, cfg ServerConfig) *Server {
 	s := &Server{
 		pipe: p,
 		mux:  http.NewServeMux(),
-		sem:  make(chan struct{}, 4*runtime.GOMAXPROCS(0)),
+		sem:  make(chan struct{}, cfg.slots()),
 	}
 	for _, rt := range []struct {
 		method, path string
@@ -471,6 +504,9 @@ func NewServer(p *Pipeline) *Server {
 	}
 	return s
 }
+
+// ComputeSlots reports the admission bound the server runs with.
+func (s *Server) ComputeSlots() int { return cap(s.sem) }
 
 // Routes returns every registered endpoint. docs/API.md must document
 // each one; TestAPIDocCoversRoutes enforces the correspondence.
@@ -527,10 +563,16 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, status, errorResponse{err.Error()})
 		return
 	}
-	sim, err := parseSimulateQuery(r.URL.Query())
-	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
-		return
+	var sim *MeasuredEvaluator
+	if r.URL.RawQuery != "" {
+		// Only parse the query when one is present: the steady-state
+		// cache-hit request has none, and ParseQuery allocates even for
+		// the empty string.
+		sim, err = parseSimulateQuery(r.URL.Query())
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+			return
+		}
 	}
 	// Admission: compile, schedule, and marshal under the in-flight
 	// bound. The slot is released before the (possibly large, possibly
@@ -538,10 +580,16 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	if !s.admit(r) {
 		return
 	}
-	resp, status, err := s.scheduleResponse(req, sim)
+	body, resp, status, err := s.scheduleResponse(req, sim)
 	<-s.sem
 	if err != nil {
 		writeJSON(w, status, errorResponse{err.Error()})
+		return
+	}
+	if body != nil {
+		// The fast lane: a cache hit with no simulate probe serves the
+		// plan's pre-rendered wire bytes without re-encoding anything.
+		writeRawJSON(w, http.StatusOK, body)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -598,42 +646,84 @@ func parseSimulateQuery(q url.Values) (*MeasuredEvaluator, error) {
 }
 
 // scheduleResponse runs the compute section of a schedule request; on
-// failure it returns the HTTP status to report.
-func (s *Server) scheduleResponse(req *ScheduleRequest, sim *MeasuredEvaluator) (*ScheduleResponse, int, error) {
+// failure it returns the HTTP status to report. Exactly one of the two
+// results is set on success: pre-rendered wire bytes when the request
+// rode the cache-hit fast lane, a response value to encode otherwise.
+func (s *Server) scheduleResponse(req *ScheduleRequest, sim *MeasuredEvaluator) ([]byte, *ScheduleResponse, int, error) {
 	compiled, err := s.pipe.Compile(req.Source)
 	if err != nil {
-		return nil, http.StatusUnprocessableEntity, err
+		return nil, nil, http.StatusUnprocessableEntity, err
 	}
 	opts, n := req.params()
 	if err := checkGraphCaps(compiled.Graph.N(), n); err != nil {
-		return nil, http.StatusRequestEntityTooLarge, err
+		return nil, nil, http.StatusRequestEntityTooLarge, err
 	}
 	plan, hit, err := s.pipe.Schedule(compiled.Graph, opts, n)
 	if err != nil {
 		if errors.Is(err, core.ErrNoPattern) {
-			return nil, http.StatusConflict, err
+			return nil, nil, http.StatusConflict, err
 		}
-		return nil, http.StatusUnprocessableEntity, err
+		return nil, nil, http.StatusUnprocessableEntity, err
+	}
+
+	if hit && sim == nil {
+		// The fast lane: every field of the hit response is a pure
+		// function of (plan, loop name), so the wire bytes are memoized
+		// on the plan itself — rendered on the first hit, invalidated
+		// when a measured annotation lands, byte-identical across repeat
+		// hits. ScheduleJSON was already memoized; this extends the idea
+		// to the whole envelope, fixing the latent double-encode where
+		// the embedded raw schedule was re-compacted through the outer
+		// marshal on every hit.
+		body, err := plan.HitResponseBody(compiled.Loop.Name, func() ([]byte, error) {
+			resp, err := buildScheduleResponse(plan, compiled.Loop.Name, true, nil)
+			if err != nil {
+				return nil, err
+			}
+			body, err := json.Marshal(resp)
+			if err != nil {
+				return nil, err
+			}
+			// writeJSON's encoder terminates bodies with a newline; the
+			// pre-rendered body matches so hits and misses differ only
+			// in content, never framing.
+			return append(body, '\n'), nil
+		})
+		if err != nil {
+			return nil, nil, http.StatusInternalServerError, err
+		}
+		return body, nil, http.StatusOK, nil
 	}
 
 	var measured *MeasuredStats
 	if sim != nil {
 		score, err := s.pipe.Evaluate(sim, plan)
 		if err != nil {
-			return nil, http.StatusUnprocessableEntity, err
+			return nil, nil, http.StatusUnprocessableEntity, err
 		}
 		measured = score.Measured
 	}
 
+	resp, err := buildScheduleResponse(plan, compiled.Loop.Name, hit, measured)
+	if err != nil {
+		return nil, nil, http.StatusInternalServerError, err
+	}
+	return nil, resp, http.StatusOK, nil
+}
+
+// buildScheduleResponse assembles the /v1/schedule reply for a plan. The
+// fast lane and the dynamic path both come through here, so the two can
+// never drift apart field-wise.
+func buildScheduleResponse(plan *Plan, loop string, hit bool, measured *MeasuredStats) (*ScheduleResponse, error) {
 	sched, err := plan.ScheduleJSON()
 	if err != nil {
-		return nil, http.StatusInternalServerError, err
+		return nil, err
 	}
-	resp := &ScheduleResponse{
-		Loop:           compiled.Loop.Name,
-		Nodes:          compiled.Graph.N(),
+	return &ScheduleResponse{
+		Loop:           loop,
+		Nodes:          plan.Schedule.Graph.N(),
 		GraphHash:      plan.GraphHash,
-		Iterations:     n,
+		Iterations:     plan.Iterations,
 		Rate:           plan.Rate(),
 		Makespan:       plan.Makespan(),
 		CyclicProcs:    plan.Schedule.CyclicProcs,
@@ -643,12 +733,12 @@ func (s *Server) scheduleResponse(req *ScheduleRequest, sim *MeasuredEvaluator) 
 		GreedyFallback: plan.Schedule.GreedyFallback,
 		CacheHit:       hit,
 		Simulated:      measured,
+		MeasuredBy:     plan.MeasuredAll(),
 		Schedule:       sched,
 		// The pattern summary is denormalized onto the plan so plans
 		// loaded from a durable store serve the same block.
 		Pattern: plan.Pattern(),
-	}
-	return resp, http.StatusOK, nil
+	}, nil
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -1018,10 +1108,49 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
+// respBufPool recycles the encode buffers behind every dynamic JSON
+// response. Encoding into a pooled buffer (instead of straight at the
+// ResponseWriter) costs one copy to the socket but buys three things:
+// steady-state responses reuse one grown buffer instead of re-growing
+// per request, an encode error is caught before any status line is
+// written, and the reply carries an exact Content-Length.
+var respBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// maxPooledRespBuf bounds what returns to the pool: a near-cap schedule
+// reply runs to tens of MB, and parking buffers that size in the pool
+// would pin the worst response ever served as permanent ballast.
+const maxPooledRespBuf = 1 << 20
+
 // writeJSON emits compact JSON: schedule replies embed up to hundreds of
 // thousands of placements, and indentation would multiply their size.
 func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	buf := respBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		// Unreachable for the response types the handlers pass (all
+		// marshal without error); keep the envelope contract anyway.
+		status = http.StatusInternalServerError
+		buf.Reset()
+		_ = json.NewEncoder(buf).Encode(errorResponse{err.Error()})
+	}
+	writeRawJSON(w, status, buf.Bytes())
+	if buf.Cap() <= maxPooledRespBuf {
+		respBufPool.Put(buf)
+	}
+}
+
+// jsonContentType is the shared Content-Type header value; assigning it
+// directly (the keys are already canonical) spares the fast lane a
+// per-request []string allocation and the MIME canonicalization walk.
+var jsonContentType = []string{"application/json; charset=utf-8"}
+
+// writeRawJSON writes pre-rendered response bytes (trailing newline
+// included) without re-encoding — the cache-hit fast lane's exit. The
+// explicit Content-Length keeps large replies out of chunked encoding.
+func writeRawJSON(w http.ResponseWriter, status int, body []byte) {
+	h := w.Header()
+	h["Content-Type"] = jsonContentType
+	h["Content-Length"] = []string{strconv.Itoa(len(body))}
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	_, _ = w.Write(body)
 }

@@ -138,6 +138,9 @@ type (
 	SweepResult = pipeline.Result
 	// PipelineServer serves schedules over HTTP (see NewPipelineServer).
 	PipelineServer = pipeline.Server
+	// PipelineServerConfig tunes the serving layer (compute-slot bound);
+	// the zero value is the GOMAXPROCS-derived default.
+	PipelineServerConfig = pipeline.ServerConfig
 )
 
 // Plan storage: the pluggable persistence layer behind a Pipeline.
@@ -356,6 +359,12 @@ func NewPipeline(cfg PipelineConfig) *Pipeline { return pipeline.New(cfg) }
 // POST /v1/schedule, POST /v1/batch, POST /v1/tune, GET /v1/stats and
 // GET /healthz (documented in docs/API.md).
 func NewPipelineServer(p *Pipeline) *PipelineServer { return pipeline.NewServer(p) }
+
+// NewPipelineServerWith is NewPipelineServer with an explicit serving
+// configuration (`loopsched serve -slots`).
+func NewPipelineServerWith(p *Pipeline, cfg PipelineServerConfig) *PipelineServer {
+	return pipeline.NewServerWith(p, cfg)
+}
 
 // SweepGrid returns the cross product procs x commCosts in row-major
 // order, for Pipeline.Sweep.
