@@ -27,6 +27,7 @@
 //	               [-example name] [file.loop]
 //	loopsched batch [-k cost] [-p procs] [-n iters] [-fold] [-workers w] file.loop...
 //	loopsched serve [-addr :8080] [-cache entries] [-warmup corpus.json] [-store DIR] [-store-bytes n]
+//	               [-peers host1:8080,host2:8080,... -self host1:8080 [-vnodes n]]
 //	loopsched store -dir DIR [-max-bytes n] ls|gc|flush
 //	loopsched bench [-addr URL] [-workers w] [-quick] [-json report.json]
 //
@@ -127,6 +128,9 @@ func serve(args []string) error {
 		storeDir   = fs.String("store", "", "back the in-memory tier with durable plan records under this directory")
 		storeBytes = fs.Int64("store-bytes", 0, "disk-store byte budget before GC (0 = 1 GiB); requires -store")
 		slots      = fs.Int("slots", 0, "concurrent compute slots for schedule/batch/tune work (0 = 4 x GOMAXPROCS)")
+		peers      = fs.String("peers", "", "comma-separated cluster membership (host:port or URL per node, this node included) — enables cluster mode")
+		self       = fs.String("self", "", "this node's own entry in -peers (required with -peers)")
+		vnodes     = fs.Int("vnodes", 0, "consistent-hash virtual nodes per peer (0 = default; every node must agree)")
 	)
 	if done, err := parseFlags(fs, args); done || err != nil {
 		return err
@@ -134,7 +138,11 @@ func serve(args []string) error {
 	if fs.NArg() != 0 {
 		return fmt.Errorf("serve takes no positional arguments, got %v", fs.Args())
 	}
-	pipe, err := newServePipeline(*cache, *storeDir, *storeBytes)
+	peer, err := newClusterPeer(*peers, *self, *vnodes)
+	if err != nil {
+		return err
+	}
+	pipe, err := newServePipeline(*cache, *storeDir, *storeBytes, peer)
 	if err != nil {
 		return err
 	}
@@ -156,9 +164,18 @@ func serve(args []string) error {
 	if err != nil {
 		return err
 	}
-	handler := mimdloop.NewPipelineServerWith(pipe, mimdloop.PipelineServerConfig{ComputeSlots: *slots})
-	fmt.Printf("loopsched: serving on %s (POST /v1/schedule /v1/batch /v1/tune, GET /v1/plans /v1/stats; GOMAXPROCS=%d, %d compute slots)\n",
-		ln.Addr(), runtime.GOMAXPROCS(0), handler.ComputeSlots())
+	scfg := mimdloop.PipelineServerConfig{ComputeSlots: *slots}
+	if peer != nil {
+		scfg.Cluster = peer
+	}
+	handler := mimdloop.NewPipelineServerWith(pipe, scfg)
+	cluster := ""
+	if peer != nil {
+		cs := peer.ClusterStats()
+		cluster = fmt.Sprintf("; cluster node %s of %d peers, %d vnodes", cs.Self, len(cs.Peers), cs.VNodes)
+	}
+	fmt.Printf("loopsched: serving on %s (POST /v1/schedule /v1/batch /v1/tune, GET /v1/plans /v1/stats; GOMAXPROCS=%d, %d compute slots%s)\n",
+		ln.Addr(), runtime.GOMAXPROCS(0), handler.ComputeSlots(), cluster)
 	srv := &http.Server{
 		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
@@ -180,9 +197,41 @@ func warmupSummary(stats mimdloop.WarmupStats) string {
 		stats.Warmed, stats.Entries, stats.FromStore, stats.FromDisk, stats.Scheduled, stats.Failed)
 }
 
+// newClusterPeer validates the -peers/-self/-vnodes flags and builds
+// the cluster tier, or nil when -peers is unset (single-node serving).
+func newClusterPeer(peersCSV, self string, vnodes int) (*mimdloop.PeerStore, error) {
+	if strings.TrimSpace(peersCSV) == "" {
+		if self != "" {
+			return nil, errors.New("-self requires -peers")
+		}
+		if vnodes != 0 {
+			return nil, errors.New("-vnodes requires -peers")
+		}
+		return nil, nil
+	}
+	var peers []string
+	for _, part := range strings.Split(peersCSV, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			peers = append(peers, p)
+		}
+	}
+	if self == "" {
+		return nil, errors.New("-peers requires -self (this node's own entry in the list)")
+	}
+	if vnodes < 0 {
+		return nil, fmt.Errorf("negative vnodes %d", vnodes)
+	}
+	return mimdloop.NewPeerStore(mimdloop.PeerStoreConfig{
+		Self:   self,
+		Peers:  peers,
+		VNodes: vnodes,
+	})
+}
+
 // newServePipeline builds the pipeline behind the service: memory-only
-// by default, memory over a durable disk store with -store.
-func newServePipeline(maxEntries int, storeDir string, storeBytes int64) (*mimdloop.Pipeline, error) {
+// by default, memory over a durable disk store with -store, and the
+// cluster peer-fill tier slotted between the two with -peers.
+func newServePipeline(maxEntries int, storeDir string, storeBytes int64, peer *mimdloop.PeerStore) (*mimdloop.Pipeline, error) {
 	if maxEntries < 0 {
 		return nil, fmt.Errorf("negative cache size %d", maxEntries)
 	}
@@ -190,6 +239,10 @@ func newServePipeline(maxEntries int, storeDir string, storeBytes int64) (*mimdl
 	if storeDir == "" {
 		if storeBytes != 0 {
 			return nil, errors.New("-store-bytes requires -store")
+		}
+		if peer != nil {
+			cfg.Store = mimdloop.NewTieredStore(
+				mimdloop.NewMemStore(mimdloop.MemStoreConfig{MaxEntries: maxEntries}), peer)
 		}
 		return mimdloop.NewPipeline(cfg), nil
 	}
@@ -200,14 +253,18 @@ func newServePipeline(maxEntries int, storeDir string, storeBytes int64) (*mimdl
 	if err != nil {
 		return nil, err
 	}
+	var lower mimdloop.PlanStore = disk
+	if peer != nil {
+		lower = mimdloop.NewTieredStore(peer, disk)
+	}
 	cfg.Store = mimdloop.NewTieredStore(
-		mimdloop.NewMemStore(mimdloop.MemStoreConfig{MaxEntries: maxEntries}), disk)
+		mimdloop.NewMemStore(mimdloop.MemStoreConfig{MaxEntries: maxEntries}), lower)
 	return mimdloop.NewPipeline(cfg), nil
 }
 
 // newServeHandler builds the service handler around a fresh pipeline.
 func newServeHandler(maxEntries int) (http.Handler, error) {
-	pipe, err := newServePipeline(maxEntries, "", 0)
+	pipe, err := newServePipeline(maxEntries, "", 0, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -159,7 +159,7 @@ func TestBatchSubcommand(t *testing.T) {
 }
 
 func TestServeWarmup(t *testing.T) {
-	pipe, err := newServePipeline(0, "", 0)
+	pipe, err := newServePipeline(0, "", 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,7 +264,7 @@ func TestServeStorePipeline(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	pipe1, err := newServePipeline(0, storeDir, 0)
+	pipe1, err := newServePipeline(0, storeDir, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -280,7 +280,7 @@ func TestServeStorePipeline(t *testing.T) {
 	}
 
 	// Restart: the same corpus is satisfied from the disk store.
-	pipe2, err := newServePipeline(0, storeDir, 0)
+	pipe2, err := newServePipeline(0, storeDir, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -326,7 +326,7 @@ func TestStoreSubcommand(t *testing.T) {
 	storeDir := filepath.Join(dir, "plans")
 
 	// Populate the store through a serve-shaped pipeline.
-	pipe, err := newServePipeline(0, storeDir, 0)
+	pipe, err := newServePipeline(0, storeDir, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -370,11 +370,66 @@ func TestStoreSubcommand(t *testing.T) {
 	}
 }
 
+func TestClusterFlagValidation(t *testing.T) {
+	// No -peers: single-node serving, and the cluster-only flags are
+	// rejected rather than silently ignored.
+	if peer, err := newClusterPeer("", "", 0); peer != nil || err != nil {
+		t.Fatalf("no -peers: peer=%v err=%v", peer, err)
+	}
+	if _, err := newClusterPeer("", "node0", 0); err == nil {
+		t.Fatal("-self without -peers accepted")
+	}
+	if _, err := newClusterPeer("", "", 64); err == nil {
+		t.Fatal("-vnodes without -peers accepted")
+	}
+
+	// With -peers: -self is required and must name one of the peers.
+	if _, err := newClusterPeer("a:1,b:2", "", 0); err == nil {
+		t.Fatal("-peers without -self accepted")
+	}
+	if _, err := newClusterPeer("a:1,b:2", "c:3", 0); err == nil {
+		t.Fatal("-self outside -peers accepted")
+	}
+	if _, err := newClusterPeer("a:1,b:2", "a:1", -1); err == nil {
+		t.Fatal("negative -vnodes accepted")
+	}
+	if _, err := newClusterPeer("a:1,a:1", "a:1", 0); err == nil {
+		t.Fatal("duplicate peers accepted")
+	}
+
+	peer, err := newClusterPeer(" a:1 , b:2 ", "a:1", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := peer.ClusterStats()
+	if cs.Self != "a:1" || len(cs.Peers) != 2 || cs.VNodes != 32 {
+		t.Fatalf("cluster stats = %+v", cs)
+	}
+
+	// A clustered pipeline builds with and without a disk tier.
+	for _, dir := range []string{"", t.TempDir()} {
+		peer, err := newClusterPeer("a:1,b:2", "a:1", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pipe, err := newServePipeline(0, dir, 0, peer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if kind := pipe.Stats().Store.Kind; kind != "tiered" {
+			t.Fatalf("clustered store kind = %q", kind)
+		}
+		if err := pipe.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
 func TestServeStoreArgErrors(t *testing.T) {
-	if _, err := newServePipeline(0, "", 5); err == nil {
+	if _, err := newServePipeline(0, "", 5, nil); err == nil {
 		t.Fatal("-store-bytes without -store accepted")
 	}
-	if _, err := newServePipeline(0, t.TempDir(), -1); err == nil {
+	if _, err := newServePipeline(0, t.TempDir(), -1, nil); err == nil {
 		t.Fatal("negative -store-bytes accepted")
 	}
 }

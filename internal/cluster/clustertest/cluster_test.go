@@ -1,0 +1,344 @@
+package clustertest
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"mimdloop/internal/pipeline"
+	"mimdloop/internal/workload"
+)
+
+// suiteSpec is a scaled-down cut of the paper's random-loop generator:
+// the same shape (simple + loop-carried dependences, uniform
+// latencies, Cyclic subset extraction), sized so a multi-node replay
+// under -race stays fast.
+var suiteSpec = workload.RandomSpec{Nodes: 16, Simple: 10, LoopCarry: 10, MaxLatency: 3, MinCyclic: 5}
+
+const (
+	suiteProcs = 2
+	suiteIters = 40
+)
+
+// randomSuite renders `count` seeded random loops to loop source.
+func randomSuite(t *testing.T, count int) []string {
+	t.Helper()
+	out := make([]string, 0, count)
+	for seed := int64(1); len(out) < count; seed++ {
+		g, err := workload.Random(suiteSpec, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src, err := LoopSource(fmt.Sprintf("r%d", seed), g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, src)
+	}
+	return out
+}
+
+// TestLoopSourceCompiles pins the renderer against the real compiler:
+// every rendered suite loop compiles back to a graph with the same
+// node count and schedules successfully.
+func TestLoopSourceCompiles(t *testing.T) {
+	p := pipeline.New(pipeline.Config{DisableCache: true})
+	for seed := int64(1); seed <= 8; seed++ {
+		g, err := workload.Random(suiteSpec, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src, err := LoopSource(fmt.Sprintf("r%d", seed), g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compiled, err := p.Compile(src)
+		if err != nil {
+			t.Fatalf("seed %d: rendered source does not compile: %v\n%s", seed, err, src)
+		}
+		if got, want := compiled.Graph.N(), len(g.Nodes); got != want {
+			t.Fatalf("seed %d: compiled to %d nodes, want %d\n%s", seed, got, want, src)
+		}
+	}
+}
+
+// TestClusterSchedulesOnceAndByteIdentical is the cross-process
+// singleflight acceptance test: a 3-node cluster under concurrent
+// replay of the seeded random suite — every node asked for every loop,
+// twice, all in flight together — schedules each unique loop exactly
+// once cluster-wide, and every node serves byte-identical ScheduleJSON.
+func TestClusterSchedulesOnceAndByteIdentical(t *testing.T) {
+	c := New(t, Options{Nodes: 3})
+	suite := randomSuite(t, 5)
+
+	const rounds = 2
+	type result struct {
+		node string
+		loop int
+		body []byte
+	}
+	var wg sync.WaitGroup
+	results := make(chan result, len(c.Names())*len(suite)*rounds)
+	for r := 0; r < rounds; r++ {
+		for _, name := range c.Names() {
+			for i, src := range suite {
+				wg.Add(1)
+				go func(name string, i int, src string) {
+					defer wg.Done()
+					results <- result{name, i, c.ScheduleJSON(name, src, suiteProcs, suiteIters)}
+				}(name, i, src)
+			}
+		}
+	}
+	wg.Wait()
+	close(results)
+
+	// Byte identity: all replies for one loop carry the same schedule.
+	want := make(map[int][]byte)
+	for res := range results {
+		if prev, ok := want[res.loop]; !ok {
+			want[res.loop] = res.body
+		} else if !bytes.Equal(prev, res.body) {
+			t.Fatalf("loop %d: node %s served different schedule bytes", res.loop, res.node)
+		}
+	}
+	if len(want) != len(suite) {
+		t.Fatalf("replies for %d loops, want %d", len(want), len(suite))
+	}
+
+	// Exactly-once: the whole fleet computed each unique loop once.
+	if got, wantN := c.Computes(), uint64(len(suite)); got != wantN {
+		t.Fatalf("cluster computed %d plans for %d unique loops", got, wantN)
+	}
+
+	// The answers crossed the wire: every non-owner reply came from a
+	// peer fill or a forward (it cannot have computed — the count above
+	// proves that), so cross-node traffic is structural, not timing.
+	var crossNode uint64
+	for _, name := range c.Names() {
+		cs := c.Node(name).Peer.ClusterStats()
+		crossNode += cs.Fills + cs.Forwards
+	}
+	if crossNode == 0 {
+		t.Fatal("no peer fill or forward ever happened")
+	}
+}
+
+// TestClusterForwardToOwner pins the forward path deterministically: a
+// non-owner asked about a cold loop forwards to the owner, which
+// computes it; the non-owner computes nothing.
+func TestClusterForwardToOwner(t *testing.T) {
+	c := New(t, Options{Nodes: 3})
+	src := randomSuite(t, 1)[0]
+	owner := c.OwnerOf(c.Key(src, suiteProcs, suiteIters))
+	var other string
+	for _, name := range c.Names() {
+		if name != owner {
+			other = name
+			break
+		}
+	}
+
+	body := c.ScheduleJSON(other, src, suiteProcs, suiteIters)
+	if got := c.Node(other).Pipe.Stats().Computes; got != 0 {
+		t.Fatalf("non-owner computed %d plans", got)
+	}
+	if got := c.Node(owner).Pipe.Stats().Computes; got != 1 {
+		t.Fatalf("owner computed %d plans, want 1", got)
+	}
+	if cs := c.Node(other).Peer.ClusterStats(); cs.Forwards != 1 {
+		t.Fatalf("non-owner cluster stats = %+v, want one forward", cs)
+	}
+	// The owner serves the same bytes directly.
+	if direct := c.ScheduleJSON(owner, src, suiteProcs, suiteIters); !bytes.Equal(direct, body) {
+		t.Fatal("owner and forwarded replies differ")
+	}
+}
+
+// TestClusterStatsEndpoint: every node's /v1/stats carries the cluster
+// block with the fixed membership.
+func TestClusterStatsEndpoint(t *testing.T) {
+	c := New(t, Options{Nodes: 3})
+	for _, name := range c.Names() {
+		resp, err := http.Get(c.Node(name).URL() + "/v1/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		resp.Body.Close()
+		for _, frag := range []string{`"cluster"`, `"self":"` + name + `"`, `"virtual_nodes"`, `"fills"`, `"forwards"`} {
+			if !bytes.Contains(buf.Bytes(), []byte(frag)) {
+				t.Fatalf("node %s stats missing %s: %s", name, frag, buf.Bytes())
+			}
+		}
+	}
+}
+
+// TestClusterOwnerDownDegradesToLocalCompute: with a loop's owner
+// killed, a non-owner answers the request itself — promptly, no error
+// surfaced, and repeat traffic skips the dead peer via the breaker.
+func TestClusterOwnerDownDegradesToLocalCompute(t *testing.T) {
+	c := New(t, Options{Nodes: 3})
+	suite := randomSuite(t, 3)
+
+	// Find a loop with distinct owner and non-owner.
+	var src, owner, other string
+	for _, s := range suite {
+		owner = c.OwnerOf(c.Key(s, suiteProcs, suiteIters))
+		for _, name := range c.Names() {
+			if name != owner {
+				src, other = s, name
+				break
+			}
+		}
+		if src != "" {
+			break
+		}
+	}
+	c.Kill(owner)
+
+	// The deadline: a dead owner must cost a failed dial and a retry,
+	// not a hang. The bound is generous for -race CI boxes yet far
+	// below any client-visible timeout.
+	start := time.Now()
+	status, body := c.Schedule(other, src, suiteProcs, suiteIters)
+	if status != http.StatusOK {
+		t.Fatalf("degraded schedule: %d %s", status, body)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("degraded schedule took %v", elapsed)
+	}
+	if got := c.Node(other).Pipe.Stats().Computes; got != 1 {
+		t.Fatalf("non-owner computed %d plans, want 1 (local degrade)", got)
+	}
+
+	// Repeats are local cache hits; nothing else is computed and no
+	// request fails while the owner stays dead.
+	for i := 0; i < 5; i++ {
+		if status, body := c.Schedule(other, src, suiteProcs, suiteIters); status != http.StatusOK {
+			t.Fatalf("repeat %d: %d %s", i, status, body)
+		}
+	}
+	if got := c.Node(other).Pipe.Stats().Computes; got != 1 {
+		t.Fatalf("repeats recomputed: computes = %d", got)
+	}
+	cs := c.Node(other).Peer.ClusterStats()
+	if cs.ForwardErrors == 0 {
+		t.Fatalf("no forward error recorded against the dead owner: %+v", cs)
+	}
+}
+
+// TestClusterOwnerRestartResumesByteIdentical: killing and restarting
+// an owner changes nothing about the ring and nothing about the bytes —
+// membership and ownership are identical, and the restarted node (and
+// its peers, via peer fill) serve the pre-crash plans byte-for-byte
+// from its durable store without rescheduling.
+func TestClusterOwnerRestartResumesByteIdentical(t *testing.T) {
+	c := New(t, Options{Nodes: 3, Disk: true})
+	suite := randomSuite(t, 3)
+
+	// Schedule everything through its owner so every plan lands on the
+	// owner's disk.
+	kind := make(map[string]string, len(suite))
+	before := make(map[string][]byte, len(suite))
+	for _, src := range suite {
+		owner := c.OwnerOf(c.Key(src, suiteProcs, suiteIters))
+		kind[src] = owner
+		before[src] = c.ScheduleJSON(owner, src, suiteProcs, suiteIters)
+	}
+
+	victim := kind[suite[0]]
+	ringBefore := c.Node(victim).Peer.Ring().Peers()
+	c.Kill(victim)
+	c.Restart(victim)
+
+	// Ring membership and ownership are configuration, not liveness:
+	// both survive the restart unchanged.
+	ringAfter := c.Node(victim).Peer.Ring().Peers()
+	if len(ringBefore) != len(ringAfter) {
+		t.Fatalf("ring size changed across restart: %v -> %v", ringBefore, ringAfter)
+	}
+	for i := range ringBefore {
+		if ringBefore[i] != ringAfter[i] {
+			t.Fatalf("ring membership changed across restart: %v -> %v", ringBefore, ringAfter)
+		}
+	}
+	for _, src := range suite {
+		if got := c.OwnerOf(c.Key(src, suiteProcs, suiteIters)); got != kind[src] {
+			t.Fatalf("ownership moved across restart: %s -> %s", kind[src], got)
+		}
+	}
+
+	// The restarted owner's loops replay from disk: byte-identical,
+	// zero rescheduling.
+	for _, src := range suite {
+		if kind[src] != victim {
+			continue
+		}
+		if got := c.ScheduleJSON(victim, src, suiteProcs, suiteIters); !bytes.Equal(got, before[src]) {
+			t.Fatal("restarted owner served different schedule bytes")
+		}
+	}
+	if got := c.Node(victim).Pipe.Stats().Computes; got != 0 {
+		t.Fatalf("restarted owner rescheduled %d plans", got)
+	}
+
+	// A peer that never saw these loops fills them from the restarted
+	// owner — same bytes over the peer-fill path.
+	for _, src := range suite {
+		if kind[src] != victim {
+			continue
+		}
+		for _, name := range c.Names() {
+			if name == victim {
+				continue
+			}
+			if got := c.ScheduleJSON(name, src, suiteProcs, suiteIters); !bytes.Equal(got, before[src]) {
+				t.Fatalf("node %s served different bytes after the owner restart", name)
+			}
+		}
+	}
+}
+
+// TestClusterPartitionMidReplay: a partition between two nodes midway
+// through a replay costs no request — the cut-off node degrades to
+// local compute for keys across the partition and recovers after the
+// heal.
+func TestClusterPartitionMidReplay(t *testing.T) {
+	c := New(t, Options{Nodes: 3})
+	suite := randomSuite(t, 4)
+
+	replay := func(round string) {
+		var wg sync.WaitGroup
+		for _, name := range c.Names() {
+			for i, src := range suite {
+				wg.Add(1)
+				go func(name string, i int, src string) {
+					defer wg.Done()
+					if status, body := c.Schedule(name, src, suiteProcs, suiteIters); status != http.StatusOK {
+						t.Errorf("%s: node %s loop %d: %d %s", round, name, i, status, body)
+					}
+				}(name, i, src)
+			}
+		}
+		wg.Wait()
+	}
+
+	replay("pre-partition")
+	a, b := c.Names()[0], c.Names()[1]
+	c.Partition(a, b)
+	replay("partitioned")
+	c.Heal(a, b)
+	replay("healed")
+
+	// Liveness held throughout (any failed request already t.Errored);
+	// the suite itself was computed at most once per (loop, side of the
+	// partition) — never more than 2x the unique loops.
+	if got, max := c.Computes(), uint64(2*len(suite)); got > max {
+		t.Fatalf("cluster computed %d plans for %d unique loops under one partition", got, max)
+	}
+}

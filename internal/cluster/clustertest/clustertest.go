@@ -1,0 +1,435 @@
+// Package clustertest is an in-process multi-node harness for cluster
+// mode: N real loopsched servers (httptest listeners over the real
+// pipeline.Server mux) that share nothing but the wire protocol, wired
+// together by a fault-injecting transport. Peers are addressed by
+// stable logical names ("node0", "node1", ...) that the transport
+// resolves to whatever listener currently backs the name, so a node
+// can be killed and restarted — new listener, new process-equivalent
+// state — without the ring membership ever changing, exactly like a
+// production node rejoining under its configured address.
+//
+// Faults are deterministic and reversible: Kill marks a node down (its
+// peers' dials fail) and closes its listener; Restart brings up a
+// fresh server over the node's durable directory; Partition severs one
+// pair of nodes in both directions while each keeps serving its own
+// clients. External test traffic talks straight to a node's listener
+// and is never subject to the injected faults — only intra-cluster
+// calls route through the fault transport, as in a real deployment
+// where the client network and the cluster interconnect fail
+// independently.
+package clustertest
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mimdloop/internal/core"
+	"mimdloop/internal/graph"
+	"mimdloop/internal/pipeline"
+	"mimdloop/internal/store"
+)
+
+// Options shapes a test cluster.
+type Options struct {
+	// Nodes is the cluster size (default 3).
+	Nodes int
+	// VNodes is the ring's virtual-node count per peer (default
+	// store.DefaultVNodes).
+	VNodes int
+	// Disk gives every node its own durable plan directory under the
+	// test's temp dir, so a restarted node resumes from its records.
+	Disk bool
+}
+
+// Cluster is a running in-process cluster.
+type Cluster struct {
+	t     *testing.T
+	opts  Options
+	names []string
+	reg   *registry
+	dirs  map[string]string
+
+	mu    sync.Mutex
+	nodes map[string]*Node
+}
+
+// Node is one live cluster member.
+type Node struct {
+	Name string
+	Pipe *pipeline.Pipeline
+	Peer *store.PeerStore
+	srv  *httptest.Server
+}
+
+// URL is the node's client-facing base URL.
+func (n *Node) URL() string { return n.srv.URL }
+
+// New starts a cluster and registers its teardown with t.Cleanup.
+func New(t *testing.T, opts Options) *Cluster {
+	t.Helper()
+	if opts.Nodes <= 0 {
+		opts.Nodes = 3
+	}
+	c := &Cluster{
+		t:     t,
+		opts:  opts,
+		reg:   newRegistry(),
+		dirs:  make(map[string]string),
+		nodes: make(map[string]*Node),
+	}
+	for i := 0; i < opts.Nodes; i++ {
+		name := fmt.Sprintf("node%d", i)
+		c.names = append(c.names, name)
+		if opts.Disk {
+			c.dirs[name] = t.TempDir()
+		}
+	}
+	for _, name := range c.names {
+		c.start(name)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+// start builds and registers a fresh server for name (initial boot and
+// restarts alike).
+func (c *Cluster) start(name string) *Node {
+	c.t.Helper()
+	peer, err := store.NewPeer(store.PeerConfig{
+		Self:      name,
+		Peers:     c.names,
+		VNodes:    c.opts.VNodes,
+		Transport: &faultTransport{from: name, reg: c.reg},
+		// Test-speed fault handling: short fetches, one quick retry, a
+		// breaker that opens after two failed operations and re-probes
+		// fast, so a degrade-and-recover cycle fits in a test run.
+		FetchTimeout:    5 * time.Second,
+		ForwardTimeout:  30 * time.Second,
+		Retries:         1,
+		Backoff:         5 * time.Millisecond,
+		BreakerFailures: 2,
+		BreakerCooldown: 100 * time.Millisecond,
+	})
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	// The serving store stack, peer tier between memory and disk:
+	// Tiered(mem, Tiered(peer, disk)) — or Tiered(mem, peer) when the
+	// node runs without durable storage.
+	var lower pipeline.PlanStore = peer
+	if dir := c.dirs[name]; dir != "" {
+		disk, err := store.Open(store.DiskConfig{Dir: dir})
+		if err != nil {
+			c.t.Fatal(err)
+		}
+		lower = store.NewTiered(peer, disk)
+	}
+	pipe := pipeline.New(pipeline.Config{
+		Store: store.NewTiered(pipeline.NewMemStore(pipeline.MemConfig{}), lower),
+	})
+	hs := httptest.NewServer(pipeline.NewServerWith(pipe, pipeline.ServerConfig{Cluster: peer}))
+	n := &Node{Name: name, Pipe: pipe, Peer: peer, srv: hs}
+	c.reg.setAddr(name, hs.Listener.Addr().String())
+	c.reg.setDown(name, false)
+	c.mu.Lock()
+	c.nodes[name] = n
+	c.mu.Unlock()
+	return n
+}
+
+// Names returns the fixed ring membership.
+func (c *Cluster) Names() []string { return append([]string(nil), c.names...) }
+
+// Node returns the live node of that name.
+func (c *Cluster) Node(name string) *Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, ok := c.nodes[name]
+	if !ok {
+		c.t.Fatalf("clustertest: no node %q", name)
+	}
+	return n
+}
+
+// Kill takes a node down: peers' calls to it fail at dial time and its
+// listener closes mid-flight. The node's durable directory survives.
+func (c *Cluster) Kill(name string) {
+	c.t.Helper()
+	n := c.Node(name)
+	c.reg.setDown(name, true)
+	n.srv.Close()
+	if err := n.Pipe.Close(); err != nil {
+		c.t.Fatal(err)
+	}
+}
+
+// Restart boots a fresh server for a killed node — cold memory, the
+// same durable directory, the same ring name and membership.
+func (c *Cluster) Restart(name string) *Node {
+	c.t.Helper()
+	return c.start(name)
+}
+
+// Partition severs a<->b in both directions; each side still serves
+// its own clients and reaches every other peer.
+func (c *Cluster) Partition(a, b string) { c.reg.setPartition(a, b, true) }
+
+// Heal undoes Partition.
+func (c *Cluster) Heal(a, b string) { c.reg.setPartition(a, b, false) }
+
+// Close shuts every live node down.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	nodes := make([]*Node, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		nodes = append(nodes, n)
+	}
+	c.nodes = make(map[string]*Node)
+	c.mu.Unlock()
+	for _, n := range nodes {
+		n.srv.Close()
+		_ = n.Pipe.Close()
+	}
+}
+
+// Computes sums Stats.Computes over the live nodes: how many plans the
+// cluster actually scheduled.
+func (c *Cluster) Computes() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var total uint64
+	for _, n := range c.nodes {
+		total += n.Pipe.Stats().Computes
+	}
+	return total
+}
+
+// Key compiles source and derives the plan key a server would compute
+// for it, using a throwaway cache-less pipeline (compilation is pure).
+func (c *Cluster) Key(source string, procs, iters int) string {
+	c.t.Helper()
+	compiled, err := pipeline.New(pipeline.Config{DisableCache: true}).Compile(source)
+	if err != nil {
+		c.t.Fatalf("clustertest: key compile: %v", err)
+	}
+	return pipeline.PlanKey(compiled.Graph.Fingerprint(), core.Options{Processors: procs, CommCost: 2}, iters)
+}
+
+// OwnerOf names the ring owner of a plan key (every node agrees; the
+// harness asks node0's ring).
+func (c *Cluster) OwnerOf(key string) string {
+	return c.Node(c.names[0]).Peer.Ring().Owner(key)
+}
+
+// Schedule posts one schedule request to the named node and returns
+// the HTTP status and raw body.
+func (c *Cluster) Schedule(node, source string, procs, iters int) (int, []byte) {
+	c.t.Helper()
+	body := fmt.Sprintf(`{"source":%s,"processors":%d,"iterations":%d}`,
+		strconv.Quote(source), procs, iters)
+	resp, err := http.Post(c.Node(node).URL()+"/v1/schedule", "application/json", strings.NewReader(body))
+	if err != nil {
+		c.t.Fatalf("clustertest: schedule on %s: %v", node, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		c.t.Fatalf("clustertest: schedule on %s: %v", node, err)
+	}
+	return resp.StatusCode, data
+}
+
+// ScheduleJSON posts one schedule request and returns the embedded raw
+// schedule bytes — the byte-identity currency of the acceptance tests.
+func (c *Cluster) ScheduleJSON(node, source string, procs, iters int) []byte {
+	c.t.Helper()
+	status, data := c.Schedule(node, source, procs, iters)
+	if status != http.StatusOK {
+		c.t.Fatalf("clustertest: schedule on %s: status %d: %s", node, status, data)
+	}
+	var out pipeline.ScheduleResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		c.t.Fatalf("clustertest: schedule on %s: %v", node, err)
+	}
+	return out.Schedule
+}
+
+// registry is the cluster's single source of truth for where each
+// logical peer name currently listens and which faults are active.
+type registry struct {
+	mu    sync.Mutex
+	addrs map[string]string
+	down  map[string]bool
+	parts map[[2]string]bool
+}
+
+func newRegistry() *registry {
+	return &registry{
+		addrs: make(map[string]string),
+		down:  make(map[string]bool),
+		parts: make(map[[2]string]bool),
+	}
+}
+
+func (r *registry) setAddr(name, addr string) {
+	r.mu.Lock()
+	r.addrs[name] = addr
+	r.mu.Unlock()
+}
+
+func (r *registry) setDown(name string, down bool) {
+	r.mu.Lock()
+	r.down[name] = down
+	r.mu.Unlock()
+}
+
+func partKey(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+func (r *registry) setPartition(a, b string, cut bool) {
+	r.mu.Lock()
+	r.parts[partKey(a, b)] = cut
+	r.mu.Unlock()
+}
+
+// resolve maps a logical target to its live address, or an error when
+// a fault blocks the path.
+func (r *registry) resolve(from, to string) (string, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.down[to] {
+		return "", fmt.Errorf("clustertest: %s is down", to)
+	}
+	if r.parts[partKey(from, to)] {
+		return "", fmt.Errorf("clustertest: %s and %s are partitioned", from, to)
+	}
+	addr, ok := r.addrs[to]
+	if !ok {
+		return "", fmt.Errorf("clustertest: unknown peer %s", to)
+	}
+	return addr, nil
+}
+
+// faultTransport is each node's view of the interconnect: it resolves
+// logical peer names through the registry (injecting the active
+// faults) and hands the rewritten request to the real TCP transport.
+// Connections are deliberately not pooled across calls — a restarted
+// node must be re-dialed at its new listener, not reached over a stale
+// kept-alive conn.
+type faultTransport struct {
+	from string
+	reg  *registry
+}
+
+func (ft *faultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	addr, err := ft.reg.resolve(ft.from, req.URL.Host)
+	if err != nil {
+		return nil, err
+	}
+	req = req.Clone(req.Context())
+	req.URL.Host = addr
+	return http.DefaultTransport.RoundTrip(req)
+}
+
+// LoopSource renders a dependence graph back to loop-language source:
+// one statement per node (array n<ID>, the node's latency pinned via
+// @lat), one reference per distinct incoming (producer, distance)
+// edge. Statements are emitted in a topological order of the
+// distance-0 edges so every same-iteration reference reads an array
+// assigned earlier in the body — the workload generators orient simple
+// dependences acyclically, so such an order always exists. This is how
+// the random suite (graphs, not programs) is replayed over the
+// cluster's HTTP-only surface.
+func LoopSource(name string, g *graph.Graph) (string, error) {
+	n := len(g.Nodes)
+	indeg := make([]int, n)
+	succ := make([][]int, n)
+	for _, e := range g.Edges {
+		if e.Distance == 0 {
+			if e.From == e.To {
+				return "", fmt.Errorf("clustertest: node %d has a distance-0 self edge", e.From)
+			}
+			succ[e.From] = append(succ[e.From], e.To)
+			indeg[e.To]++
+		}
+	}
+	// Kahn's algorithm, smallest ready ID first for a deterministic
+	// rendering (n is tiny; the quadratic scan is fine).
+	order := make([]int, 0, n)
+	done := make([]bool, n)
+	for len(order) < n {
+		pick := -1
+		for v := 0; v < n; v++ {
+			if !done[v] && indeg[v] == 0 {
+				pick = v
+				break
+			}
+		}
+		if pick < 0 {
+			return "", fmt.Errorf("clustertest: distance-0 edges of %s form a cycle", name)
+		}
+		done[pick] = true
+		order = append(order, pick)
+		for _, w := range succ[pick] {
+			indeg[w]--
+		}
+	}
+
+	// One reference per distinct (producer, distance) pair, sorted for
+	// stable output.
+	type ref struct{ from, dist int }
+	refs := make(map[int][]ref, n)
+	for _, e := range g.Edges {
+		r := ref{e.From, e.Distance}
+		dup := false
+		for _, have := range refs[e.To] {
+			if have == r {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			refs[e.To] = append(refs[e.To], r)
+		}
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "loop %s {\n", name)
+	for _, v := range order {
+		rs := refs[v]
+		sort.Slice(rs, func(a, b int) bool {
+			if rs[a].from != rs[b].from {
+				return rs[a].from < rs[b].from
+			}
+			return rs[a].dist < rs[b].dist
+		})
+		terms := make([]string, 0, len(rs))
+		for _, r := range rs {
+			if r.dist == 0 {
+				terms = append(terms, fmt.Sprintf("n%d[i]", r.from))
+			} else {
+				terms = append(terms, fmt.Sprintf("n%d[i-%d]", r.from, r.dist))
+			}
+		}
+		expr := "1.0"
+		if len(terms) > 0 {
+			expr = strings.Join(terms, " + ")
+		}
+		fmt.Fprintf(&sb, "    n%d[i] = %s @lat(%d)\n", v, expr, g.Nodes[v].Latency)
+	}
+	sb.WriteString("}\n")
+	return sb.String(), nil
+}

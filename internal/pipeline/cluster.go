@@ -1,0 +1,82 @@
+package pipeline
+
+// Cluster-mode hooks. A Server can run as one node of a loopsched
+// cluster: each plan key is owned by exactly one node under a
+// consistent-hash ring, non-owners fill store misses from the owner
+// (the PeerStore tier in internal/store), and a non-owner that misses
+// locally forwards the schedule request to the owner instead of
+// computing — extending the per-process singleflight group
+// cluster-wide, so a cold popular loop is scheduled exactly once
+// across the fleet.
+//
+// The pipeline package owns the serving side of the protocol (the
+// routes, the forwarding decision, the stats block); the ring, the
+// peer HTTP client, the retry/backoff and the circuit breaker live in
+// internal/store behind the ScheduleForwarder interface, so the two
+// packages meet only at this seam (internal/store already imports
+// internal/pipeline for the PlanStore interface, so the interface must
+// be declared here).
+
+// Cluster wire protocol headers. Both mark intra-cluster requests so a
+// node never re-forwards work a peer sent it — chains are bounded to
+// one hop even under disagreeing ring configurations.
+const (
+	// ForwardedHeader marks a schedule request forwarded by a non-owner.
+	// The receiving node always computes locally (through its own
+	// singleflight), never forwards again.
+	ForwardedHeader = "X-Mimdloop-Forwarded"
+	// PeerFetchHeader marks a peer-fill record fetch
+	// (GET /v1/plans/{fingerprint}?key=...). The receiving node answers
+	// only for keys it owns, so a fetch can never cascade through the
+	// ring.
+	PeerFetchHeader = "X-Mimdloop-Peer-Fetch"
+)
+
+// ScheduleForwarder is the cluster hook a Server consults on every
+// schedule request: who owns a plan key, and — for keys owned by a
+// peer — the forwarding of the request to that owner. The built-in
+// implementation is store.PeerStore, which doubles as the peer-fill
+// PlanStore tier.
+type ScheduleForwarder interface {
+	// Owns reports whether this node owns key under the cluster's ring.
+	Owns(key string) bool
+	// Forward sends the raw schedule request body to key's owner and
+	// returns the owner's reply (status and body, proxied verbatim).
+	// ok = false means the owner could not answer — unreachable, circuit
+	// breaker open, or an owner-side 5xx — and the caller must degrade
+	// to local computation; the cluster never serves worse than N
+	// independent single nodes.
+	Forward(key string, body []byte) (status int, resp []byte, ok bool)
+	// ClusterStats snapshots the cluster counters for /v1/stats.
+	ClusterStats() ClusterStats
+}
+
+// ClusterStats is the "cluster" block of GET /v1/stats: ring identity
+// plus the peer-fill and forwarding counters.
+type ClusterStats struct {
+	// Self is this node's own peer name; Peers is the full ring
+	// membership (self included); VNodes the virtual nodes per peer.
+	Self   string   `json:"self"`
+	Peers  []string `json:"peers"`
+	VNodes int      `json:"virtual_nodes"`
+
+	// Fills counts store misses filled from a peer's record; FillMisses
+	// counts owners that answered 404 (the owner had not scheduled the
+	// key either); FillErrors counts fetch operations that failed after
+	// retries (transport errors, owner-side 5xx, undecodable records).
+	Fills      uint64 `json:"fills"`
+	FillMisses uint64 `json:"fill_misses"`
+	FillErrors uint64 `json:"fill_errors"`
+
+	// Forwards counts schedule requests proxied to their owner;
+	// ForwardErrors counts forward operations that failed after retries,
+	// each one a request that degraded to local computation.
+	Forwards      uint64 `json:"forwards"`
+	ForwardErrors uint64 `json:"forward_errors"`
+
+	// BreakerSkips counts peer calls skipped outright because the
+	// peer's circuit breaker was open; BreakerOpen names the peers
+	// currently open (empty when the cluster is healthy).
+	BreakerSkips uint64   `json:"breaker_skips"`
+	BreakerOpen  []string `json:"breaker_open,omitempty"`
+}

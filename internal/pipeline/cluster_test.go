@@ -1,0 +1,291 @@
+package pipeline
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"mimdloop/internal/core"
+)
+
+// stubForwarder scripts the cluster seam for server tests: ownership
+// and forwarding behaviour are plain fields, no ring or network.
+type stubForwarder struct {
+	owns     bool
+	forward  func(key string, body []byte) (int, []byte, bool)
+	forwards int
+	lastKey  string
+}
+
+func (f *stubForwarder) Owns(string) bool { return f.owns }
+
+func (f *stubForwarder) Forward(key string, body []byte) (int, []byte, bool) {
+	f.forwards++
+	f.lastKey = key
+	if f.forward == nil {
+		return 0, nil, false
+	}
+	return f.forward(key, body)
+}
+
+func (f *stubForwarder) ClusterStats() ClusterStats {
+	return ClusterStats{Self: "stub", Peers: []string{"stub"}, VNodes: 1}
+}
+
+// fig7Key derives the plan key the server computes for fig7Source with
+// the given schedule parameters.
+func fig7Key(t *testing.T, p *Pipeline, procs, n int) (string, string) {
+	t.Helper()
+	compiled, err := p.Compile(fig7Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := compiled.Graph.Fingerprint()
+	return fp, PlanKey(fp, core.Options{Processors: procs, CommCost: 2}, n)
+}
+
+func fig7Body(t *testing.T, procs, n int) string {
+	t.Helper()
+	body, err := json.Marshal(ScheduleRequest{Source: fig7Source, Processors: procs, Iterations: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// TestServePlanRecord pins the peer-fill wire format: ?key= on the
+// plans route returns the durable record for exactly that key, which
+// DecodePlan round-trips to a byte-identical schedule.
+func TestServePlanRecord(t *testing.T) {
+	p := New(Config{})
+	srv := NewServer(p)
+	if resp, data := postSchedule(t, srv, fig7Body(t, 2, 100)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("schedule: %d %s", resp.StatusCode, data)
+	}
+	fp, key := fig7Key(t, p, 2, 100)
+
+	get := func(path, hdr string) (*http.Response, []byte) {
+		req := httptest.NewRequest(http.MethodGet, path, nil)
+		if hdr != "" {
+			req.Header.Set(PeerFetchHeader, hdr)
+		}
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		return rec.Result(), rec.Body.Bytes()
+	}
+
+	resp, data := get("/v1/plans/"+fp+"?key="+url.QueryEscape(key), "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("record fetch: %d %s", resp.StatusCode, data)
+	}
+	gotKey, plan, err := DecodePlan(bytes.TrimSuffix(data, []byte("\n")))
+	if err != nil {
+		t.Fatalf("record does not decode: %v", err)
+	}
+	if gotKey != key {
+		t.Fatalf("record key = %q, want %q", gotKey, key)
+	}
+	want, _ := srv.pipe.Lookup(key)
+	wantJSON, err := want.ScheduleJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, err := plan.ScheduleJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantJSON, gotJSON) {
+		t.Fatal("record round-trip lost schedule bytes")
+	}
+
+	// A key for parameters never scheduled: 404, not an empty record.
+	_, coldKey := fig7Key(t, p, 3, 100)
+	if resp, _ := get("/v1/plans/"+fp+"?key="+url.QueryEscape(coldKey), ""); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("cold key: %d", resp.StatusCode)
+	}
+	// A key that does not extend the path fingerprint: 400.
+	other := strings.Repeat("0", 64)
+	if resp, _ := get("/v1/plans/"+other+"?key="+url.QueryEscape(key), ""); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("mismatched fingerprint: %d", resp.StatusCode)
+	}
+}
+
+// TestServePlanRecordOwnershipGate: a peer-marked fetch for a key this
+// node does not own answers 404 — under disagreeing rings a fetch must
+// never cascade through a non-owner's own peer tier.
+func TestServePlanRecordOwnershipGate(t *testing.T) {
+	p := New(Config{})
+	cl := &stubForwarder{owns: false}
+	srv := NewServerWith(p, ServerConfig{Cluster: cl})
+	if resp, data := postSchedule(t, srv, fig7Body(t, 2, 100)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("schedule: %d %s", resp.StatusCode, data)
+	}
+	// The schedule above was for a non-owned key: the stub recorded one
+	// failed forward and the server degraded to local compute.
+	if cl.forwards != 1 {
+		t.Fatalf("forwards = %d, want 1", cl.forwards)
+	}
+	fp, key := fig7Key(t, p, 2, 100)
+
+	req := httptest.NewRequest(http.MethodGet, "/v1/plans/"+fp+"?key="+url.QueryEscape(key), nil)
+	req.Header.Set(PeerFetchHeader, "node1")
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("peer fetch for non-owned key: %d, want 404", rec.Code)
+	}
+	// The same fetch without the peer marker (an operator poking the
+	// API) is served: the gate exists only to stop intra-cluster
+	// cascades.
+	req = httptest.NewRequest(http.MethodGet, "/v1/plans/"+fp+"?key="+url.QueryEscape(key), nil)
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("operator fetch: %d, want 200", rec.Code)
+	}
+}
+
+// TestScheduleForwardsToOwner: a request for a peer-owned key that
+// misses locally is proxied — the owner's reply and status verbatim,
+// nothing computed here.
+func TestScheduleForwardsToOwner(t *testing.T) {
+	p := New(Config{})
+	canned := []byte(`{"loop":"f","cache_hit":true}` + "\n")
+	cl := &stubForwarder{owns: false, forward: func(key string, body []byte) (int, []byte, bool) {
+		return http.StatusOK, canned, true
+	}}
+	srv := NewServerWith(p, ServerConfig{Cluster: cl})
+
+	resp, data := postSchedule(t, srv, fig7Body(t, 2, 100))
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(data, canned) {
+		t.Fatalf("proxied reply: %d %q", resp.StatusCode, data)
+	}
+	if got := p.Stats().Computes; got != 0 {
+		t.Fatalf("non-owner computed %d plans", got)
+	}
+	_, wantKey := fig7Key(t, p, 2, 100)
+	if cl.lastKey != wantKey {
+		t.Fatalf("forwarded key = %q, want %q", cl.lastKey, wantKey)
+	}
+
+	// Owner-side deterministic errors are proxied too, status intact.
+	cl.forward = func(string, []byte) (int, []byte, bool) {
+		return http.StatusConflict, []byte(`{"error":"no pattern"}` + "\n"), true
+	}
+	resp, data = postSchedule(t, srv, fig7Body(t, 2, 60))
+	if resp.StatusCode != http.StatusConflict || !strings.Contains(string(data), "no pattern") {
+		t.Fatalf("proxied error: %d %q", resp.StatusCode, data)
+	}
+}
+
+// TestScheduleOwnedKeyComputesLocally: the owner never forwards its own
+// keys.
+func TestScheduleOwnedKeyComputesLocally(t *testing.T) {
+	p := New(Config{})
+	cl := &stubForwarder{owns: true, forward: func(string, []byte) (int, []byte, bool) {
+		panic("owner forwarded its own key")
+	}}
+	srv := NewServerWith(p, ServerConfig{Cluster: cl})
+	resp, data := postSchedule(t, srv, fig7Body(t, 2, 100))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("owned schedule: %d %s", resp.StatusCode, data)
+	}
+	if got := p.Stats().Computes; got != 1 {
+		t.Fatalf("owner computed %d plans, want 1", got)
+	}
+}
+
+// TestForwardedRequestNeverReforwarded: the forwarded marker forces
+// local computation even for keys the ring says a peer owns, bounding
+// intra-cluster chains to one hop.
+func TestForwardedRequestNeverReforwarded(t *testing.T) {
+	p := New(Config{})
+	cl := &stubForwarder{owns: false, forward: func(string, []byte) (int, []byte, bool) {
+		panic("forwarded request forwarded again")
+	}}
+	srv := NewServerWith(p, ServerConfig{Cluster: cl})
+
+	req := httptest.NewRequest(http.MethodPost, "/v1/schedule", strings.NewReader(fig7Body(t, 2, 100)))
+	req.Header.Set(ForwardedHeader, "node1")
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("forwarded schedule: %d %s", rec.Code, rec.Body.Bytes())
+	}
+	if got := p.Stats().Computes; got != 1 {
+		t.Fatalf("forwarded request computed %d plans, want 1", got)
+	}
+}
+
+// TestScheduleDegradesWhenForwardFails: an unreachable owner downgrades
+// the request to plain local computation — same answer a single node
+// would give, no error surfaced to the client.
+func TestScheduleDegradesWhenForwardFails(t *testing.T) {
+	p := New(Config{})
+	cl := &stubForwarder{owns: false} // Forward always reports ok=false
+	srv := NewServerWith(p, ServerConfig{Cluster: cl})
+
+	resp, data := postSchedule(t, srv, fig7Body(t, 2, 100))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded schedule: %d %s", resp.StatusCode, data)
+	}
+	var out ScheduleResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.CacheHit || out.Rate != 3 {
+		t.Fatalf("degraded response = %+v", out)
+	}
+	if cl.forwards != 1 || p.Stats().Computes != 1 {
+		t.Fatalf("forwards=%d computes=%d", cl.forwards, p.Stats().Computes)
+	}
+
+	// Once the degraded compute populated the local store, repeats are
+	// served from it without consulting the cluster again.
+	resp, data = postSchedule(t, srv, fig7Body(t, 2, 100))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("repeat: %d %s", resp.StatusCode, data)
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.CacheHit {
+		t.Fatal("repeat of degraded compute not served from the local store")
+	}
+	if cl.forwards != 1 {
+		t.Fatalf("local hit still forwarded: forwards=%d", cl.forwards)
+	}
+}
+
+// TestStatsClusterBlock: /v1/stats grows a "cluster" block exactly when
+// the server runs clustered.
+func TestStatsClusterBlock(t *testing.T) {
+	solo := NewServer(New(Config{}))
+	rec := httptest.NewRecorder()
+	solo.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/stats", nil))
+	var body map[string]json.RawMessage
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := body["cluster"]; ok {
+		t.Fatal("unclustered server reported a cluster block")
+	}
+
+	clustered := NewServerWith(New(Config{}), ServerConfig{Cluster: &stubForwarder{}})
+	rec = httptest.NewRecorder()
+	clustered.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/stats", nil))
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	var cs ClusterStats
+	if err := json.Unmarshal(body["cluster"], &cs); err != nil {
+		t.Fatalf("cluster block: %v in %s", err, rec.Body.Bytes())
+	}
+	if cs.Self != "stub" || len(cs.Peers) != 1 || cs.VNodes != 1 {
+		t.Fatalf("cluster stats = %+v", cs)
+	}
+}

@@ -75,6 +75,22 @@ func TestAPIDocCoversRoutes(t *testing.T) {
 		}
 	}
 
+	// The cluster surface: the serve flags, the record-fetch query, the
+	// loop-prevention headers, and every JSON field of the cluster stats
+	// block (plus the peer tier kind).
+	for _, fragment := range []string{
+		"-peers", "-self", "-vnodes", "?key=", "## Cluster mode",
+		ForwardedHeader, PeerFetchHeader,
+		`"cluster"`, `"self"`, `"peers"`, `"virtual_nodes"`,
+		`"fills"`, `"fill_misses"`, `"fill_errors"`,
+		`"forwards"`, `"forward_errors"`, `"breaker_skips"`, `"breaker_open"`,
+		`"peer"`,
+	} {
+		if !strings.Contains(doc, fragment) {
+			t.Errorf("docs/API.md does not document the cluster fragment %s", fragment)
+		}
+	}
+
 	// The serving fast-lane and trajectory surface: the measured_by
 	// reply field, the slots configuration, the bench subcommand, and
 	// every section of the BENCH_*.json schema (internal/loadgen pins
@@ -109,6 +125,32 @@ func TestArchitectureDocCoversFastLane(t *testing.T) {
 	} {
 		if !strings.Contains(doc, fragment) {
 			t.Errorf("docs/ARCHITECTURE.md does not cover the fast-lane fragment %q", fragment)
+		}
+	}
+}
+
+// TestArchitectureDocCoversCluster pins the "Cluster mode" section of
+// docs/ARCHITECTURE.md to the design it documents: the consistent-hash
+// ring (with diagram), the PeerStore tier and its placement, the
+// cluster-wide singleflight with its loop-prevention headers, the
+// degrade-to-local failure story, and the clustertest harness.
+func TestArchitectureDocCoversCluster(t *testing.T) {
+	data, err := os.ReadFile("../../docs/ARCHITECTURE.md")
+	if err != nil {
+		t.Fatalf("docs/ARCHITECTURE.md must exist: %v", err)
+	}
+	doc := string(data)
+	for _, fragment := range []string{
+		"## Cluster mode", "Consistent-hash ownership", "virtual",
+		"next point clockwise = owner", // the ring diagram
+		"PeerStore", "Tiered(mem, Tiered(peer, disk))",
+		"singleflight", ForwardedHeader, PeerFetchHeader,
+		"circuit breaker", "N independent nodes",
+		"ScheduleForwarder", "clustertest", "httptest",
+		"race detector",
+	} {
+		if !strings.Contains(doc, fragment) {
+			t.Errorf("docs/ARCHITECTURE.md does not cover the cluster fragment %q", fragment)
 		}
 	}
 }

@@ -477,6 +477,22 @@ func build(g *graph.Graph, hash string, opts core.Options, n int) (*Plan, error)
 	return p, nil
 }
 
+// Lookup probes the plan store for key without scheduling on a miss.
+// A found plan counts as a pipeline hit; a miss counts nothing — the
+// caller decides what happens next (the cluster serving path forwards
+// the request to the key's owner, and only a failed forward falls back
+// into Schedule, which then does its own miss accounting).
+func (p *Pipeline) Lookup(key string) (*Plan, bool) {
+	if p.cfg.DisableCache {
+		return nil, false
+	}
+	plan, ok := p.store.Get(key)
+	if ok {
+		p.hits.Add(1)
+	}
+	return plan, ok
+}
+
 // CompileAndSchedule parses loop-language source (memoizing compilation by
 // source content), then schedules the compiled graph through the plan
 // store.

@@ -443,6 +443,11 @@ type Server struct {
 	// batch or tune holds one slot for its whole (internally bounded)
 	// computation.
 	sem chan struct{}
+	// cluster, when non-nil, makes this server one node of a loopsched
+	// cluster (see cluster.go): schedule requests for keys owned by a
+	// peer are forwarded there instead of computed here, and peer-fill
+	// record fetches are answered only for owned keys.
+	cluster ScheduleForwarder
 }
 
 // ServerConfig tunes the serving layer; the zero value is the default
@@ -456,6 +461,12 @@ type ServerConfig struct {
 	// cache hits never block on it for long (the fast lane holds a slot
 	// only for a store lookup and a memoized-body fetch).
 	ComputeSlots int
+	// Cluster, when non-nil, runs the server as one node of a cluster:
+	// the forwarder decides plan-key ownership under the consistent-hash
+	// ring and proxies non-owned schedule requests to their owner. The
+	// standard implementation is a store.PeerStore, which should also be
+	// slotted into the pipeline's TieredStore as the peer-fill tier.
+	Cluster ScheduleForwarder
 }
 
 // slots resolves the admission bound.
@@ -472,9 +483,10 @@ func NewServer(p *Pipeline) *Server { return NewServerWith(p, ServerConfig{}) }
 // NewServerWith wraps p in an http.Handler configured by cfg.
 func NewServerWith(p *Pipeline, cfg ServerConfig) *Server {
 	s := &Server{
-		pipe: p,
-		mux:  http.NewServeMux(),
-		sem:  make(chan struct{}, cfg.slots()),
+		pipe:    p,
+		mux:     http.NewServeMux(),
+		sem:     make(chan struct{}, cfg.slots()),
+		cluster: cfg.Cluster,
 	}
 	for _, rt := range []struct {
 		method, path string
@@ -577,19 +589,24 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	// Admission: compile, schedule, and marshal under the in-flight
 	// bound. The slot is released before the (possibly large, possibly
 	// slow) response write so a stalled reader cannot starve scheduling.
+	// A forwarded request (sent by a non-owner peer) is always computed
+	// locally — never forwarded again — so intra-cluster chains are
+	// bounded to one hop.
 	if !s.admit(r) {
 		return
 	}
-	body, resp, status, err := s.scheduleResponse(req, sim)
+	forwarded := r.Header.Get(ForwardedHeader) != ""
+	raw, resp, status, err := s.scheduleResponse(req, body, sim, forwarded)
 	<-s.sem
 	if err != nil {
 		writeJSON(w, status, errorResponse{err.Error()})
 		return
 	}
-	if body != nil {
-		// The fast lane: a cache hit with no simulate probe serves the
-		// plan's pre-rendered wire bytes without re-encoding anything.
-		writeRawJSON(w, http.StatusOK, body)
+	if raw != nil {
+		// The fast lane (and the cluster proxy): pre-rendered wire bytes
+		// — a memoized cache-hit body, or the owner's reply verbatim —
+		// served without re-encoding anything.
+		writeRawJSON(w, status, raw)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -647,9 +664,10 @@ func parseSimulateQuery(q url.Values) (*MeasuredEvaluator, error) {
 
 // scheduleResponse runs the compute section of a schedule request; on
 // failure it returns the HTTP status to report. Exactly one of the two
-// results is set on success: pre-rendered wire bytes when the request
-// rode the cache-hit fast lane, a response value to encode otherwise.
-func (s *Server) scheduleResponse(req *ScheduleRequest, sim *MeasuredEvaluator) ([]byte, *ScheduleResponse, int, error) {
+// results is set on success: pre-rendered wire bytes (with their
+// status) when the request rode the cache-hit fast lane or was proxied
+// to its cluster owner, a response value to encode otherwise.
+func (s *Server) scheduleResponse(req *ScheduleRequest, rawBody []byte, sim *MeasuredEvaluator, forwarded bool) ([]byte, *ScheduleResponse, int, error) {
 	compiled, err := s.pipe.Compile(req.Source)
 	if err != nil {
 		return nil, nil, http.StatusUnprocessableEntity, err
@@ -658,6 +676,34 @@ func (s *Server) scheduleResponse(req *ScheduleRequest, sim *MeasuredEvaluator) 
 	if err := checkGraphCaps(compiled.Graph.N(), n); err != nil {
 		return nil, nil, http.StatusRequestEntityTooLarge, err
 	}
+
+	// Cluster routing: a request for a key owned by a peer is served
+	// from the local store when possible (the peer-fill tier makes that
+	// one record fetch away), and forwarded to the owner otherwise, so
+	// the owner's singleflight collapses cold misses fleet-wide.
+	// Forwarded requests, simulate probes, and requests this node owns
+	// all take the normal local path below; a failed forward degrades to
+	// local computation — the cluster never refuses a request a single
+	// node could have answered.
+	if cl := s.cluster; cl != nil && sim == nil && !forwarded {
+		key := PlanKey(compiled.Graph.Fingerprint(), opts, n)
+		if !cl.Owns(key) {
+			if plan, ok := s.pipe.Lookup(key); ok {
+				body, err := renderHitBody(plan, compiled.Loop.Name)
+				if err != nil {
+					return nil, nil, http.StatusInternalServerError, err
+				}
+				return body, nil, http.StatusOK, nil
+			}
+			if status, body, ok := cl.Forward(key, rawBody); ok {
+				// The owner's reply verbatim — including deterministic
+				// owner-side errors (409 no-pattern, 422), which would
+				// reproduce identically here.
+				return body, nil, status, nil
+			}
+		}
+	}
+
 	plan, hit, err := s.pipe.Schedule(compiled.Graph, opts, n)
 	if err != nil {
 		if errors.Is(err, core.ErrNoPattern) {
@@ -667,28 +713,7 @@ func (s *Server) scheduleResponse(req *ScheduleRequest, sim *MeasuredEvaluator) 
 	}
 
 	if hit && sim == nil {
-		// The fast lane: every field of the hit response is a pure
-		// function of (plan, loop name), so the wire bytes are memoized
-		// on the plan itself — rendered on the first hit, invalidated
-		// when a measured annotation lands, byte-identical across repeat
-		// hits. ScheduleJSON was already memoized; this extends the idea
-		// to the whole envelope, fixing the latent double-encode where
-		// the embedded raw schedule was re-compacted through the outer
-		// marshal on every hit.
-		body, err := plan.HitResponseBody(compiled.Loop.Name, func() ([]byte, error) {
-			resp, err := buildScheduleResponse(plan, compiled.Loop.Name, true, nil)
-			if err != nil {
-				return nil, err
-			}
-			body, err := json.Marshal(resp)
-			if err != nil {
-				return nil, err
-			}
-			// writeJSON's encoder terminates bodies with a newline; the
-			// pre-rendered body matches so hits and misses differ only
-			// in content, never framing.
-			return append(body, '\n'), nil
-		})
+		body, err := renderHitBody(plan, compiled.Loop.Name)
 		if err != nil {
 			return nil, nil, http.StatusInternalServerError, err
 		}
@@ -709,6 +734,31 @@ func (s *Server) scheduleResponse(req *ScheduleRequest, sim *MeasuredEvaluator) 
 		return nil, nil, http.StatusInternalServerError, err
 	}
 	return nil, resp, http.StatusOK, nil
+}
+
+// renderHitBody returns the plan's memoized cache-hit wire bytes. The
+// fast lane: every field of the hit response is a pure function of
+// (plan, loop name), so the wire bytes are memoized on the plan itself
+// — rendered on the first hit, invalidated when a measured annotation
+// lands, byte-identical across repeat hits. ScheduleJSON was already
+// memoized; this extends the idea to the whole envelope, fixing the
+// latent double-encode where the embedded raw schedule was re-compacted
+// through the outer marshal on every hit.
+func renderHitBody(plan *Plan, loop string) ([]byte, error) {
+	return plan.HitResponseBody(loop, func() ([]byte, error) {
+		resp, err := buildScheduleResponse(plan, loop, true, nil)
+		if err != nil {
+			return nil, err
+		}
+		body, err := json.Marshal(resp)
+		if err != nil {
+			return nil, err
+		}
+		// writeJSON's encoder terminates bodies with a newline; the
+		// pre-rendered body matches so hits and misses differ only in
+		// content, never framing.
+		return append(body, '\n'), nil
+	})
 }
 
 // buildScheduleResponse assembles the /v1/schedule reply for a plan. The
@@ -1057,6 +1107,10 @@ func (s *Server) handlePlansGet(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
 		return
 	}
+	if key := r.URL.Query().Get("key"); key != "" {
+		s.servePlanRecord(w, r, fp, key)
+		return
+	}
 	plans, ok := s.storedPlans(fp)
 	if !ok {
 		writeJSON(w, http.StatusNotImplemented, errorResponse{"the configured plan store cannot enumerate plans"})
@@ -1067,6 +1121,41 @@ func (s *Server) handlePlansGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, PlansResponse{GraphHash: fp, Count: len(plans), Plans: plans})
+}
+
+// servePlanRecord answers GET /v1/plans/{fingerprint}?key=... with the
+// single stored plan under that full plan key, in the durable plan
+// record format (the same bytes EncodePlan persists — DecodePlan
+// re-validates key and graph content on the receiving side, so a
+// corrupted or mismatched record can never poison a peer's cache).
+// This is the peer-fill wire format of cluster mode, and works on any
+// server regardless of cluster configuration.
+func (s *Server) servePlanRecord(w http.ResponseWriter, r *http.Request, fp, key string) {
+	if !strings.HasPrefix(key, fp) {
+		writeJSON(w, http.StatusBadRequest,
+			errorResponse{"key does not start with the path fingerprint"})
+		return
+	}
+	// A peer-originated fetch is answered only for keys this node owns:
+	// the requester consulted its ring, so a non-owned key here means
+	// the rings disagree, and answering (through this node's own peer
+	// tier) could cascade fetches around the ring. Refusing bounds every
+	// peer fetch to one hop.
+	if r.Header.Get(PeerFetchHeader) != "" && s.cluster != nil && !s.cluster.Owns(key) {
+		writeJSON(w, http.StatusNotFound, errorResponse{"this node does not own key " + key})
+		return
+	}
+	plan, ok := s.pipe.Store().Get(key)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{"no stored plan for key " + key})
+		return
+	}
+	rec, err := EncodePlan(plan)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{err.Error()})
+		return
+	}
+	writeRawJSON(w, http.StatusOK, append(rec, '\n'))
 }
 
 func (s *Server) handlePlansDelete(w http.ResponseWriter, r *http.Request) {
@@ -1097,10 +1186,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	stats := s.pipe.Stats()
+	var cluster *ClusterStats
+	if s.cluster != nil {
+		cs := s.cluster.ClusterStats()
+		cluster = &cs
+	}
 	writeJSON(w, http.StatusOK, struct {
 		Stats
-		HitRate float64 `json:"hit_rate"`
-	}{stats, stats.HitRate()})
+		HitRate float64       `json:"hit_rate"`
+		Cluster *ClusterStats `json:"cluster,omitempty"`
+	}{stats, stats.HitRate(), cluster})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

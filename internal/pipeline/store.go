@@ -75,7 +75,8 @@ type PlanInfo struct {
 // composite stores, Tiers holds one nested snapshot per tier, upper tier
 // first.
 type StoreStats struct {
-	// Kind names the implementation: "memory", "disk" or "tiered".
+	// Kind names the implementation: "memory", "disk", "peer" or
+	// "tiered".
 	Kind string `json:"kind"`
 	// Hits and Misses count Get outcomes against this store.
 	Hits   uint64 `json:"hits"`

@@ -1,0 +1,558 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mimdloop/internal/pipeline"
+)
+
+// Cluster mode: every plan key is owned by exactly one node under a
+// consistent-hash ring, so the expensive scheduling work partitions
+// cleanly across the fleet — ownership instead of shared mutable state.
+// PeerStore is both halves of a node's view of that arrangement:
+//
+//   - as a pipeline.PlanStore it is the peer-fill tier, slotted between
+//     the memory and disk tiers of a TieredStore: a local miss on a key
+//     owned by a peer is filled by fetching the owner's durable plan
+//     record (GET /v1/plans/{fingerprint}?key=..., the same record
+//     format DiskStore persists), decoded and re-validated locally, and
+//     promoted into the memory tier by the surrounding TieredStore;
+//
+//   - as a pipeline.ScheduleForwarder it extends the per-process
+//     singleflight cluster-wide: a non-owner that misses everywhere
+//     forwards the schedule request to the owner (POST /v1/schedule
+//     with the forwarded marker header), whose own singleflight
+//     collapses the fleet's concurrent cold misses into one
+//     computation.
+//
+// Peers that fail get retry-with-backoff and a short circuit breaker;
+// while a breaker is open every call to that peer degrades instantly
+// (miss for fills, local compute for forwards), so the cluster is
+// never slower than N independent single nodes.
+
+// Ring is a consistent-hash ring over a fixed peer set: each peer
+// contributes VNodes points on the circle (the peer name's FNV-1a hash
+// offset by the point index, then finalized with a splitmix64 mix —
+// raw FNV-1a of "peer#i" strings clusters badly for near-identical
+// inputs), and a key is owned by the peer of the first point at or
+// after the key's own hash. Virtual nodes smooth the partition (the
+// classic construction); changing the point derivation reshuffles
+// ownership cluster-wide, which is why TestRingGolden pins a full
+// ownership table.
+type Ring struct {
+	vnodes int
+	peers  []string
+	points []ringPoint // sorted by hash
+}
+
+// ringPoint is one virtual node on the circle.
+type ringPoint struct {
+	hash uint64
+	peer string
+}
+
+// DefaultVNodes is the virtual-node count per peer when the
+// configuration leaves it zero. 128 points per peer keeps the largest
+// partition within a few percent of fair on small clusters.
+const DefaultVNodes = 128
+
+// NewRing builds a ring over peers (order-insensitive: the point set
+// depends only on the peer names). vnodes <= 0 means DefaultVNodes.
+func NewRing(peers []string, vnodes int) (*Ring, error) {
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("store: ring needs at least one peer")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	r := &Ring{
+		vnodes: vnodes,
+		peers:  append([]string(nil), peers...),
+		points: make([]ringPoint, 0, len(peers)*vnodes),
+	}
+	seen := make(map[string]bool, len(peers))
+	for _, p := range peers {
+		if p == "" {
+			return nil, fmt.Errorf("store: ring peer name must not be empty")
+		}
+		if seen[p] {
+			return nil, fmt.Errorf("store: duplicate ring peer %q", p)
+		}
+		seen[p] = true
+		base := fnvHash(p)
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{hash: mix64(base + uint64(i)), peer: p})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// A 64-bit collision between two peers' points is vanishingly
+		// rare but must still order deterministically on every node.
+		return r.points[a].peer < r.points[b].peer
+	})
+	return r, nil
+}
+
+// fnvHash is 64-bit FNV-1a of s.
+func fnvHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// mix64 is the splitmix64 finalizer: a cheap full-avalanche mix that
+// spreads FNV's weakly-diffused low bits across the whole ring.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Owner returns the peer owning key: the first ring point clockwise
+// from the key's hash.
+func (r *Ring) Owner(key string) string {
+	h := mix64(fnvHash(key))
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap past the highest point
+	}
+	return r.points[i].peer
+}
+
+// Peers returns the ring membership in configuration order.
+func (r *Ring) Peers() []string {
+	return append([]string(nil), r.peers...)
+}
+
+// VNodes returns the virtual nodes per peer.
+func (r *Ring) VNodes() int { return r.vnodes }
+
+// PeerConfig configures a PeerStore.
+type PeerConfig struct {
+	// Self is this node's own name; it must appear in Peers. Keys owned
+	// by Self never leave the process (the peer tier reports an instant
+	// miss and the pipeline computes locally).
+	Self string
+	// Peers is the full cluster membership, self included. Each entry
+	// is both the peer's ring identity and its base URL ("http://" is
+	// assumed when no scheme is given), so the ring only depends on the
+	// configured names — restarts and transient failures never change
+	// ownership.
+	Peers []string
+	// VNodes is the virtual-node count per peer (<= 0 means
+	// DefaultVNodes). Every node of a cluster must use the same value.
+	VNodes int
+
+	// Transport overrides the HTTP transport (nil means
+	// http.DefaultTransport); the cluster test harness injects fault-
+	// aware transports here.
+	Transport http.RoundTripper
+	// FetchTimeout bounds one record-fetch attempt (0 means 2s);
+	// ForwardTimeout bounds one forwarded schedule request (0 means 30s
+	// — the owner may be cold-scheduling a near-cap loop).
+	FetchTimeout   time.Duration
+	ForwardTimeout time.Duration
+	// Retries is how many extra attempts follow a transport failure
+	// (HTTP error statuses are never retried — the peer answered).
+	// 0 means 1 retry; negative means none.
+	Retries int
+	// Backoff is the pause before each retry (0 means 50ms).
+	Backoff time.Duration
+	// BreakerFailures is how many consecutive failed operations open a
+	// peer's circuit breaker (0 means 3); BreakerCooldown is how long
+	// the breaker stays open before the next call probes the peer again
+	// (0 means 5s). A probe failure re-opens the breaker immediately.
+	BreakerFailures int
+	BreakerCooldown time.Duration
+}
+
+// withDefaults resolves the zero values.
+func (c PeerConfig) withDefaults() PeerConfig {
+	if c.FetchTimeout <= 0 {
+		c.FetchTimeout = 2 * time.Second
+	}
+	if c.ForwardTimeout <= 0 {
+		c.ForwardTimeout = 30 * time.Second
+	}
+	if c.Retries == 0 {
+		c.Retries = 1
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = 50 * time.Millisecond
+	}
+	if c.BreakerFailures <= 0 {
+		c.BreakerFailures = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
+	return c
+}
+
+// PeerStore is the cluster tier: a read-only pipeline.PlanStore that
+// fills misses from the owning peer, doubling as the server's
+// pipeline.ScheduleForwarder. See the package comment above for how
+// the two halves compose.
+type PeerStore struct {
+	cfg     PeerConfig
+	ring    *Ring
+	fetch   *http.Client
+	forward *http.Client
+
+	// breakers holds one circuit breaker per remote peer (self
+	// excluded); the map is fixed at construction, so reads need no
+	// lock.
+	breakers map[string]*breaker
+
+	// flights collapses concurrent forwards of one key into a single
+	// POST to the owner — the local half of the cluster-wide
+	// singleflight (the owner's own flight group is the global half).
+	flightMu sync.Mutex
+	flights  map[string]*forwardFlight
+
+	fills         atomic.Uint64
+	fillMisses    atomic.Uint64
+	fillErrors    atomic.Uint64
+	forwards      atomic.Uint64
+	forwardErrors atomic.Uint64
+	breakerSkips  atomic.Uint64
+	misses        atomic.Uint64 // every Get miss, self-owned probes included
+}
+
+// forwardFlight is one in-flight forwarded schedule request.
+type forwardFlight struct {
+	done   chan struct{}
+	status int
+	body   []byte
+	ok     bool
+}
+
+// NewPeer builds the cluster tier for one node. The returned store
+// should be slotted between the memory and disk tiers —
+// NewTiered(mem, NewTiered(peer, disk)) — and passed to the server as
+// ServerConfig.Cluster.
+func NewPeer(cfg PeerConfig) (*PeerStore, error) {
+	cfg = cfg.withDefaults()
+	ring, err := NewRing(cfg.Peers, cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Self == "" {
+		return nil, fmt.Errorf("store: peer config needs Self")
+	}
+	found := false
+	for _, p := range cfg.Peers {
+		if p == cfg.Self {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("store: self %q is not among the peers %v", cfg.Self, cfg.Peers)
+	}
+	tr := cfg.Transport
+	if tr == nil {
+		tr = http.DefaultTransport
+	}
+	p := &PeerStore{
+		cfg:      cfg,
+		ring:     ring,
+		fetch:    &http.Client{Transport: tr, Timeout: cfg.FetchTimeout},
+		forward:  &http.Client{Transport: tr, Timeout: cfg.ForwardTimeout},
+		breakers: make(map[string]*breaker),
+		flights:  make(map[string]*forwardFlight),
+	}
+	for _, peer := range cfg.Peers {
+		if peer != cfg.Self {
+			p.breakers[peer] = &breaker{}
+		}
+	}
+	return p, nil
+}
+
+// Ring returns the store's ring (shared, read-only).
+func (p *PeerStore) Ring() *Ring { return p.ring }
+
+// Owns reports whether this node owns key.
+func (p *PeerStore) Owns(key string) bool { return p.ring.Owner(key) == p.cfg.Self }
+
+// baseURL resolves a peer name to its base URL.
+func baseURL(peer string) string {
+	if strings.Contains(peer, "://") {
+		return strings.TrimRight(peer, "/")
+	}
+	return "http://" + peer
+}
+
+// maxPeerResponse bounds a peer reply: near-cap schedule replies and
+// plan records run to tens of MB, so the cap is generous — it exists
+// to keep a misbehaving peer from streaming without end, not to limit
+// legitimate plans.
+const maxPeerResponse = 256 << 20
+
+// Get fills a local store miss from the owning peer. Keys owned by
+// this node miss instantly (the local tiers and the pipeline's own
+// computation are authoritative for them); so do keys whose owner has
+// an open breaker. A fetched record is decoded and re-validated before
+// it is returned, so a corrupt or mismatched peer reply is an error,
+// never a cache entry.
+func (p *PeerStore) Get(key string) (*pipeline.Plan, bool) {
+	owner := p.ring.Owner(key)
+	if owner == p.cfg.Self {
+		p.misses.Add(1)
+		return nil, false
+	}
+	br := p.breakers[owner]
+	if !br.allow(time.Now()) {
+		p.breakerSkips.Add(1)
+		p.misses.Add(1)
+		return nil, false
+	}
+	fp := key
+	if i := strings.IndexByte(key, '|'); i >= 0 {
+		fp = key[:i]
+	}
+	target := baseURL(owner) + "/v1/plans/" + fp + "?key=" + url.QueryEscape(key)
+	status, body, err := p.do(p.fetch, owner, func() (*http.Request, error) {
+		req, err := http.NewRequest(http.MethodGet, target, nil)
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set(pipeline.PeerFetchHeader, p.cfg.Self)
+		return req, nil
+	})
+	if err != nil {
+		p.fillErrors.Add(1)
+		p.misses.Add(1)
+		return nil, false
+	}
+	if status == http.StatusNotFound {
+		// The owner simply has not scheduled this key: a healthy miss,
+		// not a failure — it must never trip the breaker.
+		p.fillMisses.Add(1)
+		p.misses.Add(1)
+		return nil, false
+	}
+	if status != http.StatusOK {
+		p.fillErrors.Add(1)
+		p.misses.Add(1)
+		return nil, false
+	}
+	gotKey, plan, err := pipeline.DecodePlan(body)
+	if err != nil || gotKey != key {
+		p.fillErrors.Add(1)
+		p.misses.Add(1)
+		return nil, false
+	}
+	p.fills.Add(1)
+	return plan, true
+}
+
+// Forward proxies a schedule request to key's owner, collapsing
+// concurrent forwards of the same key into one POST. ok = false means
+// the owner could not answer (self-owned key, open breaker, transport
+// failure, or an owner-side 5xx) and the caller must compute locally.
+func (p *PeerStore) Forward(key string, body []byte) (int, []byte, bool) {
+	owner := p.ring.Owner(key)
+	if owner == p.cfg.Self {
+		return 0, nil, false
+	}
+	p.flightMu.Lock()
+	if f, ok := p.flights[key]; ok {
+		p.flightMu.Unlock()
+		<-f.done
+		return f.status, f.body, f.ok
+	}
+	f := &forwardFlight{done: make(chan struct{})}
+	p.flights[key] = f
+	p.flightMu.Unlock()
+
+	f.status, f.body, f.ok = p.forwardOnce(owner, body)
+	close(f.done)
+
+	p.flightMu.Lock()
+	delete(p.flights, key)
+	p.flightMu.Unlock()
+	return f.status, f.body, f.ok
+}
+
+// forwardOnce sends one (possibly retried) forwarded schedule request.
+func (p *PeerStore) forwardOnce(owner string, body []byte) (int, []byte, bool) {
+	br := p.breakers[owner]
+	if !br.allow(time.Now()) {
+		p.breakerSkips.Add(1)
+		p.forwardErrors.Add(1)
+		return 0, nil, false
+	}
+	target := baseURL(owner) + "/v1/schedule"
+	status, resp, err := p.do(p.forward, owner, func() (*http.Request, error) {
+		req, err := http.NewRequest(http.MethodPost, target, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(pipeline.ForwardedHeader, p.cfg.Self)
+		return req, nil
+	})
+	if err != nil || status >= http.StatusInternalServerError {
+		// A 5xx is an owner that answered but could not serve; the
+		// caller's local compute is strictly better than proxying it.
+		p.forwardErrors.Add(1)
+		return 0, nil, false
+	}
+	p.forwards.Add(1)
+	return status, resp, true
+}
+
+// do runs one peer HTTP operation with retry-with-backoff and breaker
+// accounting. make builds a fresh request per attempt (bodies cannot
+// be replayed). Transport failures and 5xx statuses count against the
+// peer's breaker and transport failures are retried; any HTTP answer
+// below 500 — 200, 404, 4xx — is a live peer and resets the breaker.
+func (p *PeerStore) do(client *http.Client, owner string, make func() (*http.Request, error)) (int, []byte, error) {
+	br := p.breakers[owner]
+	var lastErr error
+	for attempt := 0; attempt <= p.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(p.cfg.Backoff)
+		}
+		req, err := make()
+		if err != nil {
+			return 0, nil, err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		body, err := io.ReadAll(io.LimitReader(resp.Body, maxPeerResponse))
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode >= http.StatusInternalServerError {
+			br.failure(time.Now(), p.cfg.BreakerFailures, p.cfg.BreakerCooldown)
+			return resp.StatusCode, body, nil
+		}
+		br.success()
+		return resp.StatusCode, body, nil
+	}
+	br.failure(time.Now(), p.cfg.BreakerFailures, p.cfg.BreakerCooldown)
+	return 0, nil, lastErr
+}
+
+// Put is a no-op: ownership means the owner computes and retains, and
+// a non-owner's degraded local compute stays local (it is re-filled
+// from the owner once the owner recovers). The PlanStore contract
+// allows a tier to decline retention.
+func (p *PeerStore) Put(string, *pipeline.Plan) {}
+
+// Delete is a no-op: deletes are a per-node administrative action
+// (DELETE /v1/plans against each node), not a replicated one.
+func (p *PeerStore) Delete(string) {}
+
+// Len reports 0: the tier retains nothing.
+func (p *PeerStore) Len() int { return 0 }
+
+// Bytes reports 0: the tier retains nothing.
+func (p *PeerStore) Bytes() int64 { return 0 }
+
+// Flush is a no-op.
+func (p *PeerStore) Flush() error { return nil }
+
+// Close releases idle peer connections.
+func (p *PeerStore) Close() error {
+	if tr, ok := p.fetch.Transport.(*http.Transport); ok {
+		tr.CloseIdleConnections()
+	}
+	return nil
+}
+
+// Stats snapshots the tier's counters in PlanStore form: Hits are
+// peer fills, Errors failed fill operations.
+func (p *PeerStore) Stats() pipeline.StoreStats {
+	return pipeline.StoreStats{
+		Kind:   "peer",
+		Hits:   p.fills.Load(),
+		Misses: p.misses.Load(),
+		Errors: p.fillErrors.Load(),
+	}
+}
+
+// ClusterStats snapshots the cluster counters for /v1/stats.
+func (p *PeerStore) ClusterStats() pipeline.ClusterStats {
+	cs := pipeline.ClusterStats{
+		Self:          p.cfg.Self,
+		Peers:         p.ring.Peers(),
+		VNodes:        p.ring.VNodes(),
+		Fills:         p.fills.Load(),
+		FillMisses:    p.fillMisses.Load(),
+		FillErrors:    p.fillErrors.Load(),
+		Forwards:      p.forwards.Load(),
+		ForwardErrors: p.forwardErrors.Load(),
+		BreakerSkips:  p.breakerSkips.Load(),
+	}
+	now := time.Now()
+	for _, peer := range cs.Peers {
+		if br, ok := p.breakers[peer]; ok && !br.allow(now) {
+			cs.BreakerOpen = append(cs.BreakerOpen, peer)
+		}
+	}
+	return cs
+}
+
+// breaker is a per-peer circuit breaker: consecutive failures open it
+// for a cooldown, during which every call is skipped; the first call
+// after the cooldown probes the peer, and a probe failure re-opens it
+// immediately.
+type breaker struct {
+	mu        sync.Mutex
+	fails     int
+	openUntil time.Time
+}
+
+// allow reports whether a call may proceed. It has no side effects, so
+// concurrent callers during the half-open window may all probe — a
+// bounded, self-limiting burst.
+func (b *breaker) allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return !now.Before(b.openUntil)
+}
+
+// success closes the breaker.
+func (b *breaker) success() {
+	b.mu.Lock()
+	b.fails = 0
+	b.openUntil = time.Time{}
+	b.mu.Unlock()
+}
+
+// failure records one failed operation, opening the breaker at the
+// threshold. fails keeps counting across an open period, so the first
+// post-cooldown probe failure re-opens instantly.
+func (b *breaker) failure(now time.Time, threshold int, cooldown time.Duration) {
+	b.mu.Lock()
+	b.fails++
+	if b.fails >= threshold {
+		b.openUntil = now.Add(cooldown)
+	}
+	b.mu.Unlock()
+}

@@ -170,7 +170,34 @@ type (
 	// TieredStore write-throughs a fast upper tier over a durable lower
 	// tier, promoting on lower-tier hits.
 	TieredStore = store.TieredStore
+	// PeerStore is the cluster tier: a consistent-hash ring over the
+	// configured peers, filling local misses from the owning peer's
+	// durable records and forwarding cold schedule requests to the
+	// owner (cluster-wide singleflight). Slot it between the memory and
+	// disk tiers and pass it as PipelineServerConfig.Cluster.
+	PeerStore = store.PeerStore
+	// PeerStoreConfig names this node, the full peer membership, and
+	// the ring/transport/fault-handling knobs.
+	PeerStoreConfig = store.PeerConfig
+	// ClusterStats is the "cluster" block of GET /v1/stats.
+	ClusterStats = pipeline.ClusterStats
+	// ScheduleForwarder is the cluster hook a PipelineServer consults on
+	// every schedule request; PeerStore is the built-in implementation.
+	ScheduleForwarder = pipeline.ScheduleForwarder
 )
+
+// NewPeerStore builds the cluster tier for one node of a loopsched
+// cluster:
+//
+//	peer, _ := mimdloop.NewPeerStore(mimdloop.PeerStoreConfig{
+//	    Self:  "10.0.0.1:8080",
+//	    Peers: []string{"10.0.0.1:8080", "10.0.0.2:8080"},
+//	})
+//	p := mimdloop.NewPipeline(mimdloop.PipelineConfig{
+//	    Store: mimdloop.NewTieredStore(mimdloop.NewMemStore(mimdloop.MemStoreConfig{}), peer),
+//	})
+//	h := mimdloop.NewPipelineServerWith(p, mimdloop.PipelineServerConfig{Cluster: peer})
+func NewPeerStore(cfg PeerStoreConfig) (*PeerStore, error) { return store.NewPeer(cfg) }
 
 // NewMemStore returns an empty in-memory plan store.
 func NewMemStore(cfg MemStoreConfig) *MemStore { return pipeline.NewMemStore(cfg) }
