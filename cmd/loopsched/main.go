@@ -13,23 +13,27 @@
 // plans. `loopsched tune` searches a processors × comm-cost grid for the
 // best (p, k) under an objective — optionally ranked by measured trials
 // on an execution backend (`-measured`, `-backend gort` for the real
-// goroutine runtime) and by a spread statistic (`-objective worst`) —
-// `loopsched batch` schedules many loop files at once with per-file
-// error isolation, and `loopsched store` inspects or maintains a
-// plan-store directory offline.
+// goroutine runtime, `-backend csim -calib profile.json` for the
+// calibrated simulator) and by a spread statistic (`-objective worst`).
+// `loopsched calibrate` fits the calibration profile csim ranks with
+// (`serve -calibrate-every` refreshes it in the background), `loopsched
+// batch` schedules many loop files at once with per-file error
+// isolation, and `loopsched store` inspects or maintains a plan-store
+// directory offline.
 //
 // Usage:
 //
 //	loopsched [-k cost] [-p procs] [-n iters] [-fold] [-gantt cycles] file.loop
 //	loopsched -example fig7|lfk18|ewf
 //	loopsched tune [-n iters] [-p list] [-k list] [-objective o] [-epsilon e]
-//	               [-measured [-backend sim|gort] [-trials r] [-fluct mm] [-seed s]]
+//	               [-measured [-backend sim|gort|csim] [-calib FILE] [-trials r] [-fluct mm] [-seed s]]
 //	               [-example name] [file.loop]
 //	loopsched batch [-k cost] [-p procs] [-n iters] [-fold] [-workers w] file.loop...
 //	loopsched serve [-addr :8080] [-cache entries] [-warmup corpus.json] [-store DIR] [-store-bytes n]
-//	               [-peers host1:8080,host2:8080,... -self host1:8080 [-vnodes n]]
+//	               [-calibrate-every DUR] [-peers host1:8080,host2:8080,... -self host1:8080 [-vnodes n]]
 //	loopsched store -dir DIR [-max-bytes n] ls|gc|flush
 //	loopsched bench [-addr URL] [-workers w] [-quick] [-json report.json]
+//	loopsched calibrate [-quick] [-probes n] [-trials r] [-seed s] [-store DIR | -o FILE]
 //
 // Serving endpoints (full reference in docs/API.md):
 //
@@ -76,6 +80,8 @@ func main() {
 			sub = storeCmd
 		case "bench":
 			sub = benchCmd
+		case "calibrate":
+			sub = calibrateCmd
 		}
 		if sub != nil {
 			if err := sub(os.Args[2:]); err != nil {
@@ -128,6 +134,7 @@ func serve(args []string) error {
 		storeDir   = fs.String("store", "", "back the in-memory tier with durable plan records under this directory")
 		storeBytes = fs.Int64("store-bytes", 0, "disk-store byte budget before GC (0 = 1 GiB); requires -store")
 		slots      = fs.Int("slots", 0, "concurrent compute slots for schedule/batch/tune work (0 = 4 x GOMAXPROCS)")
+		calibEvery = fs.Duration("calibrate-every", 0, "refresh the cost-model calibration behind eval.backend=csim on this interval (0 = no background refresh; a profile persisted under -store still loads at startup)")
 		peers      = fs.String("peers", "", "comma-separated cluster membership (host:port or URL per node, this node included) — enables cluster mode")
 		self       = fs.String("self", "", "this node's own entry in -peers (required with -peers)")
 		vnodes     = fs.Int("vnodes", 0, "consistent-hash virtual nodes per peer (0 = default; every node must agree)")
@@ -167,6 +174,35 @@ func serve(args []string) error {
 	scfg := mimdloop.PipelineServerConfig{ComputeSlots: *slots}
 	if peer != nil {
 		scfg.Cluster = peer
+	}
+	if *calibEvery < 0 {
+		return fmt.Errorf("negative -calibrate-every %v", *calibEvery)
+	}
+	if *calibEvery > 0 || *storeDir != "" {
+		// Calibration serving: csim tunes read the manager's live
+		// profile. With -store the profile persists beside the plan
+		// records and a restarted server resumes calibrated; with
+		// -calibrate-every a background pass keeps it fresh (and fits
+		// the first profile one interval in).
+		profilePath := ""
+		if *storeDir != "" {
+			profilePath = mimdloop.CalibProfilePath(*storeDir)
+		}
+		calib := mimdloop.NewCalibManager(profilePath)
+		if err := calib.Load(); err != nil {
+			fmt.Fprintf(os.Stderr, "loopsched: calibration profile: %v\n", err)
+		} else if p := calib.Profile(); p != nil {
+			fmt.Printf("loopsched: calibration profile loaded (age %s, fit error %.1f%% over %d samples)\n",
+				p.Age().Round(time.Second), p.FitError*100, p.Samples)
+		}
+		scfg.Calibration = calib
+		if *calibEvery > 0 {
+			logf := func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "loopsched: "+format+"\n", args...)
+			}
+			stop := calib.Start(*calibEvery, mimdloop.CalibConfig{}, logf)
+			defer stop()
+		}
 	}
 	handler := mimdloop.NewPipelineServerWith(pipe, scfg)
 	cluster := ""
@@ -318,6 +354,69 @@ func benchCmd(args []string) error {
 	return nil
 }
 
+// calibrateCmd runs one cost-model calibration pass — a seeded probe
+// suite through both execution backends, least-squares fitted — and
+// writes the versioned profile record `loopsched tune -backend csim
+// -calib` and `loopsched serve` consume. With -store the profile lands
+// at its canonical path inside a plan-store directory (where a serving
+// process loads it at startup); with -o it lands at an explicit file;
+// with neither the fit is printed and discarded.
+func calibrateCmd(args []string) error {
+	fs := flag.NewFlagSet("loopsched calibrate", flag.ContinueOnError)
+	var (
+		probes   = fs.Int("probes", 0, "distinct seeded probe loops (0 = default)")
+		trials   = fs.Int("trials", 0, "goroutine-runtime trials per probe observation (0 = default)")
+		seed     = fs.Int64("seed", 0, "first probe loop's workload seed (0 = default)")
+		quick    = fs.Bool("quick", false, "CI-sized probe suite")
+		storeDir = fs.String("store", "", "write the profile to its canonical path inside this plan-store directory")
+		out      = fs.String("o", "", "write the profile to this file")
+	)
+	if done, err := parseFlags(fs, args); done || err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("calibrate takes no positional arguments, got %v", fs.Args())
+	}
+	if *storeDir != "" && *out != "" {
+		return errors.New("-store and -o are mutually exclusive")
+	}
+	cfg := mimdloop.CalibConfig{}
+	if *quick {
+		cfg = mimdloop.QuickCalibConfig()
+	}
+	if *probes > 0 {
+		cfg.Probes = *probes
+	}
+	if *trials > 0 {
+		cfg.Trials = *trials
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	start := time.Now()
+	p, err := mimdloop.Calibrate(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("calibrated in %s over %d samples (%d probes x %d trials):\n",
+		time.Since(start).Round(time.Millisecond), p.Samples, p.Probes, p.Trials)
+	fmt.Printf("  %.2f ns/cycle, %.0f ns/message, %.0f ns/iteration, %.2f seq ns/cycle\n",
+		p.Model.ComputeNsPerCycle, p.Model.CommNsPerMessage, p.Model.IterOverheadNs, p.Model.SeqNsPerCycle)
+	fmt.Printf("  fit error %.1f%% (rmse %.0f ns)\n", p.FitError*100, p.RMSENs)
+	path := *out
+	if *storeDir != "" {
+		path = mimdloop.CalibProfilePath(*storeDir)
+	}
+	if path == "" {
+		return nil
+	}
+	if err := mimdloop.SaveCalibProfile(path, p); err != nil {
+		return err
+	}
+	fmt.Printf("profile written to %s\n", path)
+	return nil
+}
+
 // storeCmd inspects or maintains a plan-store directory offline:
 // `ls` lists the stored plans, `gc` trims to the byte budget, `flush`
 // removes every record. It operates on the same records a `serve -store`
@@ -404,7 +503,8 @@ func tune(args []string) error {
 		workers   = fs.Int("workers", 0, "sweep worker-pool size (0 = GOMAXPROCS)")
 		example   = fs.String("example", "", "tune a built-in workload: fig7, lfk18, ewf")
 		measured  = fs.Bool("measured", false, "rank grid points by measured Sp on an execution backend")
-		backend   = fs.String("backend", "", "execution backend for measured ranking: sim (simulated machine, default) or gort (real goroutine runtime); implies -measured")
+		backend   = fs.String("backend", "", "execution backend for measured ranking: sim (simulated machine, default), gort (real goroutine runtime) or csim (calibrated simulator; see -calib); implies -measured")
+		calibPath = fs.String("calib", "", "calibration profile for -backend csim (from `loopsched calibrate -o` or a serve -store directory); without it csim degrades to raw sim")
 		trials    = fs.Int("trials", 5, "trials per grid point (with -measured)")
 		fluct     = fs.Int("fluct", 3, "communication fluctuation mm: extra delay in [0, mm-1] (sim backend only)")
 		seed      = fs.Int64("seed", 1, "fluctuation seed (sim backend only)")
@@ -436,6 +536,20 @@ func tune(args []string) error {
 	be, err := mimdloop.ExecBackendFor(*backend)
 	if err != nil {
 		return fmt.Errorf("-backend: %w", err)
+	}
+	if *calibPath != "" && be.Name() != "csim" {
+		return errors.New("-calib requires -backend csim")
+	}
+	if be.Name() == "csim" {
+		if *calibPath == "" {
+			fmt.Fprintln(os.Stderr, "loopsched: no -calib profile: csim scores as raw sim (run `loopsched calibrate -o profile.json` first)")
+		} else {
+			p, err := mimdloop.LoadCalibProfile(*calibPath)
+			if err != nil {
+				return fmt.Errorf("-calib: %w", err)
+			}
+			be = mimdloop.CalibratedBackend(p.Model)
+		}
 	}
 	if be.Name() == "gort" {
 		// The goroutine runtime has no fluctuation model; its noise is

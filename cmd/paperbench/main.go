@@ -5,13 +5,14 @@
 //
 //	paperbench            # everything
 //	paperbench -fig 7     # one figure (1, 3, 7, 8, 9, 11, 12)
-//	paperbench -table 1a  # Table 1(a), 1b, 1t (auto-tuned), 1m (measured tuning)
-//	                      # or 1g (goroutine-runtime tuning)
+//	paperbench -table 1a  # Table 1(a), 1b, 1t (auto-tuned), 1m (measured tuning),
+//	                      # 1g (goroutine-runtime tuning) or 1c (calibrated-sim agreement)
 //	paperbench -ablations # design-choice ablations
 //	paperbench -sweep     # concurrent processors x comm-cost sweep (Figure 7 loop)
 //	paperbench -workers 8 # worker-pool size for Table 1 and the sweep
 //	paperbench -table 1m -quick  # CI-sized smoke run of the measured-tuning table
 //	paperbench -table 1g -quick  # CI-sized smoke run of the goroutine-backend table
+//	paperbench -table 1c -quick  # CI-sized smoke run of the calibration agreement table
 //	paperbench -json BENCH_7.json -quick           # persist a serving trajectory point
 //	paperbench -json BENCH_7.json -against BENCH_6.json  # ... and gate on the previous one
 package main
@@ -23,6 +24,7 @@ import (
 	"os"
 
 	"mimdloop"
+	"mimdloop/internal/calib"
 	"mimdloop/internal/classify"
 	"mimdloop/internal/core"
 	"mimdloop/internal/experiments"
@@ -36,7 +38,7 @@ import (
 func main() {
 	var (
 		fig       = flag.Int("fig", 0, "regenerate one figure (1, 3, 7, 8, 9, 11, 12)")
-		table     = flag.String("table", "", "regenerate a table: 1a, 1b, 1t (sweep-tuned (p, k) variant), 1m (measured-ranking variant) or 1g (goroutine-runtime ranking)")
+		table     = flag.String("table", "", "regenerate a table: 1a, 1b, 1t (sweep-tuned (p, k) variant), 1m (measured-ranking variant), 1g (goroutine-runtime ranking) or 1c (calibrated-sim agreement)")
 		ablations = flag.Bool("ablations", false, "run the design-choice ablations")
 		sweep     = flag.Bool("sweep", false, "sweep processors x comm cost on the Figure 7 loop")
 		iters     = flag.Int("n", 100, "iterations per measurement")
@@ -66,7 +68,7 @@ func main() {
 	case *fig != 0:
 		err = runFigure(*fig, *iters)
 	case *table != "":
-		err = runTable(*table, *iters, *loops, *trials, *workers)
+		err = runTable(*table, *iters, *loops, *trials, *workers, *quick)
 	case *ablations:
 		err = runAblations(*iters)
 	case *sweep:
@@ -85,7 +87,16 @@ func main() {
 // path well past 3x, so the fail bar tolerates machine noise without
 // letting a real regression through).
 func runBenchJSON(out, against string, quick bool, workers int) error {
-	ts := httptest.NewServer(pipeline.NewServer(pipeline.New(pipeline.Config{})))
+	// The in-process server carries a freshly fitted calibration so the
+	// tune_csim phase measures the calibrated path, not the unprofiled
+	// degradation (a live `loopsched bench` measures whatever the
+	// deployment's calibration state is).
+	m := calib.NewManager("")
+	if _, err := m.Refresh(calib.Quick()); err != nil {
+		return err
+	}
+	ts := httptest.NewServer(pipeline.NewServerWith(pipeline.New(pipeline.Config{}),
+		pipeline.ServerConfig{Calibration: m}))
 	defer ts.Close()
 	rep, err := loadgen.Bench(ts.URL, ts.Client(), loadgen.Options{Quick: quick, Workers: workers})
 	if err != nil {
@@ -287,7 +298,7 @@ func printFig7Details() error {
 	return nil
 }
 
-func runTable(name string, iters, loops, trials, workers int) error {
+func runTable(name string, iters, loops, trials, workers int, quick bool) error {
 	if name == "1t" {
 		res, err := experiments.Table1Tuned(loops, iters, workers)
 		if err != nil {
@@ -315,8 +326,24 @@ func runTable(name string, iters, loops, trials, workers int) error {
 		fmt.Print(res.Format())
 		return nil
 	}
+	if name == "1c" {
+		// The calibration table ignores -trials: the gort trial count is
+		// the experiment's own stability default (20/cell), the number
+		// its latency comparison is defined against.
+		ccfg := calib.Config{}
+		if quick {
+			ccfg = calib.Quick()
+		}
+		res, err := experiments.Table1Calibrated(loops, iters, 0, ccfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Table 1 (calibrated sim): sim- and csim-ranked winners vs goroutine ground truth ==")
+		fmt.Print(res.Format())
+		return nil
+	}
 	if name != "1a" && name != "1b" {
-		return fmt.Errorf("unknown table %q (have 1a, 1b, 1t, 1m, 1g)", name)
+		return fmt.Errorf("unknown table %q (have 1a, 1b, 1t, 1m, 1g, 1c)", name)
 	}
 	res, err := experiments.Table1Workers(loops, iters, workers)
 	if err != nil {

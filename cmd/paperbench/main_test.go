@@ -15,19 +15,22 @@ func TestRunFigures(t *testing.T) {
 }
 
 func TestRunTables(t *testing.T) {
-	if err := runTable("1a", 30, 3, 0, 0); err != nil {
+	if err := runTable("1a", 30, 3, 0, 0, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := runTable("1b", 30, 3, 0, 2); err != nil {
+	if err := runTable("1b", 30, 3, 0, 2, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := runTable("1m", 30, 2, 2, 0); err != nil {
+	if err := runTable("1m", 30, 2, 2, 0, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := runTable("1g", 20, 2, 1, 0); err != nil {
+	if err := runTable("1g", 20, 2, 1, 0, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := runTable("2x", 30, 3, 0, 0); err == nil {
+	if err := runTable("1c", 20, 2, 0, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := runTable("2x", 30, 3, 0, 0, false); err == nil {
 		t.Fatal("unknown table accepted")
 	}
 }

@@ -1,0 +1,180 @@
+package calib
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"mimdloop/internal/exec"
+)
+
+// TestFitRecoversSyntheticModel pins the solver: observations generated
+// from a known linear model fit back to it (near-)exactly, residuals
+// reported as zero.
+func TestFitRecoversSyntheticModel(t *testing.T) {
+	want := exec.CostModel{ComputeNsPerCycle: 4.5, CommNsPerMessage: 900, IterOverheadNs: 120}
+	var rows []obs
+	for _, x := range [][3]float64{
+		{100, 10, 20}, {250, 40, 20}, {400, 5, 60}, {800, 80, 60}, {1200, 0, 100}, {60, 25, 10},
+	} {
+		rows = append(rows, obs{x: x, y: want.PlanNs(x[0], int(x[1]), int(x[2]))})
+	}
+	got, rmse, mae, err := fit(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tol = 1e-6
+	if diff := got.ComputeNsPerCycle - want.ComputeNsPerCycle; diff > tol || diff < -tol {
+		t.Errorf("compute %v, want %v", got.ComputeNsPerCycle, want.ComputeNsPerCycle)
+	}
+	if diff := got.CommNsPerMessage - want.CommNsPerMessage; diff > tol || diff < -tol {
+		t.Errorf("comm %v, want %v", got.CommNsPerMessage, want.CommNsPerMessage)
+	}
+	if diff := got.IterOverheadNs - want.IterOverheadNs; diff > tol || diff < -tol {
+		t.Errorf("iter %v, want %v", got.IterOverheadNs, want.IterOverheadNs)
+	}
+	if rmse > 1e-3 || mae > 1e-6 {
+		t.Errorf("exact data left residuals: rmse %v, mae %v", rmse, mae)
+	}
+}
+
+// TestFitClampsNegativeCoefficients pins the nonnegativity guard: data
+// that pulls a coefficient negative refits with that column dropped
+// rather than shipping a physically meaningless (and ranking-inverting)
+// negative cost.
+func TestFitClampsNegativeCoefficients(t *testing.T) {
+	// y depends on cycles only, with messages anticorrelated to cycles:
+	// the unconstrained comm coefficient comes out negative.
+	var rows []obs
+	for _, x := range [][3]float64{
+		{100, 90, 20}, {200, 80, 20}, {400, 60, 60}, {800, 20, 60}, {1600, 5, 100},
+	} {
+		rows = append(rows, obs{x: x, y: 10*x[0] - 3*x[1]})
+	}
+	got, _, _, err := fit(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.CommNsPerMessage < 0 || got.ComputeNsPerCycle < 0 || got.IterOverheadNs < 0 {
+		t.Fatalf("negative coefficient survived: %+v", got)
+	}
+}
+
+// TestFitSingularSuite pins the degenerate-suite error path: identical
+// observation rows cannot determine three coefficients.
+func TestFitSingularSuite(t *testing.T) {
+	rows := []obs{
+		{x: [3]float64{100, 10, 20}, y: 1000},
+		{x: [3]float64{100, 10, 20}, y: 1000},
+		{x: [3]float64{100, 10, 20}, y: 1000},
+		{x: [3]float64{100, 10, 20}, y: 1000},
+	}
+	if _, _, _, err := fit(rows); err == nil {
+		t.Fatal("singular normal equations accepted")
+	}
+}
+
+// TestCalibrateEndToEnd runs a real (quick) probe pass: the profile
+// must carry a usable nonzero model, plausible residual accounting, and
+// its provenance.
+func TestCalibrateEndToEnd(t *testing.T) {
+	p, err := Calibrate(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Model.IsZero() {
+		t.Fatal("calibration fitted the zero model")
+	}
+	if p.Model.SeqNsPerCycle <= 0 {
+		t.Fatalf("sequential scale not fitted: %+v", p.Model)
+	}
+	if p.Samples < 4 || p.RMSENs < 0 || p.FitError < 0 {
+		t.Fatalf("implausible fit accounting: %+v", p)
+	}
+	if p.Probes != 2 || p.Trials != 2 || p.Seed != 1 {
+		t.Fatalf("provenance drifted: %+v", p)
+	}
+	if p.CreatedUnixNs <= 0 || p.Age() < 0 || p.Age() > time.Minute {
+		t.Fatalf("created timestamp implausible: %d", p.CreatedUnixNs)
+	}
+}
+
+// TestManagerLifecycle pins the manager: unfitted stats, refresh
+// installing + persisting + counting, and a restarted manager resuming
+// from the persisted profile.
+func TestManagerLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	m := NewManager(ProfilePath(dir))
+	if err := m.Load(); err != nil {
+		t.Fatalf("load with no profile file: %v", err)
+	}
+	if _, ok := m.Model(); ok {
+		t.Fatal("unfitted manager reported a model")
+	}
+	cs := m.CalibStats()
+	if cs.Present || cs.Refreshes != 0 {
+		t.Fatalf("unfitted stats: %+v", cs)
+	}
+
+	p, err := m.Refresh(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model, ok := m.Model(); !ok || model != p.Model {
+		t.Fatalf("refresh did not install the fit: %v", model)
+	}
+	cs = m.CalibStats()
+	if !cs.Present || cs.Refreshes != 1 || cs.Samples != p.Samples || cs.Model != p.Model {
+		t.Fatalf("stats after refresh: %+v", cs)
+	}
+	if _, err := os.Stat(ProfilePath(dir)); err != nil {
+		t.Fatalf("refresh did not persist: %v", err)
+	}
+
+	m2 := NewManager(ProfilePath(dir))
+	if err := m2.Load(); err != nil {
+		t.Fatal(err)
+	}
+	p2 := m2.Profile()
+	if p2 == nil || p2.Model != p.Model || p2.CreatedUnixNs != p.CreatedUnixNs {
+		t.Fatalf("restart did not resume the persisted profile: %+v", p2)
+	}
+}
+
+// TestManagerStartStop pins the background loop: it refreshes on the
+// ticker and stop() halts it (no goroutine leak under -race).
+func TestManagerStartStop(t *testing.T) {
+	m := NewManager("")
+	stop := m.Start(5*time.Millisecond, Quick(), t.Logf)
+	deadline := time.Now().Add(10 * time.Second)
+	for m.CalibStats().Refreshes == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("background refresh never ran")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	stop()
+	n := m.CalibStats().Refreshes
+	time.Sleep(30 * time.Millisecond)
+	if got := m.CalibStats().Refreshes; got != n {
+		t.Fatalf("refreshes kept running after stop: %d -> %d", n, got)
+	}
+}
+
+// TestManagerLoadCorrupt pins the corrupt-profile startup path: Load
+// reports the error and the file lands in quarantine.
+func TestManagerLoadCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	path := ProfilePath(dir)
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(path)
+	if err := m.Load(); err == nil {
+		t.Fatal("corrupt profile loaded silently")
+	}
+	if _, err := os.Stat(filepath.Join(dir, quarantineDir, ProfileFile)); err != nil {
+		t.Fatalf("corrupt profile not quarantined: %v", err)
+	}
+}

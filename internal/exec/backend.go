@@ -156,13 +156,17 @@ type Backend interface {
 }
 
 // ForName resolves a backend wire name ("" and "sim" mean the simulated
-// machine, "gort" the goroutine runtime).
+// machine, "gort" the goroutine runtime, "csim" the calibrated
+// simulator with no profile loaded — callers holding a fitted CostModel
+// substitute Calibrated{Model: m} themselves).
 func ForName(name string) (Backend, error) {
 	switch name {
 	case "", "sim":
 		return Sim{}, nil
 	case "gort":
 		return Goroutine{}, nil
+	case "csim":
+		return Calibrated{}, nil
 	}
-	return nil, fmt.Errorf("exec: unknown backend %q (want sim or gort)", name)
+	return nil, fmt.Errorf("exec: unknown backend %q (want sim, gort or csim)", name)
 }

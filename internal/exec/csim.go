@@ -1,0 +1,92 @@
+package exec
+
+import (
+	"mimdloop/internal/graph"
+	"mimdloop/internal/program"
+)
+
+// CostModel is a fitted linear map from the simulated machine's
+// accounting to wall-clock nanoseconds on this host: what one simulated
+// cycle of critical-path work costs, what one cross-processor message
+// costs beyond the cycles the sim already bills it, and what one loop
+// iteration costs in channel/runtime overhead the sim does not model at
+// all. internal/calib fits the coefficients by least squares against
+// measured gort makespans; the zero value means "no profile" and leaves
+// the calibrated backend transparent (raw sim passthrough).
+type CostModel struct {
+	// ComputeNsPerCycle scales simulated makespan cycles to nanoseconds.
+	ComputeNsPerCycle float64 `json:"compute_ns_per_cycle"`
+	// CommNsPerMessage is the per-message wall-clock cost (channel send,
+	// blocking receive, goroutine wakeup) beyond the sim's k cycles.
+	CommNsPerMessage float64 `json:"comm_ns_per_message"`
+	// IterOverheadNs is the per-iteration runtime overhead (loop
+	// bookkeeping, value tagging) invisible to the simulator.
+	IterOverheadNs float64 `json:"iter_overhead_ns"`
+	// SeqNsPerCycle scales the *sequential* schedule's cycles to
+	// nanoseconds. It is fitted separately from ComputeNsPerCycle
+	// because the two executions cost differently per simulated cycle:
+	// a parallel cycle carries channel blocking and scheduler wakeups,
+	// a sequential cycle is a bare map-interpreted operation — one
+	// shared coefficient would split the difference and mispredict
+	// both (dragging the plan fit toward zero compute).
+	SeqNsPerCycle float64 `json:"seq_ns_per_cycle"`
+}
+
+// IsZero reports whether the model is unfitted.
+func (m CostModel) IsZero() bool {
+	return m == CostModel{}
+}
+
+// PlanNs maps one simulated run to predicted wall-clock nanoseconds.
+func (m CostModel) PlanNs(cycles float64, messages, iterations int) float64 {
+	return m.ComputeNsPerCycle*cycles + m.CommNsPerMessage*float64(messages) +
+		m.IterOverheadNs*float64(iterations)
+}
+
+// SequentialNs maps the sequential baseline to predicted wall-clock
+// nanoseconds, so csim Sp compares like with like.
+func (m CostModel) SequentialNs(cycles float64, iterations int) float64 {
+	_ = iterations // the sequential interpreter's per-iteration cost is ∝ cycles
+	return m.SeqNsPerCycle * cycles
+}
+
+// Calibrated ("csim") is the calibrated simulator: it runs the exact
+// deterministic sim trials and then rescales every makespan through a
+// fitted CostModel, so plans are ranked in predicted nanoseconds — the
+// gort backend's units and, when the fit is good, its ordering — at sim
+// cost. Deterministic like Sim, billed like Sim (fluctuation-free
+// repeats collapse to one trial). With a zero model it degrades to the
+// raw Sim backend byte-identically: same stats, same "sim" label, so an
+// unprofiled csim request is exactly a sim request.
+type Calibrated struct {
+	Model CostModel
+}
+
+// Name implements Backend.
+func (Calibrated) Name() string { return "csim" }
+
+// Deterministic implements Backend: the underlying sim trials replay
+// exactly and the rescaling is a pure function.
+func (Calibrated) Deterministic() bool { return true }
+
+// EffectiveTrials implements Backend with Sim's collapse rule — the
+// rescaling adds no per-trial variation.
+func (Calibrated) EffectiveTrials(trials, fluct int) int {
+	return Sim{}.EffectiveTrials(trials, fluct)
+}
+
+// RunTrials implements Backend: run Sim, then map cycles to nanoseconds
+// through the model. Utilization is unit-free and passes through;
+// Messages is the same physical count.
+func (c Calibrated) RunTrials(g *graph.Graph, progs []program.Program, iterations int, cfg TrialConfig) (*TrialStats, error) {
+	ts, err := Sim{}.RunTrials(g, progs, iterations, cfg)
+	if err != nil || c.Model.IsZero() {
+		return ts, err
+	}
+	ts.Backend = "csim"
+	for i, cycles := range ts.Makespans {
+		ts.Makespans[i] = c.Model.PlanNs(cycles, ts.Messages, iterations)
+	}
+	ts.Sequential = c.Model.SequentialNs(ts.Sequential, iterations)
+	return ts, nil
+}

@@ -1,0 +1,118 @@
+package exec
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestCalibratedZeroModelIsRawSim is the degradation pin from the
+// acceptance criteria: with no profile (zero CostModel) the csim
+// backend's output is byte-identical to the raw Sim backend's — same
+// samples, same sequential baseline, same "sim" label — so an
+// unprofiled csim request is exactly a sim request.
+func TestCalibratedZeroModelIsRawSim(t *testing.T) {
+	g, progs := fig7Programs(t, 50)
+	cfg := TrialConfig{Trials: 4, Fluct: 3, Seed: 11}
+	want, err := Sim{}.RunTrials(g, progs, 50, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Calibrated{}.RunTrials(g, progs, 50, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("zero-model csim drifted from raw sim:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestCalibratedScalesSimStats pins the rescaling: each makespan cycle
+// sample maps through the fitted linear model (compute × cycles + comm
+// × messages + overhead × iterations), the sequential baseline maps
+// through its own per-cycle scale, and the stats are relabeled "csim".
+func TestCalibratedScalesSimStats(t *testing.T) {
+	g, progs := fig7Programs(t, 50)
+	cfg := TrialConfig{Trials: 3, Fluct: 2, Seed: 5}
+	raw, err := Sim{}.RunTrials(g, progs, 50, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := CostModel{ComputeNsPerCycle: 7.5, CommNsPerMessage: 120, IterOverheadNs: 33, SeqNsPerCycle: 11}
+	got, err := Calibrated{Model: m}.RunTrials(g, progs, 50, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Backend != "csim" || got.Trials != raw.Trials || got.Messages != raw.Messages {
+		t.Fatalf("header drifted: %+v vs %+v", got, raw)
+	}
+	for i, cycles := range raw.Makespans {
+		want := m.PlanNs(cycles, raw.Messages, 50)
+		if got.Makespans[i] != want {
+			t.Fatalf("trial %d: %v ns, want %v (from %v cycles)", i, got.Makespans[i], want, cycles)
+		}
+	}
+	if want := m.SequentialNs(raw.Sequential, 50); got.Sequential != want {
+		t.Fatalf("sequential %v ns, want %v", got.Sequential, want)
+	}
+	if got.Utilization != raw.Utilization {
+		t.Fatalf("utilization must pass through unit-free: %v vs %v", got.Utilization, raw.Utilization)
+	}
+}
+
+// TestCalibratedBilling pins the metadata: csim is deterministic and
+// bills like Sim (fluctuation-free repeats collapse to one trial).
+func TestCalibratedBilling(t *testing.T) {
+	c := Calibrated{Model: CostModel{ComputeNsPerCycle: 1}}
+	if !c.Deterministic() {
+		t.Error("csim must be deterministic")
+	}
+	for _, tc := range []struct{ trials, fluct, want int }{
+		{8, 0, 1}, {8, 1, 1}, {8, 2, 8},
+	} {
+		if got := c.EffectiveTrials(tc.trials, tc.fluct); got != tc.want {
+			t.Errorf("EffectiveTrials(%d, %d) = %d, want %d", tc.trials, tc.fluct, got, tc.want)
+		}
+	}
+	if (CostModel{}).IsZero() != true || c.Model.IsZero() {
+		t.Error("IsZero drifted")
+	}
+}
+
+// TestResetSequentialBaselines pins the satellite fix: the gort
+// baseline memo is droppable, so a calibration refresh re-measures
+// rather than fitting against a stale timing.
+func TestResetSequentialBaselines(t *testing.T) {
+	g, _ := fig7Programs(t, 30)
+	d1, v1 := sequentialBaseline(g, 30)
+	d2, _ := sequentialBaseline(g, 30)
+	if d1 != d2 {
+		t.Fatalf("memoized baseline re-measured without reset: %v vs %v", d1, d2)
+	}
+	ResetSequentialBaselines()
+	seqBaselines.Lock()
+	n := len(seqBaselines.entries)
+	seqBaselines.Unlock()
+	if n != 0 {
+		t.Fatalf("reset left %d memo entries", n)
+	}
+	_, v3 := sequentialBaseline(g, 30)
+	if len(v3) != len(v1) {
+		t.Fatalf("re-measured baseline computed %d values, want %d", len(v3), len(v1))
+	}
+}
+
+// TestSequentialBaselineCap pins the bound: distinct (graph, iters)
+// pairs never grow the memo past its cap.
+func TestSequentialBaselineCap(t *testing.T) {
+	ResetSequentialBaselines()
+	g, _ := fig7Programs(t, 10)
+	for i := 1; i <= seqBaselineCap+5; i++ {
+		sequentialBaseline(g, i)
+	}
+	seqBaselines.Lock()
+	n := len(seqBaselines.entries)
+	seqBaselines.Unlock()
+	if n > seqBaselineCap {
+		t.Fatalf("memo grew to %d entries, cap %d", n, seqBaselineCap)
+	}
+}

@@ -157,7 +157,7 @@ func TestGoroutineBackendRejectsBadInput(t *testing.T) {
 
 // TestBackendForName pins the wire-name registry.
 func TestBackendForName(t *testing.T) {
-	for name, want := range map[string]string{"": "sim", "sim": "sim", "gort": "gort"} {
+	for name, want := range map[string]string{"": "sim", "sim": "sim", "gort": "gort", "csim": "csim"} {
 		be, err := ForName(name)
 		if err != nil || be.Name() != want {
 			t.Errorf("ForName(%q) = %v, %v", name, be, err)

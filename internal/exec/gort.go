@@ -72,38 +72,66 @@ func (Goroutine) RunTrials(g *graph.Graph, progs []program.Program, iterations i
 	return ts, nil
 }
 
-// seqBaseline memoizes the most recent timed sequential interpretation.
-// A tune evaluates one (graph, iterations) pair across its whole grid,
-// so without memoization every grid point would re-run two full
+// seqBaselines memoizes timed sequential interpretations keyed by
+// (graph, iterations). A tune evaluates one such pair across its whole
+// grid, so without memoization every grid point would re-run two full
 // sequential passes — half the measured work — and, worse, each point's
 // Sp would divide by its own independently-jittered baseline, making
 // identical plans score differently for baseline-noise reasons alone.
-// One entry suffices (sweeps over a graph are serial for this backend)
-// and keeps the retained values map bounded to a single workload.
-var seqBaseline struct {
-	sync.Mutex
+// The map is capped (interleaved workloads, e.g. calibration probes
+// racing serving traffic, stay bounded) and a timed baseline is a
+// host-load-dependent measurement, so ResetSequentialBaselines exists
+// for callers — the calibrator above all — that must not fit against
+// stale timings.
+const seqBaselineCap = 16
+
+type seqKey struct {
 	g     *graph.Graph
 	iters int
-	dur   float64
-	vals  map[graph.InstanceID]float64
+}
+
+type seqEntry struct {
+	dur  float64
+	vals map[graph.InstanceID]float64
+}
+
+var seqBaselines struct {
+	sync.Mutex
+	entries map[seqKey]seqEntry
+}
+
+// ResetSequentialBaselines drops every memoized timed sequential
+// baseline, forcing the next RunTrials per (graph, iterations) pair to
+// re-measure. Calibration refreshes call this first so fitted profiles
+// never inherit timings from a differently-loaded moment of the host.
+func ResetSequentialBaselines() {
+	seqBaselines.Lock()
+	seqBaselines.entries = nil
+	seqBaselines.Unlock()
 }
 
 // sequentialBaseline returns the timed duration and ground-truth values
 // of the sequential interpretation for (g, iterations), computing them
 // once per distinct pair (warm-up pass first, then the timed pass).
 func sequentialBaseline(g *graph.Graph, iterations int) (float64, map[graph.InstanceID]float64) {
-	seqBaseline.Lock()
-	defer seqBaseline.Unlock()
-	if seqBaseline.g == g && seqBaseline.iters == iterations {
-		return seqBaseline.dur, seqBaseline.vals
+	key := seqKey{g, iterations}
+	seqBaselines.Lock()
+	defer seqBaselines.Unlock()
+	if e, ok := seqBaselines.entries[key]; ok {
+		return e.dur, e.vals
 	}
 	sem := mimdrt.MixSemantics{}
 	want := mimdrt.Sequential(g, sem, iterations)
 	t0 := time.Now()
 	mimdrt.Sequential(g, sem, iterations)
 	dur := float64(time.Since(t0).Nanoseconds())
-	seqBaseline.g, seqBaseline.iters = g, iterations
-	seqBaseline.dur, seqBaseline.vals = dur, want
+	if len(seqBaselines.entries) >= seqBaselineCap {
+		seqBaselines.entries = nil // cheap full reset; correctness is unaffected
+	}
+	if seqBaselines.entries == nil {
+		seqBaselines.entries = make(map[seqKey]seqEntry, seqBaselineCap)
+	}
+	seqBaselines.entries[key] = seqEntry{dur, want}
 	return dur, want
 }
 

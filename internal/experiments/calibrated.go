@@ -1,0 +1,267 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"mimdloop/internal/calib"
+	"mimdloop/internal/exec"
+	"mimdloop/internal/metrics"
+	"mimdloop/internal/pipeline"
+	"mimdloop/internal/workload"
+)
+
+// calibratedRegretTol is the agreement tolerance: a deterministic
+// ranking "agrees" with gort when it picks gort's own winner, or a cell
+// gort itself measures within 25% of that winner. The slack is not
+// generosity — gort's per-trial spread on a contended host runs tens of
+// percent, so two cells inside the tolerance band are statistically
+// tied and picking either is a correct read of the measurement.
+const calibratedRegretTol = 0.25
+
+// calibratedTimingRuns is how many times the deterministic (csim) tune
+// is repeated for its latency figure; the minimum is reported. A
+// deterministic computation's true cost is its unhindered run — the min
+// filters scheduler jitter — while for gort a single run is reported
+// because its jitter is the phenomenon being paid for.
+const calibratedTimingRuns = 3
+
+// CalibratedRow is one random loop of the calibration agreement table:
+// the (p, k) winner picked by three rankings of the same grid — raw
+// measured sim (abstract cycles), calibrated sim (profile-scaled
+// nanoseconds) and the real goroutine runtime (wall clock) — with the
+// goroutine ranking as ground truth, plus what each deterministic tune
+// cost in wall-clock time next to the measured one.
+type CalibratedRow struct {
+	Loop  int // paper's loop number, 0-based seed-1
+	Nodes int
+	// SimPoint / CsimPoint / GortPoint are the winning grid cells.
+	SimPoint  pipeline.Point
+	CsimPoint pipeline.Point
+	GortPoint pipeline.Point
+	// SimRegret / CsimRegret are each ranking's regret under gort's own
+	// measurements: how much slower (fractionally) the chosen cell's
+	// gort-measured mean is than the gort winner's. 0 means the same
+	// winner (or a cell gort measured as exactly tied).
+	SimRegret  float64
+	CsimRegret float64
+	// SimAgree / CsimAgree report regret <= calibratedRegretTol.
+	SimAgree  bool
+	CsimAgree bool
+	// CsimTuneNs / GortTuneNs are the wall-clock cost of the csim and
+	// gort tunes over the (cache-warm) grid — the latency a serving
+	// process pays for calibrated vs measured ranking.
+	CsimTuneNs int64
+	GortTuneNs int64
+}
+
+// Table1CalibratedResult aggregates the calibration experiment.
+type Table1CalibratedResult struct {
+	Rows []CalibratedRow
+	// Trials is the gort trial count per grid cell. It defaults high
+	// (20): at the tens-of-percent per-trial spread gort shows on a
+	// loaded host, that is roughly what a measured tune needs before
+	// its ranking is as stable as the deterministic ones it is judging
+	// — fewer trials would make the "ground truth" a coin toss and the
+	// latency comparison flattering. csim and sim are deterministic at
+	// fluct 0 and collapse to one trial regardless.
+	Trials int
+	// Profile is the fitted calibration the csim ranking used.
+	Profile *calib.Profile
+	// SimAgreements / CsimAgreements count loops within the regret
+	// tolerance; the Pct forms are percentages of the suite.
+	SimAgreements  int
+	CsimAgreements int
+	SimAgreePct    float64
+	CsimAgreePct   float64
+	// CsimTuneNsMean / GortTuneNsMean are the mean tune costs;
+	// LatencyRatio is csim's share of gort's (0.01 = 1%).
+	CsimTuneNsMean float64
+	GortTuneNsMean float64
+	LatencyRatio   float64
+}
+
+// Table1Calibrated runs the calibration closing-the-loop experiment:
+// fit one profile from the probe suite (ccfg), then for each random
+// loop rank the same (p, k) grid three ways — raw measured sim,
+// calibrated sim, real goroutine runtime — and score the two
+// simulator rankings by their regret under the goroutine ranking's own
+// per-cell measurements. The grid brackets the channel-overhead
+// trade-off the raw simulator is blind to (few processors and few
+// messages vs many of both); the calibrated ranking rescales the sim
+// accounting into fitted nanoseconds and should land within the regret
+// tolerance of gort's winner at simulator cost. Plans are scheduled
+// (cache-warm) before the timed tunes, so the latency columns compare
+// evaluation cost, not scheduling cost; loops run serially for honest
+// wall-clock.
+func Table1Calibrated(count, iters, trials int, ccfg calib.Config) (*Table1CalibratedResult, error) {
+	if count < 1 || count > 25 {
+		return nil, fmt.Errorf("experiments: table 1 loop count %d, want 1..25", count)
+	}
+	if iters == 0 {
+		iters = 100
+	}
+	if trials == 0 {
+		trials = 20
+	}
+	profile, err := calib.Calibrate(ccfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &Table1CalibratedResult{
+		Rows:    make([]CalibratedRow, count),
+		Trials:  trials,
+		Profile: profile,
+	}
+	pipe := pipeline.New(pipeline.Config{})
+	for i := 0; i < count; i++ {
+		row, err := calibratedRow(pipe, profile, int64(i+1), iters, trials)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows[i] = row
+	}
+	var csimNs, gortNs []float64
+	for _, row := range res.Rows {
+		csimNs = append(csimNs, float64(row.CsimTuneNs))
+		gortNs = append(gortNs, float64(row.GortTuneNs))
+		if row.SimAgree {
+			res.SimAgreements++
+		}
+		if row.CsimAgree {
+			res.CsimAgreements++
+		}
+	}
+	res.SimAgreePct = float64(res.SimAgreements) / float64(count) * 100
+	res.CsimAgreePct = float64(res.CsimAgreements) / float64(count) * 100
+	res.CsimTuneNsMean = metrics.Mean(csimNs)
+	res.GortTuneNsMean = metrics.Mean(gortNs)
+	if res.GortTuneNsMean > 0 {
+		res.LatencyRatio = res.CsimTuneNsMean / res.GortTuneNsMean
+	}
+	return res, nil
+}
+
+// calibratedGrid is the experiment's search space: the extremes of the
+// processor budget at the presumed comm estimate. Two cells whose
+// message counts differ by the width of the machine, so the rankings
+// genuinely disagree about the channel-overhead trade-off rather than
+// about noise between near-identical neighbors.
+var calibratedGrid = pipeline.TuneOptions{
+	Processors: []int{2, 8},
+	CommCosts:  []int{2},
+	Objective:  pipeline.ObjectiveMinRate,
+	Workers:    1,
+}
+
+// calibratedRow tunes one random loop under the three rankings, timing
+// the csim and gort tunes over a pre-scheduled (cache-warm) grid.
+func calibratedRow(pipe *pipeline.Pipeline, profile *calib.Profile, seed int64, iters, trials int) (CalibratedRow, error) {
+	var row CalibratedRow
+	g, err := workload.Random(workload.PaperSpec, seed)
+	if err != nil {
+		return row, err
+	}
+	row = CalibratedRow{Loop: int(seed - 1), Nodes: g.N()}
+
+	// Warm the plan cache with an untimed static tune: the timed tunes
+	// below then compare how the rankings evaluate, not how they
+	// schedule (both would pay the identical scheduling cost once).
+	grid := calibratedGrid
+	if _, err := pipe.AutoTune(g, iters, grid); err != nil {
+		return row, fmt.Errorf("experiments: loop %d warmup tune: %w", seed-1, err)
+	}
+
+	grid.Evaluator = &pipeline.MeasuredEvaluator{Trials: trials, Fluct: measuredMM, Seed: seed}
+	sim, err := pipe.AutoTune(g, iters, grid)
+	if err != nil {
+		return row, fmt.Errorf("experiments: loop %d sim tune: %w", seed-1, err)
+	}
+
+	grid.Evaluator = &pipeline.MeasuredEvaluator{Trials: trials, Backend: exec.Calibrated{Model: profile.Model}}
+	var csim *pipeline.TuneResult
+	for r := 0; r < calibratedTimingRuns; r++ {
+		t0 := time.Now()
+		csim, err = pipe.AutoTune(g, iters, grid)
+		ns := time.Since(t0).Nanoseconds()
+		if err != nil {
+			return row, fmt.Errorf("experiments: loop %d csim tune: %w", seed-1, err)
+		}
+		if row.CsimTuneNs == 0 || ns < row.CsimTuneNs {
+			row.CsimTuneNs = ns
+		}
+	}
+
+	grid.Evaluator = &pipeline.MeasuredEvaluator{Trials: trials, Backend: exec.Goroutine{}}
+	t0 := time.Now()
+	gort, err := pipe.AutoTune(g, iters, grid)
+	row.GortTuneNs = time.Since(t0).Nanoseconds()
+	if err != nil {
+		return row, fmt.Errorf("experiments: loop %d gort tune: %w", seed-1, err)
+	}
+
+	row.SimPoint = sim.Best.Point
+	row.CsimPoint = csim.Best.Point
+	row.GortPoint = gort.Best.Point
+	row.SimRegret = gortRegret(gort, row.SimPoint)
+	row.CsimRegret = gortRegret(gort, row.CsimPoint)
+	row.SimAgree = row.SimRegret <= calibratedRegretTol
+	row.CsimAgree = row.CsimRegret <= calibratedRegretTol
+	return row, nil
+}
+
+// gortRegret scores a chosen grid cell by gort's own measurements: the
+// fractional slowdown of the cell's gort-measured mean rate over the
+// gort winner's. The winner itself (and any exact tie) scores 0.
+func gortRegret(gort *pipeline.TuneResult, chosen pipeline.Point) float64 {
+	best := gort.Best.Score.Rate
+	if best <= 0 {
+		return 0
+	}
+	for _, r := range gort.Results {
+		if r.Point == chosen && r.Err == nil {
+			return r.Score.Rate/best - 1
+		}
+	}
+	// The chosen cell did not schedule under gort — a disagreement by
+	// construction, scored beyond any tolerance.
+	return 1
+}
+
+// Format renders the agreement table and the latency comparison.
+func (r *Table1CalibratedResult) Format() string {
+	t := &metrics.Table{Header: []string{
+		"loop", "sim p,k", "csim p,k", "gort p,k", "sim rgt", "csim rgt", "csim µs", "gort µs",
+	}}
+	point := func(p pipeline.Point) string {
+		return fmt.Sprintf("%d,%d", p.Processors, p.CommCost)
+	}
+	regret := func(v float64, agree bool) string {
+		s := fmt.Sprintf("%.0f%%", v*100)
+		if !agree {
+			s += "!"
+		}
+		return s
+	}
+	for _, row := range r.Rows {
+		t.AddRow(
+			fmt.Sprint(row.Loop),
+			point(row.SimPoint), point(row.CsimPoint), point(row.GortPoint),
+			regret(row.SimRegret, row.SimAgree), regret(row.CsimRegret, row.CsimAgree),
+			fmt.Sprintf("%.0f", float64(row.CsimTuneNs)/1e3),
+			fmt.Sprintf("%.0f", float64(row.GortTuneNs)/1e3),
+		)
+	}
+	t.AddRow("mean", "", "", "", "", "",
+		fmt.Sprintf("%.0f", r.CsimTuneNsMean/1e3), fmt.Sprintf("%.0f", r.GortTuneNsMean/1e3))
+	return t.String() + fmt.Sprintf(
+		"calibrated sim within %.0f%% of gort's winner on %d/%d loops (%.0f%%) vs raw sim %d/%d (%.0f%%); csim tune costs %.2f%% of gort tune (%d gort trials/cell)\n"+
+			"profile: %.2f ns/cycle, %.0f ns/message, %.0f ns/iteration, %.2f seq ns/cycle (fit error %.0f%% over %d samples)\n",
+		calibratedRegretTol*100,
+		r.CsimAgreements, len(r.Rows), r.CsimAgreePct,
+		r.SimAgreements, len(r.Rows), r.SimAgreePct,
+		r.LatencyRatio*100, r.Trials,
+		r.Profile.Model.ComputeNsPerCycle, r.Profile.Model.CommNsPerMessage, r.Profile.Model.IterOverheadNs,
+		r.Profile.Model.SeqNsPerCycle,
+		r.Profile.FitError*100, r.Profile.Samples)
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mimdloop/internal/calib"
+)
+
+// TestTable1CalibratedAcceptance pins the PR's two acceptance bounds on
+// a real run: the calibrated ranking lands within the regret tolerance
+// of gort's winner on at least 80% of the suite, and a csim tune costs
+// under 1% of the equivalent gort tune's wall-clock. The run is real
+// timing on whatever host CI gives us, so everything else (regrets,
+// profiles, which cell wins) is checked for shape and finiteness only.
+func TestTable1CalibratedAcceptance(t *testing.T) {
+	res, err := Table1Calibrated(10, 40, 0, calib.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CsimAgreePct < 80 {
+		t.Errorf("csim within %.0f%% of gort's winner on only %d/%d loops (%.0f%%), acceptance floor 80%%\n%s",
+			calibratedRegretTol*100, res.CsimAgreements, len(res.Rows), res.CsimAgreePct, res.Format())
+	}
+	if res.LatencyRatio <= 0 || res.LatencyRatio >= 0.01 {
+		t.Errorf("csim tune costs %.2f%% of gort tune, acceptance ceiling 1%%\n%s",
+			res.LatencyRatio*100, res.Format())
+	}
+	if res.Profile == nil || res.Profile.Model.IsZero() {
+		t.Fatalf("experiment ran without a fitted profile: %+v", res.Profile)
+	}
+	if res.Trials != 20 {
+		t.Fatalf("default gort trial count drifted: %d", res.Trials)
+	}
+	for _, row := range res.Rows {
+		if row.Nodes <= 0 || row.CsimTuneNs <= 0 || row.GortTuneNs <= 0 {
+			t.Fatalf("row shape: %+v", row)
+		}
+		for _, rgt := range []float64{row.SimRegret, row.CsimRegret} {
+			if rgt < 0 || math.IsInf(rgt, 0) || math.IsNaN(rgt) {
+				t.Fatalf("regret %v: %+v", rgt, row)
+			}
+		}
+	}
+	out := res.Format()
+	for _, want := range []string{"csim p,k", "csim rgt", "of gort tune", "profile:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Format() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable1CalibratedRejectsBadCount(t *testing.T) {
+	if _, err := Table1Calibrated(0, 10, 1, calib.Quick()); err == nil {
+		t.Fatal("count 0 accepted")
+	}
+	if _, err := Table1Calibrated(26, 10, 1, calib.Quick()); err == nil {
+		t.Fatal("count 26 accepted")
+	}
+}

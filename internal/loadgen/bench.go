@@ -42,7 +42,7 @@ func pick(v [2]int, quick bool) int {
 	return v[0]
 }
 
-// Bench runs the six trajectory phases against the server at baseURL
+// Bench runs the seven trajectory phases against the server at baseURL
 // and returns the Report to persist. The server only needs the standard
 // /v1 routes; the same call measures an in-process httptest server
 // (paperbench -json) or a live deployment (loopsched bench).
@@ -94,8 +94,10 @@ func Bench(baseURL string, client *http.Client, opt Options) (*Report, error) {
 	}
 	rep.Hit = summarize(hits)
 
-	// Phases 3 and 4: measured tuning on each backend over a small
-	// 2-point grid (well inside the gort serving caps).
+	// Phases 3-5: measured tuning on each backend over a small 2-point
+	// grid (well inside the gort serving caps). The csim phase degrades
+	// to raw-sim scoring against a server with no calibration profile —
+	// the latency is the same either way, which is the phase's point.
 	for _, be := range []struct {
 		backend string
 		eval    string // fluct/seed are sim-only parameters
@@ -106,6 +108,8 @@ func Bench(baseURL string, client *http.Client, opt Options) (*Report, error) {
 			pick(tuneSamples, opt.Quick), &rep.TuneSim},
 		{"gort", `{"mode": "measured", "backend": "gort", "trials": 3}`,
 			pick(gortSamples, opt.Quick), &rep.TuneGort},
+		{"csim", `{"mode": "measured", "backend": "csim", "trials": 3, "fluct": 2, "seed": 1}`,
+			pick(tuneSamples, opt.Quick), &rep.TuneCsim},
 	} {
 		body := []byte(fmt.Sprintf(
 			`{"source": %q, "processors": [2, 3], "comm_costs": [2], "iterations": 40, "eval": %s}`,
@@ -121,7 +125,7 @@ func Bench(baseURL string, client *http.Client, opt Options) (*Report, error) {
 		*be.out = summarize(samples)
 	}
 
-	// Phase 5: batch throughput — the standard 6-loop mix per request.
+	// Phase 6: batch throughput — the standard 6-loop mix per request.
 	reqs := pick(batchReqs, opt.Quick)
 	t0 := time.Now()
 	for i := 0; i < reqs; i++ {
@@ -138,7 +142,7 @@ func Bench(baseURL string, client *http.Client, opt Options) (*Report, error) {
 		LoopsPerSec: float64(loops) / wall.Seconds(),
 	}
 
-	// Phase 6: concurrent mixed load.
+	// Phase 7: concurrent mixed load.
 	runner := &Runner{
 		BaseURL:  baseURL,
 		Client:   client,

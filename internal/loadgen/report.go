@@ -2,14 +2,15 @@
 // as the repo's benchmark trajectory (the committed BENCH_*.json files).
 //
 // The package has two halves. Report (this file) is the versioned wire
-// schema every trajectory file conforms to: six sections — cold schedule
-// latency, cache-hit latency, tune latency per backend (sim and gort),
-// batch throughput, and a concurrent HTTP load phase — all expressed in
-// integer nanoseconds so files diff cleanly across PRs. Runner
-// (runner.go) is the concurrent load generator behind the last section,
-// and Bench (bench.go) drives all six phases over plain HTTP so the same
-// code measures an in-process httptest server (paperbench -json) and a
-// live deployment (loopsched bench).
+// schema every trajectory file conforms to: seven sections — cold
+// schedule latency, cache-hit latency, tune latency per backend (sim,
+// gort and the calibrated csim), batch throughput, and a concurrent
+// HTTP load phase — all expressed in integer nanoseconds so files diff
+// cleanly across PRs. Runner (runner.go) is the concurrent load
+// generator behind the last section, and Bench (bench.go) drives all
+// seven phases over plain HTTP so the same code measures an in-process
+// httptest server (paperbench -json) and a live deployment (loopsched
+// bench).
 //
 // The schema is guarded by a golden-fixture test (golden_test.go): any
 // field added, removed or renamed fails the test until Version is
@@ -24,11 +25,17 @@ import (
 )
 
 // Format and Version identify the trajectory schema. Bump Version (and
-// regenerate testdata/bench_v1.json's successor) whenever a field is
+// regenerate the testdata/bench_v<N>.json fixture) whenever a field is
 // added, removed or renamed in Report or any section struct.
+//
+// Version history:
+//
+//	1: initial schema — cold/hit/tune_sim/tune_gort/batch/http_load.
+//	2: added tune_csim (the calibrated-simulator tune phase); v1 files
+//	   stop being comparable (CompareHit restarts the trajectory).
 const (
 	Format  = "mimdloop/bench"
-	Version = 1
+	Version = 2
 )
 
 // Report is one trajectory point: everything a BENCH_<n>.json file
@@ -50,10 +57,12 @@ type Report struct {
 	// Hit is the warm /v1/schedule path: plan-cache lookup plus the
 	// pre-rendered response body.
 	Hit Latency `json:"cache_hit"`
-	// TuneSim and TuneGort are /v1/tune with a measured evaluator on
-	// the simulated machine and the goroutine runtime respectively.
+	// TuneSim, TuneGort and TuneCsim are /v1/tune with a measured
+	// evaluator on the simulated machine, the goroutine runtime, and
+	// the calibrated simulator (profile-scaled sim) respectively.
 	TuneSim  Latency `json:"tune_sim"`
 	TuneGort Latency `json:"tune_gort"`
+	TuneCsim Latency `json:"tune_csim"`
 	// Batch is /v1/batch throughput in loops scheduled per second.
 	Batch Throughput `json:"batch"`
 	// Load is the concurrent mixed-endpoint phase.
@@ -147,6 +156,7 @@ func (r *Report) Summary() string {
 			"cache hit       p50 %-10v p99 %v (%d samples)\n"+
 			"tune sim        p50 %-10v (%d samples)\n"+
 			"tune gort       p50 %-10v (%d samples)\n"+
+			"tune csim       p50 %-10v (%d samples)\n"+
 			"batch           %.0f loops/s (%d loops)\n"+
 			"http load       %.0f req/s, p50 %v p95 %v p99 %v (%d workers, %d requests, %d errors)\n",
 		mode, r.GoMaxProcs,
@@ -154,6 +164,7 @@ func (r *Report) Summary() string {
 		d(r.Hit.P50NS), d(r.Hit.P99NS), r.Hit.Samples,
 		d(r.TuneSim.P50NS), r.TuneSim.Samples,
 		d(r.TuneGort.P50NS), r.TuneGort.Samples,
+		d(r.TuneCsim.P50NS), r.TuneCsim.Samples,
 		r.Batch.LoopsPerSec, r.Batch.Loops,
 		r.Load.ReqPerSec, d(r.Load.Latency.P50NS), d(r.Load.Latency.P95NS), d(r.Load.Latency.P99NS),
 		r.Load.Workers, r.Load.Requests, r.Load.Errors)

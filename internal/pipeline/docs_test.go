@@ -95,14 +95,34 @@ func TestAPIDocCoversRoutes(t *testing.T) {
 	// reply field, the slots configuration, the bench subcommand, and
 	// every section of the BENCH_*.json schema (internal/loadgen pins
 	// the schema itself with a golden fixture; this pins the reference).
+	// The schema heading must carry the current loadgen.Version, so a
+	// version bump fails here until the doc notes the break.
 	for _, fragment := range []string{
 		"`measured_by`", "-slots", "loopsched bench", loadgen.Format,
+		fmt.Sprintf("version %d", loadgen.Version),
 		`"cold_schedule"`, `"cache_hit"`, `"tune_sim"`, `"tune_gort"`,
-		`"batch"`, `"http_load"`, `"p50_ns"`, `"p95_ns"`, `"p99_ns"`,
+		`"tune_csim"`, `"batch"`, `"http_load"`, `"p50_ns"`, `"p95_ns"`, `"p99_ns"`,
 		`"req_per_sec"`, `"loops_per_sec"`, "-against",
 	} {
 		if !strings.Contains(doc, fragment) {
 			t.Errorf("docs/API.md does not document the bench/fast-lane fragment %s", fragment)
+		}
+	}
+
+	// The calibration surface: the csim backend selector, the calibrate
+	// and serve/tune flags, the profile file, and every JSON field of
+	// the stats "calib" block (CalibStats plus the nested cost model).
+	for _, fragment := range []string{
+		"## Cost-model calibration", `"backend": "csim"`, "`csim`",
+		"loopsched calibrate", "-calib", "-calibrate-every",
+		"calib.profile.json", "quarantine",
+		`"calib"`, `"present"`, `"age_seconds"`, `"samples"`,
+		`"rmse_ns"`, `"fit_error"`, `"refreshes"`, `"model"`,
+		`"compute_ns_per_cycle"`, `"comm_ns_per_message"`,
+		`"iter_overhead_ns"`, `"seq_ns_per_cycle"`,
+	} {
+		if !strings.Contains(doc, fragment) {
+			t.Errorf("docs/API.md does not document the calibration fragment %s", fragment)
 		}
 	}
 }
@@ -151,6 +171,33 @@ func TestArchitectureDocCoversCluster(t *testing.T) {
 	} {
 		if !strings.Contains(doc, fragment) {
 			t.Errorf("docs/ARCHITECTURE.md does not cover the cluster fragment %q", fragment)
+		}
+	}
+}
+
+// TestArchitectureDocCoversCalibration pins the "Cost-model calibration"
+// section of docs/ARCHITECTURE.md to the design it documents: the probe
+// fit with its separate sequential coefficient, the csim backend and its
+// pass-through degradation, the profile codec with atomic persistence
+// and quarantine, the Manager's atomic swap and background refresh, the
+// Calibration seam, and the regret-based acceptance experiment.
+func TestArchitectureDocCoversCalibration(t *testing.T) {
+	data, err := os.ReadFile("../../docs/ARCHITECTURE.md")
+	if err != nil {
+		t.Fatalf("docs/ARCHITECTURE.md must exist: %v", err)
+	}
+	doc := string(data)
+	for _, fragment := range []string{
+		"## Cost-model calibration", "internal/calib", "exec.CostModel",
+		"normal equations", "seq_ns_per_cycle", "fitted separately",
+		`exec.Calibrated ("csim")`, "byte-identically",
+		"calib.profile.json", "quarantine", "atomic",
+		"ResetSequentialBaselines", "calib.Manager", "atomic.Pointer",
+		"-calibrate-every", "pipeline.Calibration",
+		"Table1Calibrated", "regret", "TestTable1CalibratedAcceptance",
+	} {
+		if !strings.Contains(doc, fragment) {
+			t.Errorf("docs/ARCHITECTURE.md does not cover the calibration fragment %q", fragment)
 		}
 	}
 }

@@ -278,8 +278,11 @@ type EvalRequest struct {
 	// Mode is "static" (default) or "measured".
 	Mode string `json:"mode"`
 	// Backend selects the execution model of a measured evaluation:
-	// "sim" (default, the deterministic simulated machine) or "gort"
-	// (the real goroutine runtime, timed on the wall clock).
+	// "sim" (default, the deterministic simulated machine), "gort" (the
+	// real goroutine runtime, timed on the wall clock) or "csim" (the
+	// calibrated simulator: sim trials rescaled to predicted nanoseconds
+	// through the server's live fitted profile — deterministic and
+	// billed like sim).
 	Backend string `json:"backend"`
 	// Objective selects the distribution statistic the grid is ranked
 	// by: "mean" (default), "worst" or "p95".
@@ -342,7 +345,7 @@ func checkEvalRequest(r *EvalRequest) (int, error) {
 	}
 	if _, err := exec.ForName(r.Backend); err != nil {
 		return http.StatusBadRequest,
-			fmt.Errorf("unknown eval backend %q (want sim or gort)", r.Backend)
+			fmt.Errorf("unknown eval backend %q (want sim, gort or csim)", r.Backend)
 	}
 	if _, err := ParseEvalObjective(r.Objective); err != nil {
 		return http.StatusBadRequest, fmt.Errorf("eval objective: %w", err)
@@ -448,6 +451,9 @@ type Server struct {
 	// peer are forwarded there instead of computed here, and peer-fill
 	// record fetches are answered only for owned keys.
 	cluster ScheduleForwarder
+	// calib, when non-nil, supplies the live fitted cost model that
+	// csim evaluations are scaled by (see calib.go).
+	calib Calibration
 }
 
 // ServerConfig tunes the serving layer; the zero value is the default
@@ -467,6 +473,12 @@ type ServerConfig struct {
 	// standard implementation is a store.PeerStore, which should also be
 	// slotted into the pipeline's TieredStore as the peer-fill tier.
 	Cluster ScheduleForwarder
+	// Calibration, when non-nil, supplies the fitted cost model behind
+	// `eval.backend=csim` and the "calib" block of /v1/stats. The
+	// standard implementation is a calib.Manager, usually persisting
+	// its profile in the disk plan store's directory and refreshed by
+	// `loopsched serve -calibrate-every`.
+	Calibration Calibration
 }
 
 // slots resolves the admission bound.
@@ -487,6 +499,7 @@ func NewServerWith(p *Pipeline, cfg ServerConfig) *Server {
 		mux:     http.NewServeMux(),
 		sem:     make(chan struct{}, cfg.slots()),
 		cluster: cfg.Cluster,
+		calib:   cfg.Calibration,
 	}
 	for _, rt := range []struct {
 		method, path string
@@ -585,6 +598,9 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
 			return
 		}
+		if sim != nil {
+			s.calibrate(sim)
+		}
 	}
 	// Admission: compile, schedule, and marshal under the in-flight
 	// bound. The slot is released before the (possibly large, possibly
@@ -614,7 +630,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 
 // parseSimulateQuery reads the ?simulate=1 parameters of /v1/schedule:
 // simulate turns measured evaluation of the served plan on, and trials
-// (default 1, capped like a tune's eval block), backend (sim or gort),
+// (default 1, capped like a tune's eval block), backend (sim, gort or csim),
 // objective (mean/worst/p95), fluct and seed shape it. nil means no
 // simulation was requested.
 func parseSimulateQuery(q url.Values) (*MeasuredEvaluator, error) {
@@ -962,6 +978,31 @@ func checkTuneRequest(req *TuneRequest) (int, error) {
 	return checkSource(req.Source)
 }
 
+// calibrate substitutes the server's live fitted cost model into a
+// measured evaluator that requested the csim backend without bringing a
+// model of its own. With no Calibration configured (or none fitted yet)
+// the evaluator keeps its zero model and csim degrades to raw sim — the
+// request still succeeds, it just isn't scaled.
+func (s *Server) calibrate(ev *MeasuredEvaluator) {
+	if s.calib == nil {
+		return
+	}
+	if cb, ok := ev.Backend.(exec.Calibrated); ok && cb.Model.IsZero() {
+		if m, ok := s.calib.Model(); ok {
+			ev.Backend = exec.Calibrated{Model: m}
+		}
+	}
+}
+
+// calibrated applies calibrate when the evaluator is measured; static
+// evaluators pass through untouched.
+func (s *Server) calibrated(ev Evaluator) Evaluator {
+	if me, ok := ev.(*MeasuredEvaluator); ok {
+		s.calibrate(me)
+	}
+	return ev
+}
+
 // tuneResponse runs the compute section of a tune request.
 func (s *Server) tuneResponse(req *TuneRequest) (*TuneResponse, int, error) {
 	compiled, err := s.pipe.Compile(req.Source)
@@ -979,7 +1020,7 @@ func (s *Server) tuneResponse(req *TuneRequest) (*TuneResponse, int, error) {
 		Objective:  objective,
 		Epsilon:    eps,
 		Workers:    aggregateWorkers,
-		Evaluator:  req.Eval.evaluator(),
+		Evaluator:  s.calibrated(req.Eval.evaluator()),
 	})
 	if err != nil {
 		if errors.Is(err, core.ErrNoPattern) {
@@ -1191,11 +1232,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		cs := s.cluster.ClusterStats()
 		cluster = &cs
 	}
+	var calib *CalibStats
+	if s.calib != nil {
+		cs := s.calib.CalibStats()
+		calib = &cs
+	}
 	writeJSON(w, http.StatusOK, struct {
 		Stats
 		HitRate float64       `json:"hit_rate"`
 		Cluster *ClusterStats `json:"cluster,omitempty"`
-	}{stats, stats.HitRate(), cluster})
+		Calib   *CalibStats   `json:"calib,omitempty"`
+	}{stats, stats.HitRate(), cluster, calib})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

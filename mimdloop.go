@@ -55,6 +55,7 @@
 package mimdloop
 
 import (
+	"mimdloop/internal/calib"
 	"mimdloop/internal/classify"
 	"mimdloop/internal/core"
 	"mimdloop/internal/doacross"
@@ -309,8 +310,59 @@ func SimBackend() ExecBackend { return exec.Sim{} }
 func GoroutineBackend() ExecBackend { return exec.Goroutine{} }
 
 // ExecBackendFor resolves a backend wire name: "" or "sim" for the
-// simulated machine, "gort" for the goroutine runtime.
+// simulated machine, "gort" for the goroutine runtime, "csim" for the
+// calibrated simulator (unfitted until given a CostModel — see
+// CalibratedBackend).
 func ExecBackendFor(name string) (ExecBackend, error) { return exec.ForName(name) }
+
+// Cost-model calibration: fitting the simulated machine's accounting to
+// measured goroutine-runtime makespans so the "csim" backend ranks
+// plans in predicted wall-clock nanoseconds at simulator cost.
+type (
+	// CostModel is the fitted linear map from sim accounting (cycles,
+	// messages, iterations) to nanoseconds; the zero value means "no
+	// profile" and leaves csim a transparent raw-sim passthrough.
+	CostModel = exec.CostModel
+	// CalibProfile is one fitted calibration: the model plus its fit
+	// residuals and provenance, persisted as a versioned JSON record.
+	CalibProfile = calib.Profile
+	// CalibConfig shapes one calibration pass (probe loops, trials,
+	// grid); the zero value takes defaults sized well under a second.
+	CalibConfig = calib.Config
+	// CalibManager holds a serving process's live profile: background
+	// refresh, persistence beside the plan store, and the
+	// PipelineServerConfig.Calibration seam behind `eval.backend=csim`.
+	CalibManager = calib.Manager
+)
+
+// CalibratedBackend returns the calibrated-simulator backend ("csim"):
+// deterministic sim trials rescaled through a fitted CostModel, so the
+// ranking approximates gort's at sim cost. A zero model degrades to the
+// raw sim backend byte-identically.
+func CalibratedBackend(m CostModel) ExecBackend { return exec.Calibrated{Model: m} }
+
+// Calibrate runs one calibration pass: a seeded probe suite through
+// both backends, least-squares fitted. See `loopsched calibrate`.
+func Calibrate(cfg CalibConfig) (*CalibProfile, error) { return calib.Calibrate(cfg) }
+
+// QuickCalibConfig is the CI-sized calibration pass (-quick).
+func QuickCalibConfig() CalibConfig { return calib.Quick() }
+
+// NewCalibManager returns a CalibManager persisting to path ("" =
+// memory only); CalibProfilePath names the canonical location inside a
+// plan-store directory.
+func NewCalibManager(path string) *CalibManager { return calib.NewManager(path) }
+
+// CalibProfilePath is the canonical profile path inside a plan-store
+// directory (`loopsched serve -store DIR`).
+func CalibProfilePath(dir string) string { return calib.ProfilePath(dir) }
+
+// LoadCalibProfile reads a persisted profile record; a file that fails
+// to decode is quarantined beside the store's corrupt plan records.
+func LoadCalibProfile(path string) (*CalibProfile, error) { return calib.LoadProfile(path) }
+
+// SaveCalibProfile writes the versioned profile record atomically.
+func SaveCalibProfile(path string, p *CalibProfile) error { return calib.SaveProfile(path, p) }
 
 // NewMeasuredEvaluator returns an Evaluator running `trials` seeded
 // simulations per plan with fluctuation mm on the sim backend, for
