@@ -24,8 +24,9 @@
 // Usage:
 //
 //	loopsched [-k cost] [-p procs] [-n iters] [-fold] [-gantt cycles] file.loop
-//	loopsched -example fig7|lfk18|ewf
-//	loopsched tune [-n iters] [-p list] [-k list] [-objective o] [-epsilon e]
+//	loopsched -example fig7|lfk18|ewf|chain
+//	loopsched tune [-n iters] [-p list] [-k list] [-grains list] [-serial-below c]
+//	               [-objective o] [-epsilon e]
 //	               [-measured [-backend sim|gort|csim] [-calib FILE] [-trials r] [-fluct mm] [-seed s]]
 //	               [-example name] [file.loop]
 //	loopsched batch [-k cost] [-p procs] [-n iters] [-fold] [-workers w] file.loop...
@@ -97,7 +98,7 @@ func main() {
 		iters    = flag.Int("n", 100, "iterations to schedule and simulate")
 		fold     = flag.Bool("fold", false, "fold non-Cyclic nodes into idle Cyclic slots (Section 3 heuristic)")
 		gantt    = flag.Int("gantt", 24, "cycles of schedule to display (0 = none)")
-		example  = flag.String("example", "", "run a built-in workload: fig7, lfk18, ewf")
+		example  = flag.String("example", "", "run a built-in workload: fig7, lfk18, ewf, chain")
 		jsonPath = flag.String("json", "", "write the composed schedule (with its graph) to this file as JSON")
 	)
 	flag.Parse()
@@ -498,10 +499,12 @@ func tune(args []string) error {
 		iters     = fs.Int("n", 100, "iterations to schedule per grid point")
 		procsCSV  = fs.String("p", "", "comma-separated processor budgets (default 1..min(nodes, 8))")
 		costsCSV  = fs.String("k", "", "comma-separated comm-cost estimates (default 1,2,3,4)")
+		grainsCSV = fs.String("grains", "", "comma-separated chunking grains to add as a grid axis (default: unchunked only)")
+		serialBlw = fs.Int("serial-below", 0, "emit the 1-processor sequential plan when n x body latency is below this (0 = off)")
 		objective = fs.String("objective", "min_rate", "tuning objective: min_rate, min_procs or efficiency; or a measured spread statistic: mean, worst, p95")
 		epsilon   = fs.Float64("epsilon", 0.05, "min_procs relative rate slack")
 		workers   = fs.Int("workers", 0, "sweep worker-pool size (0 = GOMAXPROCS)")
-		example   = fs.String("example", "", "tune a built-in workload: fig7, lfk18, ewf")
+		example   = fs.String("example", "", "tune a built-in workload: fig7, lfk18, ewf, chain")
 		measured  = fs.Bool("measured", false, "rank grid points by measured Sp on an execution backend")
 		backend   = fs.String("backend", "", "execution backend for measured ranking: sim (simulated machine, default), gort (real goroutine runtime) or csim (calibrated simulator; see -calib); implies -measured")
 		calibPath = fs.String("calib", "", "calibration profile for -backend csim (from `loopsched calibrate -o` or a serve -store directory); without it csim degrades to raw sim")
@@ -565,12 +568,18 @@ func tune(args []string) error {
 	if err != nil {
 		return fmt.Errorf("-k: %w", err)
 	}
+	grains, err := parseIntList(*grainsCSV)
+	if err != nil {
+		return fmt.Errorf("-grains: %w", err)
+	}
 	opt := mimdloop.TuneOptions{
-		Processors: procs,
-		CommCosts:  costs,
-		Objective:  obj,
-		Epsilon:    *epsilon,
-		Workers:    *workers,
+		Processors:      procs,
+		CommCosts:       costs,
+		Grains:          grains,
+		SerialThreshold: *serialBlw,
+		Objective:       obj,
+		Epsilon:         *epsilon,
+		Workers:         *workers,
 	}
 	var ev *mimdloop.MeasuredEvaluator
 	if *measured {
@@ -594,17 +603,30 @@ func tune(args []string) error {
 	}
 	fmt.Printf("loop %s: %d nodes, tuning %d grid points (%d scheduled), objective %s, evaluator %s\n\n",
 		compiled.Loop.Name, compiled.Graph.N(), len(res.Results), res.Evaluated, res.Objective, evaluator)
-	header := fmt.Sprintf("%5s %5s %12s %8s", "p", "k", "rate", "procs")
+	if res.SerialFallback {
+		fmt.Printf("serial fallback: total sequential work %d cycles is below -serial-below %d; grid skipped\n\n",
+			*iters*compiled.Graph.TotalLatency(), *serialBlw)
+	}
+	grained := len(grains) > 0
+	header := fmt.Sprintf("%5s %5s", "p", "k")
+	if grained {
+		header += fmt.Sprintf(" %5s", "grain")
+	}
+	header += fmt.Sprintf(" %12s %8s", "rate", "procs")
 	if *measured {
 		header += fmt.Sprintf(" %8s %16s", "Sp", "[min, max]")
 	}
 	fmt.Println(header)
 	for _, r := range res.Results {
+		pk := fmt.Sprintf("%5d %5d", r.Point.Processors, r.Point.CommCost)
+		if grained {
+			pk += fmt.Sprintf(" %5d", r.Point.Grain)
+		}
 		if r.Err != nil {
-			fmt.Printf("%5d %5d %12s %8s  (%v)\n", r.Point.Processors, r.Point.CommCost, "-", "-", r.Err)
+			fmt.Printf("%s %12s %8s  (%v)\n", pk, "-", "-", r.Err)
 			continue
 		}
-		line := fmt.Sprintf("%5d %5d %12.3g %8d", r.Point.Processors, r.Point.CommCost, r.Rate, r.Procs)
+		line := fmt.Sprintf("%s %12.3g %8d", pk, r.Rate, r.Procs)
 		if m := r.Score.Measured; m != nil {
 			line += fmt.Sprintf(" %7.1f%% [%5.1f%%, %5.1f%%]", m.SpMean, m.SpMin, m.SpMax)
 		}
@@ -613,8 +635,12 @@ func tune(args []string) error {
 		}
 		fmt.Println(line)
 	}
-	fmt.Printf("\nbest: p=%d k=%d -> %.3g cycles/iteration on %d processors (score %.3g)\n",
-		res.Best.Point.Processors, res.Best.Point.CommCost, res.Best.Rate, res.Best.Procs, res.Score)
+	bestPt := fmt.Sprintf("p=%d k=%d", res.Best.Point.Processors, res.Best.Point.CommCost)
+	if res.Best.Point.Grain > 1 {
+		bestPt += fmt.Sprintf(" grain=%d", res.Best.Point.Grain)
+	}
+	fmt.Printf("\nbest: %s -> %.3g cycles/iteration on %d processors (score %.3g)\n",
+		bestPt, res.Best.Rate, res.Best.Procs, res.Score)
 	if !*measured {
 		return nil
 	}
@@ -715,6 +741,17 @@ func parseIntList(s string) ([]int, error) {
 	return out, nil
 }
 
+// chainLoop is the built-in chunk-friendly example: every statement
+// carries a distance-1 self-recurrence and feeds the next, so the loop
+// splits across processors at any grain while figure 7 is infeasible at
+// every grain > 1 — the shape `tune -grains` exists for.
+const chainLoop = `loop chain(N = 64) {
+    A[i] = A[i-1] + U[i]
+    B[i] = B[i-1] + A[i]
+    C[i] = C[i-1] + B[i]
+    D[i] = D[i-1] + C[i]
+}`
+
 // loadLoop resolves a built-in example name or a single loop file.
 func loadLoop(example string, args []string) (*mimdloop.CompiledLoop, error) {
 	switch {
@@ -724,8 +761,10 @@ func loadLoop(example string, args []string) (*mimdloop.CompiledLoop, error) {
 		return mimdloop.Livermore18Loop(), nil
 	case example == "ewf":
 		return mimdloop.EllipticLoop(), nil
+	case example == "chain":
+		return mimdloop.CompileLoop(chainLoop)
 	case example != "":
-		return nil, fmt.Errorf("unknown example %q (want fig7, lfk18 or ewf)", example)
+		return nil, fmt.Errorf("unknown example %q (want fig7, lfk18, ewf or chain)", example)
 	case len(args) != 1:
 		return nil, errors.New("want exactly one loop file (or -example fig7)")
 	}

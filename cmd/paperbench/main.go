@@ -6,13 +6,15 @@
 //	paperbench            # everything
 //	paperbench -fig 7     # one figure (1, 3, 7, 8, 9, 11, 12)
 //	paperbench -table 1a  # Table 1(a), 1b, 1t (auto-tuned), 1m (measured tuning),
-//	                      # 1g (goroutine-runtime tuning) or 1c (calibrated-sim agreement)
+//	                      # 1g (goroutine-runtime tuning), 1c (calibrated-sim
+//	                      # agreement) or 1ad (adaptive granularity)
 //	paperbench -ablations # design-choice ablations
 //	paperbench -sweep     # concurrent processors x comm-cost sweep (Figure 7 loop)
 //	paperbench -workers 8 # worker-pool size for Table 1 and the sweep
 //	paperbench -table 1m -quick  # CI-sized smoke run of the measured-tuning table
 //	paperbench -table 1g -quick  # CI-sized smoke run of the goroutine-backend table
 //	paperbench -table 1c -quick  # CI-sized smoke run of the calibration agreement table
+//	paperbench -table 1ad -quick # CI-sized smoke run of the adaptive-granularity table
 //	paperbench -json BENCH_7.json -quick           # persist a serving trajectory point
 //	paperbench -json BENCH_7.json -against BENCH_6.json  # ... and gate on the previous one
 package main
@@ -38,7 +40,7 @@ import (
 func main() {
 	var (
 		fig       = flag.Int("fig", 0, "regenerate one figure (1, 3, 7, 8, 9, 11, 12)")
-		table     = flag.String("table", "", "regenerate a table: 1a, 1b, 1t (sweep-tuned (p, k) variant), 1m (measured-ranking variant), 1g (goroutine-runtime ranking) or 1c (calibrated-sim agreement)")
+		table     = flag.String("table", "", "regenerate a table: 1a, 1b, 1t (sweep-tuned (p, k) variant), 1m (measured-ranking variant), 1g (goroutine-runtime ranking), 1c (calibrated-sim agreement) or 1ad (adaptive granularity)")
 		ablations = flag.Bool("ablations", false, "run the design-choice ablations")
 		sweep     = flag.Bool("sweep", false, "sweep processors x comm cost on the Figure 7 loop")
 		iters     = flag.Int("n", 100, "iterations per measurement")
@@ -326,6 +328,15 @@ func runTable(name string, iters, loops, trials, workers int, quick bool) error 
 		fmt.Print(res.Format())
 		return nil
 	}
+	if name == "1ad" {
+		res, err := experiments.Table1Adaptive(loops, iters, trials)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Table 1 (adaptive granularity): grain-tuned vs grain-1 gort winners on the small-n suite ==")
+		fmt.Print(res.Format())
+		return nil
+	}
 	if name == "1c" {
 		// The calibration table ignores -trials: the gort trial count is
 		// the experiment's own stability default (20/cell), the number
@@ -343,7 +354,7 @@ func runTable(name string, iters, loops, trials, workers int, quick bool) error 
 		return nil
 	}
 	if name != "1a" && name != "1b" {
-		return fmt.Errorf("unknown table %q (have 1a, 1b, 1t, 1m, 1g, 1c)", name)
+		return fmt.Errorf("unknown table %q (have 1a, 1b, 1t, 1m, 1g, 1c, 1ad)", name)
 	}
 	res, err := experiments.Table1Workers(loops, iters, workers)
 	if err != nil {

@@ -48,6 +48,42 @@ func ExampleAutoTune() {
 	// best: p=2 k=2 -> 3.0 cycles/iteration on 2 processors
 }
 
+// ExampleAutoTune_grain adds the chunking-grain axis for a small loop:
+// each grain fuses that many consecutive iterations into one scheduled
+// chunk, so only chunk-boundary dependences pay the communication cost.
+// On a stream chain the rate per original iteration falls as k is
+// amortized across the chunk, then rises again when over-fusing
+// serializes too much work per chunk — the sweet spot is why this is an
+// axis to tune, not a constant. A SerialThreshold would instead skip
+// the grid entirely when the loop's total sequential work is too small
+// to pay for any messaging.
+func ExampleAutoTune_grain() {
+	c := mimdloop.MustCompileLoop(`
+	    loop chain(N = 64) {
+	        A[i] = A[i-1] + U[i]
+	        B[i] = B[i-1] + A[i]
+	        C[i] = C[i-1] + B[i]
+	        D[i] = D[i-1] + C[i]
+	    }`)
+	res, err := mimdloop.AutoTune(c.Graph, 64, mimdloop.TuneOptions{
+		Processors: []int{2},
+		CommCosts:  []int{2},
+		Grains:     []int{1, 4, 8},
+	})
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range res.Results {
+		fmt.Printf("grain %d: %.2f cycles/iteration\n", r.Point.Grain, r.Rate)
+	}
+	fmt.Printf("best: grain %d\n", res.Best.Point.Grain)
+	// Output:
+	// grain 1: 3.00 cycles/iteration
+	// grain 4: 2.00 cycles/iteration
+	// grain 8: 2.25 cycles/iteration
+	// best: grain 4
+}
+
 // ExampleNewMeasuredEvaluator tunes the Figure 7 loop by measured Sp:
 // every grid point is executed on the simulated MIMD machine for 5
 // seeded trials under communication fluctuation (mm = 3), and the

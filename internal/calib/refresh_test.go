@@ -28,9 +28,16 @@ func TestRefreshRacesTune(t *testing.T) {
 	}))
 	defer srv.Close()
 
+	// The grain axis rides along: figure 7 is infeasible at grains 2 and
+	// 4 (its dependence cycle folds to distance zero), so the tune
+	// exercises both the chunked-cell error path and the grain-1 csim
+	// path under concurrent profile replacement.
 	body := fmt.Sprintf(
-		`{"source": %q, "processors": [2, 3], "comm_costs": [2], "iterations": 30, "eval": {"mode": "measured", "backend": "csim", "trials": 2}}`,
+		`{"source": %q, "processors": [2, 3], "comm_costs": [2], "grains": [1, 2, 4], "iterations": 30, "eval": {"mode": "measured", "backend": "csim", "trials": 2}}`,
 		workload.Figure7Source)
+	// A chunk-friendly chain makes the grain cells actually execute
+	// chunked csim runs, racing the same refreshes.
+	chainBody := `{"source": "loop chain(N = 100) {\n A[i] = A[i-1] + U[i]\n B[i] = B[i-1] + A[i]\n C[i] = C[i-1] + B[i]\n}", "processors": [2], "comm_costs": [2], "grains": [1, 2, 4], "iterations": 30, "eval": {"mode": "measured", "backend": "csim", "trials": 2}}`
 	var wg sync.WaitGroup
 	errs := make(chan error, 16)
 	wg.Add(1)
@@ -48,7 +55,11 @@ func TestRefreshRacesTune(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			for i := 0; i < 3; i++ {
-				resp, err := http.Post(srv.URL+"/v1/tune", "application/json", strings.NewReader(body))
+				b := body
+				if (w+i)%2 == 1 {
+					b = chainBody
+				}
+				resp, err := http.Post(srv.URL+"/v1/tune", "application/json", strings.NewReader(b))
 				if err != nil {
 					errs <- err
 					return

@@ -51,10 +51,17 @@ func (ls *LoopSchedule) Pattern() *Pattern {
 
 // RatePerIteration returns the steady-state cycles per iteration of the
 // composed schedule: the pattern rate when patterns exist, otherwise the
-// measured average over the scheduled iterations.
+// measured average over the scheduled iterations. For grain-G schedules
+// the pattern rate is per chunk and is divided by G, so rates stay
+// comparable across grains (the makespan branch already divides by the
+// real iteration count).
 func (ls *LoopSchedule) RatePerIteration() float64 {
 	if ls.Multi != nil {
-		return ls.Multi.RatePerIteration()
+		r := ls.Multi.RatePerIteration()
+		if g := ls.Opts.Grain; g > 1 {
+			r /= float64(g)
+		}
+		return r
 	}
 	if ls.Iterations == 0 {
 		return 0
@@ -92,6 +99,9 @@ func ScheduleLoop(g *graph.Graph, opts Options, n int) (*LoopSchedule, error) {
 	}
 	if n < 1 {
 		return nil, fmt.Errorf("core: schedule %d iterations", n)
+	}
+	if opts.Grain > 1 {
+		return scheduleChunked(g, opts, n)
 	}
 	class := classify.Partition(g)
 	ls := &LoopSchedule{Graph: g, Class: class, Opts: opts, Iterations: n}
@@ -158,6 +168,58 @@ func ScheduleLoop(g *graph.Graph, opts Options, n int) (*LoopSchedule, error) {
 		}
 	}
 	return ls, nil
+}
+
+// scheduleChunked is the grain-G branch of ScheduleLoop: it runs the
+// ordinary pipeline on the grain-G chunk graph (graph.Chunked) for
+// ceil(n/G) chunk iterations, then re-anchors the result on the original
+// graph — the returned schedule keeps Graph = g with chunk-space
+// placements and Full.Grain = G, so every consumer that walks placements
+// against node latencies or dependence edges does so through
+// plan.Schedule.EffectiveGraph. Classification and the Cyclic pattern
+// (Multi) remain in chunk space; they describe the schedule that
+// actually ran.
+func scheduleChunked(g *graph.Graph, opts Options, n int) (*LoopSchedule, error) {
+	grain := opts.Grain
+	cg, err := graph.Chunked(g, grain)
+	if err != nil {
+		return nil, err
+	}
+	inner := opts
+	inner.Grain = 0
+	// Chunk placement is locality-sticky: a chunk message carries a
+	// G-value block, so bouncing a node's chunk stream between
+	// processors for a cycle or two of earlier start is a bad trade the
+	// myopic greedy rule would otherwise make constantly.
+	inner.chunkLocality = true
+	// The chunk graph's window/drift defaults derive from its own G-fold
+	// latencies inside the recursive call.
+	chunks := (n + grain - 1) / grain
+	ils, err := ScheduleLoop(cg, inner, chunks)
+	if err != nil {
+		return nil, err
+	}
+	full := &plan.Schedule{
+		Graph:      g,
+		Grain:      grain,
+		Timing:     ils.Full.Timing,
+		Processors: ils.Full.Processors,
+		Placements: ils.Full.Placements,
+	}
+	return &LoopSchedule{
+		Graph:          g,
+		Class:          ils.Class,
+		Opts:           opts,
+		Multi:          ils.Multi,
+		CyclicMap:      ils.CyclicMap,
+		Full:           full,
+		Iterations:     n,
+		CyclicProcs:    ils.CyclicProcs,
+		FlowInProcs:    ils.FlowInProcs,
+		FlowOutProcs:   ils.FlowOutProcs,
+		Folded:         ils.Folded,
+		GreedyFallback: ils.GreedyFallback,
+	}, nil
 }
 
 // variant is one composed full schedule candidate.

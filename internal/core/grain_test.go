@@ -1,0 +1,135 @@
+package core
+
+import (
+	"testing"
+
+	"mimdloop/internal/graph"
+	"mimdloop/internal/plan"
+	"mimdloop/internal/workload"
+)
+
+// chain builds a single grain-friendly stream chain: every node carries
+// a distance-1 self-recurrence, consecutive nodes a distance-0 link.
+func chain(t testing.TB, nodes int) *graph.Graph {
+	t.Helper()
+	g, err := workload.Streams(1, nodes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// crossProcDeps counts dependence edges of s whose producer and consumer
+// instances sit on different processors — each is one runtime message.
+func crossProcDeps(t testing.TB, s *plan.Schedule) int {
+	t.Helper()
+	g := s.EffectiveGraph()
+	procOf := make(map[graph.InstanceID]int, len(s.Placements))
+	iters := 0
+	for _, pl := range s.Placements {
+		procOf[graph.InstanceID{Node: pl.Node, Iter: pl.Iter}] = pl.Proc
+		if pl.Iter+1 > iters {
+			iters = pl.Iter + 1
+		}
+	}
+	n := 0
+	for _, e := range g.Edges {
+		for i := e.Distance; i < iters; i++ {
+			from, okF := procOf[graph.InstanceID{Node: e.From, Iter: i - e.Distance}]
+			to, okT := procOf[graph.InstanceID{Node: e.To, Iter: i}]
+			if okF && okT && from != to {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// TestScheduleChunkedShape pins the grain branch of ScheduleLoop: the
+// returned schedule keeps the original graph with Grain = G, covers
+// ceil(n/G) chunk iterations per node, and its per-iteration rate stays
+// comparable to (and under G-fold fusion, better than) the grain-1 rate.
+func TestScheduleChunkedShape(t *testing.T) {
+	g := chain(t, 5)
+	const n, grain = 40, 4
+	base, err := ScheduleLoop(g, Options{Processors: 2, CommCost: 2}, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := ScheduleLoop(g, Options{Processors: 2, CommCost: 2, Grain: grain}, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ls.Graph != g || ls.Full.Grain != grain || ls.Iterations != n {
+		t.Fatalf("chunked schedule shape: graph %p grain %d iters %d", ls.Graph, ls.Full.Grain, ls.Iterations)
+	}
+	chunks := make(map[int]int)
+	for _, pl := range ls.Full.Placements {
+		chunks[pl.Node]++
+	}
+	for v := 0; v < g.N(); v++ {
+		if chunks[v] != (n+grain-1)/grain {
+			t.Fatalf("node %d has %d chunk instances, want %d", v, chunks[v], (n+grain-1)/grain)
+		}
+	}
+	if br, cr := base.RatePerIteration(), ls.RatePerIteration(); cr > br {
+		t.Fatalf("grain %d scheduled rate %.2f worse than grain-1 rate %.2f", grain, cr, br)
+	}
+}
+
+// TestChunkLocalityStickyPlacement pins the sticky placement rule for
+// chunk graphs: with chunkLocality set, Cyclic-sched keeps each node's
+// chunk stream on one processor instead of bouncing it for a cycle or
+// two of earlier start, and therefore schedules strictly fewer
+// cross-processor dependences on a split stream chain. Grain-0
+// scheduling never sets the flag, so the greedy baseline stays
+// byte-identical to the pre-grain scheduler.
+func TestChunkLocalityStickyPlacement(t *testing.T) {
+	g := chain(t, 6)
+	cg, err := graph.Chunked(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const chunks = 32
+	run := func(sticky bool) *plan.Schedule {
+		t.Helper()
+		opts := Options{Processors: 2, CommCost: 2, chunkLocality: sticky}
+		ls, err := ScheduleLoop(cg, opts, chunks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ls.Full
+	}
+	sticky, loose := crossProcDeps(t, run(true)), crossProcDeps(t, run(false))
+	if sticky >= loose {
+		t.Fatalf("sticky placement schedules %d cross-processor deps, loose %d — stickiness buys nothing", sticky, loose)
+	}
+	// The sticky schedule must also keep every node on few processors:
+	// a node that settles pays messages only on its chain links, not on
+	// its own recurrence ping-ponging home.
+	procs := make(map[int]map[int]bool)
+	for _, pl := range run(true).Placements {
+		if procs[pl.Node] == nil {
+			procs[pl.Node] = map[int]bool{}
+		}
+		procs[pl.Node][pl.Proc] = true
+	}
+	for v, set := range procs {
+		if len(set) > 2 {
+			t.Fatalf("node %d spread over %d processors under sticky placement", v, len(set))
+		}
+	}
+}
+
+// TestGrainValidation pins Options.validate on the grain axis.
+func TestGrainValidation(t *testing.T) {
+	g := chain(t, 3)
+	if _, err := ScheduleLoop(g, Options{Grain: -1}, 8); err == nil {
+		t.Fatal("negative grain accepted")
+	}
+	// Infeasible grains must surface the graph error, not panic.
+	fig := figure7(t)
+	if _, err := ScheduleLoop(fig, Options{Processors: 2, CommCost: 2, Grain: 2}, 8); err == nil {
+		t.Fatal("infeasible grain accepted")
+	}
+}

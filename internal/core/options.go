@@ -56,6 +56,17 @@ type Options struct {
 	// the smaller makespan.
 	FoldNonCyclic bool
 
+	// Grain is the number of consecutive loop iterations fused into one
+	// placement instance (chunk). Values <= 1 mean no fusion — today's
+	// one-iteration-per-instance behaviour, byte-identical. With Grain G
+	// the scheduler runs on the grain-G chunk graph (graph.Chunked):
+	// each node instance does G iterations of compute, cross-iteration
+	// dependences internal to a chunk become local, and only
+	// chunk-boundary dependences pay communication. Callers normalize
+	// G <= 1 to 0 so the plan-cache key is stable; the JSON tag omits
+	// the default so pre-grain plan records decode unchanged.
+	Grain int `json:"Grain,omitempty"`
+
 	// DriftBound is L, the maximum number of iterations any node may run
 	// ahead of the slowest part of its component: instance (v, i) may not
 	// start before iteration i-L has completely finished. The paper's
@@ -67,6 +78,21 @@ type Options struct {
 	// of the binding cycle only buffers values. 0 means 2N + 2k + 8,
 	// generous enough never to bind on rate-balanced graphs.
 	DriftBound int
+
+	// chunkLocality switches Cyclic-sched's placement to the sticky
+	// variant used for chunk graphs: an instance stays on the processor
+	// that ran its previous iteration whenever that costs at most
+	// CommCost extra start cycles. Greedy earliest-start is myopic
+	// about chunk traffic — moving a chunk to a processor that is free
+	// a cycle or two earlier pays k for the move and k again when the
+	// recurrence returns, and under grain G every such message carries
+	// a G-value block — so keeping a node's chunk stream on one
+	// processor is worth up to k cycles of start delay by construction.
+	// Only scheduleChunked sets this; grain-0 scheduling is untouched,
+	// keeping pre-grain schedules byte-identical. The field is
+	// unexported so it can never leak into plan keys, JSON records or
+	// the HTTP surface.
+	chunkLocality bool
 }
 
 // ErrNoPattern is returned when no repeating configuration was verified
@@ -101,6 +127,9 @@ func (o Options) validate() error {
 	}
 	if o.CommCost < 0 {
 		return fmt.Errorf("core: negative communication cost %d", o.CommCost)
+	}
+	if o.Grain < 0 {
+		return fmt.Errorf("core: negative grain %d", o.Grain)
 	}
 	return nil
 }

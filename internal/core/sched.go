@@ -82,6 +82,12 @@ func CyclicSched(g *graph.Graph, opts Options) (*CyclicResult, error) {
 	procs := make([]timeline, opts.Processors)
 	det := pattern.NewDetector(opts.Processors, opts.WindowHeight)
 	placed := make(map[graph.InstanceID]int) // instance -> placement index
+	// Sticky placement state (chunk graphs only): the processor that ran
+	// each node's most recent iteration. See Options.chunkLocality.
+	var lastProc map[int]int
+	if opts.chunkLocality {
+		lastProc = make(map[int]int, g.N())
+	}
 	pending := make(map[graph.InstanceID]int)
 	queue := &readyQueue{fifo: opts.FIFOOrder}
 	gate := newDriftGate(opts.DriftBound, g.N())
@@ -127,6 +133,12 @@ func CyclicSched(g *graph.Graph, opts Options) (*CyclicResult, error) {
 
 		// Per-processor ready time from predecessors and the drift floor.
 		bestProc, bestStart := -1, 0
+		prevProc, prevStart := -1, 0
+		if lastProc != nil {
+			if p, ok := lastProc[v]; ok {
+				prevProc = p
+			}
+		}
 		floor := gate.floor(iter)
 		for q := 0; q < opts.Processors; q++ {
 			ready := floor
@@ -151,15 +163,29 @@ func CyclicSched(g *graph.Graph, opts Options) (*CyclicResult, error) {
 				}
 			}
 			t := procs[q].fit(ready, lat, opts.AppendOnly)
+			if q == prevProc {
+				prevStart = t
+			}
 			if bestProc == -1 || t < bestStart {
 				bestProc, bestStart = q, t
 			}
+		}
+		// Sticky override: stay where the previous iteration ran unless
+		// moving starts this instance more than CommCost cycles earlier
+		// — a move pays k on the way out and k again when the node's
+		// recurrence pulls the value back, so up to k cycles of delay is
+		// repaid before the next chunk boundary.
+		if prevProc >= 0 && bestProc != prevProc && prevStart <= bestStart+opts.CommCost {
+			bestProc, bestStart = prevProc, prevStart
 		}
 
 		pl := plan.Placement{Node: v, Iter: iter, Proc: bestProc, Start: bestStart}
 		pi := len(res.Greedy.Placements)
 		res.Greedy.Placements = append(res.Greedy.Placements, pl)
 		placed[pl.Key()] = pi
+		if lastProc != nil {
+			lastProc[v] = bestProc
+		}
 		procs[bestProc].insert(bestStart, lat)
 		det.Add(v, iter, bestProc, bestStart, lat)
 		for _, rel := range gate.record(iter, bestStart+lat) {

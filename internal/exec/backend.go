@@ -45,8 +45,14 @@ type TrialConfig struct {
 	Fluct int
 	// Seed selects the fluctuation streams (sim backend only).
 	Seed int64
+	// Grain is the plan's chunking factor: values > 1 mean progs are in
+	// chunk space over the original graph (one COMPUTE = Grain fused
+	// iterations), so the sim backend bills fused compute latency and
+	// the goroutine backend runs its chunk-space interpreter. Values <= 1
+	// leave both backends on their unchanged per-iteration paths.
+	Grain int
 	// Machine supplies the remaining simulated-machine settings; its
-	// Fluct and Seed fields are overwritten by the fields above.
+	// Fluct, Seed and Grain fields are overwritten by the fields above.
 	Machine MachineConfig
 }
 

@@ -78,6 +78,13 @@ func (Calibrated) EffectiveTrials(trials, fluct int) int {
 // RunTrials implements Backend: run Sim, then map cycles to nanoseconds
 // through the model. Utilization is unit-free and passes through;
 // Messages is the same physical count.
+//
+// Grain-chunked plans rescale correctly with no grain-specific fitting:
+// the sim already bills fused compute cycles and the chunk-space
+// programs carry fewer messages, so PlanNs sees exactly the reduced
+// message count and grown per-instance cycles that make coarse grains
+// cheap — the calibrated prediction inherits grain awareness from the
+// quantities it rescales.
 func (c Calibrated) RunTrials(g *graph.Graph, progs []program.Program, iterations int, cfg TrialConfig) (*TrialStats, error) {
 	ts, err := Sim{}.RunTrials(g, progs, iterations, cfg)
 	if err != nil || c.Model.IsZero() {

@@ -48,7 +48,16 @@ func (Goroutine) RunTrials(g *graph.Graph, progs []program.Program, iterations i
 		return nil, fmt.Errorf("exec: gort execution of a %d-iteration program set", iterations)
 	}
 	seq, want := sequentialBaseline(g, iterations)
-	runner := mimdrt.NewRunner(g, progs, mimdrt.MixSemantics{})
+	// Grain-chunked program sets run the chunk-space interpreter; it
+	// computes the same real-iteration values (chunk COMPUTEs expand to
+	// ascending real iterations over the original graph), so the value
+	// cross-check against the sequential baseline is shared unchanged.
+	var runner *mimdrt.Runner
+	if cfg.Grain > 1 {
+		runner = mimdrt.NewChunkedRunner(g, progs, mimdrt.MixSemantics{}, cfg.Grain, iterations)
+	} else {
+		runner = mimdrt.NewRunner(g, progs, mimdrt.MixSemantics{})
+	}
 	defer runner.Close()
 	ts := &TrialStats{
 		Backend:    "gort",

@@ -44,6 +44,7 @@ func (Sim) RunTrials(g *graph.Graph, progs []program.Program, iterations int, cf
 	mc := cfg.Machine
 	mc.Fluct = cfg.Fluct
 	mc.Seed = cfg.Seed
+	mc.Grain = cfg.Grain
 	ts, err := machine.RunTrials(g, progs, mc, cfg.Trials)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,64 @@
+package graph
+
+import "fmt"
+
+// Chunked returns the grain-G derivative of g: the dependence graph of
+// the loop whose iteration c executes original iterations
+// [c*grain, (c+1)*grain) back to back. Node IDs and names are preserved;
+// each latency is multiplied by grain (one chunk instance does grain
+// iterations of compute). A dependence edge (u -> v, distance d) with
+// d = q*grain + s (0 <= s < grain) becomes:
+//
+//   - chunk distance q alone when s == 0 (every consumer iteration's
+//     source lands exactly q chunks back);
+//   - chunk distances q and q+1 when s > 0 (consumer iteration c*grain+r
+//     reads from chunk c-q when r >= s and from chunk c-q-1 when r < s).
+//
+// Zero-distance chunk self-edges are dropped: within one chunk instance
+// the iterations run in ascending order, so a same-chunk, same-node
+// dependence is satisfied by construction. Zero-distance chunk edges
+// between distinct nodes are kept — they order the nodes' chunk
+// instances exactly like the original distance-0 edges ordered their
+// iterations. A grain that folds a cross-node dependence cycle into
+// distance zero has no valid chunk execution order; graph construction
+// rejects it and Chunked reports the grain as infeasible.
+//
+// Edge costs carry over unchanged (a chunk-boundary message still moves
+// one value block between the same two nodes); exact duplicate edges
+// produced by the mapping are deduplicated.
+//
+// Grain values <= 1 return g itself: grain 1 is the identity.
+func Chunked(g *Graph, grain int) (*Graph, error) {
+	if grain <= 1 {
+		return g, nil
+	}
+	nodes := make([]Node, len(g.Nodes))
+	for i, nd := range g.Nodes {
+		nodes[i] = Node{ID: nd.ID, Name: nd.Name, Latency: nd.Latency * grain}
+	}
+	seen := make(map[Edge]bool, len(g.Edges)*2)
+	edges := make([]Edge, 0, len(g.Edges)*2)
+	add := func(from, to, dist, cost int) {
+		if dist == 0 && from == to {
+			return // satisfied by in-chunk ascending iteration order
+		}
+		e := Edge{From: from, To: to, Distance: dist, Cost: cost}
+		if seen[e] {
+			return
+		}
+		seen[e] = true
+		edges = append(edges, e)
+	}
+	for _, e := range g.Edges {
+		q, s := e.Distance/grain, e.Distance%grain
+		add(e.From, e.To, q, e.Cost)
+		if s != 0 {
+			add(e.From, e.To, q+1, e.Cost)
+		}
+	}
+	cg, err := New(nodes, edges)
+	if err != nil {
+		return nil, fmt.Errorf("graph: grain %d infeasible for this loop: %w", grain, err)
+	}
+	return cg, nil
+}

@@ -42,7 +42,18 @@ func pick(v [2]int, quick bool) int {
 	return v[0]
 }
 
-// Bench runs the seven trajectory phases against the server at baseURL
+// chainSource is the grain-tune phase's loop: a stream chain whose
+// self-recurrences survive any chunking grain while its distance-0
+// links batch into block messages — the shape the grain axis exists
+// for (figure 7 itself is infeasible at every grain > 1).
+const chainSource = `loop chain(N = 100) {
+    A[i] = A[i-1] + U[i]
+    B[i] = B[i-1] + A[i]
+    C[i] = C[i-1] + B[i]
+    D[i] = D[i-1] + C[i]
+}`
+
+// Bench runs the eight trajectory phases against the server at baseURL
 // and returns the Report to persist. The server only needs the standard
 // /v1 routes; the same call measures an in-process httptest server
 // (paperbench -json) or a live deployment (loopsched bench).
@@ -125,7 +136,31 @@ func Bench(baseURL string, client *http.Client, opt Options) (*Report, error) {
 		*be.out = summarize(samples)
 	}
 
-	// Phase 6: batch throughput — the standard 6-loop mix per request.
+	// Phase 6: the grain-axis tune — the adaptive-granularity request
+	// shape: a chunk-friendly stream chain, measured gort scoring, a
+	// grain axis on the grid. The serial-threshold warmup request pins
+	// the fallback path's latency into the same section's first sample
+	// window (it shares the phase's plan cache).
+	grainWarm := []byte(fmt.Sprintf(
+		`{"source": %q, "iterations": 8, "serial_threshold": 100, "processors": [2], "comm_costs": [2], "grains": [1, 4], "eval": {"mode": "measured", "backend": "gort", "trials": 2}}`,
+		chainSource))
+	if _, err := timedPost(client, baseURL+"/v1/tune", grainWarm); err != nil {
+		return nil, fmt.Errorf("tune grain warmup: %w", err)
+	}
+	grainBody := []byte(fmt.Sprintf(
+		`{"source": %q, "iterations": 40, "processors": [2], "comm_costs": [2], "grains": [1, 4, 8], "eval": {"mode": "measured", "backend": "gort", "trials": 3}}`,
+		chainSource))
+	grain := make([]time.Duration, 0, pick(gortSamples, opt.Quick))
+	for i := 0; i < cap(grain); i++ {
+		d, err := timedPost(client, baseURL+"/v1/tune", grainBody)
+		if err != nil {
+			return nil, fmt.Errorf("tune grain phase: %w", err)
+		}
+		grain = append(grain, d)
+	}
+	rep.TuneGrain = summarize(grain)
+
+	// Phase 7: batch throughput — the standard 6-loop mix per request.
 	reqs := pick(batchReqs, opt.Quick)
 	t0 := time.Now()
 	for i := 0; i < reqs; i++ {
@@ -142,7 +177,7 @@ func Bench(baseURL string, client *http.Client, opt Options) (*Report, error) {
 		LoopsPerSec: float64(loops) / wall.Seconds(),
 	}
 
-	// Phase 7: concurrent mixed load.
+	// Phase 8: concurrent mixed load.
 	runner := &Runner{
 		BaseURL:  baseURL,
 		Client:   client,

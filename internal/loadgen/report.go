@@ -2,15 +2,15 @@
 // as the repo's benchmark trajectory (the committed BENCH_*.json files).
 //
 // The package has two halves. Report (this file) is the versioned wire
-// schema every trajectory file conforms to: seven sections — cold
+// schema every trajectory file conforms to: eight sections — cold
 // schedule latency, cache-hit latency, tune latency per backend (sim,
-// gort and the calibrated csim), batch throughput, and a concurrent
-// HTTP load phase — all expressed in integer nanoseconds so files diff
-// cleanly across PRs. Runner (runner.go) is the concurrent load
-// generator behind the last section, and Bench (bench.go) drives all
-// seven phases over plain HTTP so the same code measures an in-process
-// httptest server (paperbench -json) and a live deployment (loopsched
-// bench).
+// gort and the calibrated csim), the grain-axis tune phase, batch
+// throughput, and a concurrent HTTP load phase — all expressed in
+// integer nanoseconds so files diff cleanly across PRs. Runner
+// (runner.go) is the concurrent load generator behind the last section,
+// and Bench (bench.go) drives all eight phases over plain HTTP so the
+// same code measures an in-process httptest server (paperbench -json)
+// and a live deployment (loopsched bench).
 //
 // The schema is guarded by a golden-fixture test (golden_test.go): any
 // field added, removed or renamed fails the test until Version is
@@ -33,9 +33,12 @@ import (
 //	1: initial schema — cold/hit/tune_sim/tune_gort/batch/http_load.
 //	2: added tune_csim (the calibrated-simulator tune phase); v1 files
 //	   stop being comparable (CompareHit restarts the trajectory).
+//	3: added tune_grain (the grain-axis gort tune on a chunk-friendly
+//	   stream chain, with a serial-threshold warmup); v2 files stop
+//	   being comparable (CompareHit restarts the trajectory).
 const (
 	Format  = "mimdloop/bench"
-	Version = 2
+	Version = 3
 )
 
 // Report is one trajectory point: everything a BENCH_<n>.json file
@@ -63,6 +66,10 @@ type Report struct {
 	TuneSim  Latency `json:"tune_sim"`
 	TuneGort Latency `json:"tune_gort"`
 	TuneCsim Latency `json:"tune_csim"`
+	// TuneGrain is /v1/tune with the grain axis on the goroutine
+	// runtime: a chunk-friendly stream chain tuned over grains {1, 4, 8},
+	// the request shape the adaptive-granularity table sends.
+	TuneGrain Latency `json:"tune_grain"`
 	// Batch is /v1/batch throughput in loops scheduled per second.
 	Batch Throughput `json:"batch"`
 	// Load is the concurrent mixed-endpoint phase.
@@ -157,6 +164,7 @@ func (r *Report) Summary() string {
 			"tune sim        p50 %-10v (%d samples)\n"+
 			"tune gort       p50 %-10v (%d samples)\n"+
 			"tune csim       p50 %-10v (%d samples)\n"+
+			"tune grain      p50 %-10v (%d samples)\n"+
 			"batch           %.0f loops/s (%d loops)\n"+
 			"http load       %.0f req/s, p50 %v p95 %v p99 %v (%d workers, %d requests, %d errors)\n",
 		mode, r.GoMaxProcs,
@@ -165,6 +173,7 @@ func (r *Report) Summary() string {
 		d(r.TuneSim.P50NS), r.TuneSim.Samples,
 		d(r.TuneGort.P50NS), r.TuneGort.Samples,
 		d(r.TuneCsim.P50NS), r.TuneCsim.Samples,
+		d(r.TuneGrain.P50NS), r.TuneGrain.Samples,
 		r.Batch.LoopsPerSec, r.Batch.Loops,
 		r.Load.ReqPerSec, d(r.Load.Latency.P50NS), d(r.Load.Latency.P95NS), d(r.Load.Latency.P99NS),
 		r.Load.Workers, r.Load.Requests, r.Load.Errors)

@@ -74,6 +74,12 @@ type Config struct {
 	// of communication cost is far off the mark").
 	Override     bool
 	OverrideCost int
+	// Grain bills each COMPUTE as Grain fused iterations of its node
+	// (values <= 1 bill plain node latency). Grain-G program sets are in
+	// chunk space, and the simulator executes them against the original
+	// graph, so the fused latency enters here; a partial final chunk is
+	// conservatively billed at the full grain.
+	Grain int
 }
 
 // ProcStats reports one processor's activity.
@@ -129,6 +135,9 @@ func Run(g *graph.Graph, progs []program.Program, cfg Config) (*Stats, error) {
 				switch in.Kind {
 				case program.OpCompute:
 					lat := g.Nodes[in.Node].Latency
+					if cfg.Grain > 1 {
+						lat *= cfg.Grain
+					}
 					clock[p] += lat
 					stats.PerProc[p].Busy += lat
 				case program.OpSend:

@@ -28,10 +28,14 @@ type Semantics interface {
 	Boundary(e graph.Edge, iter int) float64
 }
 
-// message carries one tagged value between processors.
+// message carries one tagged value between processors. Grain-chunked
+// executions tag messages with the chunk index and ship the chunk's
+// whole value block in vals (val is then unused); plain executions keep
+// the single-float payload, untouched on the grain-1 fast path.
 type message struct {
 	node, iter int
 	val        float64
+	vals       []float64
 }
 
 // buildLinks allocates the channel matrix for one program set: a channel
@@ -99,6 +103,17 @@ func Run(g *graph.Graph, progs []program.Program, sem Semantics) (map[graph.Inst
 	return merged, nil
 }
 
+// RunChunked executes a grain-chunked program set (instructions in chunk
+// space, per plan.Schedule with Grain = grain) for a loop of iters real
+// iterations, and returns every computed value keyed by REAL iteration —
+// directly comparable to Sequential(g, sem, iters). The graph must be
+// the original (un-chunked) dependence graph.
+func RunChunked(g *graph.Graph, progs []program.Program, sem Semantics, grain, iters int) (map[graph.InstanceID]float64, error) {
+	r := NewChunkedRunner(g, progs, sem, grain, iters)
+	defer r.Close()
+	return r.Run()
+}
+
 func runProc(
 	g *graph.Graph,
 	prog program.Program,
@@ -163,6 +178,103 @@ func runProc(
 					}
 				case <-abort:
 					return nil, fmt.Errorf("recv (%s, iter %d): runner closed while waiting on PE%d",
+						g.Nodes[in.Node].Name, in.Iter, in.Peer)
+				}
+			}
+		}
+	}
+	return computed, nil
+}
+
+// runProcChunked executes one processor's chunk-space program under
+// grain G: each COMPUTE expands to the chunk's real iterations (clamped
+// to iters for the final partial chunk) evaluated in ascending order
+// against the ORIGINAL graph's incoming-edge order — identical operand
+// semantics to Sequential — and each SEND ships the chunk's value block
+// as one message. Computed values are keyed by real iteration, so the
+// caller's value cross-check against the sequential interpretation works
+// unchanged; chunk arrival is tracked separately in chunk space.
+func runProcChunked(
+	g *graph.Graph,
+	prog program.Program,
+	sem Semantics,
+	chans [][]chan message,
+	self int,
+	abort <-chan struct{},
+	grain, iters int,
+) (map[graph.InstanceID]float64, error) {
+	local := make(map[graph.InstanceID]float64)    // real-iteration values known on this PE
+	have := make(map[graph.InstanceID]bool)        // chunks computed here or fully received
+	computed := make(map[graph.InstanceID]float64) // real-iteration values computed here
+	span := func(chunk int) (int, int) {
+		lo := chunk * grain
+		hi := lo + grain
+		if hi > iters {
+			hi = iters
+		}
+		return lo, hi
+	}
+	for _, in := range prog.Instrs {
+		switch in.Kind {
+		case program.OpCompute:
+			lo, hi := span(in.Iter)
+			for i := lo; i < hi; i++ {
+				args := make([]float64, 0, len(g.In(in.Node)))
+				for _, ei := range g.In(in.Node) {
+					e := g.Edges[ei]
+					srcIter := i - e.Distance
+					if srcIter < 0 {
+						args = append(args, sem.Boundary(e, i))
+						continue
+					}
+					v, ok := local[graph.InstanceID{Node: e.From, Iter: srcIter}]
+					if !ok {
+						return nil, fmt.Errorf("compute (%s, iter %d): operand (%s, iter %d) not available locally",
+							g.Nodes[in.Node].Name, i, g.Nodes[e.From].Name, srcIter)
+					}
+					args = append(args, v)
+				}
+				id := graph.InstanceID{Node: in.Node, Iter: i}
+				v := sem.Eval(in.Node, i, args)
+				local[id] = v
+				computed[id] = v
+			}
+			have[graph.InstanceID{Node: in.Node, Iter: in.Iter}] = true
+		case program.OpSend:
+			lo, hi := span(in.Iter)
+			vals := make([]float64, hi-lo)
+			for i := lo; i < hi; i++ {
+				v, ok := local[graph.InstanceID{Node: in.Node, Iter: i}]
+				if !ok {
+					return nil, fmt.Errorf("send of unknown value (%s, iter %d)", g.Nodes[in.Node].Name, i)
+				}
+				vals[i-lo] = v
+			}
+			chans[self][in.Peer] <- message{node: in.Node, iter: in.Iter, vals: vals}
+		case program.OpRecv:
+			want := graph.InstanceID{Node: in.Node, Iter: in.Iter}
+			if have[want] {
+				break
+			}
+		drain:
+			for {
+				select {
+				case m, ok := <-chans[in.Peer][self]:
+					if !ok {
+						return nil, fmt.Errorf("recv (%s, chunk %d): link from PE%d closed",
+							g.Nodes[in.Node].Name, in.Iter, in.Peer)
+					}
+					lo := m.iter * grain
+					for j, v := range m.vals {
+						local[graph.InstanceID{Node: m.node, Iter: lo + j}] = v
+					}
+					id := graph.InstanceID{Node: m.node, Iter: m.iter}
+					have[id] = true
+					if id == want {
+						break drain
+					}
+				case <-abort:
+					return nil, fmt.Errorf("recv (%s, chunk %d): runner closed while waiting on PE%d",
 						g.Nodes[in.Node].Name, in.Iter, in.Peer)
 				}
 			}

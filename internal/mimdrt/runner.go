@@ -24,6 +24,13 @@ type Runner struct {
 	progs []program.Program
 	sem   Semantics
 
+	// grain > 1 selects the chunk-space interpreter (runProcChunked):
+	// progs are then chunk-space programs over the original graph g, and
+	// iters is the real iteration count the final partial chunk clamps
+	// to. grain <= 1 runs the plain per-iteration interpreter untouched.
+	grain int
+	iters int
+
 	chans [][]chan message
 	start []chan struct{}
 	// done carries one outcome per processor per pass, in completion
@@ -46,11 +53,28 @@ type procOutcome struct {
 // NewRunner builds the channel matrix and parks one worker goroutine per
 // processor, ready to execute the programs on demand.
 func NewRunner(g *graph.Graph, progs []program.Program, sem Semantics) *Runner {
+	return newRunner(g, progs, sem, 0, 0)
+}
+
+// NewChunkedRunner is NewRunner for grain-chunked program sets: progs
+// are in chunk space (per plan.Schedule with Grain = grain) over the
+// original graph g, and iters is the real iteration count. Run returns
+// values keyed by real iteration, comparable to Sequential.
+func NewChunkedRunner(g *graph.Graph, progs []program.Program, sem Semantics, grain, iters int) *Runner {
+	if grain <= 1 {
+		return newRunner(g, progs, sem, 0, 0)
+	}
+	return newRunner(g, progs, sem, grain, iters)
+}
+
+func newRunner(g *graph.Graph, progs []program.Program, sem Semantics, grain, iters int) *Runner {
 	n := len(progs)
 	r := &Runner{
 		g:     g,
 		progs: progs,
 		sem:   sem,
+		grain: grain,
+		iters: iters,
 		chans: buildLinks(progs),
 		start: make([]chan struct{}, n),
 		done:  make(chan procOutcome, n),
@@ -64,7 +88,13 @@ func NewRunner(g *graph.Graph, progs []program.Program, sem Semantics) *Runner {
 				case <-r.quit:
 					return
 				case <-r.start[p]:
-					vals, err := runProc(r.g, r.progs[p], r.sem, r.chans, p, r.quit)
+					var vals map[graph.InstanceID]float64
+					var err error
+					if r.grain > 1 {
+						vals, err = runProcChunked(r.g, r.progs[p], r.sem, r.chans, p, r.quit, r.grain, r.iters)
+					} else {
+						vals, err = runProc(r.g, r.progs[p], r.sem, r.chans, p, r.quit)
+					}
 					r.done <- procOutcome{proc: p, vals: vals, err: err}
 				}
 			}

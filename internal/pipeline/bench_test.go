@@ -147,6 +147,33 @@ func BenchmarkAutoTuneGort(b *testing.B) {
 	}
 }
 
+// BenchmarkAutoTuneGrain is the adaptive-granularity tune: a
+// chunk-friendly stream chain ranked on the goroutine runtime over a
+// grain axis, the request shape `/v1/tune` with `grains` produces.
+// Compare against BenchmarkAutoTuneGort: the extra cost per grain value
+// is one more grid column, and a regression here means the grain cells
+// (chunk-graph fold + chunked lowering + chunked execution) got more
+// expensive than ordinary cells.
+func BenchmarkAutoTuneGrain(b *testing.B) {
+	g, err := workload.Streams(1, 4, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := New(Config{})
+	opt := TuneOptions{
+		Processors: []int{2},
+		CommCosts:  []int{2},
+		Grains:     []int{1, 4, 8},
+		Evaluator:  &MeasuredEvaluator{Trials: 3, Backend: exec.Goroutine{}},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.AutoTune(g, 64, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkServeCacheHit drives the full HTTP serving path —
 // request parse, cache lookup, pre-rendered body write — for a
 // cache-hit /v1/schedule request. Run with -benchmem: together with

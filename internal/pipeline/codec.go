@@ -34,6 +34,12 @@ import (
 //	    still decode (a v2 "measured" block is adopted as the sim
 //	    backend's annotation); version-3 records without a measurement
 //	    are byte-compatible with version 1 apart from the header.
+//	4 — adds the grain axis: options carry "Grain" and the embedded
+//	    schedule carries "grain" when a plan was scheduled in chunk
+//	    space; both fields are omitted at the default (grain 0/1), so
+//	    grain-free version-4 records are byte-compatible with version 3
+//	    apart from the header, and version <= 3 records decode as
+//	    grain 0 with their original keys intact.
 //
 // Decoded annotations are not codec-internal state: the server includes
 // them in /v1/schedule replies as the "measured_by" field, and restoring
@@ -43,7 +49,7 @@ import (
 // like a fresh one.
 const (
 	planRecordFormat  = "mimdloop/plan"
-	planRecordVersion = 3
+	planRecordVersion = 4
 
 	// planRecordMinVersion is the oldest record version DecodePlan still
 	// accepts.
@@ -152,6 +158,20 @@ func DecodePlan(data []byte) (key string, p *Plan, err error) {
 	// under an intact header fails here and gets quarantined upstream.
 	if fp := full.Graph.Fingerprint(); fp != rec.GraphHash {
 		return "", nil, fmt.Errorf("pipeline: plan record graph hashes to %s, header claims %s", fp, rec.GraphHash)
+	}
+	// The schedule's grain must agree with the keyed options (grain 0 and
+	// 1 both mean "unchunked"): a mismatch means the record's placements
+	// are in a different space than its key claims.
+	wantGrain := rec.Options.Grain
+	if wantGrain == 1 {
+		wantGrain = 0
+	}
+	gotGrain := full.Grain
+	if gotGrain == 1 {
+		gotGrain = 0
+	}
+	if gotGrain != wantGrain {
+		return "", nil, fmt.Errorf("pipeline: plan record schedule grain %d, options claim %d", full.Grain, rec.Options.Grain)
 	}
 	p = &Plan{
 		GraphHash:  rec.GraphHash,

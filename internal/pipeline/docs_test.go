@@ -42,6 +42,7 @@ func TestAPIDocCoversRoutes(t *testing.T) {
 		"maxTuneTrialCells":     fmt.Sprintf("%d", maxTuneTrialCells),
 		"maxGortEvalTrials":     fmt.Sprintf("trials ≤ %d", maxGortEvalTrials),
 		"maxGortTuneTrialCells": fmt.Sprintf("trials ≤ %d", maxGortTuneTrialCells),
+		"maxGrain":              fmt.Sprintf("0 … %d", maxGrain),
 	} {
 		if !strings.Contains(doc, fragment) {
 			t.Errorf("docs/API.md does not mention %s (fragment %q)", name, fragment)
@@ -61,6 +62,19 @@ func TestAPIDocCoversRoutes(t *testing.T) {
 	} {
 		if !strings.Contains(doc, fragment) {
 			t.Errorf("docs/API.md does not document the evaluator surface fragment %s", fragment)
+		}
+	}
+
+	// The grain axis: the schedule and tune request fields, the grid
+	// widening, the per-cell grain echo, the serial fallback, and the
+	// record-version break.
+	for _, fragment := range []string{
+		"`grain`", "`grains`", "`serial_threshold`",
+		"The grain axis", `"grain"`, `"serial_fallback": true`,
+		"version-4 plan record", "-table 1ad",
+	} {
+		if !strings.Contains(doc, fragment) {
+			t.Errorf("docs/API.md does not document the grain fragment %s", fragment)
 		}
 	}
 
@@ -101,7 +115,7 @@ func TestAPIDocCoversRoutes(t *testing.T) {
 		"`measured_by`", "-slots", "loopsched bench", loadgen.Format,
 		fmt.Sprintf("version %d", loadgen.Version),
 		`"cold_schedule"`, `"cache_hit"`, `"tune_sim"`, `"tune_gort"`,
-		`"tune_csim"`, `"batch"`, `"http_load"`, `"p50_ns"`, `"p95_ns"`, `"p99_ns"`,
+		`"tune_csim"`, `"tune_grain"`, `"batch"`, `"http_load"`, `"p50_ns"`, `"p95_ns"`, `"p99_ns"`,
 		`"req_per_sec"`, `"loops_per_sec"`, "-against",
 	} {
 		if !strings.Contains(doc, fragment) {
@@ -171,6 +185,32 @@ func TestArchitectureDocCoversCluster(t *testing.T) {
 	} {
 		if !strings.Contains(doc, fragment) {
 			t.Errorf("docs/ARCHITECTURE.md does not cover the cluster fragment %q", fragment)
+		}
+	}
+}
+
+// TestArchitectureDocCoversGranularity pins the "Granularity" section
+// of docs/ARCHITECTURE.md to the design it documents: the chunk-graph
+// fold and its infeasibility rule, the sticky chunk placement, the
+// chunked runtime, the legacy-key mirror and record-version break, the
+// serial fallback, and the adaptive acceptance experiment.
+func TestArchitectureDocCoversGranularity(t *testing.T) {
+	data, err := os.ReadFile("../../docs/ARCHITECTURE.md")
+	if err != nil {
+		t.Fatalf("docs/ARCHITECTURE.md must exist: %v", err)
+	}
+	doc := string(data)
+	for _, fragment := range []string{
+		"## Granularity", "graph.Chunked", "infeasible",
+		"chunkLocality", "sticky", "TestChunkLocalityStickyPlacement",
+		"mimdrt.RunChunked", "chunk boundary",
+		"legacyKeyOptions", "|grainG", "version 4",
+		"TestGrainStoreReplayZeroRecomputes",
+		"SerialThreshold", "SerialFallback",
+		"Table1Adaptive", "winner's curse", "TestTable1AdaptiveAcceptance",
+	} {
+		if !strings.Contains(doc, fragment) {
+			t.Errorf("docs/ARCHITECTURE.md does not cover the granularity fragment %q", fragment)
 		}
 	}
 }

@@ -251,6 +251,7 @@ func (e *MeasuredEvaluator) Evaluate(p *Plan) (Score, error) {
 		Trials:  e.EffectiveTrials(),
 		Fluct:   e.Fluct,
 		Seed:    e.Seed,
+		Grain:   p.Opts.Grain,
 		Machine: e.Base,
 	}
 	ts, err := be.RunTrials(p.Schedule.Graph, p.Programs, p.Iterations, cfg)

@@ -319,8 +319,8 @@ func TestPlanCodecV3MeasuredRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Contains(data, []byte(`"version":3`)) || !bytes.Contains(data, []byte(`"measured_by"`)) {
-		t.Fatalf("record is not a measured v3 record: %s", data[:120])
+	if !bytes.Contains(data, []byte(`"version":4`)) || !bytes.Contains(data, []byte(`"measured_by"`)) {
+		t.Fatalf("record is not a measured v4 record: %s", data[:120])
 	}
 	key, got, err := DecodePlan(data)
 	if err != nil {
@@ -340,7 +340,7 @@ func TestPlanCodecV3MeasuredRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(data, data2) {
-		t.Fatal("re-encoded v3 record not byte-identical")
+		t.Fatal("re-encoded v4 record not byte-identical")
 	}
 }
 
@@ -627,7 +627,7 @@ func TestPlanCodecDecodesV1(t *testing.T) {
 	if _, hasMeasured := rec["measured_by"]; hasMeasured {
 		t.Fatal("unmeasured plan encoded a measured block")
 	}
-	v1 := bytes.Replace(data, []byte(`"version":3`), []byte(`"version":1`), 1)
+	v1 := bytes.Replace(data, []byte(`"version":4`), []byte(`"version":1`), 1)
 	key, got, err := DecodePlan(v1)
 	if err != nil {
 		t.Fatalf("v1 record no longer decodes: %v", err)

@@ -392,14 +392,50 @@ type keySuffixKey struct {
 	n int
 }
 
+// legacyKeyOptions mirrors core.Options minus Grain, in field order, so
+// the %+v rendering of a grain-0 request is byte-identical to the
+// pre-grain key suffix — every plan record persisted before the grain
+// axis keeps its key, zero recomputes. Grain joins the key as an
+// explicit "|grainG" token only when set (> 1); a reflection test pins
+// the mirror against core.Options drifting.
+type legacyKeyOptions struct {
+	Processors    int
+	CommCost      int
+	CommFromStart bool
+	WindowHeight  int
+	MaxIterations int
+	AppendOnly    bool
+	FIFOOrder     bool
+	FoldNonCyclic bool
+	DriftBound    int
+}
+
 // keySuffix formats (and usually memoizes) the non-hash tail of a plan
-// key, byte-identical to fmt.Sprintf("|%+v|n%d", o, n).
+// key: byte-identical to the historical fmt.Sprintf("|%+v|n%d", o, n)
+// for Grain <= 1, with a "|grainG" token spliced before the iteration
+// count otherwise.
 func keySuffix(o core.Options, n int) string {
 	k := keySuffixKey{o, n}
 	if s, ok := keySuffixes.Load(k); ok {
 		return s.(string)
 	}
-	s := fmt.Sprintf("|%+v|n%d", o, n)
+	legacy := legacyKeyOptions{
+		Processors:    o.Processors,
+		CommCost:      o.CommCost,
+		CommFromStart: o.CommFromStart,
+		WindowHeight:  o.WindowHeight,
+		MaxIterations: o.MaxIterations,
+		AppendOnly:    o.AppendOnly,
+		FIFOOrder:     o.FIFOOrder,
+		FoldNonCyclic: o.FoldNonCyclic,
+		DriftBound:    o.DriftBound,
+	}
+	var s string
+	if o.Grain > 1 {
+		s = fmt.Sprintf("|%+v|grain%d|n%d", legacy, o.Grain, n)
+	} else {
+		s = fmt.Sprintf("|%+v|n%d", legacy, n)
+	}
 	if keySuffixCount.Load() < maxKeySuffixes {
 		if _, loaded := keySuffixes.LoadOrStore(k, s); !loaded {
 			keySuffixCount.Add(1)
@@ -414,6 +450,12 @@ func keySuffix(o core.Options, n int) string {
 // store, by an earlier one. The boolean reports whether the plan came
 // from the store.
 func (p *Pipeline) Schedule(g *graph.Graph, opts core.Options, n int) (*Plan, bool, error) {
+	// Grain 1 and grain 0 schedule identically (no chunking); normalize
+	// so they share one cache key — and so the grain-0 key stays
+	// byte-identical to pre-grain records.
+	if opts.Grain <= 1 {
+		opts.Grain = 0
+	}
 	hash := g.Fingerprint()
 	if p.cfg.DisableCache {
 		plan, err := build(g, hash, opts, n)

@@ -346,7 +346,7 @@ func TestCompileCacheLRU(t *testing.T) {
 
 func TestGrid(t *testing.T) {
 	pts := Grid([]int{2, 4}, []int{1, 3})
-	want := []Point{{2, 1}, {2, 3}, {4, 1}, {4, 3}}
+	want := []Point{{2, 1, 0}, {2, 3, 0}, {4, 1, 0}, {4, 3, 0}}
 	if len(pts) != len(want) {
 		t.Fatalf("points = %v", pts)
 	}

@@ -37,6 +37,7 @@ const (
 	maxIterations = 10_000
 	maxProcessors = 1024
 	maxCommCost   = 256
+	maxGrain      = 64
 	maxGraphNodes = 512
 	maxPlacements = 500_000 // iterations x nodes ceiling
 
@@ -95,6 +96,9 @@ type ScheduleRequest struct {
 	Iterations int `json:"iterations"`
 	// Fold applies the Section 3 non-Cyclic folding heuristic.
 	Fold bool `json:"fold"`
+	// Grain fuses this many consecutive iterations per placement chunk
+	// (0 and 1 both mean unchunked — the default).
+	Grain int `json:"grain"`
 }
 
 // params resolves the request's scheduling parameters, applying the
@@ -108,14 +112,14 @@ func (r *ScheduleRequest) params() (core.Options, int) {
 	if n == 0 {
 		n = 100
 	}
-	return core.Options{Processors: r.Processors, CommCost: k, FoldNonCyclic: r.Fold}, n
+	return core.Options{Processors: r.Processors, CommCost: k, FoldNonCyclic: r.Fold, Grain: r.Grain}, n
 }
 
 // check validates the request's scalar parameters and source against the
 // serving caps; on failure the int is the HTTP status to report.
 func (r *ScheduleRequest) check() (int, error) {
 	opts, n := r.params()
-	if status, err := checkScheduleParams(n, []int{opts.Processors}, []int{opts.CommCost}); err != nil {
+	if status, err := checkScheduleParams(n, []int{opts.Processors}, []int{opts.CommCost}, []int{opts.Grain}); err != nil {
 		return status, err
 	}
 	return checkSource(r.Source)
@@ -123,10 +127,10 @@ func (r *ScheduleRequest) check() (int, error) {
 
 // checkScheduleParams is the one scalar-range validator behind every
 // scheduling endpoint: iterations plus any number of candidate processor
-// budgets and comm-cost estimates (single-valued for schedule and batch
-// items, whole grid axes for tune). On failure the int is the HTTP
-// status to report.
-func checkScheduleParams(n int, procs, costs []int) (int, error) {
+// budgets, comm-cost estimates and grains (single-valued for schedule
+// and batch items, whole grid axes for tune). On failure the int is the
+// HTTP status to report.
+func checkScheduleParams(n int, procs, costs, grains []int) (int, error) {
 	if n < 0 || n > maxIterations {
 		return http.StatusBadRequest,
 			fmt.Errorf("iterations %d out of range [1, %d]", n, maxIterations)
@@ -141,6 +145,12 @@ func checkScheduleParams(n int, procs, costs []int) (int, error) {
 		if k < 0 || k > maxCommCost {
 			return http.StatusBadRequest,
 				fmt.Errorf("comm_cost %d out of range [0, %d]", k, maxCommCost)
+		}
+	}
+	for _, g := range grains {
+		if g < 0 || g > maxGrain {
+			return http.StatusBadRequest,
+				fmt.Errorf("grain %d out of range [0, %d]", g, maxGrain)
 		}
 	}
 	return http.StatusOK, nil
@@ -256,6 +266,14 @@ type TuneRequest struct {
 	// AutoTune defaults (1..min(nodes, 8) and {1, 2, 3, 4}).
 	Processors []int `json:"processors"`
 	CommCosts  []int `json:"comm_costs"`
+	// Grains adds a chunking-grain axis to the grid. Empty means the
+	// single unchunked grain (today's grid, byte-identical).
+	Grains []int `json:"grains"`
+	// SerialThreshold short-circuits tiny loops: when > 0 and the
+	// loop's total sequential work (iterations × total body latency)
+	// is below it, the tune skips the grid and returns the
+	// one-processor sequential plan. 0 (the default) disables it.
+	SerialThreshold int `json:"serial_threshold"`
 	// Iterations per grid point (default 100).
 	Iterations int `json:"iterations"`
 	// Objective is "min_rate" (default), "min_procs" or "efficiency".
@@ -395,6 +413,7 @@ func (r *TuneRequest) params() (Objective, int, float64) {
 type TunePointResult struct {
 	Processors int            `json:"processors"`
 	CommCost   int            `json:"comm_cost"`
+	Grain      int            `json:"grain,omitempty"`
 	Rate       float64        `json:"rate_cycles_per_iteration,omitempty"`
 	Procs      int            `json:"procs,omitempty"`
 	CacheHit   bool           `json:"cache_hit,omitempty"`
@@ -404,16 +423,20 @@ type TunePointResult struct {
 
 // TuneResponse is the POST /v1/tune reply.
 type TuneResponse struct {
-	Loop      string            `json:"loop"`
-	Nodes     int               `json:"nodes"`
-	GraphHash string            `json:"graph_hash"`
-	Objective string            `json:"objective"`
-	Evaluator string            `json:"evaluator"`
-	Backend   string            `json:"backend,omitempty"`
-	Best      TunePointResult   `json:"best"`
-	Score     float64           `json:"score"`
-	Evaluated int               `json:"evaluated"`
-	Results   []TunePointResult `json:"results"`
+	Loop      string          `json:"loop"`
+	Nodes     int             `json:"nodes"`
+	GraphHash string          `json:"graph_hash"`
+	Objective string          `json:"objective"`
+	Evaluator string          `json:"evaluator"`
+	Backend   string          `json:"backend,omitempty"`
+	Best      TunePointResult `json:"best"`
+	Score     float64         `json:"score"`
+	Evaluated int             `json:"evaluated"`
+	// SerialFallback reports the tune short-circuited below the request's
+	// serial_threshold: Best is the one-processor sequential plan and the
+	// grid was never swept.
+	SerialFallback bool              `json:"serial_fallback,omitempty"`
+	Results        []TunePointResult `json:"results"`
 }
 
 // errorResponse is the JSON error envelope.
@@ -937,8 +960,12 @@ func checkTuneRequest(req *TuneRequest) (int, error) {
 	if req.Epsilon != nil && (*req.Epsilon < 0 || *req.Epsilon > 1) {
 		return http.StatusBadRequest, fmt.Errorf("epsilon %v out of range [0, 1]", *req.Epsilon)
 	}
+	if req.SerialThreshold < 0 {
+		return http.StatusBadRequest,
+			fmt.Errorf("serial_threshold %d is negative", req.SerialThreshold)
+	}
 	_, n, _ := req.params()
-	if status, err := checkScheduleParams(n, req.Processors, req.CommCosts); err != nil {
+	if status, err := checkScheduleParams(n, req.Processors, req.CommCosts, req.Grains); err != nil {
 		return status, err
 	}
 	if status, err := checkEvalRequest(req.Eval); err != nil {
@@ -946,24 +973,27 @@ func checkTuneRequest(req *TuneRequest) (int, error) {
 	}
 	// The grid is sized as AutoTune will actually run it: an empty axis
 	// takes its default length (at most 8 processor values, 4 comm
-	// costs), so an explicit list on one axis cannot smuggle an
-	// over-cap grid past a 0-length other axis.
-	pl, kl := len(req.Processors), len(req.CommCosts)
+	// costs, 1 grain), so an explicit list on one axis cannot smuggle
+	// an over-cap grid past a 0-length other axis.
+	pl, kl, gl := len(req.Processors), len(req.CommCosts), len(req.Grains)
 	if pl == 0 {
 		pl = 8
 	}
 	if kl == 0 {
 		kl = 4
 	}
-	if pl*kl > maxTunePoints {
+	if gl == 0 {
+		gl = 1
+	}
+	if pl*kl*gl > maxTunePoints {
 		return http.StatusRequestEntityTooLarge,
-			fmt.Errorf("tuning grid has %d points, over the serving cap %d", pl*kl, maxTunePoints)
+			fmt.Errorf("tuning grid has %d points, over the serving cap %d", pl*kl*gl, maxTunePoints)
 	}
 	// The trial budget counts against the same grid sizing: points ×
 	// trials bounds the total execution-backend runs a tune can demand.
 	// The gort budget is far tighter than the simulator's — each cell is
 	// a real goroutine execution on the serving host.
-	cells := pl * kl * req.Eval.trials()
+	cells := pl * kl * gl * req.Eval.trials()
 	if req.Eval != nil && req.Eval.Backend == "gort" {
 		if cells > maxGortTuneTrialCells {
 			return http.StatusRequestEntityTooLarge,
@@ -1014,13 +1044,15 @@ func (s *Server) tuneResponse(req *TuneRequest) (*TuneResponse, int, error) {
 		return nil, http.StatusRequestEntityTooLarge, err
 	}
 	tuned, err := s.pipe.AutoTune(compiled.Graph, n, TuneOptions{
-		Processors: req.Processors,
-		CommCosts:  req.CommCosts,
-		Base:       core.Options{FoldNonCyclic: req.Fold},
-		Objective:  objective,
-		Epsilon:    eps,
-		Workers:    aggregateWorkers,
-		Evaluator:  s.calibrated(req.Eval.evaluator()),
+		Processors:      req.Processors,
+		CommCosts:       req.CommCosts,
+		Grains:          req.Grains,
+		SerialThreshold: req.SerialThreshold,
+		Base:            core.Options{FoldNonCyclic: req.Fold},
+		Objective:       objective,
+		Epsilon:         eps,
+		Workers:         aggregateWorkers,
+		Evaluator:       s.calibrated(req.Eval.evaluator()),
 	})
 	if err != nil {
 		if errors.Is(err, core.ErrNoPattern) {
@@ -1029,16 +1061,17 @@ func (s *Server) tuneResponse(req *TuneRequest) (*TuneResponse, int, error) {
 		return nil, http.StatusUnprocessableEntity, err
 	}
 	resp := &TuneResponse{
-		Loop:      compiled.Loop.Name,
-		Nodes:     compiled.Graph.N(),
-		GraphHash: tuned.Best.Plan.GraphHash,
-		Objective: tuned.Objective.String(),
-		Evaluator: tuned.Evaluator,
-		Backend:   tuned.Backend,
-		Best:      tunePoint(tuned.Best),
-		Score:     tuned.Score,
-		Evaluated: tuned.Evaluated,
-		Results:   make([]TunePointResult, len(tuned.Results)),
+		Loop:           compiled.Loop.Name,
+		Nodes:          compiled.Graph.N(),
+		GraphHash:      tuned.Best.Plan.GraphHash,
+		Objective:      tuned.Objective.String(),
+		Evaluator:      tuned.Evaluator,
+		Backend:        tuned.Backend,
+		Best:           tunePoint(tuned.Best),
+		Score:          tuned.Score,
+		Evaluated:      tuned.Evaluated,
+		SerialFallback: tuned.SerialFallback,
+		Results:        make([]TunePointResult, len(tuned.Results)),
 	}
 	for i, tr := range tuned.Results {
 		resp.Results[i] = tunePoint(tr)
@@ -1051,6 +1084,7 @@ func tunePoint(r Result) TunePointResult {
 	out := TunePointResult{
 		Processors: r.Point.Processors,
 		CommCost:   r.Point.CommCost,
+		Grain:      r.Point.Grain,
 	}
 	if r.Err != nil {
 		out.Error = r.Err.Error()

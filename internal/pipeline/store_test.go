@@ -156,7 +156,7 @@ func TestPlanCodecRejectsCorruption(t *testing.T) {
 		"not json":     func(b []byte) []byte { return []byte("not a record") },
 		"wrong format": func(b []byte) []byte { return bytes.Replace(b, []byte("mimdloop/plan"), []byte("other/format"), 1) },
 		"wrong version": func(b []byte) []byte {
-			return bytes.Replace(b, []byte(`"version":3`), []byte(`"version":99`), 1)
+			return bytes.Replace(b, []byte(`"version":4`), []byte(`"version":99`), 1)
 		},
 		"key mismatch": func(b []byte) []byte {
 			// Change the recorded iteration count without re-deriving the

@@ -7,19 +7,33 @@ import (
 )
 
 // Point is one cell of a machine-parameter grid: a processor budget for
-// the Cyclic subset and a communication-cost estimate k.
+// the Cyclic subset, a communication-cost estimate k, and the chunking
+// grain (0 and 1 both mean unchunked).
 type Point struct {
 	Processors int
 	CommCost   int
+	Grain      int
 }
 
 // Grid returns the cross product procs × commCosts in row-major order
-// (all comm costs for the first processor count first).
+// (all comm costs for the first processor count first), grain 0.
 func Grid(procs, commCosts []int) []Point {
-	out := make([]Point, 0, len(procs)*len(commCosts))
+	return GrainGrid(procs, commCosts, nil)
+}
+
+// GrainGrid returns the cross product procs × commCosts × grains in
+// row-major order with grains innermost. nil or empty grains means the
+// single unchunked grain (0), recovering Grid exactly.
+func GrainGrid(procs, commCosts, grains []int) []Point {
+	if len(grains) == 0 {
+		grains = []int{0}
+	}
+	out := make([]Point, 0, len(procs)*len(commCosts)*len(grains))
 	for _, p := range procs {
 		for _, k := range commCosts {
-			out = append(out, Point{Processors: p, CommCost: k})
+			for _, g := range grains {
+				out = append(out, Point{Processors: p, CommCost: k, Grain: g})
+			}
 		}
 	}
 	return out
@@ -128,6 +142,7 @@ func (p *Pipeline) evalPoint(g *graph.Graph, pt Point, opt SweepOptions, ev Eval
 	opts := opt.Base
 	opts.Processors = pt.Processors
 	opts.CommCost = pt.CommCost
+	opts.Grain = pt.Grain
 	res := Result{Point: pt}
 	plan, hit, err := p.Schedule(g, opts, opt.Iterations)
 	if err != nil {

@@ -63,6 +63,20 @@ type TuneOptions struct {
 	// CommCosts are the candidate comm-cost estimates k. Empty means
 	// {1, 2, 3, 4}, bracketing the paper's experimental range.
 	CommCosts []int
+	// Grains are the candidate chunking grains (core.Options.Grain).
+	// Empty means the single unchunked grain — the grid (and every
+	// result) is then byte-identical to tuning before the grain axis
+	// existed. Grains that make the chunk graph infeasible (a
+	// dependence cycle collapsing to distance zero) fail to schedule
+	// and are skipped like any other failed point.
+	Grains []int
+	// SerialThreshold short-circuits tiny loops: when > 0 and the
+	// loop's total sequential work (n × total body latency) is below
+	// it, AutoTune skips the grid and returns the one-processor
+	// sequential plan (grain 0, the smallest candidate comm cost) —
+	// for loops this small, channel overhead dwarfs any parallel
+	// speedup. 0 disables the fallback.
+	SerialThreshold int
 	// Base is the Options template; every grid point overwrites its
 	// Processors and CommCost fields (same contract as Sweep).
 	Base core.Options
@@ -107,6 +121,10 @@ type TuneResult struct {
 	// Backend names the execution backend a measured evaluator ran on
 	// ("sim", "gort"); empty for static scoring.
 	Backend string
+	// SerialFallback reports the tune short-circuited below
+	// TuneOptions.SerialThreshold: Best is the one-processor sequential
+	// plan and the grid was never swept.
+	SerialFallback bool
 }
 
 // AutoTune rides Sweep over a processors × comm-cost grid, scores every
@@ -136,7 +154,16 @@ func (p *Pipeline) AutoTune(g *graph.Graph, n int, opt TuneOptions) (*TuneResult
 	if opt.Epsilon < 0 {
 		opt.Epsilon = 0
 	}
-	points := Grid(procs, costs)
+	serial := false
+	points := GrainGrid(procs, costs, opt.Grains)
+	if opt.SerialThreshold > 0 && n >= 1 && n*g.TotalLatency() < opt.SerialThreshold {
+		// Too little total work for parallelism to pay for its messages:
+		// evaluate only the one-processor sequential plan. The smallest
+		// candidate comm cost keys the plan (it has no messages to bill,
+		// but k is part of the plan key, so pick deterministically).
+		serial = true
+		points = []Point{{Processors: 1, CommCost: costs[0]}}
+	}
 	if len(points) == 0 {
 		return nil, errors.New("pipeline: empty tuning grid")
 	}
@@ -152,7 +179,7 @@ func (p *Pipeline) AutoTune(g *graph.Graph, n int, opt TuneOptions) (*TuneResult
 		Evaluator:  ev,
 	})
 
-	res := &TuneResult{Results: results, Objective: opt.Objective, Evaluator: ev.Name()}
+	res := &TuneResult{Results: results, Objective: opt.Objective, Evaluator: ev.Name(), SerialFallback: serial}
 	if bn, ok := ev.(interface{ BackendName() string }); ok {
 		res.Backend = bn.BackendName()
 	}
@@ -240,5 +267,10 @@ func better(o Objective, a, b Result, seq float64) bool {
 			return a.Score.Procs < b.Score.Procs
 		}
 	}
-	return a.Point.CommCost < b.Point.CommCost
+	if a.Point.CommCost != b.Point.CommCost {
+		return a.Point.CommCost < b.Point.CommCost
+	}
+	// Equal on everything the objective cares about: prefer the finer
+	// grain — fewer iterations at risk behind one straggling chunk.
+	return a.Point.Grain < b.Point.Grain
 }

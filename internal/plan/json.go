@@ -10,8 +10,11 @@ import (
 // scheduleJSON is the stable wire format: the graph is embedded so a
 // schedule file is self-contained and can be validated on load.
 type scheduleJSON struct {
-	Timing     Timing      `json:"timing"`
-	Processors int         `json:"processors"`
+	Timing     Timing `json:"timing"`
+	Processors int    `json:"processors"`
+	// Grain marks chunk-space placements (omitted for the default
+	// iteration-space schedules, keeping pre-grain wire bytes identical).
+	Grain      int         `json:"grain,omitempty"`
 	Nodes      []nodeJSON  `json:"nodes"`
 	Edges      []edgeJSON  `json:"edges"`
 	Placements []placeJSON `json:"placements"`
@@ -41,6 +44,7 @@ func (s *Schedule) MarshalJSON() ([]byte, error) {
 	out := scheduleJSON{
 		Timing:     s.Timing,
 		Processors: s.Processors,
+		Grain:      s.Grain,
 	}
 	for _, nd := range s.Graph.Nodes {
 		out.Nodes = append(out.Nodes, nodeJSON{Name: nd.Name, Latency: nd.Latency})
@@ -74,9 +78,20 @@ func (s *Schedule) UnmarshalJSON(data []byte) error {
 	if err != nil {
 		return fmt.Errorf("plan: decode schedule graph: %w", err)
 	}
+	if in.Grain < 0 {
+		return fmt.Errorf("plan: decode schedule: negative grain %d", in.Grain)
+	}
+	if in.Grain > 1 {
+		// A grain the schedule was built under always chunks; checking at
+		// decode time keeps EffectiveGraph panic-free on tampered records.
+		if _, err := graph.Chunked(g, in.Grain); err != nil {
+			return fmt.Errorf("plan: decode schedule: %w", err)
+		}
+	}
 	s.Graph = g
 	s.Timing = in.Timing
 	s.Processors = in.Processors
+	s.Grain = in.Grain
 	s.Placements = nil
 	for _, p := range in.Placements {
 		s.Placements = append(s.Placements, Placement{Node: p.Node, Iter: p.Iter, Proc: p.Proc, Start: p.Start})

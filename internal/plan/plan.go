@@ -52,11 +52,37 @@ func (t Timing) Avail(p Placement, latency int, e graph.Edge, q int) int {
 }
 
 // Schedule is a static assignment of dynamic instances to processors.
+//
+// With Grain G > 1 the placements live in chunk space: placement
+// iteration c stands for original iterations [c*G, (c+1)*G), Graph stays
+// the original dependence graph, and every structural judgement —
+// makespan, busy cycles, validation, program lowering — runs against
+// EffectiveGraph (the grain-G chunk graph) instead of Graph directly.
 type Schedule struct {
 	Graph      *graph.Graph
 	Timing     Timing
 	Processors int // number of processors the schedule may use
 	Placements []Placement
+	// Grain is the number of consecutive original iterations each
+	// placement instance fuses; values <= 1 mean plain iteration-space
+	// placements (the schedule's Graph is its effective graph).
+	Grain int
+}
+
+// EffectiveGraph returns the graph the placements are scheduled against:
+// Graph itself for grain <= 1, the grain-G chunk graph otherwise. The
+// chunk graph is a pure derivation of (Graph, Grain); a grain the
+// schedule was actually built under always chunks successfully, so a
+// failure here means the schedule was corrupted after construction.
+func (s *Schedule) EffectiveGraph() *graph.Graph {
+	if s.Grain <= 1 {
+		return s.Graph
+	}
+	cg, err := graph.Chunked(s.Graph, s.Grain)
+	if err != nil {
+		panic("plan: chunk graph for scheduled grain failed: " + err.Error())
+	}
+	return cg
 }
 
 // Clone returns a deep copy of the schedule.
@@ -68,9 +94,10 @@ func (s *Schedule) Clone() *Schedule {
 
 // Makespan returns the cycle at which the last operation finishes.
 func (s *Schedule) Makespan() int {
+	g := s.EffectiveGraph()
 	end := 0
 	for _, p := range s.Placements {
-		fin := p.Start + s.Graph.Nodes[p.Node].Latency
+		fin := p.Start + g.Nodes[p.Node].Latency
 		if fin > end {
 			end = fin
 		}
@@ -136,9 +163,10 @@ func (s *Schedule) Index() map[graph.InstanceID]int {
 
 // BusyCycles returns the total number of processor-cycles spent computing.
 func (s *Schedule) BusyCycles() int {
+	g := s.EffectiveGraph()
 	total := 0
 	for _, p := range s.Placements {
-		total += s.Graph.Nodes[p.Node].Latency
+		total += g.Nodes[p.Node].Latency
 	}
 	return total
 }
@@ -163,9 +191,11 @@ func (s *Schedule) Utilization() float64 {
 //   - if complete is true, additionally: every instance (v, i) for
 //     i < Iterations() is placed (the schedule covers whole iterations).
 //
-// It returns nil if the schedule is valid.
+// It returns nil if the schedule is valid. Grain-G schedules validate
+// against the chunk graph: placements are chunk instances and the
+// dependences checked are the chunk-boundary ones.
 func (s *Schedule) Validate(complete bool) error {
-	g := s.Graph
+	g := s.EffectiveGraph()
 	idx := make(map[graph.InstanceID]int, len(s.Placements))
 	for i, p := range s.Placements {
 		if p.Node < 0 || p.Node >= g.N() {

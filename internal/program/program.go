@@ -72,8 +72,13 @@ type MsgKey struct {
 // Build lowers the schedule to one program per processor (indices
 // 0..Processors-1; processors with no work get empty programs). It returns
 // an error if the schedule misses a producer for any dependence.
+//
+// Grain-G schedules lower in chunk space: instructions reference chunk
+// indices, one COMPUTE stands for G fused iterations, and messages are
+// discovered over the chunk graph's boundary dependences — so a chunk of
+// values crossing processors costs one SEND/RECV pair, not G.
 func Build(s *plan.Schedule) ([]Program, error) {
-	g := s.Graph
+	g := s.EffectiveGraph()
 	idx := s.Index()
 	byProc := s.ByProc()
 

@@ -1,0 +1,62 @@
+package workload
+
+import (
+	"fmt"
+
+	"mimdloop/internal/graph"
+)
+
+// Streams builds the grain-friendly loop family: `chains` independent
+// chains of `perChain` nodes each, where every node carries a
+// distance-1 self-recurrence (x[i] depends on x[i-1], so every node is
+// Cyclic and the loop is non-vectorizable) and consecutive nodes of a
+// chain are linked by distance-0 flow dependences (each stage consumes
+// the previous stage's current-iteration value). All nodes share one
+// latency.
+//
+// The shape is what chunking was built for: the self-recurrences
+// survive any grain G (a distance-d self edge becomes a distance-
+// ceil(d/G) chunk self edge, never a zero-distance cycle), while the
+// cross-node edges are acyclic — so under grain G the G per-iteration
+// values crossing each chain link collapse into one block message per
+// chunk. Contrast the random Section 4 suite, whose entangled
+// cross-node dependence cycles collapse to zero-distance chunk cycles
+// and make most grains infeasible.
+func Streams(chains, perChain, latency int) (*graph.Graph, error) {
+	if chains < 1 || perChain < 1 || latency < 1 {
+		return nil, fmt.Errorf("workload: bad streams shape %d x %d, latency %d", chains, perChain, latency)
+	}
+	b := graph.NewBuilder()
+	for c := 0; c < chains; c++ {
+		for i := 0; i < perChain; i++ {
+			id := b.AddNode(fmt.Sprintf("s%dn%d", c, i), latency)
+			b.AddEdge(id, id, 1)
+			if i > 0 {
+				b.AddEdge(id-1, id, 0)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Braid is the denser variant of a single stream: a chain of `length`
+// nodes, each with the distance-1 self-recurrence, where node i consumes
+// the current-iteration values of all of nodes i-1..i-skip — the
+// flow-dependence density of an unrolled stencil. More distance-0 edges
+// mean more per-iteration messages for an ungrained schedule to pay and
+// more values for a chunked one to batch; the cross-node edges stay
+// acyclic, so every grain remains feasible.
+func Braid(length, skip, latency int) (*graph.Graph, error) {
+	if length < 1 || skip < 1 || latency < 1 {
+		return nil, fmt.Errorf("workload: bad braid shape length %d, skip %d, latency %d", length, skip, latency)
+	}
+	b := graph.NewBuilder()
+	for i := 0; i < length; i++ {
+		id := b.AddNode(fmt.Sprintf("b%d", i), latency)
+		b.AddEdge(id, id, 1)
+		for s := 1; s <= skip && s <= i; s++ {
+			b.AddEdge(id-s, id, 0)
+		}
+	}
+	return b.Build()
+}
