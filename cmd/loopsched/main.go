@@ -146,11 +146,17 @@ func serve(args []string) error {
 	if fs.NArg() != 0 {
 		return fmt.Errorf("serve takes no positional arguments, got %v", fs.Args())
 	}
-	peer, err := newClusterPeer(*peers, *self, *vnodes)
+	// The disk tier opens before the peer tier so cluster fills can
+	// stream fetched records through it (the peer store's RecordSink).
+	disk, err := newServeDisk(*storeDir, *storeBytes)
 	if err != nil {
 		return err
 	}
-	pipe, err := newServePipeline(*cache, *storeDir, *storeBytes, peer)
+	peer, err := newClusterPeer(*peers, *self, *vnodes, disk)
+	if err != nil {
+		return err
+	}
+	pipe, err := newServePipeline(*cache, disk, peer)
 	if err != nil {
 		return err
 	}
@@ -236,7 +242,9 @@ func warmupSummary(stats mimdloop.WarmupStats) string {
 
 // newClusterPeer validates the -peers/-self/-vnodes flags and builds
 // the cluster tier, or nil when -peers is unset (single-node serving).
-func newClusterPeer(peersCSV, self string, vnodes int) (*mimdloop.PeerStore, error) {
+// A non-nil sink (the node's disk store) makes peer fills stream
+// fetched records through it instead of buffering them whole.
+func newClusterPeer(peersCSV, self string, vnodes int, sink *mimdloop.DiskStore) (*mimdloop.PeerStore, error) {
 	if strings.TrimSpace(peersCSV) == "" {
 		if self != "" {
 			return nil, errors.New("-self requires -peers")
@@ -258,50 +266,60 @@ func newClusterPeer(peersCSV, self string, vnodes int) (*mimdloop.PeerStore, err
 	if vnodes < 0 {
 		return nil, fmt.Errorf("negative vnodes %d", vnodes)
 	}
-	return mimdloop.NewPeerStore(mimdloop.PeerStoreConfig{
+	cfg := mimdloop.PeerStoreConfig{
 		Self:   self,
 		Peers:  peers,
 		VNodes: vnodes,
-	})
+	}
+	if sink != nil {
+		cfg.RecordSink = sink
+	}
+	return mimdloop.NewPeerStore(cfg)
+}
+
+// newServeDisk validates the -store/-store-bytes flags and opens the
+// durable tier, or nil when -store is unset.
+func newServeDisk(storeDir string, storeBytes int64) (*mimdloop.DiskStore, error) {
+	if storeDir == "" {
+		if storeBytes != 0 {
+			return nil, errors.New("-store-bytes requires -store")
+		}
+		return nil, nil
+	}
+	if storeBytes < 0 {
+		return nil, fmt.Errorf("negative store byte budget %d", storeBytes)
+	}
+	return mimdloop.NewDiskStore(mimdloop.DiskStoreConfig{Dir: storeDir, MaxBytes: storeBytes})
 }
 
 // newServePipeline builds the pipeline behind the service: memory-only
 // by default, memory over a durable disk store with -store, and the
 // cluster peer-fill tier slotted between the two with -peers.
-func newServePipeline(maxEntries int, storeDir string, storeBytes int64, peer *mimdloop.PeerStore) (*mimdloop.Pipeline, error) {
+func newServePipeline(maxEntries int, disk *mimdloop.DiskStore, peer *mimdloop.PeerStore) (*mimdloop.Pipeline, error) {
 	if maxEntries < 0 {
 		return nil, fmt.Errorf("negative cache size %d", maxEntries)
 	}
 	cfg := mimdloop.PipelineConfig{MaxEntries: maxEntries}
-	if storeDir == "" {
-		if storeBytes != 0 {
-			return nil, errors.New("-store-bytes requires -store")
-		}
+	switch {
+	case disk == nil && peer == nil:
+		// Memory-only: the pipeline's default MemStore.
+	case disk == nil:
+		cfg.Store = mimdloop.NewTieredStore(
+			mimdloop.NewMemStore(mimdloop.MemStoreConfig{MaxEntries: maxEntries}), peer)
+	default:
+		var lower mimdloop.PlanStore = disk
 		if peer != nil {
-			cfg.Store = mimdloop.NewTieredStore(
-				mimdloop.NewMemStore(mimdloop.MemStoreConfig{MaxEntries: maxEntries}), peer)
+			lower = mimdloop.NewTieredStore(peer, disk)
 		}
-		return mimdloop.NewPipeline(cfg), nil
+		cfg.Store = mimdloop.NewTieredStore(
+			mimdloop.NewMemStore(mimdloop.MemStoreConfig{MaxEntries: maxEntries}), lower)
 	}
-	if storeBytes < 0 {
-		return nil, fmt.Errorf("negative store byte budget %d", storeBytes)
-	}
-	disk, err := mimdloop.NewDiskStore(mimdloop.DiskStoreConfig{Dir: storeDir, MaxBytes: storeBytes})
-	if err != nil {
-		return nil, err
-	}
-	var lower mimdloop.PlanStore = disk
-	if peer != nil {
-		lower = mimdloop.NewTieredStore(peer, disk)
-	}
-	cfg.Store = mimdloop.NewTieredStore(
-		mimdloop.NewMemStore(mimdloop.MemStoreConfig{MaxEntries: maxEntries}), lower)
 	return mimdloop.NewPipeline(cfg), nil
 }
 
 // newServeHandler builds the service handler around a fresh pipeline.
 func newServeHandler(maxEntries int) (http.Handler, error) {
-	pipe, err := newServePipeline(maxEntries, "", 0, nil)
+	pipe, err := newServePipeline(maxEntries, nil, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -159,7 +159,7 @@ func TestBatchSubcommand(t *testing.T) {
 }
 
 func TestServeWarmup(t *testing.T) {
-	pipe, err := newServePipeline(0, "", 0, nil)
+	pipe, err := newServePipeline(0, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,7 +264,11 @@ func TestServeStorePipeline(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	pipe1, err := newServePipeline(0, storeDir, 0, nil)
+	disk1, err := newServeDisk(storeDir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe1, err := newServePipeline(0, disk1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -280,7 +284,11 @@ func TestServeStorePipeline(t *testing.T) {
 	}
 
 	// Restart: the same corpus is satisfied from the disk store.
-	pipe2, err := newServePipeline(0, storeDir, 0, nil)
+	disk2, err := newServeDisk(storeDir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe2, err := newServePipeline(0, disk2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -326,7 +334,11 @@ func TestStoreSubcommand(t *testing.T) {
 	storeDir := filepath.Join(dir, "plans")
 
 	// Populate the store through a serve-shaped pipeline.
-	pipe, err := newServePipeline(0, storeDir, 0, nil)
+	sdisk, err := newServeDisk(storeDir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := newServePipeline(0, sdisk, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -373,31 +385,31 @@ func TestStoreSubcommand(t *testing.T) {
 func TestClusterFlagValidation(t *testing.T) {
 	// No -peers: single-node serving, and the cluster-only flags are
 	// rejected rather than silently ignored.
-	if peer, err := newClusterPeer("", "", 0); peer != nil || err != nil {
+	if peer, err := newClusterPeer("", "", 0, nil); peer != nil || err != nil {
 		t.Fatalf("no -peers: peer=%v err=%v", peer, err)
 	}
-	if _, err := newClusterPeer("", "node0", 0); err == nil {
+	if _, err := newClusterPeer("", "node0", 0, nil); err == nil {
 		t.Fatal("-self without -peers accepted")
 	}
-	if _, err := newClusterPeer("", "", 64); err == nil {
+	if _, err := newClusterPeer("", "", 64, nil); err == nil {
 		t.Fatal("-vnodes without -peers accepted")
 	}
 
 	// With -peers: -self is required and must name one of the peers.
-	if _, err := newClusterPeer("a:1,b:2", "", 0); err == nil {
+	if _, err := newClusterPeer("a:1,b:2", "", 0, nil); err == nil {
 		t.Fatal("-peers without -self accepted")
 	}
-	if _, err := newClusterPeer("a:1,b:2", "c:3", 0); err == nil {
+	if _, err := newClusterPeer("a:1,b:2", "c:3", 0, nil); err == nil {
 		t.Fatal("-self outside -peers accepted")
 	}
-	if _, err := newClusterPeer("a:1,b:2", "a:1", -1); err == nil {
+	if _, err := newClusterPeer("a:1,b:2", "a:1", -1, nil); err == nil {
 		t.Fatal("negative -vnodes accepted")
 	}
-	if _, err := newClusterPeer("a:1,a:1", "a:1", 0); err == nil {
+	if _, err := newClusterPeer("a:1,a:1", "a:1", 0, nil); err == nil {
 		t.Fatal("duplicate peers accepted")
 	}
 
-	peer, err := newClusterPeer(" a:1 , b:2 ", "a:1", 32)
+	peer, err := newClusterPeer(" a:1 , b:2 ", "a:1", 32, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -408,11 +420,15 @@ func TestClusterFlagValidation(t *testing.T) {
 
 	// A clustered pipeline builds with and without a disk tier.
 	for _, dir := range []string{"", t.TempDir()} {
-		peer, err := newClusterPeer("a:1,b:2", "a:1", 0)
+		peer, err := newClusterPeer("a:1,b:2", "a:1", 0, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
-		pipe, err := newServePipeline(0, dir, 0, peer)
+		disk, err := newServeDisk(dir, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pipe, err := newServePipeline(0, disk, peer)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -426,10 +442,10 @@ func TestClusterFlagValidation(t *testing.T) {
 }
 
 func TestServeStoreArgErrors(t *testing.T) {
-	if _, err := newServePipeline(0, "", 5, nil); err == nil {
+	if _, err := newServeDisk("", 5); err == nil {
 		t.Fatal("-store-bytes without -store accepted")
 	}
-	if _, err := newServePipeline(0, t.TempDir(), -1, nil); err == nil {
+	if _, err := newServeDisk(t.TempDir(), -1); err == nil {
 		t.Fatal("negative -store-bytes accepted")
 	}
 }

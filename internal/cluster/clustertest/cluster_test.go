@@ -302,6 +302,23 @@ func TestClusterOwnerRestartResumesByteIdentical(t *testing.T) {
 			}
 		}
 	}
+
+	// Streamed peer fills are durable: with a disk tier configured the
+	// fill flows through DiskStore.PutRecord (validated, then renamed
+	// into place), so every filler's own disk now holds the record — a
+	// filler restart would serve it locally instead of re-fetching.
+	for _, name := range c.Names() {
+		if name == victim {
+			continue
+		}
+		if cs := c.Node(name).Peer.ClusterStats(); cs.Fills == 0 {
+			t.Fatalf("node %s recorded no fills", name)
+		}
+		disk, ok := c.Node(name).Pipe.Stats().Store.Tier("disk")
+		if !ok || disk.Puts == 0 {
+			t.Fatalf("node %s: streamed fill did not land on the disk tier: %+v", name, disk)
+		}
+	}
 }
 
 // TestClusterPartitionMidReplay: a partition between two nodes midway

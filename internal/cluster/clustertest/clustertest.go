@@ -104,7 +104,17 @@ func New(t *testing.T, opts Options) *Cluster {
 // restarts alike).
 func (c *Cluster) start(name string) *Node {
 	c.t.Helper()
-	peer, err := store.NewPeer(store.PeerConfig{
+	// The disk tier opens first so the peer tier can stream fetched
+	// records through it (RecordSink) instead of slurping them whole.
+	var disk *store.DiskStore
+	if dir := c.dirs[name]; dir != "" {
+		var err error
+		disk, err = store.Open(store.DiskConfig{Dir: dir})
+		if err != nil {
+			c.t.Fatal(err)
+		}
+	}
+	cfg := store.PeerConfig{
 		Self:      name,
 		Peers:     c.names,
 		VNodes:    c.opts.VNodes,
@@ -118,7 +128,11 @@ func (c *Cluster) start(name string) *Node {
 		Backoff:         5 * time.Millisecond,
 		BreakerFailures: 2,
 		BreakerCooldown: 100 * time.Millisecond,
-	})
+	}
+	if disk != nil {
+		cfg.RecordSink = disk
+	}
+	peer, err := store.NewPeer(cfg)
 	if err != nil {
 		c.t.Fatal(err)
 	}
@@ -126,11 +140,7 @@ func (c *Cluster) start(name string) *Node {
 	// Tiered(mem, Tiered(peer, disk)) — or Tiered(mem, peer) when the
 	// node runs without durable storage.
 	var lower pipeline.PlanStore = peer
-	if dir := c.dirs[name]; dir != "" {
-		disk, err := store.Open(store.DiskConfig{Dir: dir})
-		if err != nil {
-			c.t.Fatal(err)
-		}
+	if disk != nil {
 		lower = store.NewTiered(peer, disk)
 	}
 	pipe := pipeline.New(pipeline.Config{

@@ -1,8 +1,10 @@
 package loadgen
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"time"
@@ -27,13 +29,20 @@ type Options struct {
 
 // phase sizes: {full, quick}.
 var (
-	coldSamples  = [2]int{30, 8}
-	hitSamples   = [2]int{2000, 300}
-	tuneSamples  = [2]int{10, 3}
-	gortSamples  = [2]int{5, 2}
-	batchReqs    = [2]int{100, 20}
-	loadRequests = [2]int{2000, 200}
+	coldSamples   = [2]int{30, 8}
+	hitSamples    = [2]int{2000, 300}
+	streamSamples = [2]int{20, 5}
+	tuneSamples   = [2]int{10, 3}
+	gortSamples   = [2]int{5, 2}
+	batchReqs     = [2]int{100, 20}
+	loadRequests  = [2]int{2000, 200}
 )
+
+// streamIterations sizes the stream phase's loop: Figure 7 (5 nodes) at
+// the iteration cap is the near-cap request shape — 50,000 placements,
+// a multi-MB reply, comfortably over the server's 1 MiB streaming
+// threshold.
+const streamIterations = 10_000
 
 func pick(v [2]int, quick bool) int {
 	if quick {
@@ -53,7 +62,7 @@ const chainSource = `loop chain(N = 100) {
     D[i] = D[i-1] + C[i]
 }`
 
-// Bench runs the eight trajectory phases against the server at baseURL
+// Bench runs the nine trajectory phases against the server at baseURL
 // and returns the Report to persist. The server only needs the standard
 // /v1 routes; the same call measures an in-process httptest server
 // (paperbench -json) or a live deployment (loopsched bench).
@@ -105,7 +114,41 @@ func Bench(baseURL string, client *http.Client, opt Options) (*Report, error) {
 	}
 	rep.Hit = summarize(hits)
 
-	// Phases 3-5: measured tuning on each backend over a small 2-point
+	// Phase 3: streamed near-cap replies — the same Figure 7 loop at the
+	// iteration cap, whose multi-MB reply rides the chunked streaming
+	// lane. The first request is the warmer (it pays the cold schedule);
+	// the samples then measure time to first body byte and time to the
+	// fully drained body separately, so the trajectory records what
+	// streaming buys (first byte no longer scales with body size) without
+	// conflating it with transfer time.
+	streamBody := []byte(fmt.Sprintf(`{"source": %q, "processors": 2, "iterations": %d}`,
+		workload.Figure7Source, streamIterations))
+	if _, _, _, err := timedStreamPost(client, baseURL+"/v1/schedule", streamBody); err != nil {
+		return nil, fmt.Errorf("stream warmup: %w", err)
+	}
+	nStream := pick(streamSamples, opt.Quick)
+	firsts := make([]time.Duration, 0, nStream)
+	fulls := make([]time.Duration, 0, nStream)
+	var peak int64
+	for i := 0; i < nStream; i++ {
+		first, full, n, err := timedStreamPost(client, baseURL+"/v1/schedule", streamBody)
+		if err != nil {
+			return nil, fmt.Errorf("stream phase: %w", err)
+		}
+		firsts = append(firsts, first)
+		fulls = append(fulls, full)
+		if n > peak {
+			peak = n
+		}
+	}
+	rep.Stream = StreamStats{
+		Samples:    nStream,
+		ReplyBytes: peak,
+		FirstByte:  summarize(firsts),
+		FullBody:   summarize(fulls),
+	}
+
+	// Phases 4-6: measured tuning on each backend over a small 2-point
 	// grid (well inside the gort serving caps). The csim phase degrades
 	// to raw-sim scoring against a server with no calibration profile —
 	// the latency is the same either way, which is the phase's point.
@@ -136,7 +179,7 @@ func Bench(baseURL string, client *http.Client, opt Options) (*Report, error) {
 		*be.out = summarize(samples)
 	}
 
-	// Phase 6: the grain-axis tune — the adaptive-granularity request
+	// Phase 7: the grain-axis tune — the adaptive-granularity request
 	// shape: a chunk-friendly stream chain, measured gort scoring, a
 	// grain axis on the grid. The serial-threshold warmup request pins
 	// the fallback path's latency into the same section's first sample
@@ -160,7 +203,7 @@ func Bench(baseURL string, client *http.Client, opt Options) (*Report, error) {
 	}
 	rep.TuneGrain = summarize(grain)
 
-	// Phase 7: batch throughput — the standard 6-loop mix per request.
+	// Phase 8: batch throughput — the standard 6-loop mix per request.
 	reqs := pick(batchReqs, opt.Quick)
 	t0 := time.Now()
 	for i := 0; i < reqs; i++ {
@@ -177,7 +220,7 @@ func Bench(baseURL string, client *http.Client, opt Options) (*Report, error) {
 		LoopsPerSec: float64(loops) / wall.Seconds(),
 	}
 
-	// Phase 8: concurrent mixed load.
+	// Phase 9: concurrent mixed load.
 	runner := &Runner{
 		BaseURL:  baseURL,
 		Client:   client,
@@ -193,6 +236,36 @@ func Bench(baseURL string, client *http.Client, opt Options) (*Report, error) {
 	}
 	rep.Load = load
 	return rep, nil
+}
+
+// timedStreamPost posts one request and measures first-byte and
+// full-body latency separately, counting the body bytes drained. It
+// reads the body incrementally, so chunked replies (the streaming
+// lane sets no Content-Length) and framed ones measure identically.
+func timedStreamPost(client *http.Client, url string, body []byte) (firstByte, fullBody time.Duration, n int64, err error) {
+	t0 := time.Now()
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer resp.Body.Close()
+	var one [1]byte
+	m, rerr := resp.Body.Read(one[:])
+	firstByte = time.Since(t0)
+	n = int64(m)
+	if rerr != nil && rerr != io.EOF {
+		return 0, 0, 0, rerr
+	}
+	c, rerr := io.Copy(io.Discard, resp.Body)
+	fullBody = time.Since(t0)
+	n += c
+	if rerr != nil {
+		return 0, 0, 0, rerr
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, 0, 0, fmt.Errorf("POST %s: status %d", url, resp.StatusCode)
+	}
+	return firstByte, fullBody, n, nil
 }
 
 // timedPost posts one request and returns its wall-clock latency; a

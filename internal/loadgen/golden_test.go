@@ -57,7 +57,7 @@ func sortedPaths(data []byte, t *testing.T) []string {
 // the path below, and note the break in docs/API.md — older BENCH_*.json
 // files stop being comparable at that point.
 func TestBenchSchemaGolden(t *testing.T) {
-	const fixture = "testdata/bench_v3.json"
+	const fixture = "testdata/bench_v4.json"
 	data, err := os.ReadFile(fixture)
 	if err != nil {
 		t.Fatalf("missing golden fixture: %v", err)
@@ -90,7 +90,7 @@ func TestBenchSchemaGolden(t *testing.T) {
 // must be populated (non-zero), so "all fields present" cannot be
 // satisfied by a fixture that accidentally lost sections.
 func TestBenchSchemaFixtureComplete(t *testing.T) {
-	data, err := os.ReadFile("testdata/bench_v3.json")
+	data, err := os.ReadFile("testdata/bench_v4.json")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,15 +2,16 @@
 // as the repo's benchmark trajectory (the committed BENCH_*.json files).
 //
 // The package has two halves. Report (this file) is the versioned wire
-// schema every trajectory file conforms to: eight sections — cold
-// schedule latency, cache-hit latency, tune latency per backend (sim,
-// gort and the calibrated csim), the grain-axis tune phase, batch
-// throughput, and a concurrent HTTP load phase — all expressed in
-// integer nanoseconds so files diff cleanly across PRs. Runner
-// (runner.go) is the concurrent load generator behind the last section,
-// and Bench (bench.go) drives all eight phases over plain HTTP so the
-// same code measures an in-process httptest server (paperbench -json)
-// and a live deployment (loopsched bench).
+// schema every trajectory file conforms to: nine sections — cold
+// schedule latency, cache-hit latency, streamed near-cap reply latency
+// (first byte and full body), tune latency per backend (sim, gort and
+// the calibrated csim), the grain-axis tune phase, batch throughput,
+// and a concurrent HTTP load phase — all expressed in integer
+// nanoseconds so files diff cleanly across PRs. Runner (runner.go) is
+// the concurrent load generator behind the last section, and Bench
+// (bench.go) drives all nine phases over plain HTTP so the same code
+// measures an in-process httptest server (paperbench -json) and a live
+// deployment (loopsched bench).
 //
 // The schema is guarded by a golden-fixture test (golden_test.go): any
 // field added, removed or renamed fails the test until Version is
@@ -36,9 +37,13 @@ import (
 //	3: added tune_grain (the grain-axis gort tune on a chunk-friendly
 //	   stream chain, with a serial-threshold warmup); v2 files stop
 //	   being comparable (CompareHit restarts the trajectory).
+//	4: added stream (near-cap /v1/schedule replies through the chunked
+//	   streaming lane: first-byte and full-body latency plus the peak
+//	   reply size); v3 files stop being comparable (CompareHit restarts
+//	   the trajectory).
 const (
 	Format  = "mimdloop/bench"
-	Version = 3
+	Version = 4
 )
 
 // Report is one trajectory point: everything a BENCH_<n>.json file
@@ -60,6 +65,11 @@ type Report struct {
 	// Hit is the warm /v1/schedule path: plan-cache lookup plus the
 	// pre-rendered response body.
 	Hit Latency `json:"cache_hit"`
+	// Stream is the near-cap /v1/schedule path: a multi-MB reply served
+	// through the streaming lane (chunked, envelope prefix flushed before
+	// the schedule bytes), with first-byte and full-body latency measured
+	// separately — the gap is what streaming buys.
+	Stream StreamStats `json:"stream"`
 	// TuneSim, TuneGort and TuneCsim are /v1/tune with a measured
 	// evaluator on the simulated machine, the goroutine runtime, and
 	// the calibrated simulator (profile-scaled sim) respectively.
@@ -85,6 +95,16 @@ type Latency struct {
 	P99NS   int64 `json:"p99_ns"`
 	MinNS   int64 `json:"min_ns"`
 	MaxNS   int64 `json:"max_ns"`
+}
+
+// StreamStats summarises the streamed near-cap reply phase: the peak
+// reply size observed and two latency distributions over the same
+// requests — time to the first body byte and time to the drained body.
+type StreamStats struct {
+	Samples    int     `json:"samples"`
+	ReplyBytes int64   `json:"reply_bytes"`
+	FirstByte  Latency `json:"first_byte"`
+	FullBody   Latency `json:"full_body"`
 }
 
 // Throughput summarises the batch phase.
@@ -161,6 +181,7 @@ func (r *Report) Summary() string {
 		"mode %s, GOMAXPROCS %d\n"+
 			"cold schedule   p50 %-10v (%d samples)\n"+
 			"cache hit       p50 %-10v p99 %v (%d samples)\n"+
+			"stream          first byte p50 %-10v full body p50 %v (%s reply, %d samples)\n"+
 			"tune sim        p50 %-10v (%d samples)\n"+
 			"tune gort       p50 %-10v (%d samples)\n"+
 			"tune csim       p50 %-10v (%d samples)\n"+
@@ -170,6 +191,8 @@ func (r *Report) Summary() string {
 		mode, r.GoMaxProcs,
 		d(r.Cold.P50NS), r.Cold.Samples,
 		d(r.Hit.P50NS), d(r.Hit.P99NS), r.Hit.Samples,
+		d(r.Stream.FirstByte.P50NS), d(r.Stream.FullBody.P50NS),
+		fmtBytes(r.Stream.ReplyBytes), r.Stream.Samples,
 		d(r.TuneSim.P50NS), r.TuneSim.Samples,
 		d(r.TuneGort.P50NS), r.TuneGort.Samples,
 		d(r.TuneCsim.P50NS), r.TuneCsim.Samples,
@@ -177,6 +200,17 @@ func (r *Report) Summary() string {
 		r.Batch.LoopsPerSec, r.Batch.Loops,
 		r.Load.ReqPerSec, d(r.Load.Latency.P50NS), d(r.Load.Latency.P95NS), d(r.Load.Latency.P99NS),
 		r.Load.Workers, r.Load.Requests, r.Load.Errors)
+}
+
+// fmtBytes renders a byte count human-readably for Summary.
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", n)
 }
 
 // Regression thresholds for CompareHit: past Warn the run prints a

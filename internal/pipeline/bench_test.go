@@ -193,3 +193,25 @@ func BenchmarkServeCacheHit(b *testing.B) {
 		b.Fatalf("status %d", w.status)
 	}
 }
+
+// BenchmarkServeNearCapStream drives the streaming lane: a warm
+// near-cap /v1/schedule request (Figure 7 at the iteration cap, ~2.3 MB
+// of schedule JSON) served end to end through Server.ServeHTTP. With
+// -benchmem the bytes/op column is the lane's whole point: the reply
+// goes out as envelope prefix + memoized schedule bytes + suffix, so
+// per-request allocation stays in kilobytes while the body is megabytes
+// (TestStreamedReplyAllocBytes pins the ratio against buffering).
+func BenchmarkServeNearCapStream(b *testing.B) {
+	srv := NewServer(New(Config{}))
+	body, rd, req := nearCapRequest(b, srv)
+	w := &discardResponseWriter{h: make(http.Header)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rd.Reset(body)
+		srv.ServeHTTP(w, req)
+	}
+	if w.status != http.StatusOK {
+		b.Fatalf("status %d", w.status)
+	}
+}

@@ -123,6 +123,19 @@ func TestAPIDocCoversRoutes(t *testing.T) {
 		}
 	}
 
+	// The streaming surface: the reply-splitting section with its
+	// threshold and chunked semantics, the raw record fetch, the stats
+	// counters, and the trajectory's stream phase.
+	for _, fragment := range []string{
+		"### Streaming replies", "StreamThreshold", "chunked transfer",
+		`"streamed"`, `"stream_bytes"`,
+		`"stream"`, `"reply_bytes"`, `"first_byte"`, `"full_body"`,
+	} {
+		if !strings.Contains(doc, fragment) {
+			t.Errorf("docs/API.md does not document the streaming fragment %s", fragment)
+		}
+	}
+
 	// The calibration surface: the csim backend selector, the calibrate
 	// and serve/tune flags, the profile file, and every JSON field of
 	// the stats "calib" block (CalibStats plus the nested cost model).
@@ -159,6 +172,30 @@ func TestArchitectureDocCoversFastLane(t *testing.T) {
 	} {
 		if !strings.Contains(doc, fragment) {
 			t.Errorf("docs/ARCHITECTURE.md does not cover the fast-lane fragment %q", fragment)
+		}
+	}
+}
+
+// TestArchitectureDocCoversStreaming pins the streaming-lane extension
+// of the fast-lane section: the threshold and envelope split, the
+// chunked/first-byte semantics, the raw record read and write sides,
+// the mid-stream measurement story, and the tests and benchmark that
+// guard the lane.
+func TestArchitectureDocCoversStreaming(t *testing.T) {
+	data, err := os.ReadFile("../../docs/ARCHITECTURE.md")
+	if err != nil {
+		t.Fatalf("docs/ARCHITECTURE.md must exist: %v", err)
+	}
+	doc := string(data)
+	for _, fragment := range []string{
+		"streaming lane", "StreamThreshold", "chunked",
+		"time-to-first-byte", `"schedule":`,
+		"OpenRecord", "RecordSink", "PutRecord", "io.Copy",
+		"TestStreamedReplyByteIdentical", "TestStreamedReplyAllocBytes",
+		"TestStreamedReplyMidMeasurementRace", "BenchmarkServeNearCapStream",
+	} {
+		if !strings.Contains(doc, fragment) {
+			t.Errorf("docs/ARCHITECTURE.md does not cover the streaming fragment %q", fragment)
 		}
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"mimdloop/internal/core"
 	"mimdloop/internal/exec"
@@ -477,6 +478,13 @@ type Server struct {
 	// calib, when non-nil, supplies the live fitted cost model that
 	// csim evaluations are scaled by (see calib.go).
 	calib Calibration
+	// streamThreshold is the embedded-schedule size above which a reply
+	// streams (envelope prefix, memoized schedule bytes, suffix — chunked)
+	// instead of buffering the whole body; streamed / streamBytes count
+	// those replies for /v1/stats.
+	streamThreshold int
+	streamed        atomic.Uint64
+	streamBytes     atomic.Uint64
 }
 
 // ServerConfig tunes the serving layer; the zero value is the default
@@ -502,6 +510,12 @@ type ServerConfig struct {
 	// its profile in the disk plan store's directory and refreshed by
 	// `loopsched serve -calibrate-every`.
 	Calibration Calibration
+	// StreamThreshold is the embedded-schedule byte size above which a
+	// /v1/schedule reply is streamed to the socket (chunked transfer)
+	// instead of rendered into one heap buffer. Values <= 0 mean 1 MiB —
+	// aligned with maxPooledRespBuf, so every reply too large to recycle
+	// its encode buffer streams instead of allocating and discarding one.
+	StreamThreshold int
 }
 
 // slots resolves the admission bound.
@@ -512,17 +526,26 @@ func (c ServerConfig) slots() int {
 	return 4 * runtime.GOMAXPROCS(0)
 }
 
+// streamLimit resolves the streaming threshold.
+func (c ServerConfig) streamLimit() int {
+	if c.StreamThreshold > 0 {
+		return c.StreamThreshold
+	}
+	return maxPooledRespBuf
+}
+
 // NewServer wraps p in an http.Handler with the default configuration.
 func NewServer(p *Pipeline) *Server { return NewServerWith(p, ServerConfig{}) }
 
 // NewServerWith wraps p in an http.Handler configured by cfg.
 func NewServerWith(p *Pipeline, cfg ServerConfig) *Server {
 	s := &Server{
-		pipe:    p,
-		mux:     http.NewServeMux(),
-		sem:     make(chan struct{}, cfg.slots()),
-		cluster: cfg.Cluster,
-		calib:   cfg.Calibration,
+		pipe:            p,
+		mux:             http.NewServeMux(),
+		sem:             make(chan struct{}, cfg.slots()),
+		cluster:         cfg.Cluster,
+		calib:           cfg.Calibration,
+		streamThreshold: cfg.streamLimit(),
 	}
 	for _, rt := range []struct {
 		method, path string
@@ -635,20 +658,25 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	forwarded := r.Header.Get(ForwardedHeader) != ""
-	raw, resp, status, err := s.scheduleResponse(req, body, sim, forwarded)
+	rep, status, err := s.scheduleResponse(req, body, sim, forwarded)
 	<-s.sem
-	if err != nil {
+	switch {
+	case err != nil:
 		writeJSON(w, status, errorResponse{err.Error()})
-		return
-	}
-	if raw != nil {
+	case rep.raw != nil:
 		// The fast lane (and the cluster proxy): pre-rendered wire bytes
 		// — a memoized cache-hit body, or the owner's reply verbatim —
 		// served without re-encoding anything.
-		writeRawJSON(w, status, raw)
-		return
+		writeRawJSON(w, status, rep.raw)
+	case rep.stream != nil:
+		// The streaming lane: a reply whose embedded schedule is over the
+		// threshold never materializes as one buffer — the envelope prefix
+		// goes out first, then the memoized schedule bytes, then the
+		// closing suffix.
+		s.writeStreamed(w, status, rep.stream)
+	default:
+		writeJSON(w, http.StatusOK, rep.resp)
 	}
-	writeJSON(w, http.StatusOK, resp)
 }
 
 // parseSimulateQuery reads the ?simulate=1 parameters of /v1/schedule:
@@ -701,19 +729,27 @@ func parseSimulateQuery(q url.Values) (*MeasuredEvaluator, error) {
 	return ev, nil
 }
 
+// scheduleReply is the outcome of a schedule request's compute section.
+// Exactly one field is set on success: pre-rendered wire bytes when the
+// request rode the cache-hit fast lane or was proxied to its cluster
+// owner, a split streamed reply when the embedded schedule is over the
+// streaming threshold, a response value to encode otherwise.
+type scheduleReply struct {
+	raw    []byte
+	stream *streamedReply
+	resp   *ScheduleResponse
+}
+
 // scheduleResponse runs the compute section of a schedule request; on
-// failure it returns the HTTP status to report. Exactly one of the two
-// results is set on success: pre-rendered wire bytes (with their
-// status) when the request rode the cache-hit fast lane or was proxied
-// to its cluster owner, a response value to encode otherwise.
-func (s *Server) scheduleResponse(req *ScheduleRequest, rawBody []byte, sim *MeasuredEvaluator, forwarded bool) ([]byte, *ScheduleResponse, int, error) {
+// failure it returns the HTTP status to report.
+func (s *Server) scheduleResponse(req *ScheduleRequest, rawBody []byte, sim *MeasuredEvaluator, forwarded bool) (scheduleReply, int, error) {
 	compiled, err := s.pipe.Compile(req.Source)
 	if err != nil {
-		return nil, nil, http.StatusUnprocessableEntity, err
+		return scheduleReply{}, http.StatusUnprocessableEntity, err
 	}
 	opts, n := req.params()
 	if err := checkGraphCaps(compiled.Graph.N(), n); err != nil {
-		return nil, nil, http.StatusRequestEntityTooLarge, err
+		return scheduleReply{}, http.StatusRequestEntityTooLarge, err
 	}
 
 	// Cluster routing: a request for a key owned by a peer is served
@@ -728,17 +764,13 @@ func (s *Server) scheduleResponse(req *ScheduleRequest, rawBody []byte, sim *Mea
 		key := PlanKey(compiled.Graph.Fingerprint(), opts, n)
 		if !cl.Owns(key) {
 			if plan, ok := s.pipe.Lookup(key); ok {
-				body, err := renderHitBody(plan, compiled.Loop.Name)
-				if err != nil {
-					return nil, nil, http.StatusInternalServerError, err
-				}
-				return body, nil, http.StatusOK, nil
+				return s.hitReply(plan, compiled.Loop.Name)
 			}
 			if status, body, ok := cl.Forward(key, rawBody); ok {
 				// The owner's reply verbatim — including deterministic
 				// owner-side errors (409 no-pattern, 422), which would
 				// reproduce identically here.
-				return body, nil, status, nil
+				return scheduleReply{raw: body}, status, nil
 			}
 		}
 	}
@@ -746,33 +778,138 @@ func (s *Server) scheduleResponse(req *ScheduleRequest, rawBody []byte, sim *Mea
 	plan, hit, err := s.pipe.Schedule(compiled.Graph, opts, n)
 	if err != nil {
 		if errors.Is(err, core.ErrNoPattern) {
-			return nil, nil, http.StatusConflict, err
+			return scheduleReply{}, http.StatusConflict, err
 		}
-		return nil, nil, http.StatusUnprocessableEntity, err
+		return scheduleReply{}, http.StatusUnprocessableEntity, err
 	}
 
 	if hit && sim == nil {
-		body, err := renderHitBody(plan, compiled.Loop.Name)
-		if err != nil {
-			return nil, nil, http.StatusInternalServerError, err
-		}
-		return body, nil, http.StatusOK, nil
+		return s.hitReply(plan, compiled.Loop.Name)
 	}
 
 	var measured *MeasuredStats
 	if sim != nil {
 		score, err := s.pipe.Evaluate(sim, plan)
 		if err != nil {
-			return nil, nil, http.StatusUnprocessableEntity, err
+			return scheduleReply{}, http.StatusUnprocessableEntity, err
 		}
 		measured = score.Measured
 	}
 
 	resp, err := buildScheduleResponse(plan, compiled.Loop.Name, hit, measured)
 	if err != nil {
-		return nil, nil, http.StatusInternalServerError, err
+		return scheduleReply{}, http.StatusInternalServerError, err
 	}
-	return nil, resp, http.StatusOK, nil
+	if st, ok, err := s.streamScheduleResponse(resp); err != nil {
+		return scheduleReply{}, http.StatusInternalServerError, err
+	} else if ok {
+		return scheduleReply{stream: st}, http.StatusOK, nil
+	}
+	return scheduleReply{resp: resp}, http.StatusOK, nil
+}
+
+// hitReply serves a cache hit. Small plans go through the memoized
+// pre-rendered hit body; plans whose schedule bytes are over the
+// streaming threshold split for streaming instead — rendering (and
+// memoizing) a multi-MB hit body would pin exactly the allocation the
+// streaming path exists to avoid.
+func (s *Server) hitReply(plan *Plan, loop string) (scheduleReply, int, error) {
+	sched, err := plan.ScheduleJSON()
+	if err != nil {
+		return scheduleReply{}, http.StatusInternalServerError, err
+	}
+	if len(sched) > s.streamThreshold {
+		resp, err := buildScheduleResponse(plan, loop, true, nil)
+		if err != nil {
+			return scheduleReply{}, http.StatusInternalServerError, err
+		}
+		st, _, err := s.streamScheduleResponse(resp)
+		if err != nil {
+			return scheduleReply{}, http.StatusInternalServerError, err
+		}
+		return scheduleReply{stream: st}, http.StatusOK, nil
+	}
+	body, err := renderHitBody(plan, loop)
+	if err != nil {
+		return scheduleReply{}, http.StatusInternalServerError, err
+	}
+	return scheduleReply{raw: body}, http.StatusOK, nil
+}
+
+// streamedReply is a schedule response split for streaming: the JSON
+// envelope up to (and including) the `"schedule":` key, the memoized
+// schedule bytes, and the closing `}` plus newline. Concatenated, the
+// three parts are byte-identical to the buffered rendering — the
+// schedule bytes are already compact JSON with nothing the encoder
+// would re-escape (TestStreamedReplyByteIdentical pins this).
+type streamedReply struct {
+	prefix []byte
+	sched  []byte
+	suffix []byte
+}
+
+// streamedSuffix closes a streamed schedule reply: Schedule is the last
+// envelope field, so after the raw schedule bytes only the object brace
+// and writeJSON's newline framing remain.
+var streamedSuffix = []byte("}\n")
+
+// streamScheduleResponse splits resp for streaming when its embedded
+// schedule exceeds the server's threshold. The split marshals the
+// envelope with a nil schedule — yielding `…,"schedule":null}` — and
+// strips the trailing `null}`, leaving everything up to the value
+// position; the memoized schedule bytes then flow to the socket via
+// io.Copy without ever joining the envelope in one buffer.
+func (s *Server) streamScheduleResponse(resp *ScheduleResponse) (*streamedReply, bool, error) {
+	if len(resp.Schedule) <= s.streamThreshold {
+		return nil, false, nil
+	}
+	env := *resp
+	sched := env.Schedule
+	env.Schedule = nil
+	data, err := json.Marshal(&env)
+	if err != nil {
+		return nil, false, err
+	}
+	tail := []byte("null}")
+	if !bytes.HasSuffix(data, tail) {
+		// Unreachable while Schedule stays the final, non-omitempty field
+		// of ScheduleResponse; fail closed rather than emit a torn body.
+		return nil, false, fmt.Errorf("schedule envelope does not end in %q", tail)
+	}
+	return &streamedReply{
+		prefix: data[:len(data)-len(tail)],
+		sched:  sched,
+		suffix: streamedSuffix,
+	}, true, nil
+}
+
+// writeStreamed writes a split schedule reply without ever buffering the
+// whole body: the envelope prefix goes out and is flushed (first byte on
+// the wire before any schedule copying starts), then the memoized
+// schedule bytes, then the closing suffix. No Content-Length is set, so
+// HTTP/1.1 replies go out chunked. The streamed / stream_bytes counters
+// feed /v1/stats.
+func (s *Server) writeStreamed(w http.ResponseWriter, status int, st *streamedReply) {
+	h := w.Header()
+	h["Content-Type"] = jsonContentType
+	w.WriteHeader(status)
+	total, err := w.Write(st.prefix)
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
+	if err == nil {
+		// bytes.Reader implements WriterTo, so io.Copy hands the schedule
+		// slice to the socket in one Write — no intermediate copy window.
+		n, cerr := io.Copy(w, bytes.NewReader(st.sched))
+		total += int(n)
+		err = cerr
+	}
+	if err == nil {
+		n, _ := w.Write(st.suffix)
+		total += n
+	}
+	s.streamed.Add(1)
+	s.streamBytes.Add(uint64(total))
 }
 
 // renderHitBody returns the plan's memoized cache-hit wire bytes. The
@@ -1220,6 +1357,29 @@ func (s *Server) servePlanRecord(w http.ResponseWriter, r *http.Request, fp, key
 		writeJSON(w, http.StatusNotFound, errorResponse{"this node does not own key " + key})
 		return
 	}
+	// Stream the content-addressed record file straight to the socket
+	// when the store can open it raw: no decode, no re-encode, no
+	// record-sized buffer. The durable bytes are the wire format, so the
+	// streamed reply matches the encode path byte for byte (plus the
+	// newline framing both share); an exact Content-Length is known from
+	// the file size, so this reply is never chunked. Any open failure
+	// falls through to the decode-and-encode path below — a plan held
+	// only in the memory tier is still served.
+	if op, ok := s.pipe.Store().(RecordOpener); ok {
+		if rc, size, err := op.OpenRecord(key); err == nil {
+			defer rc.Close()
+			h := w.Header()
+			h["Content-Type"] = jsonContentType
+			h["Content-Length"] = []string{strconv.FormatInt(size+1, 10)}
+			w.WriteHeader(http.StatusOK)
+			if n, err := io.Copy(w, rc); err == nil {
+				_, _ = w.Write([]byte{'\n'})
+				s.streamed.Add(1)
+				s.streamBytes.Add(uint64(n) + 1)
+			}
+			return
+		}
+	}
 	plan, ok := s.pipe.Store().Get(key)
 	if !ok {
 		writeJSON(w, http.StatusNotFound, errorResponse{"no stored plan for key " + key})
@@ -1273,10 +1433,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, struct {
 		Stats
-		HitRate float64       `json:"hit_rate"`
-		Cluster *ClusterStats `json:"cluster,omitempty"`
-		Calib   *CalibStats   `json:"calib,omitempty"`
-	}{stats, stats.HitRate(), cluster, calib})
+		HitRate float64 `json:"hit_rate"`
+		// Streamed counts replies served through the streaming lane
+		// (over-threshold schedules and raw record files), StreamBytes
+		// their cumulative body bytes.
+		Streamed    uint64        `json:"streamed"`
+		StreamBytes uint64        `json:"stream_bytes"`
+		Cluster     *ClusterStats `json:"cluster,omitempty"`
+		Calib       *CalibStats   `json:"calib,omitempty"`
+	}{stats, stats.HitRate(), s.streamed.Load(), s.streamBytes.Load(), cluster, calib})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -407,7 +407,9 @@ func TestServerStatsAndHealth(t *testing.T) {
 	}
 	var stats struct {
 		Stats
-		HitRate float64 `json:"hit_rate"`
+		HitRate     float64 `json:"hit_rate"`
+		Streamed    uint64  `json:"streamed"`
+		StreamBytes uint64  `json:"stream_bytes"`
 	}
 	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
 		t.Fatal(err)
@@ -417,6 +419,11 @@ func TestServerStatsAndHealth(t *testing.T) {
 	}
 	if stats.HitRate < 0.66 || stats.HitRate > 0.67 {
 		t.Fatalf("hit rate = %v", stats.HitRate)
+	}
+	// Under-threshold replies never ride the streaming lane (see
+	// TestStreamStatsCounters for the non-zero side).
+	if stats.Streamed != 0 || stats.StreamBytes != 0 {
+		t.Fatalf("streamed=%d stream_bytes=%d for buffered-only traffic", stats.Streamed, stats.StreamBytes)
 	}
 
 	rec = httptest.NewRecorder()
@@ -544,12 +551,17 @@ func TestServerStatsStoreBlock(t *testing.T) {
 	}
 	var stats struct {
 		Stats
-		HitRate float64 `json:"hit_rate"`
+		HitRate     float64 `json:"hit_rate"`
+		Streamed    uint64  `json:"streamed"`
+		StreamBytes uint64  `json:"stream_bytes"`
 	}
 	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
 		t.Fatal(err)
 	}
 	if stats.Store.Kind != "memory" || stats.Store.Puts != 1 || stats.Store.Entries != 1 {
 		t.Fatalf("store block = %+v", stats.Store)
+	}
+	if stats.Streamed != 0 || stats.StreamBytes != 0 {
+		t.Fatalf("streamed=%d stream_bytes=%d for buffered-only traffic", stats.Streamed, stats.StreamBytes)
 	}
 }

@@ -3,6 +3,7 @@ package pipeline
 import (
 	"container/list"
 	"hash/fnv"
+	"io"
 	"sync"
 	"sync/atomic"
 
@@ -51,6 +52,22 @@ type PlanLister interface {
 	// Plans returns a summary of every stored plan. The order is
 	// unspecified.
 	Plans() []PlanInfo
+}
+
+// RecordOpener is implemented by stores that hold plans as durable
+// encoded records and can hand out a raw reader over one: the server's
+// GET /v1/plans/{fingerprint}?key= handler streams the record straight
+// to the socket through it, skipping the decode/re-encode round trip
+// (and the record-sized response buffer) of the Get + EncodePlan path.
+// store.DiskStore implements it over its content-addressed files, and
+// store.TieredStore delegates to whichever tier can answer.
+type RecordOpener interface {
+	// OpenRecord returns a reader over the encoded plan record stored
+	// under key, plus the record's size in bytes. The caller must Close
+	// the reader. Stores that hold the plan but not as a raw record
+	// (e.g. the memory tier) return an error; the caller falls back to
+	// Get.
+	OpenRecord(key string) (io.ReadCloser, int64, error)
 }
 
 // PlanInfo is one stored plan's summary, as listed by a PlanLister and

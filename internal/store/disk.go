@@ -11,6 +11,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -149,6 +150,106 @@ func (d *DiskStore) Get(key string) (*pipeline.Plan, bool) {
 	e.used = time.Now()
 	d.hits++
 	return plan, true
+}
+
+// OpenRecord opens the raw encoded record stored under key, returning
+// the file and its indexed size. This is the zero-copy read side of the
+// record-streaming path: the server hands the file straight to the
+// socket (io.Copy over an *os.File can use sendfile) instead of
+// decoding and re-encoding the plan through a record-sized buffer. The
+// caller owns the returned reader; the open file stays valid even if
+// the record is GC'd or replaced mid-stream (the rename/remove unlinks
+// the name, not the open handle).
+func (d *DiskStore) OpenRecord(key string) (io.ReadCloser, int64, error) {
+	name := fileName(key)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	e, ok := d.index[name]
+	if !ok {
+		d.misses++
+		return nil, 0, fmt.Errorf("store: no record for key %q", key)
+	}
+	f, err := os.Open(filepath.Join(d.dir, name))
+	if err != nil {
+		// The index is stale (file removed behind our back): drop it.
+		delete(d.index, name)
+		d.bytes -= e.size
+		d.misses++
+		d.errors++
+		return nil, 0, fmt.Errorf("store: %w", err)
+	}
+	e.used = time.Now()
+	d.hits++
+	return f, e.size, nil
+}
+
+// PutRecord streams an encoded plan record from r into the store under
+// key. The bytes flow through a bounded copy window into a temp file —
+// never into one record-sized heap buffer — then the temp file is read
+// back, decode-validated exactly like Get would (key match included),
+// and renamed into place. This is the write side of the streaming
+// peer-fill path: a peer's record lands on disk through validation
+// without being slurped whole off the wire, and the decoded plan comes
+// back for the caller to serve. An invalid or mismatched record never
+// enters the store.
+func (d *DiskStore) PutRecord(key string, r io.Reader) (*pipeline.Plan, error) {
+	tmp, err := os.CreateTemp(d.dir, tmpPrefix+"*")
+	if err != nil {
+		d.mu.Lock()
+		d.errors++
+		d.mu.Unlock()
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	size, werr := io.Copy(tmp, r)
+	if werr == nil {
+		werr = tmp.Sync()
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	var data []byte
+	if werr == nil {
+		// Validation needs the whole record once (decode is not
+		// streamable); os.ReadFile sizes its buffer from the file, so
+		// this is one exact-size allocation that dies with this call —
+		// unlike the pre-streaming path, which grew a wire buffer, kept
+		// the decode copy, and re-encoded a third for disk.
+		data, werr = os.ReadFile(tmp.Name())
+	}
+	if werr != nil {
+		_ = os.Remove(tmp.Name())
+		d.mu.Lock()
+		d.errors++
+		d.mu.Unlock()
+		return nil, fmt.Errorf("store: %w", werr)
+	}
+	gotKey, plan, err := pipeline.DecodePlan(data)
+	if err == nil && gotKey != key {
+		err = fmt.Errorf("record key %q does not match requested key %q", gotKey, key)
+	}
+	if err != nil {
+		_ = os.Remove(tmp.Name())
+		d.mu.Lock()
+		d.errors++
+		d.mu.Unlock()
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	name := fileName(key)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.puts++
+	if err := os.Rename(tmp.Name(), filepath.Join(d.dir, name)); err != nil {
+		_ = os.Remove(tmp.Name())
+		d.errors++
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if old, ok := d.index[name]; ok {
+		d.bytes -= old.size
+	}
+	d.index[name] = &diskEntry{size: size, used: time.Now()}
+	d.bytes += size
+	d.gcLocked()
+	return plan, nil
 }
 
 // quarantineLocked moves a corrupt record aside and drops it from the

@@ -177,6 +177,24 @@ type PeerConfig struct {
 	// (0 means 5s). A probe failure re-opens the breaker immediately.
 	BreakerFailures int
 	BreakerCooldown time.Duration
+
+	// RecordSink, when non-nil, receives fetched peer records as a
+	// stream: a fill flows from the owner's socket through the sink's
+	// bounded copy window, is decode-validated there, and lands durable
+	// (the standard sink is the node's own DiskStore) — instead of
+	// being slurped whole into one record-sized buffer. nil keeps the
+	// buffered fill path.
+	RecordSink RecordSink
+}
+
+// RecordSink consumes a streamed encoded plan record, validating it
+// before admission. *DiskStore implements it; PutRecord is the
+// contract's shape.
+type RecordSink interface {
+	// PutRecord reads one encoded record from r, validates it against
+	// key, stores it, and returns the decoded plan. An error means
+	// nothing was admitted.
+	PutRecord(key string, r io.Reader) (*pipeline.Plan, error)
 }
 
 // withDefaults resolves the zero values.
@@ -329,14 +347,18 @@ func (p *PeerStore) Get(key string) (*pipeline.Plan, bool) {
 		fp = key[:i]
 	}
 	target := baseURL(owner) + "/v1/plans/" + fp + "?key=" + url.QueryEscape(key)
-	status, body, err := p.do(p.fetch, owner, func() (*http.Request, error) {
+	mkReq := func() (*http.Request, error) {
 		req, err := http.NewRequest(http.MethodGet, target, nil)
 		if err != nil {
 			return nil, err
 		}
 		req.Header.Set(pipeline.PeerFetchHeader, p.cfg.Self)
 		return req, nil
-	})
+	}
+	if sink := p.cfg.RecordSink; sink != nil {
+		return p.fillStreamed(sink, owner, key, mkReq)
+	}
+	status, body, err := p.do(p.fetch, owner, mkReq)
 	if err != nil {
 		p.fillErrors.Add(1)
 		p.misses.Add(1)
@@ -356,6 +378,49 @@ func (p *PeerStore) Get(key string) (*pipeline.Plan, bool) {
 	}
 	gotKey, plan, err := pipeline.DecodePlan(body)
 	if err != nil || gotKey != key {
+		p.fillErrors.Add(1)
+		p.misses.Add(1)
+		return nil, false
+	}
+	p.fills.Add(1)
+	return plan, true
+}
+
+// fillStreamed fills one miss through the record sink: the owner's
+// reply body streams through the sink's validation into durable
+// storage (a bounded copy window end to end) and the decoded plan
+// comes back out — the record is never slurped whole. The miss/error
+// accounting mirrors the buffered path exactly; a mid-body transport
+// failure surfaces as a sink error (fill_errors), not a retry, since
+// the partial record may already be flowing and request bodies cannot
+// be replayed mid-stream.
+func (p *PeerStore) fillStreamed(sink RecordSink, owner, key string, mkReq func() (*http.Request, error)) (*pipeline.Plan, bool) {
+	status, body, err := p.doStream(p.fetch, owner, mkReq)
+	if err != nil {
+		p.fillErrors.Add(1)
+		p.misses.Add(1)
+		return nil, false
+	}
+	if body != nil {
+		defer func() {
+			_, _ = io.Copy(io.Discard, io.LimitReader(body, maxPeerResponse))
+			body.Close()
+		}()
+	}
+	switch {
+	case status == http.StatusNotFound:
+		// The owner simply has not scheduled this key: a healthy miss,
+		// not a failure — it must never trip the breaker.
+		p.fillMisses.Add(1)
+		p.misses.Add(1)
+		return nil, false
+	case status != http.StatusOK:
+		p.fillErrors.Add(1)
+		p.misses.Add(1)
+		return nil, false
+	}
+	plan, err := sink.PutRecord(key, io.LimitReader(body, maxPeerResponse))
+	if err != nil {
 		p.fillErrors.Add(1)
 		p.misses.Add(1)
 		return nil, false
@@ -453,6 +518,41 @@ func (p *PeerStore) do(client *http.Client, owner string, make func() (*http.Req
 		}
 		br.success()
 		return resp.StatusCode, body, nil
+	}
+	br.failure(time.Now(), p.cfg.BreakerFailures, p.cfg.BreakerCooldown)
+	return 0, nil, lastErr
+}
+
+// doStream is do's streaming sibling: the same per-attempt retry and
+// breaker accounting, but any answer below 500 hands the response body
+// to the caller still open (the caller must drain and close it) so
+// record bytes can flow through a sink instead of into one buffer. A
+// 5xx is drained and closed here, counts against the breaker, and
+// returns a nil body.
+func (p *PeerStore) doStream(client *http.Client, owner string, mkReq func() (*http.Request, error)) (int, io.ReadCloser, error) {
+	br := p.breakers[owner]
+	var lastErr error
+	for attempt := 0; attempt <= p.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(p.cfg.Backoff)
+		}
+		req, err := mkReq()
+		if err != nil {
+			return 0, nil, err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode >= http.StatusInternalServerError {
+			_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, maxPeerResponse))
+			resp.Body.Close()
+			br.failure(time.Now(), p.cfg.BreakerFailures, p.cfg.BreakerCooldown)
+			return resp.StatusCode, nil, nil
+		}
+		br.success()
+		return resp.StatusCode, resp.Body, nil
 	}
 	br.failure(time.Now(), p.cfg.BreakerFailures, p.cfg.BreakerCooldown)
 	return 0, nil, lastErr

@@ -2,8 +2,14 @@ package store
 
 import (
 	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -425,5 +431,155 @@ func TestMeasuredAnnotationPersists(t *testing.T) {
 	}
 	if *got != *want {
 		t.Fatalf("measured annotation drifted across restart: %+v vs %+v", got, want)
+	}
+}
+
+// TestDiskRecordRoundTrip covers the raw-record pair behind the
+// streaming paths: OpenRecord hands back exactly the encoded bytes Put
+// persisted (sized to match), and PutRecord streams those bytes into a
+// fresh store through full decode validation — so a record can travel
+// disk -> socket -> peer disk without ever being re-encoded.
+func TestDiskRecordRoundTrip(t *testing.T) {
+	d, err := Open(DiskConfig{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, plan := buildPlan(t, 20)
+	d.Put(key, plan)
+	want, err := pipeline.EncodePlan(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rc, size, err := d.OpenRecord(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(rc)
+	rc.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) || size != int64(len(want)) {
+		t.Fatalf("OpenRecord returned %d bytes (size %d), want %d", len(got), size, len(want))
+	}
+	if _, _, err := d.OpenRecord(key + "x"); err == nil {
+		t.Fatal("OpenRecord succeeded for an unknown key")
+	}
+
+	// The streamed write side: a second store ingests the raw record.
+	d2, err := Open(DiskConfig{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	filled, err := d2.PutRecord(key, bytes.NewReader(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filled.Rate() != plan.Rate() || filled.GraphHash != plan.GraphHash {
+		t.Fatalf("PutRecord decoded a different plan: %+v", filled)
+	}
+	rc, _, err = d2.OpenRecord(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = io.ReadAll(rc)
+	rc.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("record bytes changed across a streamed fill")
+	}
+	if loaded, ok := d2.Get(key); !ok || loaded.Rate() != plan.Rate() {
+		t.Fatalf("filled record not servable: ok=%v", ok)
+	}
+
+	// Invalid fills never enter the store: a key mismatch and raw
+	// garbage both error out, leave no record, and count as errors.
+	d3, err := Open(DiskConfig{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d3.PutRecord(key+"x", bytes.NewReader(want)); err == nil {
+		t.Fatal("PutRecord accepted a record under the wrong key")
+	}
+	if _, err := d3.PutRecord(key, strings.NewReader("not a record")); err == nil {
+		t.Fatal("PutRecord accepted garbage")
+	}
+	if s := d3.Stats(); s.Entries != 0 || s.Errors != 2 {
+		t.Fatalf("rejected fills left state behind: %+v", s)
+	}
+	if names, err := filepath.Glob(filepath.Join(d3.dir, "*"+planExt)); err != nil || len(names) != 0 {
+		t.Fatalf("rejected fills left files behind: %v %v", names, err)
+	}
+}
+
+// TestServePlanRecordStreamsFromDisk is the end-to-end record-streaming
+// test over a real disk tier: GET /v1/plans/{fp}?key=... streams the
+// content-addressed file with an exact Content-Length, on a warm
+// process (hit) and on a restarted one whose memory tier is cold — and
+// the restarted serve decodes nothing (the bytes go file -> socket).
+func TestServePlanRecordStreamsFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	g := workload.Figure7().Graph
+	fp := g.Fingerprint()
+	key := pipeline.PlanKey(fp, fig7Opts, 100)
+	target := "/v1/plans/" + fp + "?key=" + url.QueryEscape(key)
+	body := fmt.Sprintf(`{"source": %q, "processors": 2}`, workload.Figure7Source)
+
+	p1 := newTieredPipeline(t, dir)
+	srv1 := pipeline.NewServer(p1)
+	rec := httptest.NewRecorder()
+	srv1.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/schedule", strings.NewReader(body)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("schedule: status %d: %.200s", rec.Code, rec.Body)
+	}
+
+	get := func(srv *pipeline.Server) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, target, nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("GET record: status %d: %.200s", rec.Code, rec.Body)
+		}
+		if cl := rec.Header().Get("Content-Length"); cl != strconv.Itoa(rec.Body.Len()) {
+			t.Fatalf("Content-Length %q for a %d-byte record reply", cl, rec.Body.Len())
+		}
+		return rec
+	}
+	warm := get(srv1)
+	plan, ok := p1.Store().Get(key)
+	if !ok {
+		t.Fatal("scheduled plan not in the store")
+	}
+	want, err := pipeline.EncodePlan(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(warm.Body.Bytes(), append(want, '\n')) {
+		t.Fatal("streamed record differs from the encoded plan")
+	}
+	if err := p1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: cold memory, warm disk. The record streams straight off
+	// the file — byte-identical, zero rescheduling, zero decodes (a
+	// disk Get would have decoded; the disk hit here is OpenRecord).
+	p2 := newTieredPipeline(t, dir)
+	srv2 := pipeline.NewServer(p2)
+	cold := get(srv2)
+	if !bytes.Equal(cold.Body.Bytes(), warm.Body.Bytes()) {
+		t.Fatal("record bytes changed across restart")
+	}
+	if s := p2.Stats(); s.Computes != 0 {
+		t.Fatalf("restarted serve rescheduled %d plans", s.Computes)
+	}
+	disk, ok := p2.Stats().Store.Tier("disk")
+	if !ok || disk.Hits != 1 {
+		t.Fatalf("cold record serve did not hit the disk tier once: %+v", disk)
+	}
+	if err := p2.Close(); err != nil {
+		t.Fatal(err)
 	}
 }

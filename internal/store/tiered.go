@@ -2,6 +2,7 @@ package store
 
 import (
 	"errors"
+	"io"
 	"sync/atomic"
 
 	"mimdloop/internal/pipeline"
@@ -116,6 +117,32 @@ func (t *TieredStore) Stats() pipeline.StoreStats {
 		Bytes:    upper.Bytes + lower.Bytes,
 		Tiers:    []pipeline.StoreStats{upper, lower},
 	}
+}
+
+// OpenRecord delegates to whichever tier holds the raw record,
+// preferring the upper one; in the standard serving stacks only the
+// disk tier implements pipeline.RecordOpener, so this walks the
+// composition down to it. A plan held only in a non-record tier (e.g.
+// memory) is an error here — the server falls back to Get.
+func (t *TieredStore) OpenRecord(key string) (io.ReadCloser, int64, error) {
+	var firstErr error
+	for _, tier := range []pipeline.PlanStore{t.upper, t.lower} {
+		op, ok := tier.(pipeline.RecordOpener)
+		if !ok {
+			continue
+		}
+		rc, size, err := op.OpenRecord(key)
+		if err == nil {
+			return rc, size, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr == nil {
+		firstErr = errors.New("store: no tier holds raw records")
+	}
+	return nil, 0, firstErr
 }
 
 // Plans enumerates the distinct plans across both tiers, preferring the

@@ -153,6 +153,13 @@ type (
 	// GET /v1/plans and `loopsched store ls`; all built-in stores
 	// implement it.
 	PlanLister = pipeline.PlanLister
+	// RecordOpener is the optional raw-record read interface behind the
+	// streamed GET /v1/plans/{fp}?key= path; DiskStore and TieredStore
+	// implement it.
+	RecordOpener = pipeline.RecordOpener
+	// RecordSink is the streamed-validation write interface peer fills
+	// use (PeerStoreConfig.RecordSink); DiskStore implements it.
+	RecordSink = store.RecordSink
 	// PlanInfo is one stored plan's summary row.
 	PlanInfo = pipeline.PlanInfo
 	// PlanStoreStats is one store's counter snapshot (nested per tier
